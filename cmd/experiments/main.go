@@ -1,0 +1,178 @@
+// Command experiments regenerates the paper's tables and figures at a
+// configurable scale. Each experiment id matches DESIGN.md's index;
+// "all" runs everything.
+//
+// Usage:
+//
+//	experiments -run all -trials 5
+//	experiments -run T5,F19
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"polardraw/internal/experiment"
+)
+
+// runner executes one experiment at the requested trial scale and
+// returns a printable result.
+type runner struct {
+	id    string
+	title string
+	run   func(sc experiment.Scenario, trials int) (fmt.Stringer, error)
+}
+
+func runners() []runner {
+	letters10 := []rune{'A', 'C', 'E', 'K', 'L', 'M', 'O', 'S', 'W', 'Z'}
+	return []runner{
+		{"T1", "infrastructure cost", func(experiment.Scenario, int) (fmt.Stringer, error) {
+			return experiment.Table1Cost(), nil
+		}},
+		{"F2", "recovered WOW,M,C,W,Z", func(sc experiment.Scenario, _ int) (fmt.Stringer, error) {
+			trials, err := experiment.Figure2Trajectory(sc)
+			if err != nil {
+				return nil, err
+			}
+			var b strings.Builder
+			for _, t := range trials {
+				fmt.Fprintf(&b, "%s: %.1f cm\n%s\n", t.Label, t.Procrustes*100,
+					experiment.RenderTrajectory(t.Recovered, 48, 10))
+			}
+			return stringerOf(b.String()), nil
+		}},
+		{"F3B", "feasibility: rotation", func(sc experiment.Scenario, _ int) (fmt.Stringer, error) {
+			return experiment.Figure3bRotation(sc.Seed), nil
+		}},
+		{"F3C", "feasibility: translation", func(sc experiment.Scenario, _ int) (fmt.Stringer, error) {
+			return experiment.Figure3cTranslation(sc.Seed), nil
+		}},
+		{"F9", "two-antenna RSS trends", func(sc experiment.Scenario, _ int) (fmt.Stringer, error) {
+			return experiment.Figure9RSSTrends(sc)
+		}},
+		{"F10", "azimuthal correction", func(sc experiment.Scenario, _ int) (fmt.Stringer, error) {
+			return experiment.Figure10Correction(sc, "WE")
+		}},
+		{"F13", "letter accuracy", func(sc experiment.Scenario, trials int) (fmt.Stringer, error) {
+			return experiment.Figure13Letters(sc, experiment.PolarDraw2, trials)
+		}},
+		{"F14", "confusion matrix", func(sc experiment.Scenario, trials int) (fmt.Stringer, error) {
+			res, err := experiment.Figure13Letters(sc, experiment.PolarDraw2, trials)
+			if err != nil {
+				return nil, err
+			}
+			return stringerOf("Figure 14:\n" + res.Confusion.String()), nil
+		}},
+		{"F15", "air vs whiteboard", func(sc experiment.Scenario, trials int) (fmt.Stringer, error) {
+			return experiment.Figure15AirVsBoard(sc, 4, 10, trials)
+		}},
+		{"T5", "accuracy vs distance", func(sc experiment.Scenario, trials int) (fmt.Stringer, error) {
+			return experiment.Table5Distance(sc, letters10, trials)
+		}},
+		{"F16", "bystander multipath", func(sc experiment.Scenario, trials int) (fmt.Stringer, error) {
+			return experiment.Figure16Bystander(sc, letters10, trials)
+		}},
+		{"T6", "polarization ablation", func(sc experiment.Scenario, trials int) (fmt.Stringer, error) {
+			return experiment.Table6Ablation(sc, letters10, trials)
+		}},
+		{"F18", "word recognition x3 systems", func(sc experiment.Scenario, trials int) (fmt.Stringer, error) {
+			return experiment.Figure18Words(sc, 10, trials)
+		}},
+		{"F19", "Procrustes CDF x3 systems", func(sc experiment.Scenario, trials int) (fmt.Stringer, error) {
+			return experiment.Figure19CDF(sc, []rune{'A', 'C', 'M', 'S', 'Z'}, trials)
+		}},
+		{"F20", "trajectory showcase", func(sc experiment.Scenario, _ int) (fmt.Stringer, error) {
+			res, err := experiment.Figure20Showcase(sc, 'W', 1)
+			if err != nil {
+				return nil, err
+			}
+			var b strings.Builder
+			b.WriteString(res.String())
+			b.WriteString("truth:\n")
+			b.WriteString(experiment.RenderTrajectory(res.Truth, 48, 10))
+			for sys, traj := range res.Recovered {
+				fmt.Fprintf(&b, "%s:\n%s", sys, experiment.RenderTrajectory(traj, 48, 10))
+			}
+			return stringerOf(b.String()), nil
+		}},
+		{"F21", "accuracy across users", func(sc experiment.Scenario, trials int) (fmt.Stringer, error) {
+			return experiment.Figure21Users(sc, letters10, trials)
+		}},
+		{"F22", "distance sweep (comparison rig)", func(sc experiment.Scenario, trials int) (fmt.Stringer, error) {
+			return experiment.Table5Distance(sc, letters10, trials)
+		}},
+		{"T7", "elevation sensitivity", func(sc experiment.Scenario, trials int) (fmt.Stringer, error) {
+			return experiment.Table7Elevation(sc, letters10, trials)
+		}},
+		{"T8", "gamma sensitivity", func(sc experiment.Scenario, trials int) (fmt.Stringer, error) {
+			return experiment.Table8Gamma(sc, letters10, trials)
+		}},
+	}
+}
+
+type stringerOf string
+
+func (s stringerOf) String() string { return string(s) }
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		trials = flag.Int("trials", 2, "trials per configuration (the paper uses 10-100)")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	rs := runners()
+	if *list {
+		for _, r := range rs {
+			fmt.Printf("%-4s %s\n", r.id, r.title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *run != "all" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	valid := map[string]bool{}
+	for _, r := range rs {
+		valid[r.id] = true
+	}
+	var unknown []string
+	for id := range want {
+		if !valid[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "experiments: unknown ids: %s (use -list)\n", strings.Join(unknown, ", "))
+		os.Exit(2)
+	}
+
+	sc := experiment.Default(*seed)
+	failed := false
+	for _, r := range rs {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", r.id, r.title)
+		res, err := r.run(sc, *trials)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", r.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(res)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Command readersim runs a standalone LLRP-lite reader simulator: it
+// synthesizes one writing session, runs the RFID reader simulation
+// over it, and serves the resulting tag-report stream to LLRP clients
+// (cmd/polardraw -llrp, examples/llrpstream) over TCP.
+//
+// Usage:
+//
+//	readersim -listen 127.0.0.1:5084 -text HELLO
+//	polardraw -llrp 127.0.0.1:5084
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+	"polardraw/internal/llrp"
+	"polardraw/internal/motion"
+	"polardraw/internal/reader"
+	"polardraw/internal/rf"
+	"polardraw/internal/tag"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:5084", "address to serve LLRP on (5084 is the standard LLRP port)")
+		text     = flag.String("text", "WOW", "word the simulated user writes")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		air      = flag.Bool("air", false, "write in the air")
+		realtime = flag.Bool("realtime", false, "pace report batches at roughly live speed")
+		once     = flag.Bool("once", false, "serve a single client and exit")
+	)
+	flag.Parse()
+
+	samples, dur, err := simulate(strings.ToUpper(*text), *seed, *air)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "readersim:", err)
+		os.Exit(1)
+	}
+
+	srv := &llrp.Server{Samples: samples, BatchSize: 8}
+	if *realtime {
+		// ~8 reports per batch at ~100 reads/s.
+		srv.Interval = 80 * time.Millisecond
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "readersim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("readersim: serving %d tag reads (%.1f s of writing %q) on %s\n",
+		len(samples), dur, *text, ln.Addr())
+
+	if *once {
+		conn, err := ln.Accept()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "readersim:", err)
+			os.Exit(1)
+		}
+		srvOne(srv, conn)
+		return
+	}
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "readersim:", err)
+		os.Exit(1)
+	}
+}
+
+// srvOne handles exactly one connection through the server's handler
+// by serving on a single-connection listener.
+func srvOne(srv *llrp.Server, conn net.Conn) {
+	ln := &oneShotListener{conn: conn}
+	_ = srv.Serve(ln)
+}
+
+// oneShotListener yields one connection then reports closed.
+type oneShotListener struct {
+	conn net.Conn
+}
+
+func (l *oneShotListener) Accept() (net.Conn, error) {
+	if l.conn == nil {
+		return nil, net.ErrClosed
+	}
+	c := l.conn
+	l.conn = nil
+	return c, nil
+}
+
+func (l *oneShotListener) Close() error   { return nil }
+func (l *oneShotListener) Addr() net.Addr { return &net.TCPAddr{} }
+
+// simulate produces the tag-read stream for the given word.
+func simulate(text string, seed uint64, air bool) ([]reader.Sample, float64, error) {
+	rig := motion.DefaultRig()
+	path := font.WordPath(text, 0.2, 0.25)
+	if len(path) < 2 {
+		return nil, 0, fmt.Errorf("nothing writable in %q", text)
+	}
+	_, max := path.Bounds()
+	if max.X > rig.BoardW*0.95 {
+		path = path.Scale(rig.BoardW * 0.95 / max.X)
+	}
+	_, max = path.Bounds()
+	c := rig.Centre()
+	path = path.Translate(geom.Vec2{X: c.X - max.X/2, Y: c.Y - max.Y/2})
+
+	sess := motion.Write(path, text, motion.Config{Seed: seed, InAir: air})
+	ants := rig.Antennas()
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	tg := tag.AD227(1)
+	tg.ApplyTo(ch)
+	rd := reader.New(reader.Config{
+		Antennas: ants[:],
+		Channel:  ch,
+		EPC:      tg.EPC,
+		Seed:     seed,
+	})
+	return rd.Inventory(sess), sess.Duration(), nil
+}

@@ -1,0 +1,78 @@
+// LLRP stream: the full networking path of the paper's implementation
+// (section 4). A simulated ImpinJ-class reader serves tag reports over
+// the LLRP-lite protocol on a loopback TCP socket; the tracking client
+// connects, starts the inventory, collects the reports, and feeds them
+// to the PolarDraw pipeline -- exactly how the paper's Java
+// interrogation module fed its C# tracker.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"polardraw/internal/core"
+	"polardraw/internal/experiment"
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+	"polardraw/internal/llrp"
+	"polardraw/internal/motion"
+	"polardraw/internal/reader"
+	"polardraw/internal/rf"
+	"polardraw/internal/tag"
+)
+
+func main() {
+	// Reader side: simulate a user writing "HI" and stage the tag
+	// reads behind an LLRP server.
+	rig := motion.DefaultRig()
+	path := font.WordPath("HI", 0.2, 0.25).Translate(geom.Vec2{X: 0.12, Y: 0.03})
+	session := motion.Write(path, "HI", motion.Config{Seed: 11})
+	antennas := rig.Antennas()
+	channel := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	pen := tag.AD227(3)
+	pen.ApplyTo(channel)
+	rd := reader.New(reader.Config{
+		Antennas: antennas[:],
+		Channel:  channel,
+		EPC:      pen.EPC,
+		Seed:     11,
+	})
+	srv := &llrp.Server{Samples: rd.Inventory(session), BatchSize: 16}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Printf("reader simulator listening on %s\n", ln.Addr())
+
+	// Client side: the tracking pipeline, fed over the wire.
+	client, err := llrp.Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Start(); err != nil {
+		log.Fatal(err)
+	}
+	samples, err := client.Collect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %d tag reads over LLRP\n", len(samples))
+
+	tracker := core.New(core.Config{Antennas: antennas})
+	result, err := tracker.Track(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := geom.ProcrustesDistance(result.Trajectory, session.Truth, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tracked %q with %.1f cm Procrustes error:\n", session.Label, dist*100)
+	fmt.Print(experiment.RenderTrajectory(result.Trajectory, 64, 12))
+}

@@ -1,0 +1,50 @@
+// Words: the section 5.3.1 scenario. The user writes whole words on
+// the whiteboard; all three systems (PolarDraw with two antennas,
+// RF-IDraw and Tagoram with four) track the pen, and a lexicon-based
+// recognizer decodes the words. This is the workload of Fig. 18.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"polardraw/internal/experiment"
+	"polardraw/internal/recognition"
+)
+
+func main() {
+	sc := experiment.Default(18)
+	systems := []experiment.System{
+		experiment.PolarDraw2,
+		experiment.RFIDraw4,
+		experiment.Tagoram4,
+	}
+
+	for _, n := range []int{2, 3, 4} {
+		words := experiment.Lexicon(n)[:3]
+		wr := recognition.NewWordRecognizer(experiment.Lexicon(n))
+		fmt.Printf("%d-letter words %v:\n", n, words)
+		for _, sys := range systems {
+			correct := 0
+			for wi, w := range words {
+				trial, err := sc.RunWord(sys, w, uint64(n*100+wi+1))
+				if err != nil {
+					log.Fatal(err)
+				}
+				got, _, err := wr.Classify(trial.Recovered)
+				if err == nil && got == w {
+					correct++
+				}
+			}
+			fmt.Printf("  %-28s %d/%d words recognized\n", sys, correct, len(words))
+		}
+	}
+
+	// Show one recovered word for flavour.
+	trial, err := sc.RunWord(experiment.PolarDraw2, "CAT", 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPolarDraw recovering %q (%.1f cm Procrustes):\n", trial.Label, trial.Procrustes*100)
+	fmt.Print(experiment.RenderTrajectory(trial.Recovered, 64, 12))
+}

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"polardraw/internal/core"
+	"polardraw/internal/experiment"
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+	"polardraw/internal/llrp"
+	"polardraw/internal/motion"
+	"polardraw/internal/reader"
+	"polardraw/internal/recognition"
+	"polardraw/internal/rf"
+	"polardraw/internal/tag"
+)
+
+// TestEndToEndPipeline exercises the full stack exactly as the
+// quickstart example does: font -> motion -> channel -> reader ->
+// tracker -> recognizer, with hard assertions at each stage.
+func TestEndToEndPipeline(t *testing.T) {
+	rig := motion.DefaultRig()
+	antennas := rig.Antennas()
+
+	glyph, ok := font.Lookup('G')
+	if !ok {
+		t.Fatal("missing glyph G")
+	}
+	path := glyph.Path().Scale(0.20).Translate(geom.Vec2{X: 0.18, Y: 0.02})
+	session := motion.Write(path, "G", motion.Config{Seed: 42})
+	if session.Duration() < 1 {
+		t.Fatalf("session too short: %v s", session.Duration())
+	}
+
+	channel := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	pen := tag.AD227(7)
+	pen.ApplyTo(channel)
+	rd := reader.New(reader.Config{
+		Antennas: antennas[:],
+		Channel:  channel,
+		EPC:      pen.EPC,
+		Seed:     42,
+	})
+	samples := rd.Inventory(session)
+	if len(samples) < 100 {
+		t.Fatalf("only %d reads", len(samples))
+	}
+
+	tracker := core.New(core.Config{Antennas: antennas})
+	result, err := tracker.Track(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := geom.ProcrustesDistance(result.Trajectory, session.Truth, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist > 0.12 {
+		t.Errorf("tracking error %v m, out of the paper's regime", dist)
+	}
+
+	lr := recognition.NewLetterRecognizer()
+	ranked, err := lr.Rank(result.Trajectory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The true letter must at least rank near the top on this seed.
+	pos := -1
+	for i, m := range ranked {
+		if m.R == 'G' {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 || pos > 4 {
+		t.Errorf("G ranked %d (top match %c)", pos, ranked[0].R)
+	}
+}
+
+// TestEndToEndOverLLRP runs the same pipeline with the reader samples
+// shipped through the LLRP wire protocol over loopback TCP, asserting
+// the wire round trip does not change the tracking result beyond
+// quantization.
+func TestEndToEndOverLLRP(t *testing.T) {
+	rig := motion.DefaultRig()
+	antennas := rig.Antennas()
+	glyph, _ := font.Lookup('L')
+	path := glyph.Path().Scale(0.20).Translate(geom.Vec2{X: 0.2, Y: 0.02})
+	session := motion.Write(path, "L", motion.Config{Seed: 7})
+	channel := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	pen := tag.AD227(9)
+	pen.ApplyTo(channel)
+	rd := reader.New(reader.Config{Antennas: antennas[:], Channel: channel, EPC: pen.EPC, Seed: 7})
+	direct := rd.Inventory(session)
+
+	srv := &llrp.Server{Samples: direct, BatchSize: 32}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	client, err := llrp.Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Start(); err != nil {
+		t.Fatal(err)
+	}
+	wired, err := client.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wired) != len(direct) {
+		t.Fatalf("wire lost samples: %d vs %d", len(wired), len(direct))
+	}
+
+	tracker := core.New(core.Config{Antennas: antennas})
+	a, err := tracker.Track(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tracker.Track(wired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trajectory) != len(b.Trajectory) {
+		t.Fatalf("trajectory lengths differ: %d vs %d", len(a.Trajectory), len(b.Trajectory))
+	}
+	var worst float64
+	for i := range a.Trajectory {
+		worst = math.Max(worst, a.Trajectory[i].Dist(b.Trajectory[i]))
+	}
+	// The wire quantizes RSS to centi-dB and phase to the 12-bit grid
+	// the reader already used, so decoding should agree to within a
+	// couple of grid cells.
+	if worst > 0.02 {
+		t.Errorf("wire round trip moved the trajectory by %v m", worst)
+	}
+}
+
+// TestMultiUserSeparation exercises the section 7 future-work
+// extension: two writers share the reader, their tags are separated by
+// EPC, and each stream tracks independently.
+func TestMultiUserSeparation(t *testing.T) {
+	rig := motion.DefaultRig()
+	antennas := rig.Antennas()
+	gl, _ := font.Lookup('L')
+	gz, _ := font.Lookup('Z')
+	left := motion.Write(gl.Path().Scale(0.15).Translate(geom.Vec2{X: 0.06, Y: 0.05}), "L", motion.Config{Seed: 5})
+	right := motion.Write(gz.Path().Scale(0.15).Translate(geom.Vec2{X: 0.34, Y: 0.05}), "Z", motion.Config{Seed: 6})
+	channel := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	tag.AD227(1).ApplyTo(channel)
+	rd := reader.New(reader.Config{Antennas: antennas[:], Channel: channel, Seed: 8})
+	mixed := rd.MultiInventory([]reader.TaggedScene{
+		{EPC: "aa01", Scene: left},
+		{EPC: "aa02", Scene: right},
+	})
+	streams := reader.SplitByEPC(mixed)
+	if len(streams) != 2 {
+		t.Fatalf("streams = %d", len(streams))
+	}
+
+	tracker := core.New(core.Config{Antennas: antennas})
+	truths := map[string]geom.Polyline{"aa01": left.Truth, "aa02": right.Truth}
+	for epc, samples := range streams {
+		res, err := tracker.Track(samples)
+		if err != nil {
+			t.Fatalf("%s: %v", epc, err)
+		}
+		d, err := geom.ProcrustesDistance(res.Trajectory, truths[epc], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Half the read rate per tag costs accuracy; the shape must
+		// still land in the usable regime.
+		if d > 0.15 {
+			t.Errorf("%s tracked at %v m", epc, d)
+		}
+		t.Logf("writer %s: %.1f cm with shared reader", epc, d*100)
+	}
+}
+
+// TestPaperHeadline asserts the repository's one-line claim: the
+// 2-antenna PolarDraw achieves trajectory accuracy comparable to the
+// 4-antenna baselines on the same workload (within a factor of two
+// either way).
+func TestPaperHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-system comparison is slow")
+	}
+	sc := experiment.Default(1)
+	res, err := experiment.Figure19CDF(sc, []rune{'C', 'M', 'Z'}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pMed, _ := res.Summary(experiment.PolarDraw2)
+	tMed, _ := res.Summary(experiment.Tagoram4)
+	rMed, _ := res.Summary(experiment.RFIDraw4)
+	t.Logf("median cm: PolarDraw-2 %.1f, Tagoram-4 %.1f, RF-IDraw-4 %.1f", pMed, tMed, rMed)
+	if pMed > 2*tMed || pMed > 2*rMed {
+		t.Errorf("PolarDraw (%v cm) is not comparable to the baselines (%v, %v)", pMed, tMed, rMed)
+	}
+	// And the cost claim: half the hardware.
+	cost := experiment.Table1Cost()
+	if cost.Systems[0].Total*2 > cost.Systems[1].Total {
+		t.Error("cost-halving claim violated")
+	}
+}

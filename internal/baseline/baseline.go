@@ -1,0 +1,210 @@
+// Package baseline implements the two comparison systems of the
+// paper's section 5.3 evaluation, built from their published designs:
+//
+//   - Tagoram (Yang et al., MobiCom 2014): hologram-style tracking --
+//     every timestep, the tag position is the grid cell whose expected
+//     per-antenna backscatter phases best cohere with the measured
+//     ones across all antennas, with a motion-continuity gate.
+//   - RF-IDraw (Wang et al., SIGCOMM 2014): angle-of-arrival
+//     positioning from antenna-pair phase differences, using one
+//     closely-spaced pair for unambiguous but coarse bearing and one
+//     widely-spaced pair for fine but aliased bearing; intersecting
+//     the two resolves the ambiguity.
+//
+// Both run over the same reader sample stream as PolarDraw and use
+// standard circularly polarized antennas (rf.ArrayAt), exactly the
+// hardware contrast the paper draws.
+package baseline
+
+import (
+	"errors"
+	"math"
+
+	"polardraw/internal/geom"
+	"polardraw/internal/reader"
+	"polardraw/internal/rf"
+)
+
+// Tracker is the common interface of all pen-tracking systems in the
+// evaluation (PolarDraw is adapted to it by the experiment harness).
+type Tracker interface {
+	// Name labels the system in experiment output.
+	Name() string
+	// Track decodes a pen trajectory from raw reader samples.
+	Track(samples []reader.Sample) (geom.Polyline, error)
+}
+
+// ErrTooFewSamples mirrors the core tracker's error for degenerate
+// inputs.
+var ErrTooFewSamples = errors.New("baseline: too few samples to track")
+
+// Config parameterizes a baseline tracker.
+type Config struct {
+	// Antennas are the reader ports (2 or 4 in the paper's
+	// comparisons).
+	Antennas []rf.Antenna
+	// Lambda is the carrier wavelength, metres.
+	Lambda float64
+	// BoardMin/BoardMax bound the search grid, metres.
+	BoardMin, BoardMax geom.Vec2
+	// CellSize is the grid resolution (default 5 mm).
+	CellSize float64
+	// Window is the averaging window (default 60 ms; four antennas
+	// share ~100 reads/s, so shorter windows often miss an antenna --
+	// the per-window scoring only counts fresh antennas).
+	Window float64
+	// VMax is the motion-continuity bound, m/s (default 0.2).
+	VMax float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lambda == 0 {
+		c.Lambda = rf.Wavelength(rf.DefaultFrequency)
+	}
+	if c.CellSize == 0 {
+		c.CellSize = 0.005
+	}
+	if c.Window == 0 {
+		c.Window = 0.06
+	}
+	if c.VMax == 0 {
+		c.VMax = 0.2
+	}
+	if c.BoardMin == (geom.Vec2{}) && c.BoardMax == (geom.Vec2{}) {
+		c.BoardMin = geom.Vec2{X: -0.05, Y: -0.05}
+		c.BoardMax = geom.Vec2{X: 0.61, Y: 0.30}
+	}
+	return c
+}
+
+// window is one averaged multi-antenna observation. Antennas that
+// reported nothing in the window carry their last known reading with
+// fresh=false; windows where no antenna reported anything are dropped.
+type window struct {
+	t     float64
+	phase []float64
+	rss   []float64
+	fresh []bool
+}
+
+// buildWindows buckets samples into fixed windows, averaging phase
+// circularly per antenna and carrying stale antennas forward. It
+// requires at least minFresh fresh antennas per emitted window.
+func buildWindows(samples []reader.Sample, n int, winLen float64, minFresh int) []window {
+	if len(samples) == 0 {
+		return nil
+	}
+	start := samples[0].T
+	end := samples[len(samples)-1].T
+	nw := int((end-start)/winLen) + 1
+
+	type bucket struct {
+		phases [][]float64
+		rssSum []float64
+		count  []int
+	}
+	buckets := make([]bucket, nw)
+	for i := range buckets {
+		buckets[i].phases = make([][]float64, n)
+		buckets[i].rssSum = make([]float64, n)
+		buckets[i].count = make([]int, n)
+	}
+	for _, s := range samples {
+		i := int((s.T - start) / winLen)
+		if i < 0 || i >= nw || s.Antenna < 0 || s.Antenna >= n {
+			continue
+		}
+		buckets[i].phases[s.Antenna] = append(buckets[i].phases[s.Antenna], s.Phase)
+		buckets[i].rssSum[s.Antenna] += s.RSS
+		buckets[i].count[s.Antenna]++
+	}
+
+	lastPhase := make([]float64, n)
+	lastRSS := make([]float64, n)
+	seen := make([]bool, n)
+	var out []window
+	for i, b := range buckets {
+		w := window{
+			t:     start + (float64(i)+0.5)*winLen,
+			phase: make([]float64, n),
+			rss:   make([]float64, n),
+			fresh: make([]bool, n),
+		}
+		freshCount := 0
+		usable := true
+		for a := 0; a < n; a++ {
+			if b.count[a] > 0 {
+				lastPhase[a] = geom.CircularMean(b.phases[a])
+				lastRSS[a] = b.rssSum[a] / float64(b.count[a])
+				seen[a] = true
+				w.fresh[a] = true
+				freshCount++
+			}
+			if !seen[a] {
+				usable = false
+			}
+			w.phase[a] = lastPhase[a]
+			w.rss[a] = lastRSS[a]
+		}
+		if usable && freshCount >= minFresh {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// holoGrid precomputes per-cell expected phases for every antenna.
+type holoGrid struct {
+	min    geom.Vec2
+	cell   float64
+	nx, ny int
+	// exp[a][cell] is the expected (wrapped) backscatter phase of
+	// antenna a for a tag at the cell centre.
+	exp [][]float64
+}
+
+func newHoloGrid(cfg Config) *holoGrid {
+	g := &holoGrid{min: cfg.BoardMin, cell: cfg.CellSize}
+	g.nx = int((cfg.BoardMax.X-cfg.BoardMin.X)/cfg.CellSize) + 1
+	g.ny = int((cfg.BoardMax.Y-cfg.BoardMin.Y)/cfg.CellSize) + 1
+	g.exp = make([][]float64, len(cfg.Antennas))
+	for a, ant := range cfg.Antennas {
+		g.exp[a] = make([]float64, g.nx*g.ny)
+		for i := range g.exp[a] {
+			p := geom.Vec3From(g.center(i), 0)
+			l := p.Dist(ant.Pos)
+			g.exp[a][i] = geom.WrapAngle(4*math.Pi*l/cfg.Lambda + ant.CablePhase)
+		}
+	}
+	return g
+}
+
+func (g *holoGrid) size() int { return g.nx * g.ny }
+
+func (g *holoGrid) center(i int) geom.Vec2 {
+	return geom.Vec2{
+		X: g.min.X + (float64(i%g.nx)+0.5)*g.cell,
+		Y: g.min.Y + (float64(i/g.nx)+0.5)*g.cell,
+	}
+}
+
+// neighborhood enumerates cells within radius r metres of cell from.
+func (g *holoGrid) neighborhood(from int, r float64) []int {
+	rr := int(r/g.cell) + 1
+	fx, fy := from%g.nx, from/g.nx
+	out := make([]int, 0, (2*rr+1)*(2*rr+1))
+	for dy := -rr; dy <= rr; dy++ {
+		y := fy + dy
+		if y < 0 || y >= g.ny {
+			continue
+		}
+		for dx := -rr; dx <= rr; dx++ {
+			x := fx + dx
+			if x < 0 || x >= g.nx {
+				continue
+			}
+			out = append(out, y*g.nx+x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+	"polardraw/internal/motion"
+	"polardraw/internal/reader"
+	"polardraw/internal/rf"
+)
+
+// arraySamples simulates a writing session observed by an n-antenna
+// circularly polarized array (the baselines' hardware).
+func arraySamples(t *testing.T, letter rune, n int, seed uint64) ([]reader.Sample, geom.Polyline, []rf.Antenna) {
+	t.Helper()
+	g, ok := font.Lookup(letter)
+	if !ok {
+		t.Fatalf("no glyph %c", letter)
+	}
+	path := g.Path().Scale(0.2).Translate(geom.Vec2{X: 0.18, Y: 0.02})
+	mcfg := motion.Config{Seed: seed}
+	sess := motion.Write(path, string(letter), mcfg)
+	// Antennas spread across the top of the writing block, matching the
+	// Fig. 17 comparison rig's close spacing.
+	ants := rf.ArrayAt(n, 0.04, 0.16, -0.55, 0.30)
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(0.56)}
+	rd := reader.New(reader.Config{
+		Antennas: ants,
+		Channel:  ch,
+		EPC:      "e28011050000000000000002",
+		Seed:     seed,
+	})
+	return rd.Inventory(sess), motion.WrittenTruth(sess, mcfg), ants
+}
+
+func TestBuildWindowsCarryForward(t *testing.T) {
+	samples := []reader.Sample{
+		{T: 0.01, Antenna: 0, RSS: -40, Phase: 1},
+		{T: 0.02, Antenna: 1, RSS: -42, Phase: 2},
+		// Second window: antenna 1 silent.
+		{T: 0.11, Antenna: 0, RSS: -41, Phase: 1.1},
+		// Third window: both.
+		{T: 0.21, Antenna: 0, RSS: -41, Phase: 1.2},
+		{T: 0.22, Antenna: 1, RSS: -42, Phase: 2.1},
+	}
+	ws := buildWindows(samples, 2, 0.1, 1)
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d, want 3", len(ws))
+	}
+	if !ws[0].fresh[0] || !ws[0].fresh[1] {
+		t.Error("window 0 freshness wrong")
+	}
+	if ws[1].fresh[1] {
+		t.Error("window 1 antenna 1 should be stale")
+	}
+	if ws[1].phase[1] != 2 {
+		t.Errorf("stale phase = %v, want carried 2", ws[1].phase[1])
+	}
+	if !ws[2].fresh[1] || ws[2].phase[1] != 2.1 {
+		t.Errorf("window 2 = %+v", ws[2])
+	}
+}
+
+func TestBuildWindowsRequiresAllSeen(t *testing.T) {
+	// Antenna 1 never reports: no window is usable.
+	samples := []reader.Sample{
+		{T: 0.01, Antenna: 0, RSS: -40, Phase: 1},
+		{T: 0.11, Antenna: 0, RSS: -40, Phase: 1},
+	}
+	if ws := buildWindows(samples, 2, 0.1, 1); len(ws) != 0 {
+		t.Errorf("windows = %d, want 0", len(ws))
+	}
+	if ws := buildWindows(nil, 2, 0.1, 1); ws != nil {
+		t.Error("nil samples should give nil windows")
+	}
+}
+
+func TestTagoramTracksLetter(t *testing.T) {
+	samples, truth, ants := arraySamples(t, 'Z', 4, 31)
+	tg := NewTagoram(Config{Antennas: ants})
+	traj, err := tg.Track(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := geom.ProcrustesDistance(traj, truth, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Tagoram-4 Z: %.3f m", d)
+	if d > 0.12 {
+		t.Errorf("Tagoram distance = %v m", d)
+	}
+}
+
+func TestRFIDrawTracksLetter(t *testing.T) {
+	samples, truth, ants := arraySamples(t, 'Z', 4, 32)
+	r := NewRFIDraw(Config{Antennas: ants})
+	traj, err := r.Track(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := geom.ProcrustesDistance(traj, truth, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("RF-IDraw-4 Z: %.3f m", d)
+	if d > 0.12 {
+		t.Errorf("RF-IDraw distance = %v m", d)
+	}
+}
+
+func TestTagoramTwoAntennaDegrades(t *testing.T) {
+	s4, truth, a4 := arraySamples(t, 'M', 4, 33)
+	tg4 := NewTagoram(Config{Antennas: a4})
+	t4, err := tg4.Track(s4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, truth2, a2 := arraySamples(t, 'M', 2, 33)
+	tg2 := NewTagoram(Config{Antennas: a2})
+	t2, err := tg2.Track(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d4, _ := geom.ProcrustesDistance(t4, truth, 64)
+	d2, _ := geom.ProcrustesDistance(t2, truth2, 64)
+	t.Logf("Tagoram 4-ant %.3f vs 2-ant %.3f", d4, d2)
+	// Two antennas cannot beat four on the same workload by much; allow
+	// noise but catch inversions of the paper's central claim.
+	if d2 < d4*0.5 {
+		t.Errorf("2-antenna Tagoram (%.3f) outperformed 4-antenna (%.3f) by >2x", d2, d4)
+	}
+}
+
+func TestTrackersRejectShortInput(t *testing.T) {
+	_, _, ants := arraySamples(t, 'I', 4, 35)
+	for _, tr := range []Tracker{NewTagoram(Config{Antennas: ants}), NewRFIDraw(Config{Antennas: ants})} {
+		if _, err := tr.Track(nil); !errors.Is(err, ErrTooFewSamples) {
+			t.Errorf("%s: err = %v", tr.Name(), err)
+		}
+	}
+}
+
+func TestTrackerNames(t *testing.T) {
+	_, _, ants := arraySamples(t, 'I', 2, 36)
+	if got := NewTagoram(Config{Antennas: ants}).Name(); got != "Tagoram" {
+		t.Errorf("name = %q", got)
+	}
+	if got := NewRFIDraw(Config{Antennas: ants}).Name(); got != "RF-IDraw" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestRFIDrawPairSelection(t *testing.T) {
+	a4 := rf.ArrayAt(4, 0, 0.15, -0.5, 0.3)
+	r4 := NewRFIDraw(Config{Antennas: a4})
+	if len(r4.pairs) != 3 {
+		t.Errorf("4-antenna pairs = %v", r4.pairs)
+	}
+	a2 := rf.ArrayAt(2, 0, 0.15, -0.5, 0.3)
+	r2 := NewRFIDraw(Config{Antennas: a2})
+	if len(r2.pairs) != 1 {
+		t.Errorf("2-antenna pairs = %v", r2.pairs)
+	}
+}

@@ -1,0 +1,107 @@
+package baseline
+
+import (
+	"math"
+
+	"polardraw/internal/geom"
+	"polardraw/internal/reader"
+)
+
+// RFIDraw is the angle-of-arrival intersection tracker: antenna pairs
+// act as two-element interferometers whose phase difference constrains
+// the tag to a family of hyperbolas. A closely spaced pair yields a
+// coarse but unambiguous constraint; a widely spaced pair yields sharp
+// but heavily aliased constraints. Multiplying the two pair spectra
+// keeps only the sharp ridge inside the coarse lobe -- the
+// coarse/fine resolution idea of the original eight-antenna system,
+// realized here with the four antennas the paper's comparison grants
+// it.
+type RFIDraw struct {
+	cfg   Config
+	grid  *holoGrid
+	pairs [][2]int
+}
+
+// NewRFIDraw builds the tracker. With four antennas in a row the
+// pairs are (0,1) (narrow) and (0,3) (wide); with two antennas only
+// the single pair exists and accuracy degrades accordingly.
+func NewRFIDraw(cfg Config) *RFIDraw {
+	cfg = cfg.withDefaults()
+	r := &RFIDraw{cfg: cfg, grid: newHoloGrid(cfg)}
+	switch {
+	case len(cfg.Antennas) >= 4:
+		r.pairs = [][2]int{{0, 1}, {1, 2}, {0, 3}}
+	case len(cfg.Antennas) == 3:
+		r.pairs = [][2]int{{0, 1}, {0, 2}}
+	default:
+		r.pairs = [][2]int{{0, 1}}
+	}
+	return r
+}
+
+// Name implements Tracker.
+func (r *RFIDraw) Name() string {
+	return "RF-IDraw"
+}
+
+// spectrum scores a cell against the measured pair phase differences:
+// the product over pairs of (1 + cos(measured - expected))/2, each
+// factor in [0, 1] and maximal when the cell lies exactly on a
+// candidate hyperbola of that pair. Pairs with a stale (carried
+// forward) member are skipped -- a stale phase difference points at
+// where the tag used to be.
+func (r *RFIDraw) spectrum(cell int, w *window) float64 {
+	s := 1.0
+	used := 0
+	for _, p := range r.pairs {
+		if !w.fresh[p[0]] || !w.fresh[p[1]] {
+			continue
+		}
+		md := geom.AngleDiff(w.phase[p[0]], w.phase[p[1]])
+		ed := geom.AngleDiff(r.grid.exp[p[0]][cell], r.grid.exp[p[1]][cell])
+		s *= (1 + math.Cos(md-ed)) / 2
+		used++
+	}
+	if used == 0 {
+		return -1 // no usable evidence this window
+	}
+	return s
+}
+
+// Track implements Tracker.
+func (r *RFIDraw) Track(samples []reader.Sample) (geom.Polyline, error) {
+	n := len(r.cfg.Antennas)
+	ws := buildWindows(samples, n, r.cfg.Window, 1)
+	if len(ws) < 2 {
+		return nil, ErrTooFewSamples
+	}
+
+	// Bootstrap: global argmax of the pair spectrum.
+	best, bestS := 0, math.Inf(-1)
+	for cell := 0; cell < r.grid.size(); cell++ {
+		if s := r.spectrum(cell, &ws[0]); s > bestS {
+			bestS = s
+			best = cell
+		}
+	}
+
+	traj := geom.Polyline{r.grid.center(best)}
+	cur := best
+	for i := 1; i < len(ws); i++ {
+		dt := ws[i].t - ws[i-1].t
+		radius := r.cfg.VMax*dt + r.cfg.CellSize
+		bestTo, bestScore := cur, math.Inf(-1)
+		for _, to := range r.grid.neighborhood(cur, radius) {
+			s := r.spectrum(to, &ws[i])
+			// Mild continuity preference among near-ties.
+			s -= 0.02 * r.grid.center(to).Dist(r.grid.center(cur)) / r.cfg.CellSize / 100
+			if s > bestScore {
+				bestScore = s
+				bestTo = to
+			}
+		}
+		cur = bestTo
+		traj = append(traj, r.grid.center(cur))
+	}
+	return traj, nil
+}

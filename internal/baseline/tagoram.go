@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"math"
+	"math/cmplx"
+
+	"polardraw/internal/geom"
+	"polardraw/internal/reader"
+)
+
+// Tagoram is the hologram-style tracker: at each window it scores
+// every candidate cell by the coherence of the measured per-antenna
+// phases with the cell's expected phases (a differential hologram, so
+// per-antenna constant offsets -- cable, tag modulation -- cancel),
+// and walks the best-scoring cell under a motion-continuity gate.
+type Tagoram struct {
+	cfg  Config
+	grid *holoGrid
+}
+
+// NewTagoram builds the tracker; 2- and 4-antenna configurations
+// mirror the paper's "equal hardware" and "full" comparisons.
+func NewTagoram(cfg Config) *Tagoram {
+	cfg = cfg.withDefaults()
+	return &Tagoram{cfg: cfg, grid: newHoloGrid(cfg)}
+}
+
+// Name implements Tracker.
+func (tg *Tagoram) Name() string {
+	return "Tagoram"
+}
+
+// score computes the augmented-hologram likelihood of a cell. The
+// differential term coheres the per-antenna phase *changes* from the
+// previous window with the cell pair's expected changes (cancelling
+// static offsets); the absolute term coheres the *inter-antenna* phase
+// differences within the current window with the cell's expectations,
+// re-anchoring the chain so differential drift cannot accumulate --
+// the two ingredients of Tagoram's differential augmented hologram.
+func (tg *Tagoram) score(cell int, prevCell int, w, prev *window) float64 {
+	var diffSum complex128
+	var diffWeight float64
+	for a := range w.phase {
+		// Stale (carried-forward) phases would vote for "no motion";
+		// only antennas with fresh readings on both sides contribute.
+		if !w.fresh[a] || !prev.fresh[a] {
+			continue
+		}
+		measured := geom.AngleDiff(prev.phase[a], w.phase[a])
+		expected := geom.AngleDiff(tg.grid.exp[a][prevCell], tg.grid.exp[a][cell])
+		diffSum += cmplx.Rect(1, measured-expected)
+		diffWeight++
+	}
+	score := 0.0
+	if diffWeight > 0 {
+		score += cmplx.Abs(diffSum) / diffWeight
+	}
+
+	var absSum complex128
+	var absWeight float64
+	for a := 1; a < len(w.phase); a++ {
+		if !w.fresh[0] || !w.fresh[a] {
+			continue
+		}
+		md := geom.AngleDiff(w.phase[0], w.phase[a])
+		ed := geom.AngleDiff(tg.grid.exp[0][cell], tg.grid.exp[a][cell])
+		absSum += cmplx.Rect(1, md-ed)
+		absWeight++
+	}
+	if absWeight > 0 {
+		score += 0.6 * cmplx.Abs(absSum) / absWeight
+	}
+	return score
+}
+
+// Track implements Tracker.
+func (tg *Tagoram) Track(samples []reader.Sample) (geom.Polyline, error) {
+	n := len(tg.cfg.Antennas)
+	ws := buildWindows(samples, n, tg.cfg.Window, 1)
+	if len(ws) < 2 {
+		return nil, ErrTooFewSamples
+	}
+
+	// Bootstrap: absolute-phase hologram over the full grid for the
+	// first window. Static offsets are unknown, so use the
+	// inter-antenna differential structure: coherence of pairwise
+	// phase differences.
+	best := 0
+	bestScore := math.Inf(-1)
+	for cell := 0; cell < tg.grid.size(); cell++ {
+		var s float64
+		for a := 1; a < n; a++ {
+			md := geom.AngleDiff(ws[0].phase[0], ws[0].phase[a])
+			ed := geom.AngleDiff(tg.grid.exp[0][cell], tg.grid.exp[a][cell])
+			s += math.Cos(md - ed)
+		}
+		if s > bestScore {
+			bestScore = s
+			best = cell
+		}
+	}
+
+	traj := geom.Polyline{tg.grid.center(best)}
+	cur := best
+	for i := 1; i < len(ws); i++ {
+		dt := ws[i].t - ws[i-1].t
+		radius := tg.cfg.VMax*dt + tg.cfg.CellSize
+		bestTo, bestS := cur, math.Inf(-1)
+		for _, to := range tg.grid.neighborhood(cur, radius) {
+			if s := tg.score(to, cur, &ws[i], &ws[i-1]); s > bestS {
+				bestS = s
+				bestTo = to
+			}
+		}
+		cur = bestTo
+		traj = append(traj, tg.grid.center(cur))
+	}
+	return traj, nil
+}

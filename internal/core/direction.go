@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math"
+
+	"polardraw/internal/geom"
+)
+
+// Sector identifies which of the three polarization sectors of
+// Fig. 8(c) the pen's azimuth currently lies in. The antenna
+// polarization axes at pi/2 +/- gamma, together with their
+// perpendiculars, bound the sectors:
+//
+//	Sector 1: [pi/2 + gamma, pi - gamma]  (pen tilted left)
+//	Sector 2: [pi/2 - gamma, pi/2 + gamma] (pen near vertical)
+//	Sector 3: [gamma, pi/2 - gamma]        (pen tilted right)
+type Sector int
+
+// Sector values; SectorUnknown means the trends were inconclusive.
+const (
+	SectorUnknown Sector = 0
+	Sector1       Sector = 1
+	Sector2       Sector = 2
+	Sector3       Sector = 3
+)
+
+// RotDir is a left/right rotation call from the RSS trends.
+type RotDir int
+
+// Rotation directions. RotRight is the paper's "clockwise" (azimuth
+// decreasing, pen moving right); RotLeft is counterclockwise.
+const (
+	RotNone  RotDir = 0
+	RotRight RotDir = 1
+	RotLeft  RotDir = -1
+)
+
+// classifyRotation implements Table 3: given the two antennas' RSS
+// trends over one window step, identify the sector and the rotation
+// direction. Trends smaller than noiseFloor dB are treated as flat and
+// yield SectorUnknown.
+func classifyRotation(ds1, ds2, noiseFloor float64) (Sector, RotDir) {
+	up1, dn1 := ds1 > noiseFloor, ds1 < -noiseFloor
+	up2, dn2 := ds2 > noiseFloor, ds2 < -noiseFloor
+	a1, a2 := math.Abs(ds1), math.Abs(ds2)
+	switch {
+	case up1 && up2 && a1 < a2:
+		return Sector1, RotRight
+	case dn1 && dn2 && a1 < a2:
+		return Sector1, RotLeft
+	case dn1 && up2:
+		return Sector2, RotRight
+	case up1 && dn2:
+		return Sector2, RotLeft
+	case dn1 && dn2 && a1 > a2:
+		return Sector3, RotRight
+	case up1 && up2 && a1 > a2:
+		return Sector3, RotLeft
+	default:
+		return SectorUnknown, RotNone
+	}
+}
+
+// initialAzimuth implements Eq. 2: the azimuth assigned when writing
+// begins, given the first confidently-classified sector and rotation
+// direction. Rotating right (clockwise) starts from the sector's
+// upper (left) boundary so the rotation traverses the sector; rotating
+// left starts from the lower (right) boundary.
+func initialAzimuth(sec Sector, dir RotDir, gamma float64) float64 {
+	switch {
+	case dir == RotRight && sec == Sector1:
+		return math.Pi - gamma
+	case dir == RotRight && sec == Sector2:
+		return math.Pi/2 + gamma
+	case dir == RotRight && sec == Sector3:
+		return math.Pi/2 - gamma
+	case dir == RotLeft && sec == Sector1:
+		return math.Pi/2 + gamma
+	case dir == RotLeft && sec == Sector2:
+		return math.Pi/2 - gamma
+	case dir == RotLeft && sec == Sector3:
+		return gamma
+	default:
+		return math.Pi / 2
+	}
+}
+
+// sectorOf returns which sector an azimuth lies in (clamping to the
+// writing range [gamma, pi-gamma]).
+func sectorOf(alpha, gamma float64) Sector {
+	switch {
+	case alpha >= math.Pi/2+gamma:
+		return Sector1
+	case alpha >= math.Pi/2-gamma:
+		return Sector2
+	default:
+		return Sector3
+	}
+}
+
+// sectorBoundary returns the azimuth of the boundary between two
+// adjacent sectors, or NaN for non-adjacent pairs.
+func sectorBoundary(a, b Sector, gamma float64) float64 {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	switch {
+	case lo == Sector1 && hi == Sector2:
+		return math.Pi/2 + gamma
+	case lo == Sector2 && hi == Sector3:
+		return math.Pi/2 - gamma
+	default:
+		return math.NaN()
+	}
+}
+
+// azimuthTracker carries the continuous azimuthal-angle estimation
+// state of section 3.3.1 across windows.
+type azimuthTracker struct {
+	cfg     Config
+	gamma   float64
+	started bool
+	// alpha is the current azimuth estimate.
+	alpha float64
+	// sector is the last confidently-classified sector.
+	sector Sector
+	// correction accumulates the initial-azimuth error found at sector
+	// boundary crossings (alpha_tilde of the paper); the trajectory
+	// rotation of Eq. 10 consumes it.
+	correction float64
+	corrected  bool
+}
+
+// observe updates the azimuth estimate with one rotational window's
+// RSS trends and returns the current azimuth.
+func (at *azimuthTracker) observe(ds1, ds2 float64) float64 {
+	sec, dir := classifyRotation(ds1, ds2, rotNoiseFloor)
+	if !at.started {
+		if sec == SectorUnknown {
+			at.alpha = math.Pi / 2
+			return at.alpha
+		}
+		at.started = true
+		at.sector = sec
+		at.alpha = initialAzimuth(sec, dir, at.gamma)
+		return at.alpha
+	}
+	if sec == SectorUnknown {
+		return at.alpha
+	}
+
+	// Eq. 3/4: step the azimuth by DeltaBeta only when both antennas
+	// see a confident RSS change.
+	if math.Abs(ds1) > at.cfg.StepDelta && math.Abs(ds2) > at.cfg.StepDelta {
+		if dir == RotRight {
+			at.alpha -= at.cfg.DeltaBeta
+		} else if dir == RotLeft {
+			at.alpha += at.cfg.DeltaBeta
+		}
+	}
+	// Clamp to the writing range.
+	if at.alpha < at.gamma {
+		at.alpha = at.gamma
+	}
+	if at.alpha > math.Pi-at.gamma {
+		at.alpha = math.Pi - at.gamma
+	}
+
+	// Initial-azimuth correction: a sector change observed in the
+	// trends means the true azimuth is at the boundary of the two
+	// sectors; the discrepancy is the accumulated initial error.
+	if !at.cfg.DisableSectorCorrection && sec != at.sector {
+		if b := sectorBoundary(sec, at.sector, at.gamma); !math.IsNaN(b) {
+			err := at.alpha - b
+			at.alpha = b
+			if !at.corrected {
+				// Only the first crossing reveals the *initial* error;
+				// later crossings just re-anchor the estimate.
+				at.correction = err
+				at.corrected = true
+			}
+		}
+	}
+	at.sector = sec
+	return at.alpha
+}
+
+// moveDirection converts the azimuth (the pen rotation angle alpha_r;
+// with the antennas broadside to the board the Eq. 1 projection is the
+// identity, see DESIGN.md) and rotation direction into the pen's
+// board-plane movement direction: perpendicular to the pen axis,
+// signed so rightward rotation moves the pen rightward.
+func moveDirection(alpha float64, dir RotDir) geom.Vec2 {
+	var phi float64
+	if dir == RotLeft {
+		phi = alpha + math.Pi/2
+	} else {
+		phi = alpha - math.Pi/2
+	}
+	s, c := math.Sincos(phi)
+	// Angles measured from +X toward -Y ("up the board").
+	return geom.Vec2{X: c, Y: -s}
+}
+
+// translationDirection implements Table 4: the four cardinal movement
+// directions from the signs of the two unwrapped phase deltas. The
+// returned vector is zero when the deltas disagree with every pattern
+// (e.g. one antenna spurious).
+func translationDirection(dth1, dth2 float64) geom.Vec2 {
+	const eps = 1e-9
+	switch {
+	case dth1 < -eps && dth2 < -eps:
+		return geom.Vec2{Y: -1} // up: both distances shrinking
+	case dth1 > eps && dth2 > eps:
+		return geom.Vec2{Y: 1} // down
+	case dth1 < -eps && dth2 > eps:
+		return geom.Vec2{X: -1} // left: toward antenna 1
+	case dth1 > eps && dth2 < -eps:
+		return geom.Vec2{X: 1} // right
+	default:
+		return geom.Vec2{}
+	}
+}
+
+// Eq1RotationAngle is the paper's Eq. 1 as printed, provided for
+// reference and tested for the paper's stated property (insensitivity
+// of the result's variation to alpha_e over the writing range). The
+// tracker itself uses the broadside identity projection; see
+// DESIGN.md.
+func Eq1RotationAngle(alphaA, alphaE float64) float64 {
+	return math.Pi - math.Atan2(-math.Sin(alphaE), math.Cos(alphaE)*math.Cos(alphaA))
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"polardraw/internal/geom"
+)
+
+// TestClassifyRotationTable3 checks every row of the paper's Table 3.
+func TestClassifyRotationTable3(t *testing.T) {
+	cases := []struct {
+		name     string
+		ds1, ds2 float64
+		sec      Sector
+		dir      RotDir
+	}{
+		{"sector1 right", +1, +2, Sector1, RotRight},
+		{"sector1 left", -1, -2, Sector1, RotLeft},
+		{"sector2 right", -2, +2, Sector2, RotRight},
+		{"sector2 left", +2, -2, Sector2, RotLeft},
+		{"sector3 right", -2, -1, Sector3, RotRight},
+		{"sector3 left", +2, +1, Sector3, RotLeft},
+	}
+	for _, c := range cases {
+		sec, dir := classifyRotation(c.ds1, c.ds2, 0.1)
+		if sec != c.sec || dir != c.dir {
+			t.Errorf("%s: got (%v,%v), want (%v,%v)", c.name, sec, dir, c.sec, c.dir)
+		}
+	}
+}
+
+func TestClassifyRotationFlat(t *testing.T) {
+	sec, dir := classifyRotation(0.05, -0.03, 0.1)
+	if sec != SectorUnknown || dir != RotNone {
+		t.Errorf("flat trends classified as (%v,%v)", sec, dir)
+	}
+}
+
+// TestClassifyRotationMatchesPhysics drives the classifier with RSS
+// trends computed from the actual Malus model at gamma=30 deg and
+// verifies Table 3's logic agrees with the physics in each sector.
+func TestClassifyRotationMatchesPhysics(t *testing.T) {
+	gamma := geom.Radians(30)
+	pol1 := math.Pi/2 + gamma
+	pol2 := math.Pi/2 - gamma
+	rss := func(alpha, pol float64) float64 {
+		b := geom.AxialDist(alpha, pol)
+		return 40 * math.Log10(math.Max(math.Cos(b), 1e-3))
+	}
+	step := geom.Radians(6)
+	cases := []struct {
+		alpha float64
+		dir   RotDir
+		sec   Sector
+	}{
+		{math.Pi/2 + gamma + geom.Radians(15), RotRight, Sector1},
+		{math.Pi/2 + gamma + geom.Radians(15), RotLeft, Sector1},
+		{math.Pi / 2, RotRight, Sector2},
+		{math.Pi / 2, RotLeft, Sector2},
+		{math.Pi/2 - gamma - geom.Radians(15), RotRight, Sector3},
+		{math.Pi/2 - gamma - geom.Radians(15), RotLeft, Sector3},
+	}
+	for _, c := range cases {
+		next := c.alpha - float64(c.dir)*step // RotRight decreases alpha
+		ds1 := rss(next, pol1) - rss(c.alpha, pol1)
+		ds2 := rss(next, pol2) - rss(c.alpha, pol2)
+		sec, dir := classifyRotation(ds1, ds2, 0.01)
+		if sec != c.sec || dir != c.dir {
+			t.Errorf("alpha=%v dir=%v: classified (%v,%v), want (%v,%v); ds=(%v,%v)",
+				geom.Degrees(c.alpha), c.dir, sec, dir, c.sec, c.dir, ds1, ds2)
+		}
+	}
+}
+
+// TestInitialAzimuthEq2 checks every branch of Eq. 2.
+func TestInitialAzimuthEq2(t *testing.T) {
+	g := geom.Radians(15)
+	cases := []struct {
+		sec  Sector
+		dir  RotDir
+		want float64
+	}{
+		{Sector1, RotRight, math.Pi - g},
+		{Sector2, RotRight, math.Pi/2 + g},
+		{Sector3, RotRight, math.Pi/2 - g},
+		{Sector1, RotLeft, math.Pi/2 + g},
+		{Sector2, RotLeft, math.Pi/2 - g},
+		{Sector3, RotLeft, g},
+	}
+	for _, c := range cases {
+		if got := initialAzimuth(c.sec, c.dir, g); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("initialAzimuth(%v,%v) = %v, want %v", c.sec, c.dir, got, c.want)
+		}
+	}
+	if got := initialAzimuth(SectorUnknown, RotNone, g); got != math.Pi/2 {
+		t.Errorf("unknown sector initial = %v", got)
+	}
+}
+
+func TestSectorOfAndBoundary(t *testing.T) {
+	g := geom.Radians(15)
+	if sectorOf(math.Pi-geom.Radians(20), g) != Sector1 {
+		t.Error("left tilt should be sector 1")
+	}
+	if sectorOf(math.Pi/2, g) != Sector2 {
+		t.Error("vertical should be sector 2")
+	}
+	if sectorOf(geom.Radians(40), g) != Sector3 {
+		t.Error("right tilt should be sector 3")
+	}
+	if b := sectorBoundary(Sector1, Sector2, g); math.Abs(b-(math.Pi/2+g)) > 1e-12 {
+		t.Errorf("boundary 1|2 = %v", b)
+	}
+	if b := sectorBoundary(Sector3, Sector2, g); math.Abs(b-(math.Pi/2-g)) > 1e-12 {
+		t.Errorf("boundary 2|3 = %v", b)
+	}
+	if b := sectorBoundary(Sector1, Sector3, g); !math.IsNaN(b) {
+		t.Errorf("non-adjacent boundary = %v", b)
+	}
+}
+
+func TestAzimuthTrackerSteps(t *testing.T) {
+	cfg := cfgForTest()
+	at := &azimuthTracker{cfg: cfg, gamma: geom.Radians(15)}
+	// First observation: sector 2 rotating right -> Eq. 2 start.
+	a0 := at.observe(-2, +2)
+	if math.Abs(a0-(math.Pi/2+geom.Radians(15))) > 1e-9 {
+		t.Fatalf("initial azimuth = %v deg", geom.Degrees(a0))
+	}
+	// Continued confident right rotation: step down by DeltaBeta.
+	a1 := at.observe(-2, +2)
+	if math.Abs((a0-a1)-cfg.DeltaBeta) > 1e-9 {
+		t.Errorf("step = %v, want %v", a0-a1, cfg.DeltaBeta)
+	}
+	// Weak trends: no step.
+	a2 := at.observe(-1, +1)
+	if a2 != a1 {
+		t.Errorf("weak trends moved azimuth %v -> %v", a1, a2)
+	}
+}
+
+func TestAzimuthTrackerBoundaryCorrection(t *testing.T) {
+	cfg := cfgForTest()
+	at := &azimuthTracker{cfg: cfg, gamma: geom.Radians(15)}
+	at.observe(-2, +2) // start: sector 2, right
+	// Rotate right across into sector 3: trends become both-down with
+	// |ds1| > |ds2|.
+	var alpha float64
+	for i := 0; i < 12; i++ {
+		alpha = at.observe(-2.5, -2)
+	}
+	if !at.corrected {
+		t.Fatal("boundary crossing did not trigger correction")
+	}
+	// After the crossing the azimuth must have been re-anchored at the
+	// sector 2|3 boundary before continuing.
+	if alpha > math.Pi/2-geom.Radians(15)+1e-9 {
+		t.Errorf("azimuth %v deg not anchored below the 2|3 boundary", geom.Degrees(alpha))
+	}
+}
+
+func TestAzimuthTrackerClamped(t *testing.T) {
+	cfg := cfgForTest()
+	at := &azimuthTracker{cfg: cfg, gamma: geom.Radians(15)}
+	at.observe(-2, +2)
+	var alpha float64
+	for i := 0; i < 100; i++ {
+		alpha = at.observe(-3, -2) // keep rotating right (sector 3)
+	}
+	if alpha < at.gamma-1e-9 {
+		t.Errorf("azimuth %v escaped the writing range", alpha)
+	}
+}
+
+func TestMoveDirection(t *testing.T) {
+	// Vertical pen rotating right moves right (+X).
+	d := moveDirection(math.Pi/2, RotRight)
+	if math.Abs(d.X-1) > 1e-9 || math.Abs(d.Y) > 1e-9 {
+		t.Errorf("right move dir = %v", d)
+	}
+	// Rotating left moves left (-X).
+	d = moveDirection(math.Pi/2, RotLeft)
+	if math.Abs(d.X+1) > 1e-9 {
+		t.Errorf("left move dir = %v", d)
+	}
+	// Tilted pen: direction perpendicular to the pen axis.
+	alpha := math.Pi/2 - geom.Radians(30)
+	d = moveDirection(alpha, RotRight)
+	pen := geom.Vec2{X: math.Cos(alpha), Y: -math.Sin(alpha)}
+	if math.Abs(d.Dot(pen)) > 1e-9 {
+		t.Errorf("move dir %v not perpendicular to pen %v", d, pen)
+	}
+}
+
+// TestTranslationDirectionTable4 checks every column of Table 4.
+func TestTranslationDirectionTable4(t *testing.T) {
+	cases := []struct {
+		dth1, dth2 float64
+		want       geom.Vec2
+	}{
+		{-1, -1, geom.Vec2{Y: -1}}, // up
+		{+1, +1, geom.Vec2{Y: 1}},  // down
+		{-1, +1, geom.Vec2{X: -1}}, // left
+		{+1, -1, geom.Vec2{X: 1}},  // right
+		{0, +1, geom.Vec2{}},       // ambiguous
+	}
+	for _, c := range cases {
+		if got := translationDirection(c.dth1, c.dth2); got != c.want {
+			t.Errorf("translationDirection(%v,%v) = %v, want %v", c.dth1, c.dth2, got, c.want)
+		}
+	}
+}
+
+// TestEq1Insensitivity reproduces the paper's Table 7 rationale at the
+// model level: over the writing range of alpha_a, the Eq. 1 output's
+// dependence on alpha_e is weak (its variation across alpha_e settings
+// stays small compared to the alpha_a range itself).
+func TestEq1Insensitivity(t *testing.T) {
+	// Positive elevations only: atan2's branch flips with the sign of
+	// alpha_e, which the identity projection (what the tracker uses)
+	// does not suffer from.
+	elevations := []float64{15, 30, 45}
+	var maxSpread float64
+	for aa := 60.0; aa <= 120; aa += 5 {
+		var lo, hi = math.Inf(1), math.Inf(-1)
+		for _, e := range elevations {
+			v := Eq1RotationAngle(geom.Radians(aa), geom.Radians(e))
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		maxSpread = math.Max(maxSpread, hi-lo)
+	}
+	if maxSpread > math.Pi {
+		t.Errorf("Eq.1 spread across alpha_e = %v rad, implausibly sensitive", maxSpread)
+	}
+}

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"math"
+
+	"polardraw/internal/geom"
+)
+
+// grid is the HMM state space: the writing block discretized into
+// square blocks of CellSize (section 3.5).
+type grid struct {
+	min      geom.Vec2
+	cell     float64
+	nx, ny   int
+	antennas [2]geom.Vec3
+	lambda   float64
+	// expDphi caches the theoretical inter-antenna phase difference
+	// (theta2 - theta1, wrapped) at every cell centre.
+	expDphi []float64
+	// radialInv caches, per cell, the inverse of the 2x2 path-length
+	// gradient matrix used by the radial displacement solve. A zero
+	// matrix marks an ill-conditioned cell.
+	radialInv [][4]float64
+}
+
+func newGrid(cfg Config) *grid {
+	g := &grid{
+		min:    cfg.BoardMin,
+		cell:   cfg.CellSize,
+		lambda: cfg.Lambda,
+	}
+	g.nx = int((cfg.BoardMax.X-cfg.BoardMin.X)/cfg.CellSize) + 1
+	g.ny = int((cfg.BoardMax.Y-cfg.BoardMin.Y)/cfg.CellSize) + 1
+	g.antennas[0] = cfg.Antennas[0].Pos
+	g.antennas[1] = cfg.Antennas[1].Pos
+	cablePhaseDiff := cfg.Antennas[1].CablePhase - cfg.Antennas[0].CablePhase
+	g.expDphi = make([]float64, g.nx*g.ny)
+	g.radialInv = make([][4]float64, g.nx*g.ny)
+	for i := range g.expDphi {
+		p := g.center(i)
+		q := geom.Vec3From(p, 0)
+		l1 := q.Dist(g.antennas[0])
+		l2 := q.Dist(g.antennas[1])
+		g.expDphi[i] = geom.WrapAngle(4*math.Pi*(l2-l1)/g.lambda + cablePhaseDiff)
+
+		// Board-plane gradients of the two path lengths: the rows of
+		// the system G*d = (dl1, dl2) that the radial displacement
+		// solve inverts. Stored as the inverse matrix (or a zero
+		// matrix when ill-conditioned).
+		g1 := q.Sub(g.antennas[0]).Unit()
+		g2 := q.Sub(g.antennas[1]).Unit()
+		det := g1.X*g2.Y - g1.Y*g2.X
+		if math.Abs(det) > 0.05 {
+			g.radialInv[i] = [4]float64{g2.Y / det, -g1.Y / det, -g2.X / det, g1.X / det}
+		}
+	}
+	return g
+}
+
+// radialDisplacement solves the per-cell 2x2 system for the board
+// displacement implied by the two antennas' path-length changes, and
+// reports whether the solve was well conditioned.
+func (g *grid) radialDisplacement(cell int, dl1, dl2 float64) (geom.Vec2, bool) {
+	inv := g.radialInv[cell]
+	if inv == [4]float64{} {
+		return geom.Vec2{}, false
+	}
+	return geom.Vec2{
+		X: inv[0]*dl1 + inv[1]*dl2,
+		Y: inv[2]*dl1 + inv[3]*dl2,
+	}, true
+}
+
+func (g *grid) size() int { return g.nx * g.ny }
+
+func (g *grid) center(i int) geom.Vec2 {
+	x := i % g.nx
+	y := i / g.nx
+	return geom.Vec2{
+		X: g.min.X + (float64(x)+0.5)*g.cell,
+		Y: g.min.Y + (float64(y)+0.5)*g.cell,
+	}
+}
+
+func (g *grid) index(p geom.Vec2) int {
+	x := int((p.X - g.min.X) / g.cell)
+	y := int((p.Y - g.min.Y) / g.cell)
+	if x < 0 {
+		x = 0
+	}
+	if x >= g.nx {
+		x = g.nx - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= g.ny {
+		y = g.ny - 1
+	}
+	return y*g.nx + x
+}
+
+// stepEvidence is the fused measurement evidence for one window
+// transition, produced by the tracker from sections 3.3/3.4 and
+// consumed by the decoder via the Eq. 8 transition and Eq. 11
+// emission.
+type stepEvidence struct {
+	// dMin/dMax bound the displacement (the feasible annulus of
+	// Fig. 12(a)), metres.
+	dMin, dMax float64
+	// dir is the estimated movement direction (unit), or zero when
+	// unknown.
+	dir geom.Vec2
+	// dphi is the measured inter-antenna phase difference for the
+	// destination window, or NaN when spurious.
+	dphi float64
+	// dl1/dl2 are the per-antenna path-length changes (Eq. 5), and
+	// haveDL marks them usable (neither window spurious). They drive
+	// the radial displacement solve.
+	dl1, dl2 float64
+	haveDL   bool
+}
+
+// emissionLog scores a candidate destination cell given the previous
+// cell and the step evidence: the log of Eq. 11's two-factor product
+// (hyperbola consistency x movement-direction consistency), with the
+// annulus enforced as a hard constraint (Eq. 8 gives out-of-annulus
+// transitions probability zero).
+func (g *grid) emissionLog(cfg Config, prev geom.Vec2, cand int, ev stepEvidence) float64 {
+	p := g.center(cand)
+	d := p.Sub(prev)
+	dist := d.Norm()
+	// Eq. 8: hard annulus. Discretization slack is asymmetric: generous
+	// on the outside (so the chain is never stranded) but tight on the
+	// inside, because a loose lower bound lets the decoder sit still
+	// while the phase says the pen moved, which systematically shrinks
+	// recovered letters.
+	if dist > ev.dMax+g.cell*0.75 || dist < ev.dMin-g.cell*0.4 {
+		return math.Inf(-1)
+	}
+
+	score := 0.0
+	// Hyperbola factor: closeness of the cell's theoretical
+	// inter-antenna phase difference to the measured one (Fig. 12(c)).
+	if !cfg.DisableHyperbola && !math.IsNaN(ev.dphi) {
+		miss := geom.AngleDist(g.expDphi[cand], ev.dphi) / math.Pi // 0..1
+		f := 1 - miss
+		score += math.Log(f*f + 1e-3)
+	}
+	// Direction factor: perpendicular deviation from the motion line
+	// through prev along ev.dir (Fig. 12(b)), normalized by the
+	// maximum step.
+	if ev.dir != (geom.Vec2{}) && dist > 1e-6 {
+		along := d.Dot(ev.dir)
+		perp := math.Abs(d.Cross(ev.dir))
+		f := 1 - math.Min(perp/math.Max(ev.dMax, g.cell), 1)
+		score += math.Log(f + 1e-3)
+		if along < 0 {
+			// The trends gave a signed direction; moving against it is
+			// possible (the call may be wrong) but penalized.
+			score += math.Log(againstDirPenalty)
+		}
+	}
+	return score
+}
+
+// stencilEntry is one admissible displacement offset with its
+// direction-term log score. The emission of Eq. 11 factors into a
+// per-offset part (annulus + direction) and a per-cell part
+// (hyperbola); precomputing both once per step removes all math calls
+// from the Viterbi inner loop.
+type stencilEntry struct {
+	dx, dy int
+	score  float64
+}
+
+// buildStencil enumerates the offsets admitted by the Eq. 8 annulus
+// and scores each with the direction factor of Eq. 11. The result
+// matches emissionLog's per-offset terms exactly.
+func (g *grid) buildStencil(ev stepEvidence) []stencilEntry {
+	r := int((ev.dMax+g.cell*0.75)/g.cell) + 1
+	hasDir := ev.dir != (geom.Vec2{})
+	out := make([]stencilEntry, 0, (2*r+1)*(2*r+1))
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			d := geom.Vec2{X: float64(dx) * g.cell, Y: float64(dy) * g.cell}
+			dist := d.Norm()
+			if dist > ev.dMax+g.cell*0.75 || dist < ev.dMin-g.cell*0.4 {
+				continue
+			}
+			score := 0.0
+			if hasDir && dist > 1e-6 {
+				along := d.Dot(ev.dir)
+				perp := math.Abs(d.Cross(ev.dir))
+				f := 1 - math.Min(perp/math.Max(ev.dMax, g.cell), 1)
+				score += math.Log(f + 1e-3)
+				if along < 0 {
+					score += math.Log(againstDirPenalty)
+				}
+			}
+			out = append(out, stencilEntry{dx: dx, dy: dy, score: score})
+		}
+	}
+	return out
+}
+
+// hyperbolaLog returns the per-cell hyperbola log factor of Eq. 11 for
+// one step, or nil when the term is disabled or the measurement is
+// spurious. It matches emissionLog's per-cell term exactly.
+func (g *grid) hyperbolaLog(cfg Config, ev stepEvidence, buf []float64) []float64 {
+	if cfg.DisableHyperbola || math.IsNaN(ev.dphi) {
+		return nil
+	}
+	if cap(buf) < g.size() {
+		buf = make([]float64, g.size())
+	}
+	buf = buf[:g.size()]
+	for i := range buf {
+		miss := geom.AngleDist(g.expDphi[i], ev.dphi) / math.Pi
+		f := 1 - miss
+		buf[i] = math.Log(f*f + 1e-3)
+	}
+	return buf
+}
+
+// neighborhood enumerates candidate destination cells within dMax (+
+// slack) of a cell.
+func (g *grid) neighborhood(from int, dMax float64) []int {
+	r := int(dMax/g.cell) + 1
+	fx := from % g.nx
+	fy := from / g.nx
+	out := make([]int, 0, (2*r+1)*(2*r+1))
+	for dy := -r; dy <= r; dy++ {
+		y := fy + dy
+		if y < 0 || y >= g.ny {
+			continue
+		}
+		for dx := -r; dx <= r; dx++ {
+			x := fx + dx
+			if x < 0 || x >= g.nx {
+				continue
+			}
+			out = append(out, y*g.nx+x)
+		}
+	}
+	return out
+}
+
+// beamWidth is the log-probability window kept around the per-step
+// maximum during Viterbi decoding. States falling further behind are
+// pruned; the exact decoder would keep them, but they essentially
+// never win and dropping them turns the per-letter decode from
+// seconds into tens of milliseconds.
+const beamWidth = 12.0
+
+// viterbi decodes the most likely cell sequence given the per-step
+// evidence and an initial log-probability vector. It returns cell
+// indices, one per step (len(evidence)+1 states). Decoding is
+// beam-pruned (see beamWidth).
+func (g *grid) viterbi(cfg Config, initLog []float64, evidence []stepEvidence) []int {
+	n := g.size()
+	prev := make([]float64, n)
+	copy(prev, initLog)
+	back := make([][]int32, len(evidence))
+
+	// active lists the states currently carrying probability mass.
+	active := make([]int, 0, n)
+	maxInit := math.Inf(-1)
+	for _, v := range prev {
+		if v > maxInit {
+			maxInit = v
+		}
+	}
+	for i, v := range prev {
+		if v > maxInit-beamWidth {
+			active = append(active, i)
+		} else {
+			prev[i] = math.Inf(-1)
+		}
+	}
+
+	cur := make([]float64, n)
+	var hypBuf []float64
+	for t, ev := range evidence {
+		for i := range cur {
+			cur[i] = math.Inf(-1)
+		}
+		back[t] = make([]int32, n)
+		for i := range back[t] {
+			back[t][i] = -1
+		}
+		stencil := g.buildStencil(ev)
+		hyp := g.hyperbolaLog(cfg, ev, hypBuf)
+		if hyp != nil {
+			hypBuf = hyp
+		}
+		useRadial := ev.haveDL && cfg.UseRadialSolve
+		// Radial displacement prior spread: per-antenna path-length
+		// noise amplified by the solve's conditioning, in metres.
+		const radialSigma = 0.005
+		invVar := 1 / (2 * radialSigma * radialSigma)
+		for _, from := range active {
+			base := prev[from]
+			fx, fy := from%g.nx, from/g.nx
+			var dExp geom.Vec2
+			radialOK := false
+			if useRadial {
+				if d, ok := g.radialDisplacement(from, ev.dl1, ev.dl2); ok {
+					// Noise can inflate the solve beyond physical
+					// bounds; cap at the annulus.
+					if n := d.Norm(); n > ev.dMax*1.5 {
+						d = d.Scale(ev.dMax * 1.5 / n)
+					}
+					dExp = d
+					radialOK = true
+				}
+			}
+			for _, st := range stencil {
+				x, y := fx+st.dx, fy+st.dy
+				if x < 0 || x >= g.nx || y < 0 || y >= g.ny {
+					continue
+				}
+				to := y*g.nx + x
+				score := base + st.score
+				if hyp != nil {
+					score += hyp[to]
+				}
+				if radialOK {
+					ddx := float64(st.dx)*g.cell - dExp.X
+					ddy := float64(st.dy)*g.cell - dExp.Y
+					score -= (ddx*ddx + ddy*ddy) * invVar
+				}
+				if score > cur[to] {
+					cur[to] = score
+					back[t][to] = int32(from)
+				}
+			}
+		}
+		// If every path died (all evidence contradictory), hold
+		// position: carry the previous distribution forward.
+		maxCur := math.Inf(-1)
+		for _, v := range cur {
+			if v > maxCur {
+				maxCur = v
+			}
+		}
+		if math.IsInf(maxCur, -1) {
+			copy(cur, prev)
+			for i := range back[t] {
+				back[t][i] = int32(i)
+			}
+			maxCur = maxInit
+		}
+		// Beam prune and rebuild the active list.
+		active = active[:0]
+		for i, v := range cur {
+			if v > maxCur-beamWidth {
+				active = append(active, i)
+			} else if !math.IsInf(v, -1) {
+				cur[i] = math.Inf(-1)
+			}
+		}
+		maxInit = maxCur
+		prev, cur = cur, prev
+	}
+
+	// Backtrack from the best final state.
+	best := 0
+	for i := 1; i < n; i++ {
+		if prev[i] > prev[best] {
+			best = i
+		}
+	}
+	path := make([]int, len(evidence)+1)
+	path[len(evidence)] = best
+	for t := len(evidence) - 1; t >= 0; t-- {
+		b := back[t][path[t+1]]
+		if b < 0 {
+			b = int32(path[t+1])
+		}
+		path[t] = int(b)
+	}
+	return path
+}
+
+// greedy decodes by per-step argmax (the DESIGN.md Viterbi ablation).
+func (g *grid) greedy(cfg Config, initLog []float64, evidence []stepEvidence) []int {
+	n := g.size()
+	best := 0
+	for i := 1; i < n; i++ {
+		if initLog[i] > initLog[best] {
+			best = i
+		}
+	}
+	path := make([]int, 0, len(evidence)+1)
+	path = append(path, best)
+	cur := best
+	for _, ev := range evidence {
+		fromPos := g.center(cur)
+		bestTo, bestScore := cur, math.Inf(-1)
+		for _, to := range g.neighborhood(cur, ev.dMax) {
+			e := g.emissionLog(cfg, fromPos, to, ev)
+			if e > bestScore {
+				bestScore = e
+				bestTo = to
+			}
+		}
+		cur = bestTo
+		path = append(path, cur)
+	}
+	return path
+}
+
+// initialDistribution implements section 3.5's bootstrap: hyperbolic
+// positioning from the first window's inter-antenna phase difference.
+// Cells consistent with any candidate hyperbola get high prior; with a
+// spurious first window the prior is uniform.
+func (g *grid) initialDistribution(cfg Config, dphi float64) []float64 {
+	out := make([]float64, g.size())
+	if math.IsNaN(dphi) {
+		return out // uniform (all zeros in log space)
+	}
+	for i := range out {
+		miss := geom.AngleDist(g.expDphi[i], dphi) / math.Pi
+		f := 1 - miss
+		out[i] = math.Log(f*f + 1e-6)
+	}
+	return out
+}

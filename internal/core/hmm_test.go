@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"polardraw/internal/geom"
+	"polardraw/internal/motion"
+)
+
+func gridCfg() Config {
+	rig := motion.DefaultRig()
+	ants := rig.Antennas()
+	return Config{Antennas: ants}.withDefaults()
+}
+
+func TestGridIndexCenterRoundTrip(t *testing.T) {
+	g := newGrid(gridCfg())
+	for _, p := range []geom.Vec2{{X: 0.1, Y: 0.1}, {X: 0.3, Y: 0.02}, {X: 0.55, Y: 0.25}} {
+		i := g.index(p)
+		c := g.center(i)
+		if c.Dist(p) > g.cell {
+			t.Errorf("index/center round trip for %v gave %v", p, c)
+		}
+	}
+}
+
+func TestGridIndexClamps(t *testing.T) {
+	g := newGrid(gridCfg())
+	i := g.index(geom.Vec2{X: -10, Y: -10})
+	if i != 0 {
+		t.Errorf("far out-of-bounds index = %d", i)
+	}
+	j := g.index(geom.Vec2{X: 10, Y: 10})
+	if j != g.size()-1 {
+		t.Errorf("far positive index = %d, want %d", j, g.size()-1)
+	}
+}
+
+func TestExpectedDphiMatchesGeometry(t *testing.T) {
+	cfg := gridCfg()
+	g := newGrid(cfg)
+	p := geom.Vec2{X: 0.3, Y: 0.1}
+	i := g.index(p)
+	c := g.center(i)
+	q := geom.Vec3From(c, 0)
+	l1 := q.Dist(cfg.Antennas[0].Pos)
+	l2 := q.Dist(cfg.Antennas[1].Pos)
+	want := geom.WrapAngle(4 * math.Pi * (l2 - l1) / cfg.Lambda)
+	if geom.AngleDist(g.expDphi[i], want) > 1e-9 {
+		t.Errorf("expDphi = %v, want %v", g.expDphi[i], want)
+	}
+}
+
+func TestEmissionAnnulusHard(t *testing.T) {
+	cfg := gridCfg()
+	g := newGrid(cfg)
+	prev := geom.Vec2{X: 0.3, Y: 0.1}
+	ev := stepEvidence{dMin: 0, dMax: 0.01, dphi: math.NaN()}
+	// A cell 5 cm away violates the 1 cm annulus.
+	far := g.index(geom.Vec2{X: 0.35, Y: 0.1})
+	if s := g.emissionLog(cfg, prev, far, ev); !math.IsInf(s, -1) {
+		t.Errorf("far cell score = %v, want -Inf", s)
+	}
+	near := g.index(geom.Vec2{X: 0.305, Y: 0.1})
+	if s := g.emissionLog(cfg, prev, near, ev); math.IsInf(s, -1) {
+		t.Error("near cell rejected")
+	}
+}
+
+func TestEmissionPrefersHyperbolaConsistentCells(t *testing.T) {
+	cfg := gridCfg()
+	g := newGrid(cfg)
+	prev := geom.Vec2{X: 0.3, Y: 0.1}
+	target := g.index(geom.Vec2{X: 0.305, Y: 0.1})
+	other := g.index(geom.Vec2{X: 0.295, Y: 0.105})
+	ev := stepEvidence{dMax: 0.012, dphi: g.expDphi[target]}
+	st := g.emissionLog(cfg, prev, target, ev)
+	so := g.emissionLog(cfg, prev, other, ev)
+	if st <= so && geom.AngleDist(g.expDphi[other], ev.dphi) > 0.3 {
+		t.Errorf("hyperbola-consistent cell scored %v <= %v", st, so)
+	}
+	// Ablated: hyperbola information ignored -> equal scores when no
+	// direction evidence.
+	cfg2 := cfg
+	cfg2.DisableHyperbola = true
+	st2 := g.emissionLog(cfg2, prev, target, ev)
+	so2 := g.emissionLog(cfg2, prev, other, ev)
+	if st2 != so2 {
+		t.Errorf("ablated emission differs: %v vs %v", st2, so2)
+	}
+}
+
+func TestEmissionDirectionTerm(t *testing.T) {
+	cfg := gridCfg()
+	cfg.DisableHyperbola = true
+	g := newGrid(cfg)
+	prev := geom.Vec2{X: 0.3, Y: 0.1}
+	ev := stepEvidence{dMax: 0.012, dphi: math.NaN(), dir: geom.Vec2{X: 1}}
+	along := g.index(geom.Vec2{X: 0.308, Y: 0.1})
+	sideways := g.index(geom.Vec2{X: 0.3, Y: 0.108})
+	against := g.index(geom.Vec2{X: 0.292, Y: 0.1})
+	sa := g.emissionLog(cfg, prev, along, ev)
+	ss := g.emissionLog(cfg, prev, sideways, ev)
+	sg := g.emissionLog(cfg, prev, against, ev)
+	if sa <= ss {
+		t.Errorf("along-direction %v <= sideways %v", sa, ss)
+	}
+	if sa <= sg {
+		t.Errorf("along-direction %v <= against %v", sa, sg)
+	}
+}
+
+func TestNeighborhoodBounds(t *testing.T) {
+	cfg := gridCfg()
+	g := newGrid(cfg)
+	// Corner cell: neighborhood must stay in range.
+	for _, cell := range []int{0, g.nx - 1, g.size() - 1, g.size() - g.nx} {
+		for _, n := range g.neighborhood(cell, 0.012) {
+			if n < 0 || n >= g.size() {
+				t.Fatalf("neighborhood of %d contains %d", cell, n)
+			}
+		}
+	}
+	// Interior neighborhood of radius 1cm with 5mm cells: (2*3+1)^2.
+	mid := g.index(geom.Vec2{X: 0.3, Y: 0.1})
+	n := g.neighborhood(mid, 0.01)
+	if len(n) != 49 {
+		t.Errorf("interior neighborhood size = %d, want 49", len(n))
+	}
+}
+
+// TestViterbiFollowsCleanEvidence feeds the decoder synthetic evidence
+// from a known straight-line path and checks the decoded trajectory
+// stays close to it.
+func TestViterbiFollowsCleanEvidence(t *testing.T) {
+	cfg := gridCfg()
+	g := newGrid(cfg)
+	// True path: rightward, 8 mm per step, 20 steps.
+	truth := geom.Polyline{}
+	start := geom.Vec2{X: 0.2, Y: 0.12}
+	for i := 0; i <= 20; i++ {
+		truth = append(truth, start.Add(geom.Vec2{X: 0.008 * float64(i)}))
+	}
+	var evidence []stepEvidence
+	for i := 1; i < len(truth); i++ {
+		cell := g.index(truth[i])
+		evidence = append(evidence, stepEvidence{
+			dMin: 0.006,
+			dMax: 0.010,
+			dir:  geom.Vec2{X: 1},
+			dphi: g.expDphi[cell],
+		})
+	}
+	init := g.initialDistribution(cfg, g.expDphi[g.index(truth[0])])
+	path := g.viterbi(cfg, init, evidence)
+	if len(path) != len(truth) {
+		t.Fatalf("path length %d, want %d", len(path), len(truth))
+	}
+	dec := make(geom.Polyline, len(path))
+	for i, c := range path {
+		dec[i] = g.center(c)
+	}
+	d, err := geom.ProcrustesDistance(dec, truth, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.02 {
+		t.Errorf("decoded path deviates %v m from truth", d)
+	}
+}
+
+func TestGreedyFollowsCleanEvidence(t *testing.T) {
+	cfg := gridCfg()
+	cfg.GreedyDecode = true
+	g := newGrid(cfg)
+	start := geom.Vec2{X: 0.25, Y: 0.1}
+	var evidence []stepEvidence
+	pos := start
+	for i := 0; i < 15; i++ {
+		pos = pos.Add(geom.Vec2{Y: 0.008})
+		evidence = append(evidence, stepEvidence{
+			dMin: 0.006, dMax: 0.010,
+			dir:  geom.Vec2{Y: 1},
+			dphi: g.expDphi[g.index(pos)],
+		})
+	}
+	init := g.initialDistribution(cfg, g.expDphi[g.index(start)])
+	path := g.greedy(cfg, init, evidence)
+	if len(path) != 16 {
+		t.Fatalf("greedy path length %d", len(path))
+	}
+	// The greedy decode must at least move predominantly downward.
+	first := g.center(path[0])
+	last := g.center(path[len(path)-1])
+	if last.Y-first.Y < 0.05 {
+		t.Errorf("greedy path moved %v m down, want ~0.12", last.Y-first.Y)
+	}
+}
+
+func TestViterbiSurvivesContradictoryEvidence(t *testing.T) {
+	cfg := gridCfg()
+	g := newGrid(cfg)
+	// dMin > dMax after clamping would normally kill all transitions;
+	// feed an annulus that excludes everything (dMin=dMax=0 with dir
+	// requiring motion) and make sure the decoder holds position
+	// rather than panicking or returning junk.
+	evidence := []stepEvidence{{dMin: 0.0049, dMax: 0.005, dphi: math.NaN()}}
+	init := g.initialDistribution(cfg, math.NaN())
+	path := g.viterbi(cfg, init, evidence)
+	if len(path) != 2 {
+		t.Fatalf("path length %d", len(path))
+	}
+}
+
+func TestInitialDistributionUniformOnNaN(t *testing.T) {
+	cfg := gridCfg()
+	g := newGrid(cfg)
+	init := g.initialDistribution(cfg, math.NaN())
+	for i, v := range init {
+		if v != 0 {
+			t.Fatalf("init[%d] = %v, want 0 (uniform)", i, v)
+		}
+	}
+}

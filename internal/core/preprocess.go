@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+
+	"polardraw/internal/geom"
+	"polardraw/internal/reader"
+)
+
+// Window is one pre-processed 50 ms observation: per-antenna averaged
+// RSS and phase, plus the quality flags downstream stages consult.
+type Window struct {
+	// T is the window centre time, seconds.
+	T float64
+	// RSS and Phase are per-antenna window averages. Phase is the
+	// circular mean, in [0, 2*pi).
+	RSS   [2]float64
+	Phase [2]float64
+	// Count is the number of raw samples contributing per antenna.
+	Count [2]int
+	// Valid means both antennas contributed at least one sample.
+	Valid bool
+	// Spurious marks a phase reading rejected by the adjacent-window
+	// jump test of section 3.1 (per antenna).
+	Spurious [2]bool
+}
+
+// preprocess implements section 3.1: bucket the raw samples into
+// fixed-length windows, average amplitude and phase per antenna within
+// each window, and flag spurious phase jumps between adjacent windows.
+func preprocess(samples []reader.Sample, cfg Config) []Window {
+	if len(samples) == 0 {
+		return nil
+	}
+	start := samples[0].T
+	end := samples[len(samples)-1].T
+	n := int((end-start)/cfg.Window) + 1
+
+	type bucket struct {
+		rssSum [2]float64
+		phases [2][]float64
+		count  [2]int
+	}
+	buckets := make([]bucket, n)
+	for _, s := range samples {
+		i := int((s.T - start) / cfg.Window)
+		if i < 0 || i >= n {
+			continue
+		}
+		a := s.Antenna
+		if a < 0 || a > 1 {
+			continue // tracker is strictly two-antenna
+		}
+		buckets[i].rssSum[a] += s.RSS
+		buckets[i].phases[a] = append(buckets[i].phases[a], s.Phase)
+		buckets[i].count[a]++
+	}
+
+	out := make([]Window, 0, n)
+	for i, b := range buckets {
+		w := Window{T: start + (float64(i)+0.5)*cfg.Window}
+		w.Valid = b.count[0] > 0 && b.count[1] > 0
+		for a := 0; a < 2; a++ {
+			if b.count[a] == 0 {
+				continue
+			}
+			w.RSS[a] = b.rssSum[a] / float64(b.count[a])
+			if cfg.ArithmeticPhaseMean {
+				var s float64
+				for _, p := range b.phases[a] {
+					s += p
+				}
+				w.Phase[a] = s / float64(b.count[a])
+			} else {
+				w.Phase[a] = geom.CircularMean(b.phases[a])
+			}
+			w.Count[a] = b.count[a]
+		}
+		out = append(out, w)
+	}
+
+	// Drop invalid (single-antenna or empty) windows entirely: the
+	// tracker requires simultaneous readings from both antennas.
+	valid := out[:0]
+	for _, w := range out {
+		if w.Valid {
+			valid = append(valid, w)
+		}
+	}
+	out = valid
+
+	// Spurious rejection: an adjacent-window phase jump beyond the
+	// threshold cannot come from pen motion (which is bounded by
+	// v_max), so it is the section 2 reflection artifact.
+	for i := 1; i < len(out); i++ {
+		for a := 0; a < 2; a++ {
+			jump := geom.AngleDist(out[i-1].Phase[a], out[i].Phase[a])
+			if jump > cfg.SpuriousPhase {
+				out[i].Spurious[a] = true
+			}
+		}
+	}
+	return out
+}
+
+// phaseDelta returns the unwrapped phase change of antenna a between
+// windows i-1 and i, or 0 when either reading is spurious (a rejected
+// reading contributes no displacement evidence).
+func phaseDelta(ws []Window, i, a int) float64 {
+	if i <= 0 || i >= len(ws) {
+		return 0
+	}
+	if ws[i].Spurious[a] || ws[i-1].Spurious[a] {
+		return 0
+	}
+	return geom.AngleDiff(ws[i-1].Phase[a], ws[i].Phase[a])
+}
+
+// rssDelta returns the RSS change of antenna a between windows i-1 and
+// i.
+func rssDelta(ws []Window, i, a int) float64 {
+	if i <= 0 || i >= len(ws) {
+		return 0
+	}
+	return ws[i].RSS[a] - ws[i-1].RSS[a]
+}
+
+// interPhaseDiff returns theta2 - theta1 within window i, wrapped to
+// [0, 2*pi), or NaN when either antenna's phase is spurious.
+func interPhaseDiff(ws []Window, i int) float64 {
+	if ws[i].Spurious[0] || ws[i].Spurious[1] {
+		return math.NaN()
+	}
+	return geom.WrapAngle(ws[i].Phase[1] - ws[i].Phase[0])
+}

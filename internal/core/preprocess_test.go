@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"polardraw/internal/geom"
+	"polardraw/internal/reader"
+)
+
+func cfgForTest() Config {
+	return Config{}.withDefaults()
+}
+
+func TestPreprocessWindowing(t *testing.T) {
+	cfg := cfgForTest()
+	var samples []reader.Sample
+	// 10 reads per 50 ms window per antenna, 4 windows.
+	for w := 0; w < 4; w++ {
+		for k := 0; k < 10; k++ {
+			tt := float64(w)*0.05 + float64(k)*0.005
+			samples = append(samples,
+				reader.Sample{T: tt, Antenna: 0, RSS: -40 - float64(w), Phase: 1.0},
+				reader.Sample{T: tt + 0.001, Antenna: 1, RSS: -50, Phase: 2.0},
+			)
+		}
+	}
+	ws := preprocess(samples, cfg)
+	if len(ws) != 4 {
+		t.Fatalf("windows = %d, want 4", len(ws))
+	}
+	for i, w := range ws {
+		if !w.Valid {
+			t.Fatalf("window %d invalid", i)
+		}
+		if math.Abs(w.RSS[0]-(-40-float64(i))) > 1e-9 {
+			t.Errorf("window %d RSS0 = %v", i, w.RSS[0])
+		}
+		if math.Abs(w.Phase[1]-2.0) > 1e-9 {
+			t.Errorf("window %d phase1 = %v", i, w.Phase[1])
+		}
+		if w.Count[0] != 10 || w.Count[1] != 10 {
+			t.Errorf("window %d counts = %v", i, w.Count)
+		}
+	}
+}
+
+func TestPreprocessDropsSingleAntennaWindows(t *testing.T) {
+	cfg := cfgForTest()
+	samples := []reader.Sample{
+		{T: 0.01, Antenna: 0, RSS: -40, Phase: 1},
+		{T: 0.02, Antenna: 1, RSS: -41, Phase: 1},
+		// Window 2: only antenna 0.
+		{T: 0.06, Antenna: 0, RSS: -40, Phase: 1},
+		// Window 3: both again.
+		{T: 0.11, Antenna: 0, RSS: -40, Phase: 1},
+		{T: 0.12, Antenna: 1, RSS: -41, Phase: 1},
+	}
+	ws := preprocess(samples, cfg)
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d, want 2 (middle dropped)", len(ws))
+	}
+}
+
+func TestPreprocessCircularMeanAtSeam(t *testing.T) {
+	cfg := cfgForTest()
+	samples := []reader.Sample{
+		{T: 0.01, Antenna: 0, RSS: -40, Phase: 0.05},
+		{T: 0.02, Antenna: 0, RSS: -40, Phase: 2*math.Pi - 0.05},
+		{T: 0.03, Antenna: 1, RSS: -40, Phase: 1},
+	}
+	ws := preprocess(samples, cfg)
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if geom.AngleDist(ws[0].Phase[0], 0) > 1e-6 {
+		t.Errorf("circular mean at seam = %v, want ~0", ws[0].Phase[0])
+	}
+	// The arithmetic ablation gets this wrong on purpose.
+	cfg.ArithmeticPhaseMean = true
+	ws = preprocess(samples, cfg)
+	if geom.AngleDist(ws[0].Phase[0], math.Pi) > 0.1 {
+		t.Errorf("arithmetic mean at seam = %v, want ~pi", ws[0].Phase[0])
+	}
+}
+
+func TestPreprocessSpuriousFlagging(t *testing.T) {
+	cfg := cfgForTest()
+	var samples []reader.Sample
+	phase := func(w int) float64 {
+		if w == 2 {
+			return 2.5 // a 1.5 rad jump: spurious
+		}
+		return 1.0 + 0.05*float64(w) // gentle drift: fine
+	}
+	for w := 0; w < 6; w++ {
+		tt := float64(w) * 0.05
+		samples = append(samples,
+			reader.Sample{T: tt + 0.01, Antenna: 0, RSS: -40, Phase: phase(w)},
+			reader.Sample{T: tt + 0.02, Antenna: 1, RSS: -40, Phase: 1.0},
+		)
+	}
+	ws := preprocess(samples, cfg)
+	if len(ws) != 6 {
+		t.Fatalf("windows = %d", len(ws))
+	}
+	if !ws[2].Spurious[0] {
+		t.Error("jump into window 2 not flagged")
+	}
+	if !ws[3].Spurious[0] {
+		t.Error("jump out of window 2 (back to the clean series) not flagged")
+	}
+	if ws[1].Spurious[0] || ws[4].Spurious[0] || ws[5].Spurious[0] {
+		t.Error("clean windows flagged")
+	}
+	for i := range ws {
+		if ws[i].Spurious[1] {
+			t.Errorf("antenna 1 window %d flagged", i)
+		}
+	}
+	// Spurious deltas contribute no displacement evidence; the delta
+	// one past a flagged window is suppressed too (its baseline is the
+	// flagged reading), and the series recovers after that.
+	if d := phaseDelta(ws, 2, 0); d != 0 {
+		t.Errorf("spurious phaseDelta = %v, want 0", d)
+	}
+	if d := phaseDelta(ws, 4, 0); d != 0 {
+		t.Errorf("phaseDelta adjacent to flagged window = %v, want 0", d)
+	}
+	if d := phaseDelta(ws, 5, 0); d == 0 {
+		t.Error("clean phaseDelta suppressed after recovery")
+	}
+}
+
+func TestPreprocessEmpty(t *testing.T) {
+	if ws := preprocess(nil, cfgForTest()); ws != nil {
+		t.Errorf("nil samples gave %v", ws)
+	}
+}
+
+func TestInterPhaseDiff(t *testing.T) {
+	ws := []Window{{Phase: [2]float64{1, 2.5}}}
+	if got := interPhaseDiff(ws, 0); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("dphi = %v", got)
+	}
+	ws[0].Spurious[1] = true
+	if got := interPhaseDiff(ws, 0); !math.IsNaN(got) {
+		t.Errorf("spurious dphi = %v, want NaN", got)
+	}
+}
+
+func TestPhaseDeltaBounds(t *testing.T) {
+	ws := []Window{{Phase: [2]float64{1, 1}}, {Phase: [2]float64{1.2, 1}}}
+	if got := phaseDelta(ws, 0, 0); got != 0 {
+		t.Errorf("phaseDelta(0) = %v", got)
+	}
+	if got := phaseDelta(ws, 2, 0); got != 0 {
+		t.Errorf("phaseDelta(out of range) = %v", got)
+	}
+	if got := phaseDelta(ws, 1, 0); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("phaseDelta = %v", got)
+	}
+}

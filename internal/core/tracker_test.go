@@ -1,0 +1,203 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+	"polardraw/internal/motion"
+	"polardraw/internal/reader"
+	"polardraw/internal/rf"
+)
+
+// simulate runs a full write-session through the reader and returns
+// the samples plus ground truth.
+func simulate(t *testing.T, letter rune, seed uint64, cfgMod func(*Config)) ([]reader.Sample, geom.Polyline, Config) {
+	t.Helper()
+	rig := motion.DefaultRig()
+	g, ok := font.Lookup(letter)
+	if !ok {
+		t.Fatalf("no glyph %c", letter)
+	}
+	path := g.Path().Scale(0.2).Translate(geom.Vec2{X: 0.18, Y: 0.02})
+	mcfg := motion.Config{Seed: seed}
+	sess := motion.Write(path, string(letter), mcfg)
+	ants := rig.Antennas()
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	rd := reader.New(reader.Config{
+		Antennas: ants[:],
+		Channel:  ch,
+		EPC:      "e28011050000000000000001",
+		Seed:     seed,
+	})
+	samples := rd.Inventory(sess)
+	cfg := Config{Antennas: ants}
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	return samples, motion.WrittenTruth(sess, mcfg), cfg
+}
+
+func TestTrackTooFewSamples(t *testing.T) {
+	rig := motion.DefaultRig()
+	tr := New(Config{Antennas: rig.Antennas()})
+	if _, err := tr.Track(nil); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("err = %v, want ErrTooFewSamples", err)
+	}
+	one := []reader.Sample{{T: 0, Antenna: 0, RSS: -40, Phase: 1}}
+	if _, err := tr.Track(one); !errors.Is(err, ErrTooFewSamples) {
+		t.Errorf("err = %v, want ErrTooFewSamples", err)
+	}
+}
+
+func TestTrackRecoversLetterShape(t *testing.T) {
+	samples, truth, cfg := simulate(t, 'Z', 11, nil)
+	tr := New(cfg)
+	res, err := tr.Track(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trajectory) < 10 {
+		t.Fatalf("trajectory too short: %d points", len(res.Trajectory))
+	}
+	d, err := geom.ProcrustesDistance(res.Trajectory, truth, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's median error is ~10 cm on 20 cm letters; require the
+	// reproduction to stay in that regime (not a pixel-perfect match,
+	// but clearly the same shape family).
+	if d > 0.12 {
+		t.Errorf("Procrustes distance = %v m, want < 0.12", d)
+	}
+	t.Logf("letter Z: procrustes=%.3f m, rotWin=%d transWin=%d spurious=%d",
+		d, res.RotationalWindows, res.TranslationalWindows, res.SpuriousRejected)
+}
+
+func TestTrackClassifiesBothModes(t *testing.T) {
+	// A long zigzag with many left-right reversals: the wrist flicks at
+	// each reversal swing the polarization mismatch, so the section 3.3
+	// mode switch must classify some windows as rotational while the
+	// straight sweeps stay translational.
+	rig := motion.DefaultRig()
+	var path geom.Polyline
+	for i := 0; i < 6; i++ {
+		x0, x1 := 0.08, 0.48
+		if i%2 == 1 {
+			x0, x1 = x1, x0
+		}
+		y := 0.06 + float64(i)*0.025
+		path = append(path, geom.Vec2{X: x0, Y: y}, geom.Vec2{X: x1, Y: y})
+	}
+	sess := motion.Write(path, "zigzag", motion.Config{Seed: 5})
+	ants := rig.Antennas()
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	rd := reader.New(reader.Config{Antennas: ants[:], Channel: ch, EPC: "aa", Seed: 5})
+	res, err := New(Config{Antennas: ants}).Track(rd.Inventory(sess))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TranslationalWindows == 0 {
+		t.Error("no translational windows")
+	}
+	if res.RotationalWindows == 0 {
+		t.Error("no rotational windows")
+	}
+}
+
+func TestTrackDeterministic(t *testing.T) {
+	samples, _, cfg := simulate(t, 'C', 3, nil)
+	r1, err := New(cfg).Track(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(cfg).Track(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Trajectory) != len(r2.Trajectory) {
+		t.Fatal("lengths differ")
+	}
+	for i := range r1.Trajectory {
+		if r1.Trajectory[i] != r2.Trajectory[i] {
+			t.Fatalf("trajectory %d differs", i)
+		}
+	}
+}
+
+func TestTrackStaysOnBoard(t *testing.T) {
+	samples, _, cfg := simulate(t, 'W', 8, nil)
+	res, err := New(cfg).Track(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := New(cfg).Config()
+	margin := 0.1 // Eq. 10 rotation can push points slightly out
+	for _, p := range res.Trajectory {
+		if p.X < full.BoardMin.X-margin || p.X > full.BoardMax.X+margin ||
+			p.Y < full.BoardMin.Y-margin || p.Y > full.BoardMax.Y+margin {
+			t.Fatalf("trajectory point %v escaped the board", p)
+		}
+	}
+}
+
+func TestTrackPolarizationAblationDegrades(t *testing.T) {
+	samples, truth, cfg := simulate(t, 'S', 21, nil)
+	full, err := New(cfg).Track(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablCfg := cfg
+	ablCfg.DisablePolarization = true
+	abl, err := New(ablCfg).Track(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFull, _ := geom.ProcrustesDistance(full.Trajectory, truth, 64)
+	dAbl, _ := geom.ProcrustesDistance(abl.Trajectory, truth, 64)
+	t.Logf("full=%.3f ablated=%.3f", dFull, dAbl)
+	if abl.RotationalWindows != 0 {
+		t.Error("ablated tracker still classified rotational windows")
+	}
+}
+
+func TestTrackGreedyRuns(t *testing.T) {
+	samples, truth, cfg := simulate(t, 'L', 4, func(c *Config) { c.GreedyDecode = true })
+	res, err := New(cfg).Track(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trajectory) < 10 {
+		t.Fatal("greedy trajectory too short")
+	}
+	if d, _ := geom.ProcrustesDistance(res.Trajectory, truth, 64); d > 0.2 {
+		t.Errorf("greedy L distance = %v", d)
+	}
+}
+
+func TestConfigGamma(t *testing.T) {
+	rig := motion.DefaultRig()
+	cfg := Config{Antennas: rig.Antennas()}
+	if d := geom.Degrees(cfg.Gamma()); d < 14.9 || d > 15.1 {
+		t.Errorf("gamma = %v deg, want 15", d)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Window != 0.05 || cfg.SpuriousPhase != 0.2 || cfg.VMax != 0.2 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	if cfg.ModeDelta != 2 || cfg.StepDelta != 1.5 {
+		t.Errorf("RSS thresholds wrong: %+v", cfg)
+	}
+	if geom.Degrees(cfg.DeltaBeta) < 5.9 || geom.Degrees(cfg.DeltaBeta) > 6.1 {
+		t.Errorf("DeltaBeta = %v", cfg.DeltaBeta)
+	}
+	// Explicit values survive.
+	cfg2 := Config{VMax: 0.3}.withDefaults()
+	if cfg2.VMax != 0.3 {
+		t.Error("explicit VMax clobbered")
+	}
+}

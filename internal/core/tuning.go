@@ -1,0 +1,18 @@
+package core
+
+// Decoder tuning constants. These are implementation-level knobs (the
+// paper's own parameters live in Config); values were calibrated
+// against the end-to-end corpus in internal/experiment.
+const (
+	// rotNoiseFloor (dB) is the minimum per-window RSS trend treated
+	// as a real rotation by the Table 3 classifier. RSS window noise
+	// is a few tenths of a dB; classifying below that produces random
+	// direction calls that actively mislead the HMM, so the classifier
+	// favours precision over recall.
+	rotNoiseFloor = 0.3
+	// againstDirPenalty is the emission probability multiplier for
+	// moving against the trend-estimated direction. The trends are
+	// right most of the time but not always; a moderate penalty lets
+	// strong phase evidence overrule a bad direction call.
+	againstDirPenalty = 0.4
+)

@@ -1,0 +1,277 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+	"polardraw/internal/metrics"
+	"polardraw/internal/pen"
+	"polardraw/internal/recognition"
+)
+
+// lexicon holds the word corpus for Fig. 18, grouped by length. The
+// paper samples the Oxford English Dictionary; an offline build cannot,
+// so this is a fixed list of common English words (the recognizer's
+// task difficulty depends on word geometry, not on the sampling
+// source).
+var lexicon = map[int][]string{
+	2: {"GO", "AT", "ON", "IN", "UP", "WE", "IT", "BY", "HE", "SO"},
+	3: {"CAT", "DOG", "SUN", "MAP", "TEN", "RED", "BOX", "KEY", "JAM", "FLY"},
+	4: {"WAVE", "RAIN", "BLUE", "FISH", "LAMP", "TREE", "SAND", "MILK", "YARD", "CLIP"},
+	5: {"HOUSE", "PLANT", "RIVER", "CLOUD", "STONE", "BREAD", "CHAIR", "LIGHT", "MOUSE", "TRAIN"},
+}
+
+// Lexicon exposes the word corpus (copy) for examples and tests.
+func Lexicon(length int) []string {
+	return append([]string(nil), lexicon[length]...)
+}
+
+// WordResult is Fig. 18: per-word-length recognition accuracy for the
+// three systems.
+type WordResult struct {
+	Lengths []int
+	// Acc[sys][i] is the accuracy of `sys` on words of Lengths[i].
+	Acc map[System][]metrics.Accuracy
+}
+
+// Figure18Words runs the word-recognition comparison across PolarDraw
+// (2 antennas), RF-IDraw and Tagoram (4 antennas each). wordsPerGroup
+// limits the corpus (10 in the paper); trials repeats each word.
+func Figure18Words(sc Scenario, wordsPerGroup, trials int) (*WordResult, error) {
+	systems := []System{PolarDraw2, RFIDraw4, Tagoram4}
+	res := &WordResult{Acc: map[System][]metrics.Accuracy{}}
+	for _, n := range []int{2, 3, 4, 5} {
+		words := lexicon[n]
+		if wordsPerGroup < len(words) {
+			words = words[:wordsPerGroup]
+		}
+		wr := recognition.NewWordRecognizer(lexicon[n])
+		res.Lengths = append(res.Lengths, n)
+		for _, sys := range systems {
+			var acc metrics.Accuracy
+			for wi, w := range words {
+				for k := 0; k < trials; k++ {
+					seed := uint64(n*1_000_000 + wi*1000 + k + 1)
+					trial, err := sc.RunWord(sys, w, seed)
+					if err != nil {
+						acc.Add(false)
+						continue
+					}
+					got, _, err := wr.Classify(trial.Recovered)
+					acc.Add(err == nil && got == w)
+				}
+			}
+			res.Acc[sys] = append(res.Acc[sys], acc)
+		}
+	}
+	return res, nil
+}
+
+// String renders Fig. 18.
+func (r *WordResult) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 18: word recognition accuracy vs word length\n")
+	for i, n := range r.Lengths {
+		fmt.Fprintf(&b, "  %d letters:", n)
+		for _, sys := range []System{PolarDraw2, RFIDraw4, Tagoram4} {
+			fmt.Fprintf(&b, "  %s %s", sys, r.Acc[sys][i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CDFResult is Fig. 19: the Procrustes-distance distribution of the
+// three systems on the same letter corpus.
+type CDFResult struct {
+	// Distances[sys] holds per-trial Procrustes distances in cm.
+	Distances map[System][]float64
+}
+
+// Figure19CDF collects trajectory-similarity distances: `letters`
+// random letters written `trials` times each, tracked by all three
+// systems.
+func Figure19CDF(sc Scenario, letters []rune, trials int) (*CDFResult, error) {
+	res := &CDFResult{Distances: map[System][]float64{}}
+	for _, sys := range []System{PolarDraw2, RFIDraw4, Tagoram4} {
+		for li, r := range letters {
+			for k := 0; k < trials; k++ {
+				seed := uint64(li*1000 + k + 1)
+				trial, err := sc.RunLetter(sys, r, seed)
+				if err != nil {
+					continue
+				}
+				res.Distances[sys] = append(res.Distances[sys], trial.Procrustes*100)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Summary returns (median, p90) in cm for a system.
+func (r *CDFResult) Summary(sys System) (float64, float64) {
+	d := r.Distances[sys]
+	return metrics.Median(d), metrics.Percentile(d, 90)
+}
+
+// String renders the Fig. 19 summary.
+func (r *CDFResult) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 19: Procrustes distance CDF summary (cm)\n")
+	for _, sys := range []System{PolarDraw2, RFIDraw4, Tagoram4} {
+		med, p90 := r.Summary(sys)
+		fmt.Fprintf(&b, "  %-28s median %5.1f   90th %5.1f   (n=%d)\n",
+			sys, med, p90, len(r.Distances[sys]))
+	}
+	return b.String()
+}
+
+// ShowcaseResult is Fig. 20 (and Fig. 2): example recovered
+// trajectories for qualitative comparison.
+type ShowcaseResult struct {
+	Letter rune
+	Truth  geom.Polyline
+	// Recovered[sys] is each system's recovered trajectory.
+	Recovered map[System]geom.Polyline
+	// Distances[sys] in cm.
+	Distances map[System]float64
+}
+
+// Figure20Showcase tracks one letter with all three systems.
+func Figure20Showcase(sc Scenario, letter rune, seed uint64) (*ShowcaseResult, error) {
+	res := &ShowcaseResult{
+		Letter:    letter,
+		Recovered: map[System]geom.Polyline{},
+		Distances: map[System]float64{},
+	}
+	for _, sys := range []System{PolarDraw2, RFIDraw4, Tagoram4} {
+		trial, err := sc.RunLetter(sys, letter, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Truth = trial.Truth
+		res.Recovered[sys] = trial.Recovered
+		res.Distances[sys] = trial.Procrustes * 100
+	}
+	return res, nil
+}
+
+// String renders the showcase summary.
+func (r *ShowcaseResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 20: letter %c recovered by three systems (Procrustes, cm)\n", r.Letter)
+	for _, sys := range []System{PolarDraw2, RFIDraw4, Tagoram4} {
+		fmt.Fprintf(&b, "  %-28s %5.1f cm\n", sys, r.Distances[sys])
+	}
+	return b.String()
+}
+
+// Figure2Trajectory reproduces the paper's opening demo (Fig. 2):
+// PolarDraw recovering the word "WOW" followed by M, C, W, Z.
+func Figure2Trajectory(sc Scenario) ([]Trial, error) {
+	var out []Trial
+	trial, err := sc.RunWord(PolarDraw2, "WOW", 1)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, trial)
+	for i, r := range []rune{'M', 'C', 'W', 'Z'} {
+		t, err := sc.RunLetter(PolarDraw2, r, uint64(i+2))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// UserResult is Fig. 21: per-user recognition accuracy for the three
+// systems; User 2 writes in the stiff style.
+type UserResult struct {
+	Users []string
+	Acc   map[System][]metrics.Accuracy
+}
+
+// Figure21Users runs the per-user comparison.
+func Figure21Users(sc Scenario, letters []rune, trials int) (*UserResult, error) {
+	lr := recognition.NewLetterRecognizer()
+	res := &UserResult{Acc: map[System][]metrics.Accuracy{}}
+	systems := []System{PolarDraw2, RFIDraw4, Tagoram4}
+	for ui, style := range pen.Users() {
+		res.Users = append(res.Users, style.Name)
+		scu := sc
+		scu.Style = style
+		for _, sys := range systems {
+			var acc metrics.Accuracy
+			for li, r := range letters {
+				for k := 0; k < trials; k++ {
+					seed := uint64(ui*1_000_000 + li*1000 + k + 1)
+					trial, err := scu.RunLetter(sys, r, seed)
+					if err != nil {
+						acc.Add(false)
+						continue
+					}
+					got, _, err := lr.Classify(trial.Recovered)
+					acc.Add(err == nil && got == r)
+				}
+			}
+			res.Acc[sys] = append(res.Acc[sys], acc)
+		}
+	}
+	return res, nil
+}
+
+// String renders Fig. 21.
+func (r *UserResult) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 21: recognition accuracy across users\n")
+	for i, u := range r.Users {
+		fmt.Fprintf(&b, "  %-12s", u)
+		for _, sys := range []System{PolarDraw2, RFIDraw4, Tagoram4} {
+			fmt.Fprintf(&b, "  %s %s", sys, r.Acc[sys][i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// renderTrajectory draws a polyline as crude ASCII art, used by
+// cmd/polardraw and the examples.
+func RenderTrajectory(p geom.Polyline, cols, rows int) string {
+	if len(p) == 0 {
+		return "(empty)\n"
+	}
+	min, max := p.Bounds()
+	w := max.X - min.X
+	h := max.Y - min.Y
+	if w <= 0 {
+		w = 1e-9
+	}
+	if h <= 0 {
+		h = 1e-9
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	dense := p.Resample(cols * 4)
+	for _, v := range dense {
+		x := int((v.X - min.X) / w * float64(cols-1))
+		y := int((v.Y - min.Y) / h * float64(rows-1))
+		grid[y][x] = '*'
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WordPathPreview returns the ground-truth rendering of a word, for
+// example programs that show target vs recovered.
+func WordPathPreview(word string, size float64) geom.Polyline {
+	return font.WordPath(word, size, 0.25)
+}

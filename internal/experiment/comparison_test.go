@@ -1,0 +1,215 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"polardraw/internal/geom"
+)
+
+func TestFigure18SmallWords(t *testing.T) {
+	res, err := Figure18Words(Default(31), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Lengths) != 4 {
+		t.Fatalf("lengths = %v", res.Lengths)
+	}
+	for _, sys := range []System{PolarDraw2, RFIDraw4, Tagoram4} {
+		accs, ok := res.Acc[sys]
+		if !ok || len(accs) != 4 {
+			t.Fatalf("%s: %d groups", sys, len(accs))
+		}
+		for i, a := range accs {
+			if a.Total != 2 {
+				t.Errorf("%s group %d ran %d trials, want 2", sys, i, a.Total)
+			}
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 18") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestFigure21SmallUsers(t *testing.T) {
+	res, err := Figure21Users(Default(32), []rune{'L'}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Users) != 4 {
+		t.Fatalf("users = %v", res.Users)
+	}
+	if res.Users[1] != "user2-stiff" {
+		t.Errorf("user 2 = %q", res.Users[1])
+	}
+	for _, sys := range []System{PolarDraw2, RFIDraw4, Tagoram4} {
+		if len(res.Acc[sys]) != 4 {
+			t.Fatalf("%s: %d user rows", sys, len(res.Acc[sys]))
+		}
+	}
+	if !strings.Contains(res.String(), "user2-stiff") {
+		t.Error("String() missing users")
+	}
+}
+
+func TestTable5SmallSweep(t *testing.T) {
+	res, err := Table5Distance(Default(33), []rune{'C'}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{20, 40, 60, 80, 100, 120, 140}
+	if len(res.DistancesCM) != len(want) {
+		t.Fatalf("distances = %v", res.DistancesCM)
+	}
+	for i, cm := range want {
+		if res.DistancesCM[i] != cm {
+			t.Errorf("distance[%d] = %d, want %d", i, res.DistancesCM[i], cm)
+		}
+		if res.Accuracy[i].Total != 1 {
+			t.Errorf("distance %d ran %d trials", cm, res.Accuracy[i].Total)
+		}
+	}
+	if !strings.Contains(res.String(), "140 cm") {
+		t.Error("String() missing rows")
+	}
+}
+
+func TestTable7And8Sweeps(t *testing.T) {
+	e, err := Table7Elevation(Default(34), []rune{'C'}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.ElevationsDeg) != 6 || e.ElevationsDeg[0] != -45 {
+		t.Errorf("elevations = %v", e.ElevationsDeg)
+	}
+	g, err := Table8Gamma(Default(35), []rune{'C'}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.GammaDeg) != 5 || g.GammaDeg[0] != 15 || g.GammaDeg[4] != 75 {
+		t.Errorf("gammas = %v", g.GammaDeg)
+	}
+	if !strings.Contains(e.String(), "Table 7") || !strings.Contains(g.String(), "Table 8") {
+		t.Error("String() headers wrong")
+	}
+}
+
+func TestFigure15SmallGroups(t *testing.T) {
+	res, err := Figure15AirVsBoard(Default(36), 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %d", len(res.Groups))
+	}
+	for i, g := range res.Groups {
+		if len(g.Letters) != 2 {
+			t.Errorf("group %d letters = %v", i, g.Letters)
+		}
+		if g.BoardTotal.Total != 2 || g.AirTotal.Total != 2 {
+			t.Errorf("group %d trial counts: %+v %+v", i, g.BoardTotal, g.AirTotal)
+		}
+	}
+}
+
+func TestTable6SmallAblation(t *testing.T) {
+	res, err := Table6Ablation(Default(37), []rune{'Z'}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.With.Total != 2 || res.Without.Total != 2 {
+		t.Fatalf("trial counts: %+v", res)
+	}
+	if !strings.Contains(res.String(), "Table 6") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestFigure16SmallBystander(t *testing.T) {
+	res, err := Figure16Bystander(Default(38), []rune{'L'}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DistancesCM) != 3 {
+		t.Fatalf("distances = %v", res.DistancesCM)
+	}
+	for i := range res.DistancesCM {
+		if res.Static[i].Total != 1 || res.Dynamic[i].Total != 1 {
+			t.Errorf("row %d trial counts wrong", i)
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 16") {
+		t.Error("String() malformed")
+	}
+}
+
+// TestBystanderPlacement ensures the interferer stands beside the
+// board, not between the antennas and the tag.
+func TestBystanderPlacement(t *testing.T) {
+	sc := Default(39)
+	b := bystanderAt(sc, 0.3, false)
+	if b.Pos.X <= sc.Rig.BoardW {
+		t.Errorf("static bystander at %v is in front of the writing block", b.Pos)
+	}
+	w := bystanderAt(sc, 0.3, true)
+	if w.Mode != 2 { // rf.BystanderWalking
+		t.Errorf("walking mode = %v", w.Mode)
+	}
+}
+
+// TestSystemsShareGroundTruth: the same trial seed must produce the
+// same written truth regardless of tracking system, so cross-system
+// comparisons are apples-to-apples.
+func TestSystemsShareGroundTruth(t *testing.T) {
+	sc := Default(40)
+	a, err := sc.RunLetter(PolarDraw2, 'S', 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.RunLetter(Tagoram4, 'S', 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Truth) != len(b.Truth) {
+		t.Fatalf("truth lengths differ: %d vs %d", len(a.Truth), len(b.Truth))
+	}
+	for i := range a.Truth {
+		if a.Truth[i] != b.Truth[i] {
+			t.Fatal("ground truth differs across systems")
+		}
+	}
+}
+
+// TestTrialDeterminism: identical scenario + seed => identical result.
+func TestTrialDeterminism(t *testing.T) {
+	run := func() geom.Polyline {
+		sc := Default(41)
+		trial, err := sc.RunLetter(PolarDraw2, 'E', 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trial.Recovered
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("recovered trajectories differ across runs")
+		}
+	}
+}
+
+func TestTrackerForExposesAllSystems(t *testing.T) {
+	sc := Default(42)
+	for _, sys := range []System{PolarDraw2, PolarDrawNoPol, Tagoram2, Tagoram4, RFIDraw4} {
+		tr := TrackerFor(sc, sys)
+		if tr == nil {
+			t.Fatalf("%s: nil tracker", sys)
+		}
+		if tr.Name() == "" {
+			t.Errorf("%s: empty name", sys)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"polardraw/internal/geom"
+	"polardraw/internal/metrics"
+	"polardraw/internal/recognition"
+	"polardraw/internal/rf"
+)
+
+// LetterResult carries Fig. 13 (per-letter accuracy) and Fig. 14 (the
+// confusion matrix) from one corpus run.
+type LetterResult struct {
+	Trials    int
+	Confusion metrics.Confusion
+	// Failures counts trials that errored out entirely (tracker could
+	// not produce a trajectory).
+	Failures int
+}
+
+// Figure13Letters runs the letter-recognition corpus: every letter
+// A-Z written `trials` times (the paper uses 100; benches and tests
+// use fewer for runtime). It also provides Fig. 14's matrix.
+func Figure13Letters(sc Scenario, sys System, trials int) (*LetterResult, error) {
+	lr := recognition.NewLetterRecognizer()
+	res := &LetterResult{Trials: trials}
+	for li, r := range lettersAtoZ() {
+		for k := 0; k < trials; k++ {
+			seed := uint64(li*1000 + k + 1)
+			_, err := sc.ClassifyLetterTrial(sys, lr, r, seed, &res.Confusion)
+			if err != nil {
+				res.Failures++
+			}
+		}
+	}
+	return res, nil
+}
+
+func lettersAtoZ() []rune {
+	out := make([]rune, 26)
+	for i := range out {
+		out[i] = rune('A' + i)
+	}
+	return out
+}
+
+// String renders the Fig. 13 keyboard-style accuracy summary.
+func (r *LetterResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 13: letter recognition accuracy (%d trials/letter)\n", r.Trials)
+	acc := r.Confusion.PerLetterAccuracy()
+	for _, row := range []string{"QWERTYUIOP", "ASDFGHJKL", "ZXCVBNM"} {
+		b.WriteString("  ")
+		for _, c := range row {
+			fmt.Fprintf(&b, "%c:%3.0f%% ", c, acc[c-'A']*100)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  overall: %.1f%%  failures: %d\n", r.Confusion.OverallAccuracy()*100, r.Failures)
+	fmt.Fprintf(&b, "  top confusions: %s\n", strings.Join(r.Confusion.TopConfusions(5), ", "))
+	return b.String()
+}
+
+// AirVsBoardResult is Fig. 15: recognition accuracy per group, writing
+// on the whiteboard vs in the air.
+type AirVsBoardResult struct {
+	Groups []struct {
+		Letters    []rune
+		BoardAcc   float64
+		AirAcc     float64
+		BoardTotal metrics.Accuracy
+		AirTotal   metrics.Accuracy
+	}
+}
+
+// Figure15AirVsBoard runs the four groups of the in-air experiment:
+// each group picks `lettersPerGroup` random letters written
+// `trials` times on the board and in the air.
+func Figure15AirVsBoard(sc Scenario, groups, lettersPerGroup, trials int) (*AirVsBoardResult, error) {
+	lr := recognition.NewLetterRecognizer()
+	res := &AirVsBoardResult{}
+	letters := lettersAtoZ()
+	for g := 0; g < groups; g++ {
+		var entry struct {
+			Letters    []rune
+			BoardAcc   float64
+			AirAcc     float64
+			BoardTotal metrics.Accuracy
+			AirTotal   metrics.Accuracy
+		}
+		// Deterministic "random" letter pick per group.
+		for i := 0; i < lettersPerGroup; i++ {
+			entry.Letters = append(entry.Letters, letters[(g*7+i*3)%26])
+		}
+		for li, r := range entry.Letters {
+			for k := 0; k < trials; k++ {
+				seed := uint64(g*100000 + li*1000 + k + 1)
+				scBoard := sc
+				scBoard.InAir = false
+				if ok, err := scBoard.ClassifyLetterTrial(PolarDraw2, lr, r, seed, nil); err == nil {
+					entry.BoardTotal.Add(ok)
+				}
+				scAir := sc
+				scAir.InAir = true
+				if ok, err := scAir.ClassifyLetterTrial(PolarDraw2, lr, r, seed, nil); err == nil {
+					entry.AirTotal.Add(ok)
+				}
+			}
+		}
+		entry.BoardAcc = entry.BoardTotal.Rate()
+		entry.AirAcc = entry.AirTotal.Rate()
+		res.Groups = append(res.Groups, entry)
+	}
+	return res, nil
+}
+
+// String renders Fig. 15.
+func (r *AirVsBoardResult) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 15: writing in air vs on the whiteboard\n")
+	for i, g := range r.Groups {
+		fmt.Fprintf(&b, "  group %d: board %s   air %s\n", i+1, g.BoardTotal, g.AirTotal)
+	}
+	return b.String()
+}
+
+// AblationResult is Table 6: PolarDraw with and without polarization.
+type AblationResult struct {
+	With    metrics.Accuracy
+	Without metrics.Accuracy
+}
+
+// Table6Ablation compares letter recognition with and without the
+// polarization-based rotation model on the same letter corpus.
+func Table6Ablation(sc Scenario, letters []rune, trials int) (*AblationResult, error) {
+	lr := recognition.NewLetterRecognizer()
+	res := &AblationResult{}
+	for li, r := range letters {
+		for k := 0; k < trials; k++ {
+			seed := uint64(li*1000 + k + 1)
+			if ok, err := sc.ClassifyLetterTrial(PolarDraw2, lr, r, seed, nil); err == nil {
+				res.With.Add(ok)
+			} else {
+				res.With.Add(false)
+			}
+			if ok, err := sc.ClassifyLetterTrial(PolarDrawNoPol, lr, r, seed, nil); err == nil {
+				res.Without.Add(ok)
+			} else {
+				res.Without.Add(false)
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders Table 6.
+func (r *AblationResult) String() string {
+	return fmt.Sprintf("Table 6: PolarDraw %s vs w/o polarization %s", r.With, r.Without)
+}
+
+// DistanceSweepResult is Table 5 / Fig. 22: recognition accuracy as
+// the tag-to-reader distance grows.
+type DistanceSweepResult struct {
+	DistancesCM []int
+	Accuracy    []metrics.Accuracy
+}
+
+// Table5Distance sweeps the tag-to-reader distance from 20 to 140 cm
+// in 20 cm steps.
+func Table5Distance(sc Scenario, letters []rune, trials int) (*DistanceSweepResult, error) {
+	lr := recognition.NewLetterRecognizer()
+	res := &DistanceSweepResult{}
+	for _, cm := range []int{20, 40, 60, 80, 100, 120, 140} {
+		scd := sc
+		scd.Rig = sc.Rig.WithStandoff(float64(cm) / 100)
+		var acc metrics.Accuracy
+		for li, r := range letters {
+			for k := 0; k < trials; k++ {
+				seed := uint64(cm*100000 + li*1000 + k + 1)
+				ok, err := scd.ClassifyLetterTrial(PolarDraw2, lr, r, seed, nil)
+				acc.Add(err == nil && ok)
+			}
+		}
+		res.DistancesCM = append(res.DistancesCM, cm)
+		res.Accuracy = append(res.Accuracy, acc)
+	}
+	return res, nil
+}
+
+// String renders the sweep.
+func (r *DistanceSweepResult) String() string {
+	var b strings.Builder
+	b.WriteString("Table 5 / Figure 22: recognition accuracy vs tag-to-reader distance\n")
+	for i, cm := range r.DistancesCM {
+		fmt.Fprintf(&b, "  %3d cm: %s\n", cm, r.Accuracy[i])
+	}
+	return b.String()
+}
+
+// BystanderResult is Fig. 16: accuracy under static/dynamic multipath
+// interference at several bystander distances.
+type BystanderResult struct {
+	DistancesCM []int
+	Static      []metrics.Accuracy
+	Dynamic     []metrics.Accuracy
+}
+
+// Figure16Bystander sweeps bystander distance (30/60/90 cm) for both
+// standing and walking interferers.
+func Figure16Bystander(sc Scenario, letters []rune, trials int) (*BystanderResult, error) {
+	lr := recognition.NewLetterRecognizer()
+	res := &BystanderResult{}
+	for _, cm := range []int{30, 60, 90} {
+		d := float64(cm) / 100
+		var static, dynamic metrics.Accuracy
+		for mode := 0; mode < 2; mode++ {
+			scb := sc
+			scb.Bystander = bystanderAt(sc, d, mode == 1)
+			for li, r := range letters {
+				for k := 0; k < trials; k++ {
+					seed := uint64(cm*100000 + mode*50000 + li*1000 + k + 1)
+					ok, err := scb.ClassifyLetterTrial(PolarDraw2, lr, r, seed, nil)
+					if mode == 0 {
+						static.Add(err == nil && ok)
+					} else {
+						dynamic.Add(err == nil && ok)
+					}
+				}
+			}
+		}
+		res.DistancesCM = append(res.DistancesCM, cm)
+		res.Static = append(res.Static, static)
+		res.Dynamic = append(res.Dynamic, dynamic)
+	}
+	return res, nil
+}
+
+// bystanderAt places an interfering person beside the whiteboard, d
+// metres from the board edge (the paper's bystander stands or walks
+// next to the writing user, not between the antennas and the tag).
+func bystanderAt(sc Scenario, d float64, walking bool) *rf.Bystander {
+	c := sc.Rig.Centre()
+	b := &rf.Bystander{
+		Mode:        rf.BystanderStatic,
+		Pos:         geom.Vec3{X: sc.Rig.BoardW + d, Y: c.Y, Z: 0.25},
+		LossDB:      9,
+		PolRotation: geom.Radians(35),
+	}
+	if walking {
+		b.Mode = rf.BystanderWalking
+		b.WalkRadius = 0.25
+		b.WalkSpeed = 1.0
+	}
+	return b
+}
+
+// String renders Fig. 16.
+func (r *BystanderResult) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 16: bystander multipath impact\n")
+	for i, cm := range r.DistancesCM {
+		fmt.Fprintf(&b, "  %2d cm: static %s   dynamic %s\n", cm, r.Static[i], r.Dynamic[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,298 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"polardraw/internal/geom"
+)
+
+func TestTable1Cost(t *testing.T) {
+	c := Table1Cost()
+	if len(c.Systems) != 3 {
+		t.Fatalf("systems = %d", len(c.Systems))
+	}
+	totals := map[string]int{}
+	for _, s := range c.Systems {
+		totals[s.Name] = s.Total
+	}
+	// The paper's Table 1 totals.
+	if totals["PolarDraw"] != 443 {
+		t.Errorf("PolarDraw total = %d, want 443", totals["PolarDraw"])
+	}
+	if totals["Tagoram"] != 938 {
+		t.Errorf("Tagoram total = %d, want 938", totals["Tagoram"])
+	}
+	if totals["RF-IDraw"] != 1508 {
+		t.Errorf("RF-IDraw total = %d, want 1508", totals["RF-IDraw"])
+	}
+	// PolarDraw at most half of Tagoram: the paper's headline cost claim.
+	if totals["PolarDraw"]*2 > totals["Tagoram"] {
+		t.Errorf("PolarDraw (%d) not half of Tagoram (%d)", totals["PolarDraw"], totals["Tagoram"])
+	}
+	if !strings.Contains(c.String(), "PolarDraw total") {
+		t.Error("String() missing totals")
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	names := map[System]string{
+		PolarDraw2:     "PolarDraw (2-antenna)",
+		PolarDrawNoPol: "PolarDraw w/o polarization",
+		Tagoram4:       "Tagoram (4-antenna)",
+		Tagoram2:       "Tagoram (2-antenna)",
+		RFIDraw4:       "RF-IDraw (4-antenna)",
+	}
+	for sys, want := range names {
+		if got := sys.String(); got != want {
+			t.Errorf("%d = %q, want %q", sys, got, want)
+		}
+	}
+	if got := System(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown system = %q", got)
+	}
+}
+
+func TestScenarioAntennas(t *testing.T) {
+	sc := Default(1)
+	if got := len(sc.antennasFor(PolarDraw2)); got != 2 {
+		t.Errorf("PolarDraw antennas = %d", got)
+	}
+	if got := len(sc.antennasFor(Tagoram4)); got != 4 {
+		t.Errorf("Tagoram4 antennas = %d", got)
+	}
+	if got := len(sc.antennasFor(Tagoram2)); got != 2 {
+		t.Errorf("Tagoram2 antennas = %d", got)
+	}
+	if got := len(sc.antennasFor(RFIDraw4)); got != 4 {
+		t.Errorf("RFIDraw4 antennas = %d", got)
+	}
+	// Baseline arrays are circular, PolarDraw's are linear.
+	if sc.antennasFor(Tagoram4)[0].Circular() != true {
+		t.Error("Tagoram antenna not circular")
+	}
+	if sc.antennasFor(PolarDraw2)[0].Circular() {
+		t.Error("PolarDraw antenna circular")
+	}
+}
+
+func TestRunLetterAllSystems(t *testing.T) {
+	sc := Default(2)
+	for _, sys := range []System{PolarDraw2, PolarDrawNoPol, Tagoram4, Tagoram2, RFIDraw4} {
+		trial, err := sc.RunLetter(sys, 'L', 3)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if len(trial.Recovered) < 10 {
+			t.Errorf("%s recovered only %d points", sys, len(trial.Recovered))
+		}
+		if trial.Procrustes <= 0 || trial.Procrustes > 0.2 {
+			t.Errorf("%s procrustes = %v m", sys, trial.Procrustes)
+		}
+	}
+}
+
+func TestRunLetterUnknownGlyph(t *testing.T) {
+	sc := Default(1)
+	if _, err := sc.RunLetter(PolarDraw2, '@', 1); err == nil {
+		t.Error("unknown glyph accepted")
+	}
+}
+
+func TestRunWordScalesToBoard(t *testing.T) {
+	sc := Default(3)
+	trial, err := sc.RunWord(PolarDraw2, "HOUSE", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, max := trial.Truth.Bounds()
+	if max.X > sc.Rig.BoardW {
+		t.Errorf("word truth extends to %v, beyond board %v", max.X, sc.Rig.BoardW)
+	}
+}
+
+func TestTrimLeadIn(t *testing.T) {
+	traj := make(geom.Polyline, 40)
+	out := trimLeadIn(traj, 4.0) // 0.3/4 of 40 = 3 points
+	if len(out) != 37 {
+		t.Errorf("trimmed to %d, want 37", len(out))
+	}
+	// Cap at a quarter.
+	out = trimLeadIn(traj, 0.5)
+	if len(out) != 30 {
+		t.Errorf("capped trim = %d, want 30", len(out))
+	}
+	// Short trajectories untouched.
+	short := make(geom.Polyline, 5)
+	if got := trimLeadIn(short, 4); len(got) != 5 {
+		t.Errorf("short trim = %d", len(got))
+	}
+}
+
+func TestFigure3bRotation(t *testing.T) {
+	res := Figure3bRotation(1)
+	if len(res.Points) < 200 {
+		t.Fatalf("too few points: %d", len(res.Points))
+	}
+	// Section 2 conclusion 1: rotation drives a big RSS swing.
+	if res.RSSSwing < 10 {
+		t.Errorf("rotation RSS swing = %v dB, want large", res.RSSSwing)
+	}
+	// Rotation must produce read gaps near 90 degrees mismatch (the
+	// band is narrow -- a few degrees either side -- so the fraction is
+	// small but nonzero, unlike the gap-free translation rig).
+	if res.ReadGapFraction < 0.01 {
+		t.Errorf("read gap = %v, expected dropouts near 90 deg", res.ReadGapFraction)
+	}
+	if !strings.Contains(res.String(), "Fig3b") {
+		t.Error("String() missing name")
+	}
+}
+
+func TestFigure3cTranslation(t *testing.T) {
+	res := Figure3cTranslation(1)
+	if len(res.Points) < 200 {
+		t.Fatalf("too few points: %d", len(res.Points))
+	}
+	// Section 2 conclusion: translation barely moves RSS but sweeps
+	// phase. The 8 cm slide spans ~3 full phase cycles.
+	if res.RSSSwing > 6 {
+		t.Errorf("translation RSS swing = %v dB, want small", res.RSSSwing)
+	}
+	if res.PhaseSwing < 0.5 {
+		t.Errorf("translation phase spread = %v rad, want large", res.PhaseSwing)
+	}
+	rot := Figure3bRotation(1)
+	if rot.RSSSwing <= res.RSSSwing {
+		t.Errorf("rotation swing (%v) should exceed translation swing (%v)",
+			rot.RSSSwing, res.RSSSwing)
+	}
+}
+
+func TestFigure9RSSTrends(t *testing.T) {
+	res, err := Figure9RSSTrends(Default(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.T) < 100 {
+		t.Fatalf("too few paired samples: %d", len(res.T))
+	}
+	// The scripted sweeps must be readable from the RSS trends at
+	// least half the time (Table 3's premise).
+	if res.TrendAgreement < 0.5 {
+		t.Errorf("trend agreement = %v", res.TrendAgreement)
+	}
+}
+
+func TestFigure10Correction(t *testing.T) {
+	res, err := Figure10Correction(Default(5), "WE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreCM <= 0 || res.PostCM <= 0 {
+		t.Fatalf("degenerate distances: %+v", res)
+	}
+	if !strings.Contains(res.String(), "Figure 10") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestFigure13SmallCorpus(t *testing.T) {
+	res, err := Figure13Letters(Default(6), PolarDraw2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures > 3 {
+		t.Errorf("%d tracking failures", res.Failures)
+	}
+	acc := res.Confusion.OverallAccuracy()
+	// One trial per letter is noisy; demand clearly-above-chance.
+	if acc < 0.3 {
+		t.Errorf("overall accuracy = %v, below sanity floor", acc)
+	}
+	if !strings.Contains(res.String(), "overall") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestFigure19SmallCDF(t *testing.T) {
+	res, err := Figure19CDF(Default(7), []rune{'C', 'Z'}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []System{PolarDraw2, RFIDraw4, Tagoram4} {
+		if len(res.Distances[sys]) != 4 {
+			t.Fatalf("%s: %d distances", sys, len(res.Distances[sys]))
+		}
+		med, p90 := res.Summary(sys)
+		if med <= 0 || p90 < med {
+			t.Errorf("%s: median %v p90 %v", sys, med, p90)
+		}
+		// Tracking error should be in the paper's regime (cm scale).
+		if med > 20 {
+			t.Errorf("%s median %v cm, out of regime", sys, med)
+		}
+	}
+}
+
+func TestFigure20Showcase(t *testing.T) {
+	res, err := Figure20Showcase(Default(8), 'W', 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recovered) != 3 {
+		t.Fatalf("systems = %d", len(res.Recovered))
+	}
+	if len(res.Truth) == 0 {
+		t.Fatal("missing truth")
+	}
+	out := res.String()
+	if !strings.Contains(out, "W") {
+		t.Error("String() missing letter")
+	}
+}
+
+func TestFigure2Trajectory(t *testing.T) {
+	trials, err := Figure2Trajectory(Default(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 5 { // WOW + M, C, W, Z
+		t.Fatalf("trials = %d", len(trials))
+	}
+	if trials[0].Label != "WOW" {
+		t.Errorf("first label = %q", trials[0].Label)
+	}
+}
+
+func TestLexicon(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		words := Lexicon(n)
+		if len(words) != 10 {
+			t.Fatalf("lexicon[%d] has %d words", n, len(words))
+		}
+		for _, w := range words {
+			if len(w) != n {
+				t.Errorf("word %q in group %d", w, n)
+			}
+		}
+	}
+	if got := Lexicon(9); len(got) != 0 {
+		t.Errorf("lexicon[9] = %v", got)
+	}
+}
+
+func TestRenderTrajectory(t *testing.T) {
+	p := geom.Polyline{{X: 0, Y: 0}, {X: 1, Y: 1}}
+	art := RenderTrajectory(p, 20, 8)
+	if !strings.Contains(art, "*") {
+		t.Error("no ink in rendering")
+	}
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Errorf("rows = %d", len(lines))
+	}
+	if got := RenderTrajectory(nil, 20, 8); !strings.Contains(got, "empty") {
+		t.Errorf("empty render = %q", got)
+	}
+}

@@ -1,0 +1,279 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"polardraw/internal/core"
+	"polardraw/internal/geom"
+	"polardraw/internal/metrics"
+	"polardraw/internal/reader"
+	"polardraw/internal/recognition"
+	"polardraw/internal/rf"
+	"polardraw/internal/tag"
+)
+
+// ElevationResult is Table 7: recognition accuracy vs the tracker's
+// assumed pen elevation angle alpha_e.
+type ElevationResult struct {
+	ElevationsDeg []int
+	Accuracy      []metrics.Accuracy
+}
+
+// Table7Elevation sweeps the assumed elevation.
+func Table7Elevation(sc Scenario, letters []rune, trials int) (*ElevationResult, error) {
+	lr := recognition.NewLetterRecognizer()
+	res := &ElevationResult{}
+	for _, deg := range []int{-45, -30, -15, 15, 30, 45} {
+		sce := sc
+		sce.Elevation = geom.Radians(float64(deg))
+		var acc metrics.Accuracy
+		for li, r := range letters {
+			for k := 0; k < trials; k++ {
+				seed := uint64((deg+90)*100000 + li*1000 + k + 1)
+				ok, err := sce.ClassifyLetterTrial(PolarDraw2, lr, r, seed, nil)
+				acc.Add(err == nil && ok)
+			}
+		}
+		res.ElevationsDeg = append(res.ElevationsDeg, deg)
+		res.Accuracy = append(res.Accuracy, acc)
+	}
+	return res, nil
+}
+
+// String renders Table 7.
+func (r *ElevationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Table 7: recognition accuracy vs assumed elevation alpha_e\n")
+	for i, d := range r.ElevationsDeg {
+		fmt.Fprintf(&b, "  %+3d deg: %s\n", d, r.Accuracy[i])
+	}
+	return b.String()
+}
+
+// GammaResult is Table 8: recognition accuracy vs the inter-antenna
+// polarization angle gamma.
+type GammaResult struct {
+	GammaDeg []int
+	Accuracy []metrics.Accuracy
+}
+
+// Table8Gamma sweeps gamma by rebuilding the rig.
+func Table8Gamma(sc Scenario, letters []rune, trials int) (*GammaResult, error) {
+	lr := recognition.NewLetterRecognizer()
+	res := &GammaResult{}
+	for _, deg := range []int{15, 30, 45, 60, 75} {
+		scg := sc
+		scg.Rig = sc.Rig.WithGamma(geom.Radians(float64(deg)))
+		var acc metrics.Accuracy
+		for li, r := range letters {
+			for k := 0; k < trials; k++ {
+				seed := uint64(deg*100000 + li*1000 + k + 1)
+				ok, err := scg.ClassifyLetterTrial(PolarDraw2, lr, r, seed, nil)
+				acc.Add(err == nil && ok)
+			}
+		}
+		res.GammaDeg = append(res.GammaDeg, deg)
+		res.Accuracy = append(res.Accuracy, acc)
+	}
+	return res, nil
+}
+
+// String renders Table 8.
+func (r *GammaResult) String() string {
+	var b strings.Builder
+	b.WriteString("Table 8: recognition accuracy vs inter-antenna angle gamma\n")
+	for i, d := range r.GammaDeg {
+		fmt.Fprintf(&b, "  %2d deg: %s\n", d, r.Accuracy[i])
+	}
+	return b.String()
+}
+
+// RSSTrendResult is Fig. 9: the two antennas' RSS series during a
+// scripted left-right writing motion, plus the per-sweep trend calls.
+type RSSTrendResult struct {
+	T          []float64
+	RSS1, RSS2 []float64
+	// TrendAgreement is the fraction of scripted sweeps whose Table 3
+	// classification matches the scripted rotation direction.
+	TrendAgreement float64
+}
+
+// Figure9RSSTrends writes a long zigzag (right-left-right...) across
+// the block and records both antennas' RSS.
+func Figure9RSSTrends(sc Scenario) (*RSSTrendResult, error) {
+	// Scripted path: four horizontal sweeps across the block.
+	c := sc.Rig.Centre()
+	var path geom.Polyline
+	for i := 0; i < 4; i++ {
+		x0, x1 := c.X-0.18, c.X+0.18
+		if i%2 == 1 {
+			x0, x1 = x1, x0
+		}
+		path = append(path, geom.Vec2{X: x0, Y: c.Y}, geom.Vec2{X: x1, Y: c.Y})
+	}
+	sess, _ := sc.session(path, "zigzag", 1)
+	ants := sc.Rig.Antennas()
+	rd := reader.New(reader.Config{
+		Antennas: ants[:],
+		Channel:  sc.channel(),
+		EPC:      tag.AD227(1).EPC,
+		Seed:     sc.Seed + 99,
+	})
+	samples := rd.Inventory(sess)
+	res := &RSSTrendResult{}
+	// Split by antenna and align on time for plotting.
+	last := [2]float64{-999, -999}
+	for _, s := range samples {
+		last[s.Antenna] = s.RSS
+		if last[0] != -999 && last[1] != -999 {
+			res.T = append(res.T, s.T)
+			res.RSS1 = append(res.RSS1, last[0])
+			res.RSS2 = append(res.RSS2, last[1])
+		}
+	}
+
+	// Trend agreement: at each sweep start the wrist flick retargets
+	// the tilt across vertical, producing the opposing RSS trends of
+	// Table 3's sector 2 rows; sample RSS just after the reversal and
+	// a third of the way in, before the tilt saturates.
+	const lead = 0.3
+	sweepDur := (sess.Duration() - lead) / 4
+	agree, total := 0, 0
+	for i := 0; i < 4; i++ {
+		t0 := lead + float64(i)*sweepDur + 0.02*sweepDur
+		t1 := lead + float64(i)*sweepDur + 0.35*sweepDur
+		s10, s20 := rssAt(res, t0)
+		s11, s21 := rssAt(res, t1)
+		if s10 == 0 && s20 == 0 {
+			continue
+		}
+		wantRight := i%2 == 0
+		gotRight := trendSaysRight(s11-s10, s21-s20)
+		if gotRight != nil {
+			total++
+			if *gotRight == wantRight {
+				agree++
+			}
+		}
+	}
+	if total > 0 {
+		res.TrendAgreement = float64(agree) / float64(total)
+	}
+	return res, nil
+}
+
+func rssAt(r *RSSTrendResult, t float64) (float64, float64) {
+	for i, tt := range r.T {
+		if tt >= t {
+			return r.RSS1[i], r.RSS2[i]
+		}
+	}
+	if n := len(r.T); n > 0 {
+		return r.RSS1[n-1], r.RSS2[n-1]
+	}
+	return 0, 0
+}
+
+// trendSaysRight applies the full Table 3 decision at sweep
+// granularity: all six sector/direction rows decode a left/right call
+// from the two antennas' trend signs and rates. nil means
+// inconclusive (trends below the noise floor).
+func trendSaysRight(ds1, ds2 float64) *bool {
+	const floor = 0.5
+	right := true
+	left := false
+	up1, dn1 := ds1 > floor, ds1 < -floor
+	up2, dn2 := ds2 > floor, ds2 < -floor
+	a1, a2 := ds1, ds2
+	if a1 < 0 {
+		a1 = -a1
+	}
+	if a2 < 0 {
+		a2 = -a2
+	}
+	switch {
+	case dn1 && up2: // sector 2 ->
+		return &right
+	case up1 && dn2: // sector 2 <-
+		return &left
+	case up1 && up2 && a1 < a2: // sector 1 ->
+		return &right
+	case dn1 && dn2 && a1 < a2: // sector 1 <-
+		return &left
+	case dn1 && dn2 && a1 > a2: // sector 3 ->
+		return &right
+	case up1 && up2 && a1 > a2: // sector 3 <-
+		return &left
+	default:
+		return nil
+	}
+}
+
+// String renders the Fig. 9 summary.
+func (r *RSSTrendResult) String() string {
+	return fmt.Sprintf("Figure 9: %d paired RSS samples, sweep-direction agreement %.0f%%",
+		len(r.T), r.TrendAgreement*100)
+}
+
+// CorrectionResult is Fig. 10: tracking error with and without the
+// initial-azimuth correction.
+type CorrectionResult struct {
+	PreCM, PostCM float64
+	Word          string
+}
+
+// Figure10Correction tracks one word with the sector-boundary
+// correction disabled and enabled.
+func Figure10Correction(sc Scenario, word string) (*CorrectionResult, error) {
+	// The correction only matters when the initial sector call is
+	// wrong; run with the paper's default configuration both ways.
+	run := func(disable bool) (float64, error) {
+		ants := sc.Rig.Antennas()
+		bmin, bmax := sc.boardBounds()
+		cfg := core.Config{
+			Antennas:                [2]rf.Antenna{ants[0], ants[1]},
+			BoardMin:                bmin,
+			BoardMax:                bmax,
+			DisableSectorCorrection: disable,
+		}
+		tr := core.New(cfg)
+		size := sc.letterSize()
+		path := WordPathPreview(word, size)
+		_, max := path.Bounds()
+		if max.X > sc.Rig.BoardW*0.95 {
+			path = path.Scale(sc.Rig.BoardW * 0.95 / max.X)
+		}
+		_, max = path.Bounds()
+		c := sc.Rig.Centre()
+		path = path.Translate(geom.Vec2{X: c.X - max.X/2, Y: c.Y - max.Y/2})
+		sess, truth := sc.session(path, word, 5)
+		rd := reader.New(reader.Config{
+			Antennas: ants[:],
+			Channel:  sc.channel(),
+			EPC:      tag.AD227(1).EPC,
+			Seed:     sc.Seed + 5,
+		})
+		res, err := tr.Track(rd.Inventory(sess))
+		if err != nil {
+			return 0, err
+		}
+		d, err := geom.ProcrustesDistance(res.Trajectory, truth, 64)
+		return d * 100, err
+	}
+	pre, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	post, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	return &CorrectionResult{PreCM: pre, PostCM: post, Word: word}, nil
+}
+
+// String renders Fig. 10.
+func (r *CorrectionResult) String() string {
+	return fmt.Sprintf("Figure 10: %q pre-correction %.1f cm, post-correction %.1f cm",
+		r.Word, r.PreCM, r.PostCM)
+}

@@ -1,0 +1,324 @@
+// Package experiment reproduces every table and figure of the paper's
+// evaluation (section 5). Each experiment has a runner returning a
+// printable result; cmd/experiments and the root-level benchmarks are
+// thin wrappers around these runners. DESIGN.md carries the
+// experiment index, EXPERIMENTS.md the paper-vs-measured record.
+package experiment
+
+import (
+	"fmt"
+
+	"polardraw/internal/baseline"
+	"polardraw/internal/core"
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+	"polardraw/internal/metrics"
+	"polardraw/internal/motion"
+	"polardraw/internal/pen"
+	"polardraw/internal/reader"
+	"polardraw/internal/rf"
+	"polardraw/internal/tag"
+)
+
+// System identifies one tracking system under evaluation.
+type System int
+
+// The systems compared in section 5.
+const (
+	// PolarDraw2 is the paper's system: two linearly polarized
+	// antennas.
+	PolarDraw2 System = iota
+	// PolarDrawNoPol is PolarDraw with polarization-based rotation
+	// estimation disabled (Table 6's comparator).
+	PolarDrawNoPol
+	// Tagoram4 and Tagoram2 are the hologram baseline with four and
+	// two circularly polarized antennas.
+	Tagoram4
+	Tagoram2
+	// RFIDraw4 is the AoA baseline with four circularly polarized
+	// antennas (the paper scales the original eight down for equal
+	// reader hardware).
+	RFIDraw4
+)
+
+// String implements fmt.Stringer.
+func (s System) String() string {
+	switch s {
+	case PolarDraw2:
+		return "PolarDraw (2-antenna)"
+	case PolarDrawNoPol:
+		return "PolarDraw w/o polarization"
+	case Tagoram4:
+		return "Tagoram (4-antenna)"
+	case Tagoram2:
+		return "Tagoram (2-antenna)"
+	case RFIDraw4:
+		return "RF-IDraw (4-antenna)"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Scenario bundles the physical configuration of one trial batch.
+type Scenario struct {
+	// Rig is the antenna/writing-block geometry.
+	Rig motion.Rig
+	// Style is the writer (zero value: pen.DefaultStyle()).
+	Style pen.Style
+	// InAir removes the whiteboard.
+	InAir bool
+	// Bystander optionally adds an interfering person.
+	Bystander *rf.Bystander
+	// NoiseScale multiplies reader measurement noise (0 = nominal).
+	NoiseScale float64
+	// LetterSize is the glyph height, metres (0 = the paper's 20 cm).
+	LetterSize float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Elevation overrides the tracker's assumed alpha_e (0 = default).
+	Elevation float64
+}
+
+// Default returns the standard end-to-end scenario: default rig,
+// default writer, whiteboard, office multipath.
+func Default(seed uint64) Scenario {
+	return Scenario{Rig: motion.DefaultRig(), Seed: seed}
+}
+
+func (sc Scenario) letterSize() float64 {
+	if sc.LetterSize == 0 {
+		return 0.20
+	}
+	return sc.LetterSize
+}
+
+// channel builds the propagation model for this scenario.
+func (sc Scenario) channel() *rf.Channel {
+	ch := &rf.Channel{
+		Reflectors: rf.OfficeReflectors(sc.Rig.BoardW),
+		Bystander:  sc.Bystander,
+	}
+	tag.AD227(1).ApplyTo(ch)
+	return ch
+}
+
+// session synthesizes one writing session for the given path.
+func (sc Scenario) session(path geom.Polyline, label string, trialSeed uint64) (*motion.Session, geom.Polyline) {
+	mcfg := motion.Config{
+		Style: sc.Style,
+		InAir: sc.InAir,
+		Seed:  sc.Seed*1_000_003 + trialSeed,
+	}
+	s := motion.Write(path, label, mcfg)
+	return s, motion.WrittenTruth(s, mcfg)
+}
+
+// antennasFor returns the antenna set a system uses on this rig:
+// PolarDraw gets the rig's two linearly polarized antennas; the
+// baselines get circularly polarized arrays spanning the same
+// footprint (four antennas need the spacing of the Fig. 17 comparison
+// rig; two antennas reuse the rig positions).
+func (sc Scenario) antennasFor(sys System) []rf.Antenna {
+	lin := sc.Rig.Antennas()
+	switch sys {
+	case PolarDraw2, PolarDrawNoPol:
+		return lin[:]
+	case Tagoram2:
+		a := rf.ArrayAt(2, lin[0].Pos.X, lin[1].Pos.X-lin[0].Pos.X, lin[0].Pos.Y, lin[0].Pos.Z)
+		return a
+	default: // four-antenna baselines
+		span := lin[1].Pos.X - lin[0].Pos.X
+		return rf.ArrayAt(4, lin[0].Pos.X, span/3, lin[0].Pos.Y, lin[0].Pos.Z)
+	}
+}
+
+// boardBounds derives tracker search bounds from the rig.
+func (sc Scenario) boardBounds() (geom.Vec2, geom.Vec2) {
+	return geom.Vec2{X: -0.05, Y: -0.05},
+		geom.Vec2{X: sc.Rig.BoardW + 0.05, Y: sc.Rig.BoardH + 0.05}
+}
+
+// tracker builds the tracking system.
+func (sc Scenario) tracker(sys System) baseline.Tracker {
+	ants := sc.antennasFor(sys)
+	bmin, bmax := sc.boardBounds()
+	switch sys {
+	case PolarDraw2, PolarDrawNoPol:
+		cfg := core.Config{
+			Antennas:  [2]rf.Antenna{ants[0], ants[1]},
+			BoardMin:  bmin,
+			BoardMax:  bmax,
+			Elevation: sc.Elevation,
+		}
+		cfg.DisablePolarization = sys == PolarDrawNoPol
+		return polarDrawAdapter{tr: core.New(cfg), name: sys.String()}
+	case Tagoram4, Tagoram2:
+		return baseline.NewTagoram(baseline.Config{Antennas: ants, BoardMin: bmin, BoardMax: bmax})
+	case RFIDraw4:
+		return baseline.NewRFIDraw(baseline.Config{Antennas: ants, BoardMin: bmin, BoardMax: bmax})
+	default:
+		panic("experiment: unknown system")
+	}
+}
+
+// polarDrawAdapter adapts core.Tracker to the baseline.Tracker
+// interface.
+type polarDrawAdapter struct {
+	tr   *core.Tracker
+	name string
+}
+
+func (a polarDrawAdapter) Name() string { return a.name }
+
+func (a polarDrawAdapter) Track(samples []reader.Sample) (geom.Polyline, error) {
+	res, err := a.tr.Track(samples)
+	if err != nil {
+		return nil, err
+	}
+	return res.Trajectory, nil
+}
+
+// Trial is one tracked writing trial.
+type Trial struct {
+	Label      string
+	Truth      geom.Polyline
+	Recovered  geom.Polyline
+	Procrustes float64 // metres
+}
+
+// RunPath writes the given board-coordinate path and tracks it with
+// the system.
+func (sc Scenario) RunPath(sys System, path geom.Polyline, label string, trialSeed uint64) (Trial, error) {
+	sess, truth := sc.session(path, label, trialSeed)
+	ants := sc.antennasFor(sys)
+	rd := reader.New(reader.Config{
+		Antennas:   ants,
+		Channel:    sc.channel(),
+		EPC:        tag.AD227(1).EPC,
+		NoiseScale: sc.NoiseScale,
+		Seed:       sc.Seed*7_000_003 + trialSeed,
+	})
+	samples := rd.Inventory(sess)
+	traj, err := sc.tracker(sys).Track(samples)
+	if err != nil {
+		return Trial{}, fmt.Errorf("%s tracking %q: %w", sys, label, err)
+	}
+	traj = trimLeadIn(traj, sess.Duration())
+	d, err := geom.ProcrustesDistance(traj, truth, 64)
+	if err != nil {
+		return Trial{}, err
+	}
+	return Trial{Label: label, Truth: truth, Recovered: traj, Procrustes: d}, nil
+}
+
+// trimLeadIn drops the recovered points covering the session's
+// stationary lead-in hold: the decoder settles from its bootstrap
+// position during that span, and the settling wander is not part of
+// the written shape (the ground truth excludes the hold too).
+func trimLeadIn(traj geom.Polyline, duration float64) geom.Polyline {
+	if duration <= 0 || len(traj) < 8 {
+		return traj
+	}
+	n := int(0.3 / duration * float64(len(traj)))
+	if n > len(traj)/4 {
+		n = len(traj) / 4
+	}
+	return traj[n:]
+}
+
+// TrackerFor exposes the scenario's tracker construction for command
+// line tools that feed externally collected (LLRP) samples.
+func TrackerFor(sc Scenario, sys System) baseline.Tracker {
+	return sc.tracker(sys)
+}
+
+// runPathWithCoreMod is a diagnostic hook used by calibration tests:
+// it runs a PolarDraw trial with a modified core configuration.
+func (sc Scenario) runPathWithCoreMod(path geom.Polyline, label string, trialSeed uint64, mod func(*core.Config)) (Trial, error) {
+	sess, truth := sc.session(path, label, trialSeed)
+	ants := sc.antennasFor(PolarDraw2)
+	rd := reader.New(reader.Config{
+		Antennas:   ants,
+		Channel:    sc.channel(),
+		EPC:        tag.AD227(1).EPC,
+		NoiseScale: sc.NoiseScale,
+		Seed:       sc.Seed*7_000_003 + trialSeed,
+	})
+	bmin, bmax := sc.boardBounds()
+	cfg := core.Config{
+		Antennas: [2]rf.Antenna{ants[0], ants[1]},
+		BoardMin: bmin,
+		BoardMax: bmax,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	res, err := core.New(cfg).Track(rd.Inventory(sess))
+	if err != nil {
+		return Trial{}, err
+	}
+	traj := trimLeadIn(res.Trajectory, sess.Duration())
+	d, err := geom.ProcrustesDistance(traj, truth, 64)
+	if err != nil {
+		return Trial{}, err
+	}
+	return Trial{Label: label, Truth: truth, Recovered: traj, Procrustes: d}, nil
+}
+
+// letterPath places a glyph in the middle of the writing block.
+func (sc Scenario) letterPath(r rune) (geom.Polyline, error) {
+	g, ok := font.Lookup(r)
+	if !ok {
+		return nil, fmt.Errorf("experiment: no glyph %c", r)
+	}
+	size := sc.letterSize()
+	c := sc.Rig.Centre()
+	return g.Path().Scale(size).Translate(geom.Vec2{
+		X: c.X - g.Width*size/2,
+		Y: c.Y - size/2,
+	}), nil
+}
+
+// RunLetter writes one letter and tracks it.
+func (sc Scenario) RunLetter(sys System, r rune, trialSeed uint64) (Trial, error) {
+	path, err := sc.letterPath(r)
+	if err != nil {
+		return Trial{}, err
+	}
+	return sc.RunPath(sys, path, string(r), trialSeed)
+}
+
+// RunWord writes a word (scaled to fit the block if needed) and
+// tracks it.
+func (sc Scenario) RunWord(sys System, word string, trialSeed uint64) (Trial, error) {
+	size := sc.letterSize()
+	path := font.WordPath(word, size, 0.25)
+	_, max := path.Bounds()
+	if max.X > sc.Rig.BoardW*0.95 {
+		scale := sc.Rig.BoardW * 0.95 / max.X
+		path = path.Scale(scale)
+	}
+	_, max = path.Bounds()
+	c := sc.Rig.Centre()
+	path = path.Translate(geom.Vec2{X: c.X - max.X/2, Y: c.Y - max.Y/2})
+	return sc.RunPath(sys, path, word, trialSeed)
+}
+
+// ClassifyLetterTrial runs a letter trial and classifies the recovered
+// trajectory, updating the confusion matrix when given one.
+func (sc Scenario) ClassifyLetterTrial(sys System, lr interface {
+	Classify(geom.Polyline) (rune, float64, error)
+}, r rune, trialSeed uint64, conf *metrics.Confusion) (bool, error) {
+	trial, err := sc.RunLetter(sys, r, trialSeed)
+	if err != nil {
+		return false, err
+	}
+	got, _, err := lr.Classify(trial.Recovered)
+	if err != nil {
+		return false, err
+	}
+	if conf != nil {
+		conf.Add(r, got)
+	}
+	return got == r, nil
+}

@@ -1,0 +1,246 @@
+// Package font provides a polyline stroke font for the uppercase
+// letters A-Z and digits 0-9. The motion synthesizer turns glyph paths
+// into pen trajectories, and the recognizer uses the same glyphs as
+// classification templates -- exactly the coupling the paper has
+// between "a volunteer writes block capitals" and "LipiTk recognizes
+// block capitals".
+//
+// Glyphs live in a unit box: X in [0, 1], Y in [0, 1] with Y pointing
+// *down* (matching the board frame, where trajectories are plotted with
+// Y increasing downward). A glyph may have several strokes; writing
+// physically connects consecutive strokes with a pen-lift transition,
+// and because a battery-free tag keeps answering while the pen hovers,
+// the tracker sees the continuous path. Path() returns that continuous
+// version.
+package font
+
+import (
+	"sort"
+
+	"polardraw/internal/geom"
+)
+
+// Glyph is one character as a sequence of strokes in the unit box.
+type Glyph struct {
+	// R is the character.
+	R rune
+	// Strokes in writing order. Each stroke is drawn tip-down; between
+	// strokes the pen hops to the next stroke's start.
+	Strokes []geom.Polyline
+	// Width is the advance width in units of the glyph height (most
+	// letters are narrower than tall).
+	Width float64
+}
+
+// SingleStroke reports whether the glyph is written without lifting the
+// pen. The paper observes single-stroke letters recognize better
+// (section 5.2.2); the evaluation asserts the same trend.
+func (g Glyph) SingleStroke() bool { return len(g.Strokes) == 1 }
+
+// Path returns the glyph as one continuous polyline: strokes in order,
+// joined by straight pen-lift transitions.
+func (g Glyph) Path() geom.Polyline {
+	var out geom.Polyline
+	for _, s := range g.Strokes {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// p is shorthand for building polylines.
+func p(xy ...float64) geom.Polyline {
+	if len(xy)%2 != 0 {
+		panic("font: odd coordinate count")
+	}
+	out := make(geom.Polyline, 0, len(xy)/2)
+	for i := 0; i < len(xy); i += 2 {
+		out = append(out, geom.Vec2{X: xy[i], Y: xy[i+1]})
+	}
+	return out
+}
+
+var glyphs = map[rune]Glyph{
+	'A': {R: 'A', Width: 0.8, Strokes: []geom.Polyline{
+		p(0, 1, 0.4, 0, 0.8, 1),
+		p(0.15, 0.62, 0.65, 0.62),
+	}},
+	'B': {R: 'B', Width: 0.7, Strokes: []geom.Polyline{
+		p(0, 1, 0, 0, 0.5, 0.02, 0.6, 0.14, 0.6, 0.36, 0.5, 0.48, 0, 0.5,
+			0.55, 0.53, 0.68, 0.64, 0.68, 0.86, 0.55, 0.98, 0, 1),
+	}},
+	'C': {R: 'C', Width: 0.75, Strokes: []geom.Polyline{
+		p(0.72, 0.14, 0.55, 0.02, 0.3, 0, 0.1, 0.12, 0, 0.35, 0, 0.65,
+			0.1, 0.88, 0.3, 1, 0.55, 0.98, 0.72, 0.86),
+	}},
+	'D': {R: 'D', Width: 0.75, Strokes: []geom.Polyline{
+		p(0, 1, 0, 0, 0.42, 0.03, 0.65, 0.2, 0.72, 0.5, 0.65, 0.8, 0.42, 0.97, 0, 1),
+	}},
+	'E': {R: 'E', Width: 0.65, Strokes: []geom.Polyline{
+		p(0.62, 0, 0, 0, 0, 1, 0.62, 1),
+		p(0, 0.5, 0.5, 0.5),
+	}},
+	'F': {R: 'F', Width: 0.6, Strokes: []geom.Polyline{
+		p(0.6, 0, 0, 0, 0, 1),
+		p(0, 0.5, 0.48, 0.5),
+	}},
+	'G': {R: 'G', Width: 0.78, Strokes: []geom.Polyline{
+		p(0.72, 0.14, 0.55, 0.02, 0.3, 0, 0.1, 0.12, 0, 0.35, 0, 0.65,
+			0.1, 0.88, 0.3, 1, 0.55, 0.98, 0.72, 0.86, 0.74, 0.58, 0.42, 0.58),
+	}},
+	'H': {R: 'H', Width: 0.7, Strokes: []geom.Polyline{
+		p(0, 0, 0, 1),
+		p(0, 0.5, 0.68, 0.5),
+		p(0.68, 0, 0.68, 1),
+	}},
+	'I': {R: 'I', Width: 0.2, Strokes: []geom.Polyline{
+		p(0.1, 0, 0.1, 1),
+	}},
+	'J': {R: 'J', Width: 0.55, Strokes: []geom.Polyline{
+		p(0.52, 0, 0.52, 0.76, 0.42, 0.94, 0.22, 1, 0.06, 0.9, 0, 0.72),
+	}},
+	'K': {R: 'K', Width: 0.7, Strokes: []geom.Polyline{
+		p(0, 0, 0, 1),
+		p(0.62, 0, 0.04, 0.55, 0.18, 0.44, 0.68, 1),
+	}},
+	'L': {R: 'L', Width: 0.6, Strokes: []geom.Polyline{
+		p(0, 0, 0, 1, 0.58, 1),
+	}},
+	'M': {R: 'M', Width: 0.85, Strokes: []geom.Polyline{
+		p(0, 1, 0.02, 0, 0.42, 0.72, 0.82, 0, 0.85, 1),
+	}},
+	'N': {R: 'N', Width: 0.75, Strokes: []geom.Polyline{
+		p(0, 1, 0.02, 0, 0.7, 1, 0.72, 0),
+	}},
+	'O': {R: 'O', Width: 0.8, Strokes: []geom.Polyline{
+		p(0.4, 0, 0.14, 0.1, 0, 0.35, 0, 0.65, 0.14, 0.9, 0.4, 1,
+			0.64, 0.9, 0.78, 0.65, 0.78, 0.35, 0.64, 0.1, 0.4, 0),
+	}},
+	'P': {R: 'P', Width: 0.65, Strokes: []geom.Polyline{
+		p(0, 1, 0, 0, 0.5, 0.02, 0.62, 0.14, 0.62, 0.4, 0.5, 0.52, 0, 0.54),
+	}},
+	'Q': {R: 'Q', Width: 0.82, Strokes: []geom.Polyline{
+		p(0.4, 0, 0.14, 0.1, 0, 0.35, 0, 0.65, 0.14, 0.9, 0.4, 1,
+			0.64, 0.9, 0.78, 0.65, 0.78, 0.35, 0.64, 0.1, 0.4, 0),
+		p(0.5, 0.72, 0.82, 1),
+	}},
+	'R': {R: 'R', Width: 0.7, Strokes: []geom.Polyline{
+		p(0, 1, 0, 0, 0.5, 0.02, 0.62, 0.14, 0.62, 0.4, 0.5, 0.52, 0, 0.54),
+		p(0.3, 0.54, 0.68, 1),
+	}},
+	'S': {R: 'S', Width: 0.65, Strokes: []geom.Polyline{
+		p(0.62, 0.12, 0.45, 0.01, 0.2, 0, 0.04, 0.12, 0.04, 0.3, 0.2, 0.42,
+			0.45, 0.52, 0.6, 0.64, 0.62, 0.84, 0.45, 0.98, 0.18, 1, 0, 0.88),
+	}},
+	'T': {R: 'T', Width: 0.7, Strokes: []geom.Polyline{
+		p(0, 0, 0.7, 0),
+		p(0.35, 0, 0.35, 1),
+	}},
+	'U': {R: 'U', Width: 0.72, Strokes: []geom.Polyline{
+		p(0, 0, 0, 0.7, 0.1, 0.92, 0.35, 1, 0.6, 0.92, 0.7, 0.7, 0.7, 0),
+	}},
+	'V': {R: 'V', Width: 0.75, Strokes: []geom.Polyline{
+		p(0, 0, 0.38, 1, 0.75, 0),
+	}},
+	'W': {R: 'W', Width: 0.95, Strokes: []geom.Polyline{
+		p(0, 0, 0.22, 1, 0.46, 0.3, 0.7, 1, 0.92, 0),
+	}},
+	'X': {R: 'X', Width: 0.72, Strokes: []geom.Polyline{
+		p(0, 0, 0.7, 1),
+		p(0.7, 0, 0, 1),
+	}},
+	'Y': {R: 'Y', Width: 0.72, Strokes: []geom.Polyline{
+		p(0, 0, 0.36, 0.48, 0.72, 0),
+		p(0.36, 0.48, 0.36, 1),
+	}},
+	'Z': {R: 'Z', Width: 0.7, Strokes: []geom.Polyline{
+		p(0, 0, 0.68, 0, 0, 1, 0.7, 1),
+	}},
+	'0': {R: '0', Width: 0.7, Strokes: []geom.Polyline{
+		p(0.35, 0, 0.12, 0.1, 0, 0.35, 0, 0.65, 0.12, 0.9, 0.35, 1,
+			0.56, 0.9, 0.68, 0.65, 0.68, 0.35, 0.56, 0.1, 0.35, 0),
+	}},
+	'1': {R: '1', Width: 0.35, Strokes: []geom.Polyline{
+		p(0, 0.2, 0.2, 0, 0.2, 1),
+	}},
+	'2': {R: '2', Width: 0.65, Strokes: []geom.Polyline{
+		p(0, 0.2, 0.15, 0.02, 0.42, 0, 0.6, 0.12, 0.6, 0.32, 0.4, 0.55, 0, 1, 0.64, 1),
+	}},
+	'3': {R: '3', Width: 0.62, Strokes: []geom.Polyline{
+		p(0.02, 0.1, 0.25, 0, 0.5, 0.05, 0.58, 0.2, 0.5, 0.38, 0.25, 0.46,
+			0.52, 0.55, 0.6, 0.72, 0.52, 0.92, 0.25, 1, 0, 0.9),
+	}},
+	'4': {R: '4', Width: 0.7, Strokes: []geom.Polyline{
+		p(0.5, 1, 0.5, 0, 0, 0.68, 0.68, 0.68),
+	}},
+	'5': {R: '5', Width: 0.62, Strokes: []geom.Polyline{
+		p(0.58, 0, 0.06, 0, 0.02, 0.44, 0.3, 0.38, 0.55, 0.48, 0.62, 0.7,
+			0.52, 0.92, 0.25, 1, 0, 0.9),
+	}},
+	'6': {R: '6', Width: 0.66, Strokes: []geom.Polyline{
+		p(0.56, 0.06, 0.3, 0, 0.1, 0.16, 0, 0.45, 0, 0.72, 0.12, 0.94,
+			0.34, 1, 0.56, 0.9, 0.64, 0.7, 0.54, 0.52, 0.3, 0.46, 0.08, 0.56),
+	}},
+	'7': {R: '7', Width: 0.65, Strokes: []geom.Polyline{
+		p(0, 0, 0.64, 0, 0.22, 1),
+	}},
+	'8': {R: '8', Width: 0.66, Strokes: []geom.Polyline{
+		p(0.33, 0.46, 0.1, 0.36, 0.04, 0.18, 0.16, 0.03, 0.33, 0, 0.5, 0.03,
+			0.62, 0.18, 0.56, 0.36, 0.33, 0.46, 0.08, 0.58, 0, 0.78, 0.12, 0.95,
+			0.33, 1, 0.54, 0.95, 0.66, 0.78, 0.58, 0.58, 0.33, 0.46),
+	}},
+	'9': {R: '9', Width: 0.66, Strokes: []geom.Polyline{
+		p(0.6, 0.3, 0.5, 0.48, 0.28, 0.54, 0.08, 0.44, 0, 0.26, 0.1, 0.06,
+			0.32, 0, 0.54, 0.08, 0.62, 0.3, 0.62, 0.6, 0.5, 0.9, 0.3, 1),
+	}},
+}
+
+// Lookup returns the glyph for r (uppercasing ASCII letters) and
+// whether it exists.
+func Lookup(r rune) (Glyph, bool) {
+	if r >= 'a' && r <= 'z' {
+		r -= 'a' - 'A'
+	}
+	g, ok := glyphs[r]
+	return g, ok
+}
+
+// Letters returns A-Z in order.
+func Letters() []rune {
+	out := make([]rune, 0, 26)
+	for r := 'A'; r <= 'Z'; r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+// All returns every glyph rune in sorted order.
+func All() []rune {
+	out := make([]rune, 0, len(glyphs))
+	for r := range glyphs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WordPath lays out the word as one continuous pen path: each glyph
+// scaled to `size` height, advanced horizontally with `gap`*size
+// spacing, joined by pen-hop transitions. Unknown runes are skipped.
+// The result starts at origin and extends in +X, Y in [0, size].
+func WordPath(word string, size, gap float64) geom.Polyline {
+	var out geom.Polyline
+	x := 0.0
+	for _, r := range word {
+		g, ok := Lookup(r)
+		if !ok {
+			if r == ' ' {
+				x += 0.6 * size
+			}
+			continue
+		}
+		glyphPath := g.Path().Scale(size).Translate(geom.Vec2{X: x})
+		out = append(out, glyphPath...)
+		x += (g.Width + gap) * size
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package font
+
+import (
+	"testing"
+
+	"polardraw/internal/geom"
+)
+
+func TestAllLettersPresent(t *testing.T) {
+	for _, r := range Letters() {
+		g, ok := Lookup(r)
+		if !ok {
+			t.Fatalf("missing glyph %c", r)
+		}
+		if g.R != r {
+			t.Errorf("glyph %c has R=%c", r, g.R)
+		}
+		if len(g.Strokes) == 0 {
+			t.Errorf("glyph %c has no strokes", r)
+		}
+	}
+}
+
+func TestDigitsPresent(t *testing.T) {
+	for r := '0'; r <= '9'; r++ {
+		if _, ok := Lookup(r); !ok {
+			t.Errorf("missing digit %c", r)
+		}
+	}
+}
+
+func TestLowercaseMapsToUpper(t *testing.T) {
+	lo, ok1 := Lookup('m')
+	up, ok2 := Lookup('M')
+	if !ok1 || !ok2 {
+		t.Fatal("lookup failed")
+	}
+	if lo.R != up.R {
+		t.Error("lowercase lookup differs from uppercase")
+	}
+}
+
+func TestUnknownRune(t *testing.T) {
+	if _, ok := Lookup('@'); ok {
+		t.Error("@ should not exist")
+	}
+}
+
+func TestGlyphsInsideUnitBox(t *testing.T) {
+	const slack = 0.12 // descenders/tails may poke out slightly
+	for _, r := range All() {
+		g, _ := Lookup(r)
+		min, max := g.Path().Bounds()
+		if min.X < -slack || min.Y < -slack || max.X > 1+slack || max.Y > 1+slack {
+			t.Errorf("glyph %c out of box: %v %v", r, min, max)
+		}
+		if g.Width <= 0 || g.Width > 1 {
+			t.Errorf("glyph %c width %v", r, g.Width)
+		}
+	}
+}
+
+func TestGlyphsHaveInk(t *testing.T) {
+	for _, r := range All() {
+		g, _ := Lookup(r)
+		if g.Path().Length() < 0.5 {
+			t.Errorf("glyph %c path too short: %v", r, g.Path().Length())
+		}
+	}
+}
+
+func TestGlyphsAreDistinct(t *testing.T) {
+	// Normalized resampled shapes must differ pairwise by a meaningful
+	// Procrustes distance; otherwise the recognizer cannot work even in
+	// principle. I/1 and O/0 are near-identical by design, skip those.
+	skip := map[[2]rune]bool{
+		{'I', '1'}: true, {'1', 'I'}: true,
+		{'O', '0'}: true, {'0', 'O'}: true,
+	}
+	runes := All()
+	shapes := map[rune]geom.Polyline{}
+	for _, r := range runes {
+		g, _ := Lookup(r)
+		shapes[r] = g.Path().Resample(64).Normalize()
+	}
+	for i, a := range runes {
+		for _, b := range runes[i+1:] {
+			if skip[[2]rune{a, b}] {
+				continue
+			}
+			d, err := geom.ProcrustesDistance(shapes[a], shapes[b], 64)
+			if err != nil {
+				t.Fatalf("%c vs %c: %v", a, b, err)
+			}
+			if d < 0.02 {
+				t.Errorf("glyphs %c and %c nearly identical (d=%v)", a, b, d)
+			}
+		}
+	}
+}
+
+func TestSingleStroke(t *testing.T) {
+	single := map[rune]bool{'C': true, 'L': true, 'M': true, 'S': true, 'Z': true}
+	multi := map[rune]bool{'A': true, 'H': true, 'T': true, 'X': true}
+	for r := range single {
+		if g, _ := Lookup(r); !g.SingleStroke() {
+			t.Errorf("%c should be single stroke", r)
+		}
+	}
+	for r := range multi {
+		if g, _ := Lookup(r); g.SingleStroke() {
+			t.Errorf("%c should be multi stroke", r)
+		}
+	}
+}
+
+func TestWordPathLayout(t *testing.T) {
+	w := WordPath("AB", 0.2, 0.2)
+	if len(w) == 0 {
+		t.Fatal("empty word path")
+	}
+	min, max := w.Bounds()
+	if max.Y > 0.2+0.03 || min.Y < -0.03 {
+		t.Errorf("word height out of range: %v %v", min, max)
+	}
+	// Two letters plus a gap must be wider than one letter.
+	a := WordPath("A", 0.2, 0.2)
+	_, amax := a.Bounds()
+	if max.X <= amax.X {
+		t.Errorf("two-letter word (%v) not wider than one letter (%v)", max.X, amax.X)
+	}
+}
+
+func TestWordPathSkipsUnknownAndSpaces(t *testing.T) {
+	w1 := WordPath("A B", 0.2, 0.2)
+	w2 := WordPath("A@B", 0.2, 0.2)
+	if len(w1) == 0 || len(w2) == 0 {
+		t.Fatal("empty paths")
+	}
+	// Space advances x, unknown rune does not.
+	_, m1 := w1.Bounds()
+	_, m2 := w2.Bounds()
+	if m1.X <= m2.X {
+		t.Errorf("space should widen the word: %v vs %v", m1.X, m2.X)
+	}
+}

@@ -1,0 +1,74 @@
+package geom
+
+import "math"
+
+// Hyperbola is the locus of board points whose distance difference to
+// two foci is a constant: |x - F2| - |x - F1| = Delta. PolarDraw builds
+// one candidate hyperbola per phase-ambiguity integer k from the
+// inter-antenna phase difference (section 3.4, Eq. 7); the tracker
+// scores candidate pen locations by their distance to the nearest
+// candidate hyperbola.
+//
+// The foci live in 3-D (the antennas sit above the board) but candidate
+// pen locations live on the board plane, so Residual takes a Vec2 and a
+// board depth.
+type Hyperbola struct {
+	F1, F2 Vec3
+	// Delta is the target distance difference |x-F2| - |x-F1|. Valid
+	// hyperbolas require |Delta| <= |F2-F1|; out-of-range values define
+	// an empty locus and Residual reports the violation magnitude.
+	Delta float64
+}
+
+// Residual returns how far the point p (on the board plane at depth z,
+// i.e. the 3-D point (p.X, p.Y, z)) is from satisfying the hyperbola
+// equation, in distance-difference units. Zero means p lies exactly on
+// the locus. The tracker converts this to a likelihood.
+func (h Hyperbola) Residual(p Vec2, z float64) float64 {
+	q := Vec3From(p, z)
+	return math.Abs((q.Dist(h.F2) - q.Dist(h.F1)) - h.Delta)
+}
+
+// Feasible reports whether the hyperbola is geometrically realisable,
+// i.e. |Delta| does not exceed the focal separation.
+func (h Hyperbola) Feasible() bool {
+	return math.Abs(h.Delta) <= h.F1.Dist(h.F2)+1e-12
+}
+
+// CandidateHyperbolas enumerates the hyperbolas consistent with a
+// measured inter-antenna phase difference dphi (radians) at wavelength
+// lambda, one per ambiguity integer k (Eq. 7 of the paper with the
+// factor lambda/(4*pi) for backscatter's doubled path):
+//
+//	Delta_k = lambda/(4*pi) * (dphi + 2*pi*k)
+//
+// Only geometrically feasible hyperbolas are returned. The k range is
+// implied by the focal separation, so no caller-provided bound is
+// needed.
+func CandidateHyperbolas(f1, f2 Vec3, dphi, lambda float64) []Hyperbola {
+	sep := f1.Dist(f2)
+	// Each k step changes Delta by lambda/2; enumerate every k whose
+	// Delta lies within [-sep, sep].
+	var out []Hyperbola
+	kMax := int(math.Ceil(sep/(lambda/2))) + 1
+	for k := -kMax; k <= kMax; k++ {
+		delta := lambda / (4 * math.Pi) * (dphi + 2*math.Pi*float64(k))
+		h := Hyperbola{F1: f1, F2: f2, Delta: delta}
+		if h.Feasible() {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// NearestResidual returns the smallest Residual of p over the candidate
+// set, or +Inf for an empty set.
+func NearestResidual(hs []Hyperbola, p Vec2, z float64) float64 {
+	best := math.Inf(1)
+	for _, h := range hs {
+		if r := h.Residual(p, z); r < best {
+			best = r
+		}
+	}
+	return best
+}

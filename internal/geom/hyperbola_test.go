@@ -1,0 +1,85 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHyperbolaResidualZeroOnLocus(t *testing.T) {
+	f1 := Vec3{0, 0, 1}
+	f2 := Vec3{0.5, 0, 1}
+	p := Vec2{0.3, 0.2}
+	q := Vec3From(p, 0)
+	delta := q.Dist(f2) - q.Dist(f1)
+	h := Hyperbola{F1: f1, F2: f2, Delta: delta}
+	if got := h.Residual(p, 0); !almostEq(got, 0, 1e-12) {
+		t.Errorf("residual on locus = %v", got)
+	}
+	if got := h.Residual(p.Add(Vec2{0.1, 0}), 0); got <= 0 {
+		t.Errorf("off-locus residual = %v, want > 0", got)
+	}
+}
+
+func TestHyperbolaFeasible(t *testing.T) {
+	f1 := Vec3{0, 0, 0}
+	f2 := Vec3{1, 0, 0}
+	if !(Hyperbola{F1: f1, F2: f2, Delta: 0.5}).Feasible() {
+		t.Error("delta inside separation should be feasible")
+	}
+	if (Hyperbola{F1: f1, F2: f2, Delta: 1.5}).Feasible() {
+		t.Error("delta beyond separation should be infeasible")
+	}
+}
+
+func TestCandidateHyperbolasContainTruth(t *testing.T) {
+	// For any tag position, the measured (wrapped) inter-antenna phase
+	// difference must yield a candidate set containing a hyperbola the
+	// tag actually lies on.
+	lambda := 0.326
+	f1 := Vec3{0.2, -0.05, 0.6}
+	f2 := Vec3{0.76, -0.05, 0.6}
+	f := func(xr, yr float64) bool {
+		if math.IsNaN(xr) || math.IsInf(xr, 0) || math.IsNaN(yr) || math.IsInf(yr, 0) {
+			return true
+		}
+		p := Vec2{math.Mod(math.Abs(xr), 1.0), math.Mod(math.Abs(yr), 0.25)}
+		q := Vec3From(p, 0)
+		l1, l2 := q.Dist(f1), q.Dist(f2)
+		// Backscatter phases: theta_j = 4*pi*l_j/lambda (mod 2*pi).
+		dphi := WrapAngle(4*math.Pi*l2/lambda) - WrapAngle(4*math.Pi*l1/lambda)
+		hs := CandidateHyperbolas(f1, f2, dphi, lambda)
+		if len(hs) == 0 {
+			return false
+		}
+		return NearestResidual(hs, p, 0) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCandidateHyperbolasAllFeasible(t *testing.T) {
+	hs := CandidateHyperbolas(Vec3{0, 0, 1}, Vec3{0.56, 0, 1}, 1.234, 0.326)
+	if len(hs) == 0 {
+		t.Fatal("no candidates")
+	}
+	sep := 0.56
+	for _, h := range hs {
+		if math.Abs(h.Delta) > sep+1e-9 {
+			t.Errorf("infeasible candidate delta = %v", h.Delta)
+		}
+	}
+	// Candidate deltas must be spaced by lambda/2.
+	for i := 1; i < len(hs); i++ {
+		if !almostEq(hs[i].Delta-hs[i-1].Delta, 0.326/2, 1e-9) {
+			t.Errorf("delta spacing = %v", hs[i].Delta-hs[i-1].Delta)
+		}
+	}
+}
+
+func TestNearestResidualEmpty(t *testing.T) {
+	if got := NearestResidual(nil, Vec2{}, 0); !math.IsInf(got, 1) {
+		t.Errorf("empty set residual = %v, want +Inf", got)
+	}
+}

@@ -1,0 +1,189 @@
+package geom
+
+import "math"
+
+// Polyline is an ordered sequence of board-plane points, the common
+// currency between the stroke font, the motion synthesizer, the
+// trackers and the recognizer.
+type Polyline []Vec2
+
+// Length returns the total arc length of the polyline.
+func (p Polyline) Length() float64 {
+	var l float64
+	for i := 1; i < len(p); i++ {
+		l += p[i].Dist(p[i-1])
+	}
+	return l
+}
+
+// Bounds returns the axis-aligned bounding box (min, max) of the
+// polyline. For an empty polyline both are zero.
+func (p Polyline) Bounds() (min, max Vec2) {
+	if len(p) == 0 {
+		return Vec2{}, Vec2{}
+	}
+	min, max = p[0], p[0]
+	for _, v := range p[1:] {
+		min.X = math.Min(min.X, v.X)
+		min.Y = math.Min(min.Y, v.Y)
+		max.X = math.Max(max.X, v.X)
+		max.Y = math.Max(max.Y, v.Y)
+	}
+	return min, max
+}
+
+// Centroid returns the mean of the points, or zero for an empty line.
+func (p Polyline) Centroid() Vec2 {
+	if len(p) == 0 {
+		return Vec2{}
+	}
+	var c Vec2
+	for _, v := range p {
+		c = c.Add(v)
+	}
+	return c.Scale(1 / float64(len(p)))
+}
+
+// Translate returns a copy of p shifted by d.
+func (p Polyline) Translate(d Vec2) Polyline {
+	out := make(Polyline, len(p))
+	for i, v := range p {
+		out[i] = v.Add(d)
+	}
+	return out
+}
+
+// Scale returns a copy of p scaled by s about the origin.
+func (p Polyline) Scale(s float64) Polyline {
+	out := make(Polyline, len(p))
+	for i, v := range p {
+		out[i] = v.Scale(s)
+	}
+	return out
+}
+
+// Rotate returns a copy of p rotated by theta about the origin.
+func (p Polyline) Rotate(theta float64) Polyline {
+	out := make(Polyline, len(p))
+	for i, v := range p {
+		out[i] = v.Rotate(theta)
+	}
+	return out
+}
+
+// Clone returns an independent copy of p.
+func (p Polyline) Clone() Polyline {
+	out := make(Polyline, len(p))
+	copy(out, p)
+	return out
+}
+
+// Resample returns n points spaced uniformly by arc length along p.
+// The first and last points of p are preserved. Resampling to a common
+// n is the normalisation step both the recognizer and the Procrustes
+// metric require. If p has fewer than 2 points or n < 2, it returns n
+// copies of the first point (or an empty polyline when p is empty).
+func (p Polyline) Resample(n int) Polyline {
+	if len(p) == 0 || n <= 0 {
+		return Polyline{}
+	}
+	if len(p) == 1 || n == 1 {
+		out := make(Polyline, n)
+		for i := range out {
+			out[i] = p[0]
+		}
+		return out
+	}
+	total := p.Length()
+	out := make(Polyline, 0, n)
+	if total == 0 {
+		for i := 0; i < n; i++ {
+			out = append(out, p[0])
+		}
+		return out
+	}
+	step := total / float64(n-1)
+	out = append(out, p[0])
+	seg := 0    // current segment index: p[seg] -> p[seg+1]
+	pos := p[0] // current position along the line
+	remaining := step
+	for len(out) < n-1 {
+		segLen := p[seg+1].Dist(pos)
+		if segLen >= remaining && segLen > 0 {
+			t := remaining / segLen
+			pos = pos.Lerp(p[seg+1], t)
+			out = append(out, pos)
+			remaining = step
+			continue
+		}
+		remaining -= segLen
+		seg++
+		if seg >= len(p)-1 {
+			break
+		}
+		pos = p[seg]
+	}
+	for len(out) < n {
+		out = append(out, p[len(p)-1])
+	}
+	return out
+}
+
+// Normalize translates the polyline so its centroid is at the origin
+// and scales it so the larger side of its bounding box is 1. Degenerate
+// (zero-size) polylines are only translated.
+func (p Polyline) Normalize() Polyline {
+	c := p.Centroid()
+	out := p.Translate(c.Scale(-1))
+	min, max := out.Bounds()
+	size := math.Max(max.X-min.X, max.Y-min.Y)
+	if size > 0 {
+		out = out.Scale(1 / size)
+	}
+	return out
+}
+
+// Smooth returns a moving-average filtered copy of p with half-window
+// k (each point becomes the mean of up to 2k+1 neighbours). Endpoints
+// use shrunken windows, so the first and last points stay anchored
+// near their originals. k <= 0 returns a plain copy. Smoothing is the
+// standard stroke pre-processing step before arc-length resampling:
+// grid-quantized tracker output otherwise spends most of its arc
+// length on jitter.
+func (p Polyline) Smooth(k int) Polyline {
+	if k <= 0 || len(p) < 3 {
+		return p.Clone()
+	}
+	out := make(Polyline, len(p))
+	for i := range p {
+		lo, hi := i-k, i+k
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(p)-1 {
+			hi = len(p) - 1
+		}
+		var sum Vec2
+		for j := lo; j <= hi; j++ {
+			sum = sum.Add(p[j])
+		}
+		out[i] = sum.Scale(1 / float64(hi-lo+1))
+	}
+	return out
+}
+
+// PathDirection returns the direction of travel (radians from +X) at
+// sample index i, estimated from the neighbouring points.
+func (p Polyline) PathDirection(i int) float64 {
+	if len(p) < 2 {
+		return 0
+	}
+	switch {
+	case i <= 0:
+		return p[1].Sub(p[0]).Angle()
+	case i >= len(p)-1:
+		return p[len(p)-1].Sub(p[len(p)-2]).Angle()
+	default:
+		return p[i+1].Sub(p[i-1]).Angle()
+	}
+}

@@ -1,0 +1,154 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func square() Polyline {
+	return Polyline{{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0, 0}}
+}
+
+func TestPolylineLength(t *testing.T) {
+	if got := square().Length(); !almostEq(got, 4, eps) {
+		t.Errorf("square length = %v", got)
+	}
+	if got := (Polyline{}).Length(); got != 0 {
+		t.Errorf("empty length = %v", got)
+	}
+	if got := (Polyline{{1, 1}}).Length(); got != 0 {
+		t.Errorf("single point length = %v", got)
+	}
+}
+
+func TestPolylineBoundsCentroid(t *testing.T) {
+	min, max := square().Bounds()
+	if min != (Vec2{0, 0}) || max != (Vec2{1, 1}) {
+		t.Errorf("bounds = %v, %v", min, max)
+	}
+	c := (Polyline{{0, 0}, {2, 0}, {2, 2}, {0, 2}}).Centroid()
+	if !almostEq(c.X, 1, eps) || !almostEq(c.Y, 1, eps) {
+		t.Errorf("centroid = %v", c)
+	}
+}
+
+func TestPolylineTransforms(t *testing.T) {
+	p := Polyline{{1, 0}, {2, 0}}
+	tr := p.Translate(Vec2{0, 3})
+	if tr[0] != (Vec2{1, 3}) || tr[1] != (Vec2{2, 3}) {
+		t.Errorf("translate = %v", tr)
+	}
+	sc := p.Scale(2)
+	if sc[1] != (Vec2{4, 0}) {
+		t.Errorf("scale = %v", sc)
+	}
+	ro := p.Rotate(math.Pi)
+	if !almostEq(ro[0].X, -1, eps) || !almostEq(ro[0].Y, 0, eps) {
+		t.Errorf("rotate = %v", ro)
+	}
+	// Original must be untouched.
+	if p[0] != (Vec2{1, 0}) {
+		t.Errorf("transforms mutated receiver: %v", p)
+	}
+}
+
+func TestResampleCountAndEndpoints(t *testing.T) {
+	p := Polyline{{0, 0}, {10, 0}}
+	for _, n := range []int{2, 3, 17, 64} {
+		r := p.Resample(n)
+		if len(r) != n {
+			t.Fatalf("Resample(%d) len = %d", n, len(r))
+		}
+		if r[0] != p[0] {
+			t.Errorf("Resample(%d) first = %v", n, r[0])
+		}
+		if r[n-1].Dist(p[1]) > 1e-9 {
+			t.Errorf("Resample(%d) last = %v", n, r[n-1])
+		}
+	}
+}
+
+func TestResampleUniformSpacing(t *testing.T) {
+	p := Polyline{{0, 0}, {3, 0}, {3, 4}} // length 7 with a corner
+	n := 50
+	r := p.Resample(n)
+	want := p.Length() / float64(n-1)
+	for i := 1; i < len(r); i++ {
+		d := r[i].Dist(r[i-1])
+		if math.Abs(d-want) > 1e-6 {
+			t.Fatalf("segment %d spacing = %v, want %v", i, d, want)
+		}
+	}
+}
+
+func TestResampleDegenerate(t *testing.T) {
+	if got := (Polyline{}).Resample(5); len(got) != 0 {
+		t.Errorf("empty resample = %v", got)
+	}
+	got := (Polyline{{2, 3}}).Resample(4)
+	if len(got) != 4 {
+		t.Fatalf("single-point resample len = %d", len(got))
+	}
+	for _, v := range got {
+		if v != (Vec2{2, 3}) {
+			t.Errorf("single-point resample = %v", got)
+		}
+	}
+	// Zero-length multi-point polyline.
+	got = (Polyline{{1, 1}, {1, 1}}).Resample(3)
+	if len(got) != 3 || got[2] != (Vec2{1, 1}) {
+		t.Errorf("zero-length resample = %v", got)
+	}
+}
+
+func TestResampleLengthPreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		// Random-ish zigzag from the seed.
+		p := Polyline{}
+		x, y := 0.0, 0.0
+		s := seed
+		for i := 0; i < 8; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			x += float64(int32(s>>32)%100) / 50
+			y += float64(int32(s>>16)%100) / 50
+			p = append(p, Vec2{x, y})
+		}
+		if p.Length() == 0 {
+			return true
+		}
+		r := p.Resample(200)
+		// Resampling can only shorten (chords cut corners).
+		return r.Length() <= p.Length()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := Polyline{{10, 10}, {14, 10}, {14, 12}}
+	n := p.Normalize()
+	if c := n.Centroid(); c.Norm() > 1e-9 {
+		t.Errorf("normalized centroid = %v", c)
+	}
+	min, max := n.Bounds()
+	size := math.Max(max.X-min.X, max.Y-min.Y)
+	if !almostEq(size, 1, 1e-9) {
+		t.Errorf("normalized size = %v", size)
+	}
+}
+
+func TestPathDirection(t *testing.T) {
+	p := Polyline{{0, 0}, {1, 0}, {1, 1}}
+	if got := p.PathDirection(0); !almostEq(got, 0, eps) {
+		t.Errorf("dir(0) = %v", got)
+	}
+	if got := p.PathDirection(2); !almostEq(got, math.Pi/2, eps) {
+		t.Errorf("dir(end) = %v", got)
+	}
+	// Middle uses the chord across the corner: direction of (1,1)-(0,0).
+	if got := p.PathDirection(1); !almostEq(got, math.Pi/4, eps) {
+		t.Errorf("dir(mid) = %v", got)
+	}
+}

@@ -1,0 +1,108 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// ProcrustesResult describes the optimal similarity transform found by
+// Procrustes analysis and the residual misfit after applying it.
+type ProcrustesResult struct {
+	// Scale, Rotation (radians) and Translation map the source onto the
+	// target: y ~ Scale * R(Rotation) * x + Translation.
+	Scale       float64
+	Rotation    float64
+	Translation Vec2
+	// SSE is the sum of squared point errors after alignment, the
+	// paper's stated goodness-of-fit criterion.
+	SSE float64
+	// RMS is sqrt(SSE / n): the root-mean-square per-point distance
+	// after alignment, in the units of the inputs. The evaluation
+	// reports this in centimetres as the "Procrustes distance".
+	RMS float64
+}
+
+// ErrProcrustesInput reports invalid input to Procrustes analysis.
+var ErrProcrustesInput = errors.New("geom: procrustes needs two equal-length polylines with >= 2 points")
+
+// Procrustes finds the similarity transform (translation, rotation and
+// uniform scale) of src that best matches dst in the least-squares
+// sense, the metric the paper uses to compare recovered trajectories
+// with ground truth (section 5.1). Both polylines must have the same
+// number of points; callers normally Resample first.
+func Procrustes(src, dst Polyline) (ProcrustesResult, error) {
+	if len(src) != len(dst) || len(src) < 2 {
+		return ProcrustesResult{}, ErrProcrustesInput
+	}
+	n := float64(len(src))
+	cs := src.Centroid()
+	cd := dst.Centroid()
+
+	// Accumulate cross-covariance terms about the centroids.
+	var a, b, normS float64
+	for i := range src {
+		x := src[i].Sub(cs)
+		y := dst[i].Sub(cd)
+		a += x.Dot(y)
+		b += x.Cross(y)
+		normS += x.Dot(x)
+	}
+	if normS == 0 {
+		// Degenerate source (all points identical): best we can do is
+		// translate the single point onto the target centroid.
+		var sse float64
+		for i := range dst {
+			d := dst[i].Sub(cd)
+			sse += d.Dot(d)
+		}
+		return ProcrustesResult{Scale: 1, Translation: cd.Sub(cs), SSE: sse, RMS: math.Sqrt(sse / n)}, nil
+	}
+
+	rot := math.Atan2(b, a)
+	scale := math.Hypot(a, b) / normS
+	// Translation maps the scaled+rotated source centroid onto the
+	// target centroid.
+	trans := cd.Sub(cs.Rotate(rot).Scale(scale))
+
+	var sse float64
+	for i := range src {
+		m := src[i].Rotate(rot).Scale(scale).Add(trans)
+		d := dst[i].Sub(m)
+		sse += d.Dot(d)
+	}
+	return ProcrustesResult{
+		Scale:       scale,
+		Rotation:    rot,
+		Translation: trans,
+		SSE:         sse,
+		RMS:         math.Sqrt(sse / n),
+	}, nil
+}
+
+// ProcrustesDistance resamples both trajectories to n points and
+// returns the post-alignment RMS distance (same units as the inputs).
+// It is the convenience form used throughout the evaluation harness.
+func ProcrustesDistance(src, dst Polyline, n int) (float64, error) {
+	if len(src) < 2 || len(dst) < 2 {
+		return 0, ErrProcrustesInput
+	}
+	r, err := Procrustes(src.Resample(n), dst.Resample(n))
+	if err != nil {
+		return 0, err
+	}
+	return r.RMS, nil
+}
+
+// Apply maps a point through the fitted similarity transform.
+func (r ProcrustesResult) Apply(v Vec2) Vec2 {
+	return v.Rotate(r.Rotation).Scale(r.Scale).Add(r.Translation)
+}
+
+// ApplyAll maps a whole polyline through the fitted transform.
+func (r ProcrustesResult) ApplyAll(p Polyline) Polyline {
+	out := make(Polyline, len(p))
+	for i, v := range p {
+		out[i] = r.Apply(v)
+	}
+	return out
+}

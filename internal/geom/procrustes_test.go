@@ -1,0 +1,126 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func zigzag(n int) Polyline {
+	p := make(Polyline, n)
+	for i := range p {
+		p[i] = Vec2{float64(i), math.Sin(float64(i) * 0.7)}
+	}
+	return p
+}
+
+func TestProcrustesIdentity(t *testing.T) {
+	p := zigzag(20)
+	r, err := Procrustes(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r.RMS, 0, 1e-9) || !almostEq(r.SSE, 0, 1e-9) {
+		t.Errorf("self-alignment RMS = %v SSE = %v", r.RMS, r.SSE)
+	}
+	if !almostEq(r.Scale, 1, 1e-9) || !almostEq(r.Rotation, 0, 1e-9) {
+		t.Errorf("self-alignment scale = %v rot = %v", r.Scale, r.Rotation)
+	}
+}
+
+func TestProcrustesRecoversSimilarity(t *testing.T) {
+	f := func(rotRaw, scaleRaw, tx, ty float64) bool {
+		for _, v := range []float64{rotRaw, scaleRaw, tx, ty} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		rot := WrapPi(rotRaw)
+		scale := 0.2 + math.Mod(math.Abs(scaleRaw), 5)
+		tx = math.Mod(tx, 100)
+		ty = math.Mod(ty, 100)
+		src := zigzag(25)
+		dst := src.Rotate(rot).Scale(scale).Translate(Vec2{tx, ty})
+		r, err := Procrustes(src, dst)
+		if err != nil {
+			return false
+		}
+		return r.RMS < 1e-6 &&
+			almostEq(r.Scale, scale, 1e-6*scale) &&
+			AngleDist(r.Rotation, rot) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcrustesResidualNoise(t *testing.T) {
+	src := zigzag(40)
+	dst := src.Clone()
+	// Perturb one point by 1 unit: SSE should be about 1 (alignment can
+	// absorb a little, so accept [0.5, 1]).
+	dst[20] = dst[20].Add(Vec2{0, 1})
+	r, err := Procrustes(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SSE < 0.5 || r.SSE > 1.0+1e-9 {
+		t.Errorf("SSE = %v, want within [0.5, 1]", r.SSE)
+	}
+}
+
+func TestProcrustesErrors(t *testing.T) {
+	if _, err := Procrustes(zigzag(3), zigzag(4)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Procrustes(Polyline{{0, 0}}, Polyline{{0, 0}}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := ProcrustesDistance(Polyline{{0, 0}}, zigzag(5), 16); err == nil {
+		t.Error("degenerate src accepted")
+	}
+}
+
+func TestProcrustesDegenerateSource(t *testing.T) {
+	src := Polyline{{1, 1}, {1, 1}, {1, 1}}
+	dst := Polyline{{0, 0}, {1, 0}, {2, 0}}
+	r, err := Procrustes(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scale != 1 {
+		t.Errorf("degenerate scale = %v", r.Scale)
+	}
+	if !almostEq(r.SSE, 2, 1e-9) { // points at -1, 0, +1 around centroid
+		t.Errorf("degenerate SSE = %v", r.SSE)
+	}
+}
+
+func TestProcrustesDistanceResamples(t *testing.T) {
+	// Same path sampled at different densities must still align nearly
+	// perfectly thanks to resampling.
+	coarse := Polyline{{0, 0}, {10, 0}, {10, 10}}
+	fine := coarse.Resample(200)
+	d, err := ProcrustesDistance(coarse, fine, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.05 {
+		t.Errorf("resampled distance = %v, want ~0", d)
+	}
+}
+
+func TestProcrustesApply(t *testing.T) {
+	src := zigzag(10)
+	dst := src.Rotate(0.3).Scale(2).Translate(Vec2{5, -7})
+	r, err := Procrustes(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := r.ApplyAll(src)
+	for i := range mapped {
+		if mapped[i].Dist(dst[i]) > 1e-6 {
+			t.Fatalf("ApplyAll[%d] = %v, want %v", i, mapped[i], dst[i])
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmoothIdentityCases(t *testing.T) {
+	p := Polyline{{0, 0}, {1, 0}, {2, 0}}
+	// k <= 0: plain copy.
+	got := p.Smooth(0)
+	for i := range p {
+		if got[i] != p[i] {
+			t.Fatalf("Smooth(0) changed point %d", i)
+		}
+	}
+	// Short polylines: plain copy.
+	short := Polyline{{0, 0}, {5, 5}}
+	got = short.Smooth(3)
+	if got[0] != short[0] || got[1] != short[1] {
+		t.Error("Smooth changed a 2-point polyline")
+	}
+	// The copy must be independent.
+	got[0] = Vec2{9, 9}
+	if short[0] == (Vec2{9, 9}) {
+		t.Error("Smooth returned an aliasing copy")
+	}
+}
+
+func TestSmoothStraightLineInvariant(t *testing.T) {
+	// Evenly spaced collinear points are a fixed point of the moving
+	// average (interior windows are symmetric).
+	p := make(Polyline, 21)
+	for i := range p {
+		p[i] = Vec2{X: float64(i) * 0.5, Y: 2}
+	}
+	s := p.Smooth(3)
+	for i := 3; i < len(p)-3; i++ {
+		if s[i].Dist(p[i]) > 1e-12 {
+			t.Fatalf("interior point %d moved by %v", i, s[i].Dist(p[i]))
+		}
+	}
+}
+
+func TestSmoothReducesJitterArcLength(t *testing.T) {
+	// A straight path with alternating jitter: smoothing must shrink
+	// the inflated arc length back toward the straight distance.
+	p := make(Polyline, 60)
+	for i := range p {
+		jitter := 0.01
+		if i%2 == 1 {
+			jitter = -0.01
+		}
+		p[i] = Vec2{X: float64(i) * 0.005, Y: jitter}
+	}
+	raw := p.Length()
+	smoothed := p.Smooth(3).Length()
+	straight := p[len(p)-1].Dist(p[0])
+	if smoothed >= raw {
+		t.Errorf("smoothing increased length: %v -> %v", raw, smoothed)
+	}
+	if smoothed > straight*1.3 {
+		t.Errorf("smoothed length %v still far above straight %v", smoothed, straight)
+	}
+}
+
+func TestSmoothEndpointsAnchored(t *testing.T) {
+	p := Polyline{{0, 0}, {1, 1}, {2, 0}, {3, 1}, {4, 0}}
+	s := p.Smooth(2)
+	// Endpoints use shrunken (clipped) windows: the first point's
+	// window is [0..2], so it moves to the mean of three points but no
+	// further -- strictly less than the full-window mean would.
+	full := p[0].Add(p[1]).Add(p[2]).Add(p[3]).Add(p[4]).Scale(0.2)
+	if s[0].Dist(p[0]) >= full.Dist(p[0]) {
+		t.Errorf("first point moved %v, not anchored vs full-window %v",
+			s[0].Dist(p[0]), full.Dist(p[0]))
+	}
+	if len(s) != len(p) {
+		t.Fatalf("length changed: %d", len(s))
+	}
+}
+
+func TestSmoothPreservesCentroidApproximately(t *testing.T) {
+	f := func(seed int64) bool {
+		p := Polyline{}
+		s := seed
+		x, y := 0.0, 0.0
+		for i := 0; i < 30; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			x += float64(int32(s>>33)%100) / 1000
+			y += float64(int32(s>>13)%100) / 1000
+			p = append(p, Vec2{x, y})
+		}
+		c1 := p.Centroid()
+		c2 := p.Smooth(2).Centroid()
+		// The moving average redistributes mass only near the ends, so
+		// centroids stay close relative to the path extent.
+		minB, maxB := p.Bounds()
+		extent := math.Max(maxB.X-minB.X, maxB.Y-minB.Y) + 1e-9
+		return c1.Dist(c2) < 0.2*extent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+// Package geom provides the 2-D/3-D vector algebra, angle arithmetic,
+// polyline handling, hyperbola geometry and Procrustes analysis that the
+// PolarDraw tracking pipeline and its evaluation harness are built on.
+//
+// Conventions: the whiteboard plane is X (rightward) x Y (downward, the
+// paper's figures put the origin at the top-left of the board), with Z
+// pointing away from the board toward the antennas. All distances are in
+// metres unless a name says otherwise; angles are radians.
+package geom
+
+import "math"
+
+// Vec2 is a point or direction on the whiteboard plane.
+type Vec2 struct {
+	X, Y float64
+}
+
+// Add returns v + w.
+func (v Vec2) Add(w Vec2) Vec2 { return Vec2{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec2) Sub(w Vec2) Vec2 { return Vec2{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec2) Scale(s float64) Vec2 { return Vec2{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v . w.
+func (v Vec2) Dot(w Vec2) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the scalar (z-component) cross product v x w.
+func (v Vec2) Cross(w Vec2) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec2) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec2) Dist(w Vec2) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v normalised to length 1, or the zero vector if v is zero.
+func (v Vec2) Unit() Vec2 {
+	n := v.Norm()
+	if n == 0 {
+		return Vec2{}
+	}
+	return v.Scale(1 / n)
+}
+
+// Angle returns the direction of v measured from the +X axis.
+func (v Vec2) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// Rotate returns v rotated by theta radians counterclockwise (in the
+// X-right, Y-up sense; with the board's Y-down convention a positive
+// theta appears clockwise on screen).
+func (v Vec2) Rotate(theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{v.X*c - v.Y*s, v.X*s + v.Y*c}
+}
+
+// Lerp returns the linear interpolation between v and w at parameter t,
+// with t=0 giving v and t=1 giving w.
+func (v Vec2) Lerp(w Vec2, t float64) Vec2 {
+	return Vec2{v.X + (w.X-v.X)*t, v.Y + (w.Y-v.Y)*t}
+}
+
+// Vec3 is a point or direction in the room.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns v scaled by s.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{v.X * s, v.Y * s, v.Z * s} }
+
+// Dot returns the dot product v . w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the vector cross product v x w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v normalised to length 1, or the zero vector if v is zero.
+func (v Vec3) Unit() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return Vec3{}
+	}
+	return v.Scale(1 / n)
+}
+
+// XY projects v onto the whiteboard plane, discarding Z.
+func (v Vec3) XY() Vec2 { return Vec2{v.X, v.Y} }
+
+// Vec3From lifts a board-plane point into the room at depth z.
+func Vec3From(v Vec2, z float64) Vec3 { return Vec3{v.X, v.Y, z} }
+
+// ProjectOntoPlane removes from v its component along the (unit) normal
+// n, returning the projection of v onto the plane orthogonal to n.
+func (v Vec3) ProjectOntoPlane(n Vec3) Vec3 {
+	return v.Sub(n.Scale(v.Dot(n)))
+}

@@ -1,0 +1,118 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVec2Basics(t *testing.T) {
+	v := Vec2{3, 4}
+	if got := v.Norm(); !almostEq(got, 5, eps) {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.Add(Vec2{1, -1}); got != (Vec2{4, 3}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(Vec2{3, 4}); got != (Vec2{}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec2{6, 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(Vec2{1, 2}); !almostEq(got, 11, eps) {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := v.Cross(Vec2{1, 2}); !almostEq(got, 2, eps) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := v.Unit().Norm(); !almostEq(got, 1, eps) {
+		t.Errorf("Unit norm = %v", got)
+	}
+	if got := (Vec2{}).Unit(); got != (Vec2{}) {
+		t.Errorf("zero Unit = %v", got)
+	}
+}
+
+func TestVec2RotatePreservesNorm(t *testing.T) {
+	f := func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(theta) ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsInf(theta, 0) {
+			return true
+		}
+		// Keep magnitudes sane for float comparison.
+		x = math.Mod(x, 1e6)
+		y = math.Mod(y, 1e6)
+		theta = math.Mod(theta, 100)
+		v := Vec2{x, y}
+		r := v.Rotate(theta)
+		return almostEq(v.Norm(), r.Norm(), 1e-6*(1+v.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec2RotateQuarterTurn(t *testing.T) {
+	got := Vec2{1, 0}.Rotate(math.Pi / 2)
+	if !almostEq(got.X, 0, eps) || !almostEq(got.Y, 1, eps) {
+		t.Errorf("Rotate(pi/2) = %v, want (0,1)", got)
+	}
+}
+
+func TestVec2Lerp(t *testing.T) {
+	a, b := Vec2{0, 0}, Vec2{10, 20}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := a.Lerp(b, 0.5); got != (Vec2{5, 10}) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestVec3CrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		for _, v := range []float64{ax, ay, az, bx, by, bz} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true
+			}
+		}
+		a := Vec3{ax, ay, az}
+		b := Vec3{bx, by, bz}
+		c := a.Cross(b)
+		tol := 1e-6 * (1 + a.Norm()*b.Norm())
+		return almostEq(c.Dot(a), 0, tol) && almostEq(c.Dot(b), 0, tol)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec3ProjectOntoPlane(t *testing.T) {
+	n := Vec3{0, 0, 1}
+	v := Vec3{1, 2, 3}
+	p := v.ProjectOntoPlane(n)
+	if !almostEq(p.Z, 0, eps) || !almostEq(p.X, 1, eps) || !almostEq(p.Y, 2, eps) {
+		t.Errorf("ProjectOntoPlane = %v", p)
+	}
+	if got := p.Dot(n); !almostEq(got, 0, eps) {
+		t.Errorf("projection not orthogonal to normal: %v", got)
+	}
+}
+
+func TestVec3XYRoundTrip(t *testing.T) {
+	v := Vec2{1.5, -2.5}
+	if got := Vec3From(v, 7).XY(); got != v {
+		t.Errorf("XY round trip = %v", got)
+	}
+	if got := Vec3From(v, 7).Z; got != 7 {
+		t.Errorf("Z = %v", got)
+	}
+}

@@ -1,0 +1,255 @@
+package llrp
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"polardraw/internal/reader"
+)
+
+// SamplesToReports converts simulator samples to wire reports.
+// Antenna indices become 1-based IDs; timestamps are microseconds from
+// the session start.
+func SamplesToReports(samples []reader.Sample) []TagReport {
+	out := make([]TagReport, len(samples))
+	for i, s := range samples {
+		out[i] = TagReport{
+			EPC:             s.EPC,
+			AntennaID:       uint16(s.Antenna + 1),
+			RSSICentiDBm:    int16(math.Round(s.RSS * 100)),
+			Phase12:         uint16(math.Round(s.Phase*4096/(2*math.Pi))) % 4096,
+			TimestampMicros: uint64(math.Round(s.T * 1e6)),
+		}
+	}
+	return out
+}
+
+// ReportsToSamples converts wire reports back to simulator samples --
+// the client-side inverse of SamplesToReports.
+func ReportsToSamples(reports []TagReport) []reader.Sample {
+	out := make([]reader.Sample, len(reports))
+	for i, tr := range reports {
+		out[i] = reader.Sample{
+			T:       float64(tr.TimestampMicros) / 1e6,
+			Antenna: int(tr.AntennaID) - 1,
+			RSS:     float64(tr.RSSICentiDBm) / 100,
+			Phase:   float64(tr.Phase12) * 2 * math.Pi / 4096,
+			EPC:     tr.EPC,
+		}
+	}
+	return out
+}
+
+// Server replays a fixed inventory over LLRP to each client that
+// connects: connect -> event notification -> client sends
+// START_ROSPEC -> server streams RO_ACCESS_REPORT batches -> server
+// sends CLOSE_CONNECTION. It is the wire-faithful stand-in for the
+// paper's ImpinJ reader.
+type Server struct {
+	// Samples is the inventory to replay.
+	Samples []reader.Sample
+	// BatchSize groups reports per RO_ACCESS_REPORT (default 8).
+	BatchSize int
+	// Interval spaces consecutive report batches (default: no delay,
+	// i.e. replay as fast as the pipe allows; set to mimic realtime).
+	Interval time.Duration
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// Serve accepts connections on ln until Close is called. Each
+// connection is handled sequentially; the simulated reader, like the
+// real one, has one LLRP control channel.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.handle(conn)
+	}
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Close()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+
+	if err := WriteMessage(bw, EventNotification(1)); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	// Wait for the client to start the inventory.
+	for {
+		m, err := ReadMessage(br)
+		if err != nil {
+			return
+		}
+		if m.Type == MsgStartROSpec {
+			resp := Message{Type: MsgStartROSpecResponse, ID: m.ID, Payload: StatusOK()}
+			if err := WriteMessage(bw, resp); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			break
+		}
+		if m.Type == MsgCloseConnection {
+			_ = WriteMessage(bw, Message{Type: MsgCloseConnectionResponse, ID: m.ID, Payload: StatusOK()})
+			_ = bw.Flush()
+			return
+		}
+	}
+
+	batch := s.BatchSize
+	if batch <= 0 {
+		batch = 8
+	}
+	reports := SamplesToReports(s.Samples)
+	id := uint32(100)
+	for start := 0; start < len(reports); start += batch {
+		end := start + batch
+		if end > len(reports) {
+			end = len(reports)
+		}
+		m, err := EncodeROAccessReport(id, reports[start:end])
+		if err != nil {
+			return
+		}
+		id++
+		if err := WriteMessage(bw, m); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if s.Interval > 0 {
+			time.Sleep(s.Interval)
+		}
+	}
+	_ = WriteMessage(bw, Message{Type: MsgCloseConnection, ID: id, Payload: StatusOK()})
+	_ = bw.Flush()
+}
+
+// Client drives one LLRP session against a reader.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a reader and waits for its connection event.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	m, err := ReadMessage(c.br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("llrp: handshake: %w", err)
+	}
+	if m.Type != MsgReaderEventNotification {
+		conn.Close()
+		return nil, fmt.Errorf("%w: handshake got type %d", ErrUnknownType, m.Type)
+	}
+	return c, nil
+}
+
+// NewClient wraps an existing connection (used with net.Pipe in tests)
+// and performs the same handshake as Dial.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	m, err := ReadMessage(c.br)
+	if err != nil {
+		return nil, fmt.Errorf("llrp: handshake: %w", err)
+	}
+	if m.Type != MsgReaderEventNotification {
+		return nil, fmt.Errorf("%w: handshake got type %d", ErrUnknownType, m.Type)
+	}
+	return c, nil
+}
+
+// Start begins the inventory (START_ROSPEC) and checks the response.
+func (c *Client) Start() error {
+	if err := WriteMessage(c.bw, Message{Type: MsgStartROSpec, ID: 2}); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	m, err := ReadMessage(c.br)
+	if err != nil {
+		return err
+	}
+	if m.Type != MsgStartROSpecResponse {
+		return fmt.Errorf("%w: start got type %d", ErrUnknownType, m.Type)
+	}
+	return nil
+}
+
+// Collect reads tag reports until the reader closes the inventory (or
+// the connection drops) and returns them as simulator samples.
+func (c *Client) Collect() ([]reader.Sample, error) {
+	var all []TagReport
+	for {
+		m, err := ReadMessage(c.br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				break
+			}
+			return ReportsToSamples(all), err
+		}
+		switch m.Type {
+		case MsgROAccessReport:
+			reports, err := DecodeROAccessReport(m)
+			if err != nil {
+				return ReportsToSamples(all), err
+			}
+			all = append(all, reports...)
+		case MsgKeepalive:
+			if err := WriteMessage(c.bw, Message{Type: MsgKeepaliveAck, ID: m.ID}); err != nil {
+				return ReportsToSamples(all), err
+			}
+			if err := c.bw.Flush(); err != nil {
+				return ReportsToSamples(all), err
+			}
+		case MsgCloseConnection:
+			return ReportsToSamples(all), nil
+		default:
+			// Ignore anything else, as permissive clients do.
+		}
+	}
+	return ReportsToSamples(all), nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }

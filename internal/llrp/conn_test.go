@@ -1,0 +1,152 @@
+package llrp
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"polardraw/internal/reader"
+)
+
+func wireSamples() []reader.Sample {
+	var out []reader.Sample
+	for i := 0; i < 50; i++ {
+		out = append(out, reader.Sample{
+			T:       float64(i) * 0.01,
+			Antenna: i % 2,
+			RSS:     -45.5 - float64(i%7)*0.5,
+			Phase:   math.Mod(float64(i)*0.37, 2*math.Pi),
+			EPC:     "e28011050000000000000001",
+		})
+	}
+	return out
+}
+
+func TestSampleReportConversionRoundTrip(t *testing.T) {
+	in := wireSamples()
+	back := ReportsToSamples(SamplesToReports(in))
+	if len(back) != len(in) {
+		t.Fatalf("lengths: %d vs %d", len(back), len(in))
+	}
+	for i := range in {
+		if back[i].Antenna != in[i].Antenna || back[i].EPC != in[i].EPC {
+			t.Fatalf("sample %d identity: %+v vs %+v", i, back[i], in[i])
+		}
+		if math.Abs(back[i].T-in[i].T) > 1e-6 {
+			t.Fatalf("sample %d time: %v vs %v", i, back[i].T, in[i].T)
+		}
+		if math.Abs(back[i].RSS-in[i].RSS) > 0.01 {
+			t.Fatalf("sample %d RSS: %v vs %v", i, back[i].RSS, in[i].RSS)
+		}
+		// Phase survives up to the 12-bit grid.
+		if math.Abs(back[i].Phase-in[i].Phase) > 2*math.Pi/4096 {
+			t.Fatalf("sample %d phase: %v vs %v", i, back[i].Phase, in[i].Phase)
+		}
+	}
+}
+
+func TestServerClientOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Samples: wireSamples(), BatchSize: 7}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("collected %d samples, want 50", len(got))
+	}
+	// Order preserved.
+	for i := 1; i < len(got); i++ {
+		if got[i].T < got[i-1].T {
+			t.Fatal("samples out of order")
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve returned %v", err)
+	}
+}
+
+func TestServerSequentialClients(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Samples: wireSamples()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		c, err := Dial(ln.Addr().String(), 2*time.Second)
+		if err != nil {
+			t.Fatalf("client %d dial: %v", i, err)
+		}
+		if err := c.Start(); err != nil {
+			t.Fatalf("client %d start: %v", i, err)
+		}
+		got, err := c.Collect()
+		if err != nil {
+			t.Fatalf("client %d collect: %v", i, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("client %d got %d samples", i, len(got))
+		}
+		c.Close()
+	}
+}
+
+func TestClientHandshakeRejectsGarbage(t *testing.T) {
+	client, server := net.Pipe()
+	defer server.Close()
+	go func() {
+		// Send a keepalive instead of the event notification.
+		_ = WriteMessage(server, Message{Type: MsgKeepalive, ID: 1})
+	}()
+	if _, err := NewClient(client); err == nil {
+		t.Error("handshake accepted wrong message type")
+	}
+	client.Close()
+}
+
+func TestServerEmptyInventory(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Samples: nil}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty inventory returned %d samples", len(got))
+	}
+}

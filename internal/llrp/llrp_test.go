@@ -1,0 +1,201 @@
+package llrp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Message{Type: MsgKeepalive, ID: 12345, Payload: []byte{1, 2, 3}}
+	if err := WriteMessage(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.ID != in.ID || !bytes.Equal(out.Payload, in.Payload) {
+		t.Errorf("round trip: %+v -> %+v", in, out)
+	}
+}
+
+func TestMessageRoundTripEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	in := Message{Type: MsgStartROSpec, ID: 7}
+	if err := WriteMessage(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.ID != in.ID || len(out.Payload) != 0 {
+		t.Errorf("round trip: %+v", out)
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(typ uint16, id uint32, payload []byte) bool {
+		typ &= 0x3ff
+		if len(payload) > 4096 {
+			payload = payload[:4096]
+		}
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, Message{Type: typ, ID: id, Payload: payload}); err != nil {
+			return false
+		}
+		out, err := ReadMessage(&buf)
+		if err != nil {
+			return false
+		}
+		return out.Type == typ && out.ID == id && bytes.Equal(out.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadMessageBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Message{Type: 1, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[0] = (b[0] &^ 0x1c) | (3 << 2) // overwrite version bits with 3
+	if _, err := ReadMessage(bytes.NewReader(b)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReadMessageTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Message{Type: 1, ID: 1, Payload: []byte{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := ReadMessage(bytes.NewReader(b[:len(b)-2])); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := ReadMessage(bytes.NewReader(b[:5])); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := ReadMessage(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Errorf("empty reader err = %v, want EOF", err)
+	}
+}
+
+func TestReadMessageLengthBounds(t *testing.T) {
+	// Length below header size.
+	raw := []byte{0x04, 0x01, 0, 0, 0, 5, 0, 0, 0, 1}
+	if _, err := ReadMessage(bytes.NewReader(raw)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short length err = %v", err)
+	}
+	// Absurd length.
+	raw = []byte{0x04, 0x01, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 1}
+	if _, err := ReadMessage(bytes.NewReader(raw)); !errors.Is(err, ErrTooLong) {
+		t.Errorf("huge length err = %v", err)
+	}
+}
+
+func TestWriteMessageTooLong(t *testing.T) {
+	err := WriteMessage(io.Discard, Message{Type: 1, Payload: make([]byte, MaxMessageLen)})
+	if !errors.Is(err, ErrTooLong) {
+		t.Errorf("err = %v, want ErrTooLong", err)
+	}
+}
+
+func sampleReports() []TagReport {
+	return []TagReport{
+		{EPC: "e28011050000000000000001", AntennaID: 1, RSSICentiDBm: -4550, Phase12: 1024, TimestampMicros: 1_000_000},
+		{EPC: "e28011050000000000000001", AntennaID: 2, RSSICentiDBm: -5000, Phase12: 4095, TimestampMicros: 1_010_000},
+		{EPC: "e28011050000000000000001", AntennaID: 1, RSSICentiDBm: -3875, Phase12: 0, TimestampMicros: 1_020_000},
+	}
+}
+
+func TestROAccessReportRoundTrip(t *testing.T) {
+	in := sampleReports()
+	m, err := EncodeROAccessReport(5, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialize through the framing too.
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeROAccessReport(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d reports, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("report %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestEncodeBadEPC(t *testing.T) {
+	_, err := EncodeROAccessReport(1, []TagReport{{EPC: "not-hex"}})
+	if err == nil {
+		t.Error("bad EPC accepted")
+	}
+}
+
+func TestDecodeWrongType(t *testing.T) {
+	_, err := DecodeROAccessReport(Message{Type: MsgKeepalive})
+	if !errors.Is(err, ErrUnknownType) {
+		t.Errorf("err = %v, want ErrUnknownType", err)
+	}
+}
+
+func TestDecodeCorruptParams(t *testing.T) {
+	m := Message{Type: MsgROAccessReport, Payload: []byte{0, 240, 0, 99}} // length 99 > buffer
+	if _, err := DecodeROAccessReport(m); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestPhase12Bounds(t *testing.T) {
+	in := []TagReport{{EPC: "aa", Phase12: 4095}}
+	m, err := EncodeROAccessReport(1, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeROAccessReport(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Phase12 != 4095 {
+		t.Errorf("phase = %d", out[0].Phase12)
+	}
+	rad := float64(out[0].Phase12) * 2 * math.Pi / 4096
+	if rad >= 2*math.Pi {
+		t.Errorf("decoded phase %v >= 2*pi", rad)
+	}
+}
+
+func TestEventNotification(t *testing.T) {
+	m := EventNotification(1)
+	if m.Type != MsgReaderEventNotification {
+		t.Errorf("type = %d", m.Type)
+	}
+	params, err := parseParams(m.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(params) != 1 || params[0].typ != ParamConnectionAttempt {
+		t.Errorf("params = %+v", params)
+	}
+}

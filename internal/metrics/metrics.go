@@ -1,0 +1,231 @@
+// Package metrics provides the evaluation statistics of section 5.1:
+// recognition accuracy accounting, Procrustes-distance summaries and
+// CDFs, and the letter confusion matrix.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0..100) of xs by linear
+// interpolation, or NaN for an empty slice. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[i]
+	}
+	return s[i] + frac*(s[i+1]-s[i])
+}
+
+// Median is the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// CDF returns (sorted values, cumulative fractions), the series
+// Fig. 19 plots.
+func CDF(xs []float64) (values, fractions []float64) {
+	values = append([]float64(nil), xs...)
+	sort.Float64s(values)
+	fractions = make([]float64, len(values))
+	for i := range values {
+		fractions[i] = float64(i+1) / float64(len(values))
+	}
+	return values, fractions
+}
+
+// Accuracy is a running success counter.
+type Accuracy struct {
+	Correct, Total int
+}
+
+// Add records one trial.
+func (a *Accuracy) Add(ok bool) {
+	a.Total++
+	if ok {
+		a.Correct++
+	}
+}
+
+// Rate returns the success fraction, or NaN with no trials.
+func (a Accuracy) Rate() float64 {
+	if a.Total == 0 {
+		return math.NaN()
+	}
+	return float64(a.Correct) / float64(a.Total)
+}
+
+// String formats like "93.6% (234/250)".
+func (a Accuracy) String() string {
+	return fmt.Sprintf("%.1f%% (%d/%d)", a.Rate()*100, a.Correct, a.Total)
+}
+
+// Confusion is the letter confusion matrix of Fig. 14: rows are input
+// (ground truth) letters, columns recognized letters.
+type Confusion struct {
+	counts [26][26]int
+}
+
+// Add records one classification of input letter in as letter out.
+// Non-letters are ignored.
+func (c *Confusion) Add(in, out rune) {
+	i, j := letterIndex(in), letterIndex(out)
+	if i < 0 || j < 0 {
+		return
+	}
+	c.counts[i][j]++
+}
+
+func letterIndex(r rune) int {
+	if r >= 'a' && r <= 'z' {
+		r -= 'a' - 'A'
+	}
+	if r < 'A' || r > 'Z' {
+		return -1
+	}
+	return int(r - 'A')
+}
+
+// Count returns how often input letter in was recognized as out.
+func (c *Confusion) Count(in, out rune) int {
+	i, j := letterIndex(in), letterIndex(out)
+	if i < 0 || j < 0 {
+		return 0
+	}
+	return c.counts[i][j]
+}
+
+// Rate returns the fraction of input letter in recognized as out, or
+// NaN when the letter was never presented.
+func (c *Confusion) Rate(in, out rune) float64 {
+	i := letterIndex(in)
+	if i < 0 {
+		return math.NaN()
+	}
+	var row int
+	for _, v := range c.counts[i] {
+		row += v
+	}
+	if row == 0 {
+		return math.NaN()
+	}
+	return float64(c.Count(in, out)) / float64(row)
+}
+
+// PerLetterAccuracy returns the diagonal rates for A..Z (NaN where a
+// letter was never presented), the numbers printed in Fig. 13.
+func (c *Confusion) PerLetterAccuracy() [26]float64 {
+	var out [26]float64
+	for i := 0; i < 26; i++ {
+		out[i] = c.Rate(rune('A'+i), rune('A'+i))
+	}
+	return out
+}
+
+// OverallAccuracy is total correct over total presented.
+func (c *Confusion) OverallAccuracy() float64 {
+	var correct, total int
+	for i := 0; i < 26; i++ {
+		for j := 0; j < 26; j++ {
+			total += c.counts[i][j]
+			if i == j {
+				correct += c.counts[i][j]
+			}
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(correct) / float64(total)
+}
+
+// TopConfusions returns the n most frequent off-diagonal (in, out)
+// pairs, most frequent first.
+func (c *Confusion) TopConfusions(n int) []string {
+	type pair struct {
+		in, out rune
+		count   int
+	}
+	var ps []pair
+	for i := 0; i < 26; i++ {
+		for j := 0; j < 26; j++ {
+			if i != j && c.counts[i][j] > 0 {
+				ps = append(ps, pair{rune('A' + i), rune('A' + j), c.counts[i][j]})
+			}
+		}
+	}
+	sort.Slice(ps, func(a, b int) bool {
+		if ps[a].count != ps[b].count {
+			return ps[a].count > ps[b].count
+		}
+		if ps[a].in != ps[b].in {
+			return ps[a].in < ps[b].in
+		}
+		return ps[a].out < ps[b].out
+	})
+	if n > len(ps) {
+		n = len(ps)
+	}
+	out := make([]string, 0, n)
+	for _, p := range ps[:n] {
+		out = append(out, fmt.Sprintf("%c->%c x%d", p.in, p.out, p.count))
+	}
+	return out
+}
+
+// String renders the matrix as rows of per-thousand rates, compact
+// enough for terminal output.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	b.WriteString("    ")
+	for j := 0; j < 26; j++ {
+		fmt.Fprintf(&b, "%3c", 'A'+j)
+	}
+	b.WriteByte('\n')
+	for i := 0; i < 26; i++ {
+		var row int
+		for _, v := range c.counts[i] {
+			row += v
+		}
+		if row == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%c | ", 'A'+i)
+		for j := 0; j < 26; j++ {
+			pct := int(math.Round(float64(c.counts[i][j]) / float64(row) * 99))
+			if pct == 0 {
+				b.WriteString("  .")
+			} else {
+				fmt.Fprintf(&b, "%3d", pct)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

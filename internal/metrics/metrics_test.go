@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v", got)
+	}
+	if got := Percentile(xs, 90); math.Abs(got-4.6) > 1e-9 {
+		t.Errorf("P90 = %v, want 4.6", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile not NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile sorted its input in place")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("empty mean not NaN")
+	}
+	if got := Median([]float64{9, 1, 5}); got != 5 {
+		t.Errorf("Median = %v", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	vs, fs := CDF([]float64{3, 1, 2})
+	if vs[0] != 1 || vs[2] != 3 {
+		t.Errorf("CDF values = %v", vs)
+	}
+	if fs[0] != 1.0/3 || fs[2] != 1 {
+		t.Errorf("CDF fractions = %v", fs)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	var a Accuracy
+	if !math.IsNaN(a.Rate()) {
+		t.Error("empty accuracy not NaN")
+	}
+	a.Add(true)
+	a.Add(true)
+	a.Add(false)
+	if math.Abs(a.Rate()-2.0/3) > 1e-12 {
+		t.Errorf("rate = %v", a.Rate())
+	}
+	if !strings.Contains(a.String(), "2/3") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestConfusionBasics(t *testing.T) {
+	var c Confusion
+	c.Add('A', 'A')
+	c.Add('A', 'A')
+	c.Add('A', 'B')
+	c.Add('l', 'i') // lowercase accepted
+	c.Add('@', 'A') // ignored
+	if got := c.Count('A', 'A'); got != 2 {
+		t.Errorf("Count(A,A) = %d", got)
+	}
+	if got := c.Count('L', 'I'); got != 1 {
+		t.Errorf("Count(L,I) = %d", got)
+	}
+	if got := c.Rate('A', 'A'); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Rate(A,A) = %v", got)
+	}
+	if !math.IsNaN(c.Rate('Z', 'Z')) {
+		t.Error("unseen letter rate not NaN")
+	}
+	want := 2.0 / 4 // only the two A->A trials are correct
+	if got := c.OverallAccuracy(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("overall = %v, want %v", got, want)
+	}
+}
+
+func TestConfusionPerLetter(t *testing.T) {
+	var c Confusion
+	for i := 0; i < 9; i++ {
+		c.Add('Q', 'Q')
+	}
+	c.Add('Q', 'O')
+	acc := c.PerLetterAccuracy()
+	if math.Abs(acc['Q'-'A']-0.9) > 1e-12 {
+		t.Errorf("Q accuracy = %v", acc['Q'-'A'])
+	}
+	if !math.IsNaN(acc[0]) {
+		t.Error("unseen A accuracy not NaN")
+	}
+}
+
+func TestTopConfusions(t *testing.T) {
+	var c Confusion
+	c.Add('L', 'I')
+	c.Add('L', 'I')
+	c.Add('V', 'U')
+	top := c.TopConfusions(5)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if !strings.HasPrefix(top[0], "L->I") {
+		t.Errorf("top[0] = %q", top[0])
+	}
+	if got := c.TopConfusions(0); len(got) != 0 {
+		t.Errorf("TopConfusions(0) = %v", got)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	var c Confusion
+	c.Add('A', 'A')
+	s := c.String()
+	if !strings.Contains(s, "A |") {
+		t.Errorf("matrix render missing row: %q", s)
+	}
+	// Unseen rows are omitted.
+	if strings.Contains(s, "B |") {
+		t.Error("matrix rendered empty row")
+	}
+}
+
+func TestEmptyConfusion(t *testing.T) {
+	var c Confusion
+	if !math.IsNaN(c.OverallAccuracy()) {
+		t.Error("empty overall accuracy not NaN")
+	}
+}

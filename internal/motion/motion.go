@@ -1,0 +1,305 @@
+// Package motion synthesizes the physical experiments of the paper:
+// a volunteer writing letters and words on (or in front of) a
+// whiteboard with an RFID-tagged pen, plus the section 2 feasibility
+// rigs (a tag rotating on a turntable, a tag translating on a slide).
+//
+// A Session is a densely time-sampled sequence of pen poses together
+// with the ground-truth tip trajectory; the reader simulator
+// interrogates the session at its own (jittered) schedule.
+package motion
+
+import (
+	"math"
+
+	"polardraw/internal/geom"
+	"polardraw/internal/pen"
+	"polardraw/internal/rf"
+	"polardraw/internal/rng"
+)
+
+// Rig is the physical experiment setup of Fig. 4 / Fig. 17: a writing
+// block on a whiteboard with two linearly polarized antennas mounted
+// above it. All lengths are metres.
+type Rig struct {
+	// BoardW, BoardH bound the writing block.
+	BoardW, BoardH float64
+	// AntennaX1, AntennaX2 are the antennas' horizontal positions.
+	AntennaX1, AntennaX2 float64
+	// AntennaY is the antennas' vertical position (negative = above the
+	// writing block, whose top edge is y=0).
+	AntennaY float64
+	// AntennaZ is the antennas' standoff in front of the board.
+	AntennaZ float64
+	// Gamma is the inter-antenna polarization angle of section 3.3.
+	Gamma float64
+}
+
+// DefaultRig mirrors the paper's comparison setup (Fig. 17): antennas
+// 86.5 cm apart above a 56 cm writing block, about 1 m from the tag
+// (the sweet spot of Table 5), polarization angle gamma = 15 degrees
+// (the section 5.4.2 default). The antennas sit slightly above the
+// block but mostly in front of it, facing the writing area broadside
+// -- the geometry both the polarization-mismatch model (Fig. 8) and a
+// dipole tag's radiation pattern need; an antenna looking along the
+// board would see the dipole end-on and couple terribly.
+func DefaultRig() Rig {
+	return Rig{
+		BoardW:    0.56,
+		BoardH:    0.25,
+		AntennaX1: -0.1525, // centres the 86.5 cm pair on the block
+		AntennaX2: 0.7125,
+		AntennaY:  -0.35,
+		AntennaZ:  0.90,
+		Gamma:     geom.Radians(15),
+	}
+}
+
+// WithGamma returns a copy of the rig with a different inter-antenna
+// polarization angle (Table 8 sweeps this).
+func (r Rig) WithGamma(gamma float64) Rig {
+	r.Gamma = gamma
+	return r
+}
+
+// WithStandoff returns a copy of the rig with both antennas moved
+// radially so the straight-line distance from the writing block centre
+// to each antenna is approximately d metres (Table 5 / Fig. 22 sweep
+// tag-to-reader distance). Antenna separation scales along, matching
+// how the paper's microbenchmark rig is brought closer to or farther
+// from the writing area as a unit.
+func (r Rig) WithStandoff(d float64) Rig {
+	centre := geom.Vec3{X: r.BoardW / 2, Y: r.BoardH / 2, Z: 0}
+	cur := r.Antennas()[0].Pos.Dist(centre)
+	if cur <= 0 {
+		return r
+	}
+	scale := d / cur
+	r.AntennaX1 = centre.X + (r.AntennaX1-centre.X)*scale
+	r.AntennaX2 = centre.X + (r.AntennaX2-centre.X)*scale
+	r.AntennaY = centre.Y + (r.AntennaY-centre.Y)*scale
+	r.AntennaZ *= scale
+	return r
+}
+
+// Antennas instantiates the two linearly polarized antennas, aimed at
+// the writing block centre.
+func (r Rig) Antennas() [2]rf.Antenna {
+	target := geom.Vec3{X: r.BoardW / 2, Y: r.BoardH / 2}
+	return rf.PairAtGamma(r.AntennaX1, r.AntennaX2, r.AntennaY, r.AntennaZ, r.Gamma, target)
+}
+
+// Centre returns the middle of the writing block.
+func (r Rig) Centre() geom.Vec2 { return geom.Vec2{X: r.BoardW / 2, Y: r.BoardH / 2} }
+
+// TagReaderDistance reports the distance from the writing-block centre
+// to the first antenna, the quantity the Table 5 sweep varies.
+func (r Rig) TagReaderDistance() float64 {
+	return r.Antennas()[0].Pos.Dist(geom.Vec3{X: r.BoardW / 2, Y: r.BoardH / 2})
+}
+
+// Session is a time-sampled pen recording.
+type Session struct {
+	// DT is the sampling period of Poses, seconds.
+	DT float64
+	// Poses are the pen states at t = 0, DT, 2*DT, ...
+	Poses []pen.Pose
+	// Truth is the ground-truth tip trajectory (every pose's board
+	// position), the reference for Procrustes scoring. It has the same
+	// length as Poses.
+	Truth geom.Polyline
+	// Label is what was written ("A", "HELLO", "turntable", ...).
+	Label string
+}
+
+// Duration returns the session length in seconds.
+func (s *Session) Duration() float64 {
+	if len(s.Poses) == 0 {
+		return 0
+	}
+	return float64(len(s.Poses)-1) * s.DT
+}
+
+// PoseAt returns the linearly interpolated pose at time t, clamped to
+// the session bounds.
+func (s *Session) PoseAt(t float64) pen.Pose {
+	if len(s.Poses) == 0 {
+		return pen.Pose{}
+	}
+	if t <= 0 {
+		return s.Poses[0]
+	}
+	idx := t / s.DT
+	i := int(idx)
+	if i >= len(s.Poses)-1 {
+		return s.Poses[len(s.Poses)-1]
+	}
+	frac := idx - float64(i)
+	a, b := s.Poses[i], s.Poses[i+1]
+	return pen.Pose{
+		Pos:       a.Pos.Lerp(b.Pos, frac),
+		Z:         a.Z + (b.Z-a.Z)*frac,
+		Azimuth:   a.Azimuth + geom.AngleDiff(a.Azimuth, b.Azimuth)*frac,
+		Elevation: a.Elevation + (b.Elevation-a.Elevation)*frac,
+	}
+}
+
+// At implements the reader simulator's Scene interface: the tag
+// position and dipole axis at time t.
+func (s *Session) At(t float64) (geom.Vec3, geom.Vec3) {
+	p := s.PoseAt(t)
+	return p.Point(), p.Axis()
+}
+
+// Config controls session synthesis.
+type Config struct {
+	// Style is the writer (zero value = DefaultStyle()).
+	Style pen.Style
+	// InAir removes the whiteboard: the pen tip drifts off-plane.
+	InAir bool
+	// Seed makes the session reproducible.
+	Seed uint64
+	// DT is the pose sampling period (default 5 ms).
+	DT float64
+	// LeadIn is a stationary hold before writing starts (default
+	// 0.3 s), which the reader's modulation auto-selection probes.
+	LeadIn float64
+}
+
+func (c Config) normalized() Config {
+	if c.Style.Speed == 0 {
+		c.Style = c.Style.Normalize()
+	}
+	if c.DT == 0 {
+		c.DT = 0.005
+	}
+	if c.LeadIn == 0 {
+		c.LeadIn = 0.3
+	}
+	return c
+}
+
+// Write synthesizes a writing session along the given target path
+// (board coordinates, metres). The pen moves at the style's speed with
+// hand tremor; the azimuth follows the wrist model; elevation wobbles
+// slowly around the writer's habit; in-air sessions add off-plane
+// drift.
+func Write(path geom.Polyline, label string, cfg Config) *Session {
+	cfg = cfg.normalized()
+	st := cfg.Style
+	r := rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	tremorRng := r.Fork(1)
+	driftRng := r.Fork(2)
+	elevPhase := r.Uniform(0, 2*math.Pi)
+
+	total := path.Length()
+	writeTime := total / st.Speed
+	n := int((cfg.LeadIn+writeTime)/cfg.DT) + 2
+	// Pre-resample the path at fine, uniform arc-length spacing so
+	// position lookup per timestep is an index.
+	samplesDuringWrite := int(writeTime/cfg.DT) + 1
+	if samplesDuringWrite < 2 {
+		samplesDuringWrite = 2
+	}
+	resampled := path.Resample(samplesDuringWrite)
+
+	s := &Session{DT: cfg.DT, Label: label}
+	az := math.Pi / 2 // pen starts vertical
+	var tremor geom.Vec2
+	var drift float64
+	const tremorAlpha = 0.92 // AR(1) smoothness of hand tremor
+	const driftAlpha = 0.995 // slow off-plane drift in the air
+
+	leadSamples := int(cfg.LeadIn / cfg.DT)
+	for i := 0; i < n; i++ {
+		t := float64(i) * cfg.DT
+		var target geom.Vec2
+		var vel geom.Vec2
+		switch {
+		case i < leadSamples || len(resampled) == 0:
+			target = resampled[0]
+		default:
+			j := i - leadSamples
+			if j >= len(resampled) {
+				j = len(resampled) - 1
+			}
+			target = resampled[j]
+			if j > 0 {
+				vel = resampled[j].Sub(resampled[j-1]).Scale(1 / cfg.DT)
+			}
+		}
+		// Hand tremor: AR(1) noise around the target. The innovation is
+		// scaled so tremor-induced instantaneous speed stays well below
+		// the paper's 0.2 m/s tracking bound.
+		tremor = tremor.Scale(tremorAlpha).Add(geom.Vec2{
+			X: tremorRng.NormScaled(0, st.Tremor*(1-tremorAlpha)*1.5),
+			Y: tremorRng.NormScaled(0, st.Tremor*(1-tremorAlpha)*1.5),
+		})
+		pos := target.Add(tremor)
+
+		az = st.Wrist(az, vel, cfg.DT)
+		elev := st.Elevation + st.ElevationWobble*math.Sin(2*math.Pi*0.4*t+elevPhase)
+
+		z := 0.0
+		if cfg.InAir {
+			drift = drift*driftAlpha + driftRng.NormScaled(0, st.AirDrift*(1-driftAlpha)*6)
+			z = 0.05 + drift // hovering ~5 cm off the virtual board
+		}
+
+		s.Poses = append(s.Poses, pen.Pose{Pos: pos, Z: z, Azimuth: az, Elevation: elev})
+		s.Truth = append(s.Truth, pos)
+	}
+	return s
+}
+
+// WrittenTruth returns only the portion of the ground truth after the
+// lead-in hold, which is what should be compared against recovered
+// trajectories.
+func WrittenTruth(s *Session, cfg Config) geom.Polyline {
+	cfg = cfg.normalized()
+	lead := int(cfg.LeadIn / cfg.DT)
+	if lead >= len(s.Truth) {
+		return s.Truth
+	}
+	return s.Truth[lead:]
+}
+
+// Turntable reproduces the section 2 rotation rig: a tag flat on a
+// turntable (dipole in the board plane) rotating at omega rad/s for
+// dur seconds, sampled every dt. The tag sits at the origin; the
+// caller positions the antenna (the paper used one antenna 2.5 m
+// directly above).
+func Turntable(omega, dur, dt float64) *Session {
+	s := &Session{DT: dt, Label: "turntable"}
+	n := int(dur/dt) + 1
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		s.Poses = append(s.Poses, pen.Pose{Azimuth: geom.WrapAngle(omega * t), Elevation: 0})
+		s.Truth = append(s.Truth, geom.Vec2{})
+	}
+	return s
+}
+
+// Slide reproduces the section 2 translation rig: the tag moves back
+// and forth along +Z (toward/away from the overhead antenna) with the
+// given amplitude (metres) and period (seconds), orientation fixed and
+// aligned with the antenna.
+func Slide(amplitude, period, dur, dt float64) *Session {
+	s := &Session{DT: dt, Label: "slide"}
+	n := int(dur/dt) + 1
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		// Triangle wave: constant-speed back-and-forth like a hand
+		// moving a tag on a rail.
+		phase := math.Mod(t/period, 1)
+		var frac float64
+		if phase < 0.5 {
+			frac = phase * 2
+		} else {
+			frac = 2 - phase*2
+		}
+		z := amplitude * frac
+		s.Poses = append(s.Poses, pen.Pose{Z: z, Azimuth: math.Pi / 2, Elevation: 0})
+		s.Truth = append(s.Truth, geom.Vec2{})
+	}
+	return s
+}

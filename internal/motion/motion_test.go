@@ -1,0 +1,205 @@
+package motion
+
+import (
+	"math"
+	"testing"
+
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+)
+
+func letterPath(r rune, size float64, at geom.Vec2) geom.Polyline {
+	g, _ := font.Lookup(r)
+	return g.Path().Scale(size).Translate(at)
+}
+
+func TestDefaultRigGeometry(t *testing.T) {
+	rig := DefaultRig()
+	ants := rig.Antennas()
+	sep := ants[0].Pos.Dist(ants[1].Pos)
+	if math.Abs(sep-0.865) > 1e-9 {
+		t.Errorf("antenna separation = %v, want 0.865", sep)
+	}
+	d := rig.TagReaderDistance()
+	if d < 0.8 || d > 1.2 {
+		t.Errorf("tag-reader distance = %v, want ~1 m", d)
+	}
+	if rig.Gamma != geom.Radians(15) {
+		t.Errorf("gamma = %v", geom.Degrees(rig.Gamma))
+	}
+}
+
+func TestWithStandoff(t *testing.T) {
+	rig := DefaultRig()
+	for _, d := range []float64{0.2, 0.6, 1.0, 1.4} {
+		r2 := rig.WithStandoff(d)
+		got := r2.TagReaderDistance()
+		if math.Abs(got-d) > 0.08 {
+			t.Errorf("WithStandoff(%v) produced distance %v", d, got)
+		}
+	}
+}
+
+func TestWithGamma(t *testing.T) {
+	rig := DefaultRig().WithGamma(geom.Radians(45))
+	ants := rig.Antennas()
+	if d := geom.AngleDist(ants[0].PolAngle, math.Pi/2+geom.Radians(45)); d > 1e-9 {
+		t.Errorf("gamma not applied: %v", d)
+	}
+}
+
+func TestWriteSessionBasics(t *testing.T) {
+	path := letterPath('M', 0.2, geom.Vec2{X: 0.2, Y: 0.02})
+	s := Write(path, "M", Config{Seed: 1})
+	if s.Label != "M" {
+		t.Errorf("label = %q", s.Label)
+	}
+	if len(s.Poses) != len(s.Truth) {
+		t.Fatalf("poses %d != truth %d", len(s.Poses), len(s.Truth))
+	}
+	wantDur := 0.3 + path.Length()/0.12 // lead-in + length/speed
+	if math.Abs(s.Duration()-wantDur) > 0.05 {
+		t.Errorf("duration = %v, want ~%v", s.Duration(), wantDur)
+	}
+	// Pen speed averaged over the tracker's 50 ms window must respect
+	// the paper's v_max = 0.2 m/s assumption (instantaneous micro-tremor
+	// may exceed it; the tracker never sees sub-window motion).
+	win := int(0.05 / s.DT)
+	for i := win; i < len(s.Poses); i++ {
+		v := s.Poses[i].Pos.Dist(s.Poses[i-win].Pos) / 0.05
+		if v > 0.2 {
+			t.Fatalf("windowed pen speed %v m/s at sample %d exceeds 0.2", v, i)
+		}
+	}
+}
+
+func TestWriteDeterministic(t *testing.T) {
+	path := letterPath('C', 0.2, geom.Vec2{X: 0.2, Y: 0.02})
+	a := Write(path, "C", Config{Seed: 42})
+	b := Write(path, "C", Config{Seed: 42})
+	if len(a.Poses) != len(b.Poses) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a.Poses {
+		if a.Poses[i] != b.Poses[i] {
+			t.Fatalf("pose %d differs", i)
+		}
+	}
+	c := Write(path, "C", Config{Seed: 43})
+	diff := 0
+	for i := range a.Poses {
+		if i < len(c.Poses) && a.Poses[i] != c.Poses[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds gave identical sessions")
+	}
+}
+
+func TestWriteTracksPath(t *testing.T) {
+	path := letterPath('Z', 0.2, geom.Vec2{X: 0.18, Y: 0.02})
+	s := Write(path, "Z", Config{Seed: 7})
+	d, err := geom.ProcrustesDistance(WrittenTruth(s, Config{}), path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.01 {
+		t.Errorf("truth deviates from target path by %v m", d)
+	}
+}
+
+func TestWristCouplingInSession(t *testing.T) {
+	// A long horizontal right stroke must leave the pen tilted right
+	// (azimuth < pi/2).
+	path := geom.Polyline{{X: 0.1, Y: 0.12}, {X: 0.45, Y: 0.12}}
+	s := Write(path, "stroke", Config{Seed: 3})
+	last := s.Poses[len(s.Poses)-1]
+	if last.Azimuth >= math.Pi/2 {
+		t.Errorf("rightward stroke ended with azimuth %v deg", geom.Degrees(last.Azimuth))
+	}
+}
+
+func TestInAirAddsDrift(t *testing.T) {
+	path := letterPath('O', 0.2, geom.Vec2{X: 0.2, Y: 0.02})
+	board := Write(path, "O", Config{Seed: 5})
+	air := Write(path, "O", Config{Seed: 5, InAir: true})
+	var maxBoardZ, spanAirZ float64
+	minAir, maxAir := math.Inf(1), math.Inf(-1)
+	for i := range board.Poses {
+		maxBoardZ = math.Max(maxBoardZ, math.Abs(board.Poses[i].Z))
+	}
+	for i := range air.Poses {
+		minAir = math.Min(minAir, air.Poses[i].Z)
+		maxAir = math.Max(maxAir, air.Poses[i].Z)
+	}
+	spanAirZ = maxAir - minAir
+	if maxBoardZ != 0 {
+		t.Errorf("whiteboard session has off-plane motion: %v", maxBoardZ)
+	}
+	if spanAirZ < 0.005 {
+		t.Errorf("in-air session Z span = %v m, want noticeable drift", spanAirZ)
+	}
+}
+
+func TestPoseAtInterpolation(t *testing.T) {
+	path := geom.Polyline{{X: 0, Y: 0}, {X: 0.1, Y: 0}}
+	s := Write(path, "seg", Config{Seed: 2})
+	if got := s.PoseAt(-1); got != s.Poses[0] {
+		t.Error("PoseAt(-1) should clamp to first pose")
+	}
+	if got := s.PoseAt(1e9); got != s.Poses[len(s.Poses)-1] {
+		t.Error("PoseAt(inf) should clamp to last pose")
+	}
+	mid := s.PoseAt(s.DT / 2)
+	a, b := s.Poses[0], s.Poses[1]
+	wantX := (a.Pos.X + b.Pos.X) / 2
+	if math.Abs(mid.Pos.X-wantX) > 1e-12 {
+		t.Errorf("interpolated X = %v, want %v", mid.Pos.X, wantX)
+	}
+}
+
+func TestTurntableRotation(t *testing.T) {
+	omega := geom.Radians(45) // 45 deg/s
+	s := Turntable(omega, 10, 0.01)
+	// Azimuth must advance linearly (mod 2pi).
+	p1 := s.PoseAt(1).Azimuth
+	p2 := s.PoseAt(2).Azimuth
+	if geom.AngleDist(geom.WrapAngle(p2-p1), geom.WrapAngle(omega)) > 1e-6 {
+		t.Errorf("turntable rate = %v, want %v", p2-p1, omega)
+	}
+	// Position must not move.
+	pos1, _ := s.At(0)
+	pos2, _ := s.At(5)
+	if pos1.Dist(pos2) != 0 {
+		t.Error("turntable tag moved")
+	}
+}
+
+func TestSlideTranslation(t *testing.T) {
+	s := Slide(0.08, 4, 8, 0.01)
+	var minZ, maxZ = math.Inf(1), math.Inf(-1)
+	for _, p := range s.Poses {
+		minZ = math.Min(minZ, p.Z)
+		maxZ = math.Max(maxZ, p.Z)
+	}
+	if math.Abs(minZ) > 1e-9 || math.Abs(maxZ-0.08) > 1e-3 {
+		t.Errorf("slide range [%v, %v], want [0, 0.08]", minZ, maxZ)
+	}
+	// Orientation fixed.
+	for _, p := range s.Poses {
+		if p.Azimuth != math.Pi/2 {
+			t.Fatal("slide rotated the tag")
+		}
+	}
+}
+
+func TestEmptySession(t *testing.T) {
+	s := &Session{DT: 0.01}
+	if s.Duration() != 0 {
+		t.Error("empty duration")
+	}
+	if got := s.PoseAt(1); got != (s.PoseAt(0)) {
+		t.Error("empty PoseAt should be stable")
+	}
+}

@@ -1,0 +1,163 @@
+// Package pen models the whiteboard pen's pose and the wrist kinematics
+// that couple pen motion to pen rotation.
+//
+// Angle conventions follow the paper's Table 2 / Figure 6, adapted to
+// the board frame (X right, Y down the board, Z out of the board):
+//
+//   - Azimuth alpha_a: the pen axis projected onto the board plane,
+//     measured from +X toward "up the board" (-Y). A pen held straight
+//     up has alpha_a = pi/2; tilting the pen to the right decreases
+//     alpha_a (a clockwise rotation, in the paper's terms), tilting
+//     left increases it (counterclockwise).
+//   - Elevation alpha_e: the pen axis' angle out of the board plane
+//     toward the writer (+Z). While writing this stays near 30 degrees
+//     and varies little (section 3.3.1's simplifying assumption).
+//   - Rotation alpha_r: the pen direction projected on the board (the
+//     writing plane), derived from alpha_a and alpha_e by Eq. 1. The
+//     pen's instantaneous moving direction is perpendicular to it.
+//
+// The key behavioural fact (section 3.2): wrist movements rotate the
+// pen clockwise when it moves right and counterclockwise when it moves
+// left. Style captures how strongly a given writer does that; the
+// paper's User 2 writes in a "stiff" style with almost no rotation.
+package pen
+
+import (
+	"math"
+
+	"polardraw/internal/geom"
+)
+
+// Pose is the pen's full state at one instant.
+type Pose struct {
+	// Pos is the pen tip (and tag) position on the board plane, metres.
+	Pos geom.Vec2
+	// Z is the tip's off-plane coordinate: 0 on the whiteboard,
+	// positive when hovering / writing in the air.
+	Z float64
+	// Azimuth is alpha_a, radians.
+	Azimuth float64
+	// Elevation is alpha_e, radians.
+	Elevation float64
+}
+
+// Axis returns the tag dipole direction (unit vector, board frame)
+// implied by the pose: the pen barrel direction from tip toward cap.
+func (p Pose) Axis() geom.Vec3 {
+	se, ce := math.Sincos(p.Elevation)
+	sa, ca := math.Sincos(p.Azimuth)
+	return geom.Vec3{X: ce * ca, Y: -ce * sa, Z: se}
+}
+
+// Point returns the tag's 3-D position.
+func (p Pose) Point() geom.Vec3 { return geom.Vec3{X: p.Pos.X, Y: p.Pos.Y, Z: p.Z} }
+
+// Rotation returns alpha_r: the pen axis projected onto the board
+// plane expressed as an angle from +X toward -Y, computed from azimuth
+// and elevation exactly as tracking inverts it with Eq. 1. For the
+// in-plane convention used here the projection is simply the azimuth,
+// so this is the identity map; it exists so the forward model and the
+// tracker share one definition.
+func (p Pose) Rotation() float64 { return p.Azimuth }
+
+// Style captures one writer's habits. Zero values are replaced by the
+// defaults of DefaultStyle.
+type Style struct {
+	// Name labels the style in experiment output.
+	Name string
+	// Speed is the nominal pen speed while drawing, m/s. The paper
+	// bounds tracking at v_max = 0.2 m/s.
+	Speed float64
+	// MaxTilt is how far (radians) the wrist tilts the pen away from
+	// vertical at full lateral speed.
+	MaxTilt float64
+	// TiltLag is the first-order time constant (seconds) with which the
+	// azimuth chases its velocity-implied target.
+	TiltLag float64
+	// MaxTiltRate caps the azimuth slew rate, rad/s.
+	MaxTiltRate float64
+	// Elevation is the writer's habitual pen elevation, radians.
+	Elevation float64
+	// ElevationWobble is the amplitude of slow elevation variation.
+	ElevationWobble float64
+	// Tremor is the hand-tremor positional noise amplitude, metres.
+	Tremor float64
+	// AirDrift is the off-plane drift amplitude when writing in the
+	// air (no whiteboard to constrain Z), metres.
+	AirDrift float64
+}
+
+func orDefault(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// Normalize fills zero fields with the default writer's values.
+func (s Style) Normalize() Style {
+	s.Speed = orDefault(s.Speed, 0.12)
+	s.MaxTilt = orDefault(s.MaxTilt, geom.Radians(32))
+	// Direction reversals are wrist flicks: the tilt retargets quickly,
+	// which is what makes rotation-dominated windows (RSS swings above
+	// the paper's 2 dB mode threshold) actually occur while writing.
+	s.TiltLag = orDefault(s.TiltLag, 0.07)
+	s.MaxTiltRate = orDefault(s.MaxTiltRate, geom.Radians(260))
+	s.Elevation = orDefault(s.Elevation, geom.Radians(30))
+	s.ElevationWobble = orDefault(s.ElevationWobble, geom.Radians(3))
+	s.Tremor = orDefault(s.Tremor, 0.0012)
+	s.AirDrift = orDefault(s.AirDrift, 0.02)
+	return s
+}
+
+// DefaultStyle is the paper's primary volunteer: relaxed wrist, 20 cm
+// letters at comfortable speed.
+func DefaultStyle() Style {
+	return Style{Name: "user1"}.Normalize()
+}
+
+// StiffStyle reproduces the paper's User 2, instructed to write
+// "unnaturally stiffly", rotating the pen only slightly (Fig. 21).
+func StiffStyle() Style {
+	return Style{
+		Name:    "user2-stiff",
+		MaxTilt: geom.Radians(6),
+		TiltLag: 0.25,
+	}.Normalize()
+}
+
+// Users returns the four per-user styles of the Fig. 21 experiment.
+func Users() []Style {
+	return []Style{
+		DefaultStyle(),
+		StiffStyle(),
+		Style{Name: "user3", Speed: 0.16, MaxTilt: geom.Radians(35), Tremor: 0.0018}.Normalize(),
+		Style{Name: "user4", Speed: 0.09, MaxTilt: geom.Radians(22), Elevation: geom.Radians(38)}.Normalize(),
+	}
+}
+
+// Wrist integrates the azimuth dynamics: given the previous azimuth,
+// the pen's board-plane velocity (m/s) and a timestep dt, it returns
+// the next azimuth. The target tilt follows the horizontal velocity
+// component (rightward motion tilts the pen right of vertical), and
+// the azimuth chases it through a rate-limited first-order lag.
+func (s Style) Wrist(prevAzimuth float64, vel geom.Vec2, dt float64) float64 {
+	speed := vel.Norm()
+	var target float64
+	if speed < 1e-6 {
+		target = prevAzimuth // no motion: hold
+	} else {
+		// Fraction of motion that is horizontal, signed: +1 moving
+		// right, -1 moving left.
+		frac := vel.X / speed
+		target = math.Pi/2 - s.MaxTilt*frac
+	}
+	raw := (target - prevAzimuth) / s.TiltLag
+	maxStep := s.MaxTiltRate
+	if raw > maxStep {
+		raw = maxStep
+	} else if raw < -maxStep {
+		raw = -maxStep
+	}
+	return prevAzimuth + raw*dt
+}

@@ -1,0 +1,157 @@
+package pen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"polardraw/internal/geom"
+)
+
+func TestAxisVerticalPen(t *testing.T) {
+	// A pen straight up the board (azimuth pi/2) with zero elevation
+	// points along -Y.
+	p := Pose{Azimuth: math.Pi / 2, Elevation: 0}
+	a := p.Axis()
+	if math.Abs(a.X) > 1e-12 || math.Abs(a.Y+1) > 1e-12 || math.Abs(a.Z) > 1e-12 {
+		t.Errorf("axis = %v, want (0,-1,0)", a)
+	}
+}
+
+func TestAxisElevationLeansOut(t *testing.T) {
+	p := Pose{Azimuth: math.Pi / 2, Elevation: geom.Radians(30)}
+	a := p.Axis()
+	if a.Z <= 0 {
+		t.Errorf("elevated pen should lean out of the board: %v", a)
+	}
+	if math.Abs(a.Norm()-1) > 1e-12 {
+		t.Errorf("axis not unit: %v", a.Norm())
+	}
+}
+
+func TestAxisUnitAlways(t *testing.T) {
+	f := func(az, el float64) bool {
+		if math.IsNaN(az) || math.IsInf(az, 0) || math.IsNaN(el) || math.IsInf(el, 0) {
+			return true
+		}
+		a := Pose{Azimuth: az, Elevation: el}.Axis()
+		return math.Abs(a.Norm()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTiltRightDecreasesAzimuth(t *testing.T) {
+	// Tilting right of vertical (azimuth < pi/2) must rotate the
+	// in-plane axis toward +X.
+	up := Pose{Azimuth: math.Pi / 2}.Axis()
+	right := Pose{Azimuth: math.Pi/2 - geom.Radians(20)}.Axis()
+	if right.X <= up.X {
+		t.Errorf("right tilt X component %v should exceed vertical %v", right.X, up.X)
+	}
+}
+
+func TestWristRotatesWithMotion(t *testing.T) {
+	s := DefaultStyle()
+	az := math.Pi / 2
+	// Move right for a while: azimuth must fall below pi/2 (clockwise).
+	for i := 0; i < 100; i++ {
+		az = s.Wrist(az, geom.Vec2{X: 0.15}, 0.01)
+	}
+	if az >= math.Pi/2 {
+		t.Errorf("moving right kept azimuth at %v", az)
+	}
+	wantMin := math.Pi/2 - s.MaxTilt - 1e-6
+	if az < wantMin {
+		t.Errorf("azimuth overshot max tilt: %v < %v", az, wantMin)
+	}
+	// Now move left: azimuth must recover past pi/2 (counterclockwise).
+	for i := 0; i < 200; i++ {
+		az = s.Wrist(az, geom.Vec2{X: -0.15}, 0.01)
+	}
+	if az <= math.Pi/2 {
+		t.Errorf("moving left kept azimuth at %v", az)
+	}
+}
+
+func TestWristVerticalMotionNeutral(t *testing.T) {
+	s := DefaultStyle()
+	az := math.Pi/2 - geom.Radians(10)
+	// Pure vertical motion drives the target back to vertical.
+	for i := 0; i < 300; i++ {
+		az = s.Wrist(az, geom.Vec2{Y: 0.1}, 0.01)
+	}
+	if geom.AngleDist(az, math.Pi/2) > geom.Radians(1) {
+		t.Errorf("vertical motion should recentre the pen, azimuth = %v deg", geom.Degrees(az))
+	}
+}
+
+func TestWristHoldsWhenStill(t *testing.T) {
+	s := DefaultStyle()
+	az0 := math.Pi/2 + 0.2
+	az := s.Wrist(az0, geom.Vec2{}, 0.05)
+	if az != az0 {
+		t.Errorf("stationary pen rotated: %v -> %v", az0, az)
+	}
+}
+
+func TestWristRateLimited(t *testing.T) {
+	s := DefaultStyle()
+	dt := 0.01
+	az0 := math.Pi / 2
+	az := s.Wrist(az0, geom.Vec2{X: 10}, dt) // absurd speed
+	if math.Abs(az-az0) > s.MaxTiltRate*dt+1e-12 {
+		t.Errorf("slew %v exceeded limit %v", math.Abs(az-az0), s.MaxTiltRate*dt)
+	}
+}
+
+func TestStiffStyleRotatesLess(t *testing.T) {
+	def, stiff := DefaultStyle(), StiffStyle()
+	azD, azS := math.Pi/2, math.Pi/2
+	for i := 0; i < 200; i++ {
+		azD = def.Wrist(azD, geom.Vec2{X: 0.15}, 0.01)
+		azS = stiff.Wrist(azS, geom.Vec2{X: 0.15}, 0.01)
+	}
+	if math.Pi/2-azS >= math.Pi/2-azD {
+		t.Errorf("stiff writer tilted %v, default %v", math.Pi/2-azS, math.Pi/2-azD)
+	}
+}
+
+func TestStyleNormalizeFillsDefaults(t *testing.T) {
+	s := Style{Name: "x"}.Normalize()
+	if s.Speed == 0 || s.MaxTilt == 0 || s.TiltLag == 0 || s.Elevation == 0 ||
+		s.MaxTiltRate == 0 || s.Tremor == 0 || s.AirDrift == 0 {
+		t.Errorf("Normalize left zero fields: %+v", s)
+	}
+	// Explicit values survive.
+	s2 := Style{Speed: 0.05}.Normalize()
+	if s2.Speed != 0.05 {
+		t.Errorf("Normalize clobbered Speed: %v", s2.Speed)
+	}
+}
+
+func TestUsersDistinct(t *testing.T) {
+	us := Users()
+	if len(us) != 4 {
+		t.Fatalf("want 4 users, got %d", len(us))
+	}
+	names := map[string]bool{}
+	for _, u := range us {
+		if names[u.Name] {
+			t.Errorf("duplicate user name %q", u.Name)
+		}
+		names[u.Name] = true
+		if u.Speed == 0 {
+			t.Errorf("user %q not normalized", u.Name)
+		}
+	}
+}
+
+func TestPosePoint(t *testing.T) {
+	p := Pose{Pos: geom.Vec2{X: 0.3, Y: 0.1}, Z: 0.02}
+	q := p.Point()
+	if q.X != 0.3 || q.Y != 0.1 || q.Z != 0.02 {
+		t.Errorf("Point = %v", q)
+	}
+}

@@ -1,0 +1,111 @@
+package reader
+
+import (
+	"testing"
+
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+	"polardraw/internal/motion"
+	"polardraw/internal/rf"
+)
+
+func twoWriterScenes(t *testing.T) ([]TaggedScene, motion.Rig) {
+	t.Helper()
+	rig := motion.DefaultRig()
+	gl, ok := font.Lookup('L')
+	if !ok {
+		t.Fatal("missing L")
+	}
+	gz, ok := font.Lookup('Z')
+	if !ok {
+		t.Fatal("missing Z")
+	}
+	// Two writers side by side on the same block.
+	left := motion.Write(gl.Path().Scale(0.15).Translate(geom.Vec2{X: 0.06, Y: 0.04}), "L", motion.Config{Seed: 1})
+	right := motion.Write(gz.Path().Scale(0.15).Translate(geom.Vec2{X: 0.34, Y: 0.04}), "Z", motion.Config{Seed: 2})
+	return []TaggedScene{
+		{EPC: "e2801105000000000000000a", Scene: left},
+		{EPC: "e2801105000000000000000b", Scene: right},
+	}, rig
+}
+
+func TestMultiInventoryInterleavesTags(t *testing.T) {
+	scenes, rig := twoWriterScenes(t)
+	ants := rig.Antennas()
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	r := New(Config{Antennas: ants[:], Channel: ch, Seed: 3})
+	samples := r.MultiInventory(scenes)
+	if len(samples) < 100 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	counts := map[string]int{}
+	prev := -1.0
+	for _, s := range samples {
+		counts[s.EPC]++
+		if s.T < prev {
+			t.Fatal("samples out of time order")
+		}
+		prev = s.T
+	}
+	if len(counts) != 2 {
+		t.Fatalf("EPCs seen: %v", counts)
+	}
+	// Round-robin shares the read budget roughly evenly.
+	a := float64(counts[scenes[0].EPC])
+	b := float64(counts[scenes[1].EPC])
+	if a == 0 || b == 0 || a/b > 1.5 || b/a > 1.5 {
+		t.Errorf("tag read imbalance: %v", counts)
+	}
+}
+
+func TestMultiInventoryHalvesPerTagRate(t *testing.T) {
+	scenes, rig := twoWriterScenes(t)
+	ants := rig.Antennas()
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	r := New(Config{Antennas: ants[:], Channel: ch, Seed: 4})
+
+	solo := r.Inventory(scenes[0].Scene)
+	multi := r.MultiInventory(scenes)
+	perTag := SplitByEPC(multi)[scenes[0].EPC]
+	// The multi inventory spans the longest scene (tags keep answering
+	// after their writer stops), so rates are per the relevant spans.
+	longest := scenes[0].Scene.Duration()
+	if d := scenes[1].Scene.Duration(); d > longest {
+		longest = d
+	}
+	soloRate := float64(len(solo)) / scenes[0].Scene.Duration()
+	multiRate := float64(len(perTag)) / longest
+	// Two tags share the channel: per-tag rate should drop to roughly
+	// half (within a generous band; fades differ between runs).
+	if multiRate > soloRate*0.75 || multiRate < soloRate*0.25 {
+		t.Errorf("per-tag rate %v vs solo %v: expected ~half", multiRate, soloRate)
+	}
+}
+
+func TestSplitByEPC(t *testing.T) {
+	in := []Sample{
+		{T: 3, EPC: "b"}, {T: 1, EPC: "a"}, {T: 2, EPC: "b"}, {T: 4, EPC: "a"},
+	}
+	split := SplitByEPC(in)
+	if len(split) != 2 {
+		t.Fatalf("split = %v", split)
+	}
+	if len(split["a"]) != 2 || split["a"][0].T != 1 || split["a"][1].T != 4 {
+		t.Errorf("a stream = %v", split["a"])
+	}
+	if split["b"][0].T != 2 {
+		t.Errorf("b stream not sorted: %v", split["b"])
+	}
+	if got := SplitByEPC(nil); len(got) != 0 {
+		t.Errorf("empty split = %v", got)
+	}
+}
+
+func TestMultiInventoryEmpty(t *testing.T) {
+	rig := motion.DefaultRig()
+	ants := rig.Antennas()
+	r := New(Config{Antennas: ants[:], Channel: &rf.Channel{}, Seed: 1})
+	if got := r.MultiInventory(nil); got != nil {
+		t.Errorf("empty scenes gave %d samples", len(got))
+	}
+}

@@ -1,0 +1,235 @@
+// Package reader simulates a COTS UHF RFID reader (the paper's ImpinJ
+// Speedway R420 class) interrogating one tag through the rf channel:
+// slotted inventory timing at roughly 100 reads/s, round-robin antenna
+// multiplexing, per-modulation-scheme measurement noise, ImpinJ-style
+// quantization of RSSI (0.5 dB) and phase (2*pi/4096), and the
+// section 4 modulation auto-selection rule.
+//
+// The output is the exact tuple stream PolarDraw's software consumed
+// over LLRP: (timestamp, antenna, RSSI, phase, EPC).
+package reader
+
+import (
+	"math"
+
+	"polardraw/internal/geom"
+	"polardraw/internal/rf"
+	"polardraw/internal/rng"
+)
+
+// Scene is anything that can report the tag's position and dipole axis
+// over time; motion.Session implements it.
+type Scene interface {
+	// At returns the tag position (metres, board frame) and dipole axis
+	// (unit vector) at time t seconds.
+	At(t float64) (pos, axis geom.Vec3)
+	// Duration is the scene length in seconds.
+	Duration() float64
+}
+
+// Sample is one successful tag read.
+type Sample struct {
+	// T is the read timestamp, seconds from scene start.
+	T float64
+	// Antenna is the reporting antenna's index into Config.Antennas.
+	Antenna int
+	// RSS is the reported backscatter power, dBm (quantized).
+	RSS float64
+	// Phase is the reported carrier phase, radians in [0, 2*pi)
+	// (quantized).
+	Phase float64
+	// EPC is the tag identifier.
+	EPC string
+}
+
+// Modulation is one EPC Gen2 modulation/backscatter configuration. The
+// schemes trade read rate against robustness: FM0 is fastest but
+// noisiest, Miller-8 slowest but cleanest (section 4).
+type Modulation struct {
+	Name string
+	// RateHz is the achievable aggregate read rate.
+	RateHz float64
+	// PhaseNoiseStd is the per-read phase measurement noise, radians.
+	PhaseNoiseStd float64
+	// RSSNoiseStd is the per-read RSSI measurement noise, dB.
+	RSSNoiseStd float64
+}
+
+// StandardModulations returns the schemes the simulated reader round
+// robins through during auto-selection, in probe order.
+func StandardModulations() []Modulation {
+	return []Modulation{
+		{Name: "FM0", RateHz: 220, PhaseNoiseStd: 0.45, RSSNoiseStd: 1.6},
+		{Name: "Miller-2", RateHz: 160, PhaseNoiseStd: 0.22, RSSNoiseStd: 0.9},
+		{Name: "Miller-4", RateHz: 110, PhaseNoiseStd: 0.09, RSSNoiseStd: 0.45},
+		{Name: "Miller-8", RateHz: 70, PhaseNoiseStd: 0.05, RSSNoiseStd: 0.3},
+	}
+}
+
+// Config parameterizes the simulated reader.
+type Config struct {
+	// Antennas are the reader ports in round-robin order.
+	Antennas []rf.Antenna
+	// Channel is the propagation model.
+	Channel *rf.Channel
+	// EPC is the tag identity stamped on samples.
+	EPC string
+	// Modulation forces a scheme; nil enables section 4 auto-selection.
+	Modulation *Modulation
+	// NoiseScale multiplies all measurement noise (1 = nominal; the
+	// environment microbenchmarks raise it). Zero means 1.
+	NoiseScale float64
+	// PhaseVarGate is the auto-selection threshold on the phase
+	// standard deviation (radians); zero means the paper's 0.1.
+	PhaseVarGate float64
+	// Seed drives timing jitter and measurement noise.
+	Seed uint64
+}
+
+// Reader is a configured simulator instance.
+type Reader struct {
+	cfg Config
+}
+
+// New validates the configuration and returns a Reader.
+func New(cfg Config) *Reader {
+	if len(cfg.Antennas) == 0 {
+		panic("reader: no antennas configured")
+	}
+	if cfg.Channel == nil {
+		panic("reader: nil channel")
+	}
+	if cfg.NoiseScale == 0 {
+		cfg.NoiseScale = 1
+	}
+	if cfg.PhaseVarGate == 0 {
+		cfg.PhaseVarGate = 0.1
+	}
+	return &Reader{cfg: cfg}
+}
+
+// quantizePhase snaps to the ImpinJ 12-bit phase grid.
+func quantizePhase(p float64) float64 {
+	const step = 2 * math.Pi / 4096
+	return geom.WrapAngle(math.Round(p/step) * step)
+}
+
+// quantizeRSS snaps to the ImpinJ 0.5 dB RSSI grid.
+func quantizeRSS(r float64) float64 { return math.Round(r*2) / 2 }
+
+// snrNoiseFactor scales measurement noise with the received signal
+// level: phase-estimation error grows roughly as 1/sqrt(SNR), so weak
+// backscatter (deep polarization fades, long range) reads far noisier
+// than strong backscatter. refRSS anchors the nominal noise figures.
+func snrNoiseFactor(rss float64) float64 {
+	const refRSS = -50.0
+	f := math.Pow(10, (refRSS-rss)/40) // 1/sqrt(power ratio)
+	if f < 0.5 {
+		f = 0.5
+	}
+	if f > 12 {
+		f = 12
+	}
+	return f
+}
+
+// probePhaseStd measures the phase spread of k consecutive reads at the
+// scene start under the given modulation -- the statistic section 4
+// gates on.
+func (r *Reader) probePhaseStd(scene Scene, m Modulation, src *rng.Source) float64 {
+	pos, axis := scene.At(0)
+	var phases []float64
+	for i := 0; i < 20; i++ {
+		resp := r.cfg.Channel.Probe(r.cfg.Antennas[0], pos, axis, 0)
+		if !resp.OK {
+			continue
+		}
+		noisy := geom.WrapAngle(resp.Phase + src.NormScaled(0, m.PhaseNoiseStd*r.cfg.NoiseScale))
+		phases = append(phases, quantizePhase(noisy))
+	}
+	if len(phases) < 2 {
+		return math.Inf(1)
+	}
+	return geom.CircularStdDev(phases)
+}
+
+// SelectModulation applies the section 4 rule: round-robin the schemes
+// and pick the first whose probed phase standard deviation is at most
+// the gate (0.1 rad by default); if none qualifies, the cleanest scheme
+// wins.
+func (r *Reader) SelectModulation(scene Scene) Modulation {
+	if r.cfg.Modulation != nil {
+		return *r.cfg.Modulation
+	}
+	src := rng.New(r.cfg.Seed).Fork(0xA0)
+	schemes := StandardModulations()
+	for _, m := range schemes {
+		if r.probePhaseStd(scene, m, src) <= r.cfg.PhaseVarGate {
+			return m
+		}
+	}
+	return schemes[len(schemes)-1]
+}
+
+// Inventory runs the reader over the whole scene and returns every
+// successful read in time order. Reads alternate between antennas;
+// read intervals jitter around the modulation's nominal rate the way
+// slotted-ALOHA inventory rounds do. Failed reads (tag unpowered or
+// backscatter below reader sensitivity) produce no sample, exactly as
+// with real hardware.
+func (r *Reader) Inventory(scene Scene) []Sample {
+	m := r.SelectModulation(scene)
+	src := rng.New(r.cfg.Seed)
+	timing := src.Fork(1)
+	noise := src.Fork(2)
+
+	var out []Sample
+	t := 0.0
+	ant := 0
+	mean := 1 / m.RateHz
+	for t < scene.Duration() {
+		// Inventory slot timing: uniform jitter of +/-40% around the
+		// nominal interval, plus occasional collision-extended slots.
+		dt := mean * timing.Uniform(0.6, 1.4)
+		if timing.Float64() < 0.03 {
+			dt += mean * timing.Uniform(1, 3) // missed round
+		}
+		t += dt
+		if t >= scene.Duration() {
+			break
+		}
+		pos, axis := scene.At(t)
+		resp := r.cfg.Channel.Probe(r.cfg.Antennas[ant], pos, axis, t)
+		if resp.OK {
+			snr := snrNoiseFactor(resp.RSSdBm)
+			rss := resp.RSSdBm + noise.NormScaled(0, m.RSSNoiseStd*r.cfg.NoiseScale*snr)
+			ph := resp.Phase + noise.NormScaled(0, m.PhaseNoiseStd*r.cfg.NoiseScale*snr)
+			out = append(out, Sample{
+				T:       t,
+				Antenna: ant,
+				RSS:     quantizeRSS(rss),
+				Phase:   quantizePhase(geom.WrapAngle(ph)),
+				EPC:     r.cfg.EPC,
+			})
+		}
+		ant = (ant + 1) % len(r.cfg.Antennas)
+	}
+	return out
+}
+
+// SplitByAntenna partitions samples into per-antenna streams, keeping
+// time order. The result has one slice per antenna index up to the
+// highest seen.
+func SplitByAntenna(samples []Sample) [][]Sample {
+	maxAnt := -1
+	for _, s := range samples {
+		if s.Antenna > maxAnt {
+			maxAnt = s.Antenna
+		}
+	}
+	out := make([][]Sample, maxAnt+1)
+	for _, s := range samples {
+		out[s.Antenna] = append(out[s.Antenna], s)
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package reader
+
+import (
+	"math"
+	"testing"
+
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+	"polardraw/internal/motion"
+	"polardraw/internal/rf"
+)
+
+func testScene(t *testing.T) (*motion.Session, motion.Rig) {
+	t.Helper()
+	g, ok := font.Lookup('M')
+	if !ok {
+		t.Fatal("font missing M")
+	}
+	rig := motion.DefaultRig()
+	path := g.Path().Scale(0.2).Translate(geom.Vec2{X: 0.18, Y: 0.02})
+	return motion.Write(path, "M", motion.Config{Seed: 9}), rig
+}
+
+func testReader(t *testing.T, seed uint64) (*Reader, *motion.Session) {
+	t.Helper()
+	sess, rig := testScene(t)
+	ants := rig.Antennas()
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	return New(Config{
+		Antennas: ants[:],
+		Channel:  ch,
+		EPC:      "e280110000000000000000aa",
+		Seed:     seed,
+	}), sess
+}
+
+func TestInventoryProducesSamples(t *testing.T) {
+	r, sess := testReader(t, 1)
+	samples := r.Inventory(sess)
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// Read rate should be near the selected modulation's nominal rate
+	// (some slots fail or are extended).
+	rate := float64(len(samples)) / sess.Duration()
+	if rate < 40 || rate > 250 {
+		t.Errorf("read rate = %v Hz, implausible", rate)
+	}
+	// Samples are time ordered and within the scene.
+	prev := -1.0
+	for _, s := range samples {
+		if s.T <= prev {
+			t.Fatal("samples out of order")
+		}
+		prev = s.T
+		if s.T < 0 || s.T > sess.Duration() {
+			t.Fatalf("sample at %v outside scene", s.T)
+		}
+		if s.EPC == "" {
+			t.Fatal("missing EPC")
+		}
+	}
+}
+
+func TestInventoryAlternatesAntennas(t *testing.T) {
+	r, sess := testReader(t, 2)
+	samples := r.Inventory(sess)
+	seen := map[int]int{}
+	for _, s := range samples {
+		seen[s.Antenna]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("antennas seen: %v", seen)
+	}
+	// Round-robin keeps the two counts within a few percent.
+	a, b := float64(seen[0]), float64(seen[1])
+	if math.Abs(a-b)/(a+b) > 0.2 {
+		t.Errorf("antenna imbalance: %v", seen)
+	}
+}
+
+func TestInventoryDeterministic(t *testing.T) {
+	r1, sess := testReader(t, 7)
+	r2, _ := testReader(t, 7)
+	s1 := r1.Inventory(sess)
+	s2 := r2.Inventory(sess)
+	if len(s1) != len(s2) {
+		t.Fatalf("lengths differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	r3, _ := testReader(t, 8)
+	s3 := r3.Inventory(sess)
+	if len(s3) == len(s1) {
+		same := true
+		for i := range s1 {
+			if s1[i] != s3[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds gave identical inventories")
+		}
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	r, sess := testReader(t, 3)
+	for _, s := range r.Inventory(sess) {
+		// RSSI on a 0.5 dB grid.
+		if got := math.Mod(math.Abs(s.RSS*2), 1); got > 1e-9 && got < 1-1e-9 {
+			t.Fatalf("RSS %v not on 0.5 dB grid", s.RSS)
+		}
+		// Phase on the 2*pi/4096 grid, within [0, 2*pi).
+		if s.Phase < 0 || s.Phase >= 2*math.Pi {
+			t.Fatalf("phase %v out of range", s.Phase)
+		}
+		step := 2 * math.Pi / 4096
+		k := s.Phase / step
+		if math.Abs(k-math.Round(k)) > 1e-6 {
+			t.Fatalf("phase %v not on quantization grid", s.Phase)
+		}
+	}
+}
+
+func TestSelectModulationPrefersCleanSchemes(t *testing.T) {
+	r, sess := testReader(t, 4)
+	m := r.SelectModulation(sess)
+	// With nominal noise, FM0's 0.45 rad phase noise cannot pass the
+	// 0.1 rad gate; one of the Miller schemes must be chosen.
+	if m.Name == "FM0" {
+		t.Errorf("auto-selection picked FM0 despite the 0.1 rad gate")
+	}
+	if m.PhaseNoiseStd > 0.1 {
+		t.Errorf("selected scheme %s with phase noise %v", m.Name, m.PhaseNoiseStd)
+	}
+}
+
+func TestSelectModulationForced(t *testing.T) {
+	sess, rig := testScene(t)
+	ants := rig.Antennas()
+	forced := Modulation{Name: "custom", RateHz: 100, PhaseNoiseStd: 0.2, RSSNoiseStd: 1}
+	r := New(Config{Antennas: ants[:], Channel: &rf.Channel{}, Modulation: &forced, Seed: 1})
+	if got := r.SelectModulation(sess); got.Name != "custom" {
+		t.Errorf("forced modulation ignored: %v", got.Name)
+	}
+}
+
+func TestSelectModulationFallsBackWhenNoisy(t *testing.T) {
+	sess, rig := testScene(t)
+	ants := rig.Antennas()
+	r := New(Config{
+		Antennas:   ants[:],
+		Channel:    &rf.Channel{},
+		NoiseScale: 20, // hopeless environment
+		Seed:       5,
+	})
+	m := r.SelectModulation(sess)
+	if m.Name != "Miller-8" {
+		t.Errorf("expected fallback to cleanest scheme, got %s", m.Name)
+	}
+}
+
+func TestSplitByAntenna(t *testing.T) {
+	in := []Sample{
+		{T: 1, Antenna: 0}, {T: 2, Antenna: 1}, {T: 3, Antenna: 0}, {T: 4, Antenna: 1},
+	}
+	split := SplitByAntenna(in)
+	if len(split) != 2 {
+		t.Fatalf("split into %d", len(split))
+	}
+	if len(split[0]) != 2 || len(split[1]) != 2 {
+		t.Fatalf("wrong partition sizes: %d %d", len(split[0]), len(split[1]))
+	}
+	if split[0][1].T != 3 || split[1][0].T != 2 {
+		t.Error("partition misordered")
+	}
+	if got := SplitByAntenna(nil); len(got) != 0 {
+		t.Errorf("empty split = %v", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New without antennas did not panic")
+		}
+	}()
+	New(Config{Channel: &rf.Channel{}})
+}
+
+// TestRotationVisibleInRSS is the end-to-end feasibility check: running
+// the reader over a turntable scene under a vertically polarized
+// overhead antenna must show a large periodic RSS swing (Fig. 3(b)).
+func TestRotationVisibleInRSS(t *testing.T) {
+	scene := motion.Turntable(geom.Radians(30), 12, 0.005)
+	ant := rf.Antenna{Name: "over", Pos: geom.Vec3{Z: 2.5}, PolAngle: math.Pi / 2, GainDBi: 8}
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(0.56)}
+	r := New(Config{Antennas: []rf.Antenna{ant}, Channel: ch, Seed: 6})
+	samples := r.Inventory(scene)
+	if len(samples) < 100 {
+		t.Fatalf("too few samples: %d", len(samples))
+	}
+	var minRSS, maxRSS = math.Inf(1), math.Inf(-1)
+	for _, s := range samples {
+		minRSS = math.Min(minRSS, s.RSS)
+		maxRSS = math.Max(maxRSS, s.RSS)
+	}
+	if maxRSS-minRSS < 10 {
+		t.Errorf("rotation RSS swing = %v dB, want large", maxRSS-minRSS)
+	}
+}

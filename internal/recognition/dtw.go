@@ -1,0 +1,93 @@
+package recognition
+
+import (
+	"math"
+
+	"polardraw/internal/geom"
+)
+
+// dtwBand is the Sakoe-Chiba band half-width (in samples) constraining
+// the DTW alignment: matched indices may differ by at most this much,
+// which keeps the alignment elastic enough for tracking-induced speed
+// variation without letting unrelated shapes fold onto each other. At
+// 64 samples a stroke of a 4-stroke zigzag spans ~16 samples; the band
+// must stay well below half of that or M can slide onto W.
+const dtwBand = 5
+
+// dtwDistance computes the dynamic-time-warping distance between two
+// equal-length normalized polylines: the average point distance along
+// the optimal monotone alignment within the band. Handwriting
+// recognizers use elastic matching of exactly this kind because
+// recovered strokes speed up, stall and jitter locally -- distortions
+// fixed-index comparison (Procrustes) pays full price for.
+func dtwDistance(a, b geom.Polyline) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	const inf = math.MaxFloat64 / 4
+	// Two-row DP over the cost matrix; cost counts matched pairs so
+	// the result can be normalized by the alignment length.
+	type cell struct {
+		cost  float64
+		steps int
+	}
+	prev := make([]cell, m+1)
+	cur := make([]cell, m+1)
+	for j := range prev {
+		prev[j] = cell{cost: inf}
+	}
+	prev[0] = cell{}
+	for i := 1; i <= n; i++ {
+		for j := range cur {
+			cur[j] = cell{cost: inf}
+		}
+		lo := i - dtwBand
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + dtwBand
+		if hi > m {
+			hi = m
+		}
+		for j := lo; j <= hi; j++ {
+			d := a[i-1].Dist(b[j-1])
+			best := prev[j-1] // diagonal
+			if prev[j].cost < best.cost {
+				best = prev[j] // insertion
+			}
+			if cur[j-1].cost < best.cost {
+				best = cur[j-1] // deletion
+			}
+			if best.cost >= inf {
+				continue
+			}
+			cur[j] = cell{cost: best.cost + d, steps: best.steps + 1}
+		}
+		prev, cur = cur, prev
+	}
+	end := prev[m]
+	if end.cost >= inf || end.steps == 0 {
+		return math.Inf(1)
+	}
+	return end.cost / float64(end.steps)
+}
+
+// dtwRotations are the query orientations tried during elastic
+// matching; recovered trajectories carry residual rotation (Fig. 20)
+// that a few coarse hypotheses absorb.
+var dtwRotations = []float64{-0.35, -0.175, 0, 0.175, 0.35}
+
+// elasticDistance is the recognizer's primary metric: the minimum DTW
+// distance over a small set of query rotations, with both shapes
+// normalized (centroid at origin, max bounding side 1).
+func elasticDistance(query, template geom.Polyline) float64 {
+	best := math.Inf(1)
+	for _, rot := range dtwRotations {
+		q := query.Rotate(rot).Normalize()
+		if d := dtwDistance(q, template); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,114 @@
+package recognition
+
+import (
+	"math"
+	"testing"
+
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+)
+
+func normGlyph(r rune) geom.Polyline {
+	g, _ := font.Lookup(r)
+	return g.Path().Resample(ResampleN).Normalize()
+}
+
+func TestDTWSelfDistanceZero(t *testing.T) {
+	for _, r := range []rune{'A', 'O', 'Z'} {
+		p := normGlyph(r)
+		if d := dtwDistance(p, p); d > 1e-12 {
+			t.Errorf("%c self DTW = %v", r, d)
+		}
+	}
+}
+
+func TestDTWSymmetricEnough(t *testing.T) {
+	a, b := normGlyph('C'), normGlyph('G')
+	ab := dtwDistance(a, b)
+	ba := dtwDistance(b, a)
+	// DTW with symmetric step weights is symmetric for equal lengths.
+	if math.Abs(ab-ba) > 1e-9 {
+		t.Errorf("asymmetric DTW: %v vs %v", ab, ba)
+	}
+}
+
+func TestDTWAbsorbsLocalSpeedVariation(t *testing.T) {
+	// The same shape sampled with non-uniform "speed": DTW must score
+	// it far closer than fixed-index comparison does.
+	tpl := normGlyph('S')
+	// Warp: resample with squeezed indices (slow start, fast end).
+	g, _ := font.Lookup('S')
+	dense := g.Path().Resample(ResampleN * 4)
+	// The warp exponent is chosen so index shifts stay within the
+	// Sakoe-Chiba band's design envelope (a tracker-induced speed
+	// wobble, not a wholesale reparametrization).
+	warped := make(geom.Polyline, ResampleN)
+	for i := range warped {
+		f := float64(i) / float64(ResampleN-1)
+		j := int(math.Pow(f, 1.15) * float64(len(dense)-1))
+		warped[i] = dense[j]
+	}
+	warped = warped.Normalize()
+
+	dtw := dtwDistance(warped, tpl)
+	var fixed float64
+	for i := range warped {
+		fixed += warped[i].Dist(tpl[i])
+	}
+	fixed /= float64(len(warped))
+	if dtw >= fixed {
+		t.Errorf("DTW %v did not beat fixed-index %v on a warped shape", dtw, fixed)
+	}
+	if dtw > 0.05 {
+		t.Errorf("DTW on warped same-shape = %v, want small", dtw)
+	}
+}
+
+func TestDTWSeparatesShapes(t *testing.T) {
+	o := normGlyph('O')
+	i := normGlyph('I')
+	same := dtwDistance(o, normGlyph('Q'))
+	diff := dtwDistance(o, i)
+	if diff <= same {
+		t.Errorf("O-I (%v) should exceed O-Q (%v)", diff, same)
+	}
+}
+
+func TestDTWEmptyInput(t *testing.T) {
+	if d := dtwDistance(nil, normGlyph('A')); !math.IsInf(d, 1) {
+		t.Errorf("empty query DTW = %v", d)
+	}
+	if d := dtwDistance(normGlyph('A'), nil); !math.IsInf(d, 1) {
+		t.Errorf("empty template DTW = %v", d)
+	}
+}
+
+func TestDTWBandPreventsZigzagAliasing(t *testing.T) {
+	// M and W differ by one half-stroke shift; the Sakoe-Chiba band
+	// must keep their DTW distance meaningfully large.
+	m := normGlyph('M')
+	w := normGlyph('W')
+	mw := dtwDistance(m, w)
+	mm := dtwDistance(m, m)
+	if mw < 0.1 {
+		t.Errorf("M-W DTW = %v, band too loose", mw)
+	}
+	if mm >= mw {
+		t.Errorf("self distance %v >= M-W %v", mm, mw)
+	}
+}
+
+func TestElasticDistanceRotationSearch(t *testing.T) {
+	tpl := normGlyph('L')
+	rotated := normGlyph('L').Rotate(0.3) // within the search range
+	d := elasticDistance(rotated, tpl)
+	if d > 0.08 {
+		t.Errorf("rotated-L elastic distance = %v, rotation search failed", d)
+	}
+	// Far beyond the search range: distance must grow.
+	flipped := normGlyph('L').Rotate(math.Pi)
+	df := elasticDistance(flipped, tpl)
+	if df <= d {
+		t.Errorf("half-turn distance %v <= small-rotation %v", df, d)
+	}
+}

@@ -1,0 +1,213 @@
+// Package recognition classifies recovered pen trajectories into
+// letters and words. It substitutes for the LipiTk toolkit the paper
+// used (see DESIGN.md): trajectories are resampled, normalized, and
+// matched against templates rendered from the same stroke font the
+// motion synthesizer writes with, using a bounded-rotation Procrustes
+// distance.
+//
+// Rotation in the alignment is bounded because a fully
+// rotation-invariant matcher would merge pairs like M/W and N/Z that
+// differ only by orientation; real handwriting recognizers are not
+// rotation invariant, but the tracker's recovered trajectories do
+// carry some residual rotation (Fig. 20), so a bounded allowance
+// performs best.
+package recognition
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+)
+
+// ResampleN is the number of points trajectories and templates are
+// resampled to before matching.
+const ResampleN = 64
+
+// MaxRotation bounds the alignment rotation, radians.
+const MaxRotation = math.Pi / 5 // 36 degrees
+
+// ErrEmptyTrajectory is returned for degenerate inputs.
+var ErrEmptyTrajectory = errors.New("recognition: trajectory too short to classify")
+
+// boundedDistance aligns src to dst with translation, uniform scale
+// and rotation clamped to [-MaxRotation, MaxRotation], returning the
+// post-alignment RMS distance. Both inputs must already be resampled
+// to the same length.
+func boundedDistance(src, dst geom.Polyline) float64 {
+	r, err := geom.Procrustes(src, dst)
+	if err != nil {
+		return math.Inf(1)
+	}
+	if math.Abs(r.Rotation) <= MaxRotation {
+		return r.RMS
+	}
+	// Redo the fit at the clamped rotation: for fixed rotation theta
+	// the optimal scale is (a cos theta + b sin theta)/normS about the
+	// centroids.
+	theta := MaxRotation
+	if r.Rotation < 0 {
+		theta = -MaxRotation
+	}
+	cs := src.Centroid()
+	cd := dst.Centroid()
+	var a, b, normS float64
+	for i := range src {
+		x := src[i].Sub(cs)
+		y := dst[i].Sub(cd)
+		a += x.Dot(y)
+		b += x.Cross(y)
+		normS += x.Dot(x)
+	}
+	if normS == 0 {
+		return math.Inf(1)
+	}
+	scale := (a*math.Cos(theta) + b*math.Sin(theta)) / normS
+	if scale <= 0 {
+		return math.Inf(1)
+	}
+	var sse float64
+	for i := range src {
+		m := src[i].Sub(cs).Rotate(theta).Scale(scale).Add(cd)
+		d := dst[i].Sub(m)
+		sse += d.Dot(d)
+	}
+	return math.Sqrt(sse / float64(len(src)))
+}
+
+// SmoothHalfWindow is the moving-average half-window applied to query
+// trajectories before matching. Tracker output is grid quantized;
+// without smoothing, arc-length resampling spends its points on
+// jitter instead of shape.
+const SmoothHalfWindow = 3
+
+// prepare normalizes a trajectory for matching: smooth, resample,
+// centre and scale. The smoothing half-window scales with input
+// density so sparse, already-clean polylines (font paths, test
+// fixtures) pass through unchanged while dense grid-quantized tracker
+// output gets the jitter averaged away.
+func prepare(traj geom.Polyline) (geom.Polyline, error) {
+	if len(traj) < 2 || traj.Length() == 0 {
+		return nil, ErrEmptyTrajectory
+	}
+	k := SmoothHalfWindow
+	if limit := len(traj) / 20; limit < k {
+		k = limit
+	}
+	return traj.Smooth(k).Resample(ResampleN).Normalize(), nil
+}
+
+// LetterRecognizer matches trajectories against the A-Z glyph
+// templates.
+type LetterRecognizer struct {
+	letters   []rune
+	templates map[rune]geom.Polyline
+}
+
+// NewLetterRecognizer builds the standard A-Z recognizer.
+func NewLetterRecognizer() *LetterRecognizer {
+	lr := &LetterRecognizer{templates: map[rune]geom.Polyline{}}
+	for _, r := range font.Letters() {
+		g, ok := font.Lookup(r)
+		if !ok {
+			continue
+		}
+		lr.letters = append(lr.letters, r)
+		lr.templates[r] = g.Path().Resample(ResampleN).Normalize()
+	}
+	return lr
+}
+
+// Match is one ranked classification candidate.
+type Match struct {
+	R        rune
+	Distance float64
+}
+
+// Rank returns all letters ordered by ascending distance. The score
+// combines the elastic (DTW) distance with the bounded-rotation
+// Procrustes distance: DTW forgives local timing distortion, while
+// Procrustes anchors global shape, and the product punishes only
+// candidates both metrics dislike.
+func (lr *LetterRecognizer) Rank(traj geom.Polyline) ([]Match, error) {
+	q, err := prepare(traj)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, 0, len(lr.letters))
+	for _, r := range lr.letters {
+		tpl := lr.templates[r]
+		d := elasticDistance(q, tpl) * boundedDistance(q, tpl)
+		out = append(out, Match{R: r, Distance: d})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
+	return out, nil
+}
+
+// Classify returns the best-matching letter and its distance.
+func (lr *LetterRecognizer) Classify(traj geom.Polyline) (rune, float64, error) {
+	ranked, err := lr.Rank(traj)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ranked[0].R, ranked[0].Distance, nil
+}
+
+// WordRecognizer matches whole-word trajectories against a lexicon,
+// the way LipiTk is used with a dictionary: each candidate word is
+// rendered with the stroke font and the nearest rendering wins.
+type WordRecognizer struct {
+	words     []string
+	templates []geom.Polyline
+}
+
+// NewWordRecognizer builds a recognizer over the given lexicon.
+// Words are rendered at unit size with the synthesizer's default
+// letter gap.
+func NewWordRecognizer(lexicon []string) *WordRecognizer {
+	wr := &WordRecognizer{}
+	for _, w := range lexicon {
+		p := font.WordPath(w, 1, 0.25)
+		if len(p) < 2 {
+			continue
+		}
+		wr.words = append(wr.words, w)
+		wr.templates = append(wr.templates, p.Resample(ResampleN*2).Normalize())
+	}
+	return wr
+}
+
+// Lexicon returns the accepted words.
+func (wr *WordRecognizer) Lexicon() []string { return append([]string(nil), wr.words...) }
+
+// Classify returns the best-matching lexicon word and its distance.
+func (wr *WordRecognizer) Classify(traj geom.Polyline) (string, float64, error) {
+	if len(wr.words) == 0 {
+		return "", 0, errors.New("recognition: empty lexicon")
+	}
+	if len(traj) < 2 || traj.Length() == 0 {
+		return "", 0, ErrEmptyTrajectory
+	}
+	k := SmoothHalfWindow
+	if limit := len(traj) / 40; limit < k {
+		k = limit
+	}
+	q := traj.Smooth(k).Resample(ResampleN * 2).Normalize()
+	best := -1
+	bestD := math.Inf(1)
+	for i, tpl := range wr.templates {
+		d := boundedDistance(q, tpl)
+		if d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	if best < 0 {
+		// Every alignment degenerated (e.g. the query collapsed to a
+		// point after normalization): no classification.
+		return "", 0, ErrEmptyTrajectory
+	}
+	return wr.words[best], bestD, nil
+}

@@ -1,0 +1,200 @@
+package recognition
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+	"polardraw/internal/rng"
+)
+
+func glyphTraj(r rune) geom.Polyline {
+	g, _ := font.Lookup(r)
+	return g.Path().Scale(0.2).Translate(geom.Vec2{X: 0.1, Y: 0.05})
+}
+
+// distort applies a mild geometric perturbation mimicking tracking
+// error: jitter, slight rotation and anisotropic scale.
+func distort(p geom.Polyline, seed uint64, jitter float64) geom.Polyline {
+	src := rng.New(seed)
+	rot := src.Uniform(-0.15, 0.15)
+	sx := src.Uniform(0.9, 1.1)
+	sy := src.Uniform(0.9, 1.1)
+	out := p.Rotate(rot)
+	for i := range out {
+		out[i].X = out[i].X*sx + src.NormScaled(0, jitter)
+		out[i].Y = out[i].Y*sy + src.NormScaled(0, jitter)
+	}
+	return out
+}
+
+func TestClassifyCleanLetters(t *testing.T) {
+	lr := NewLetterRecognizer()
+	for _, r := range font.Letters() {
+		got, d, err := lr.Classify(glyphTraj(r))
+		if err != nil {
+			t.Fatalf("%c: %v", r, err)
+		}
+		if got != r {
+			t.Errorf("clean %c classified as %c (d=%v)", r, got, d)
+		}
+	}
+}
+
+func TestClassifyDistortedLetters(t *testing.T) {
+	lr := NewLetterRecognizer()
+	correct, total := 0, 0
+	for _, r := range font.Letters() {
+		for s := uint64(0); s < 5; s++ {
+			traj := distort(glyphTraj(r).Resample(80), s*31+uint64(r), 0.004)
+			got, _, err := lr.Classify(traj)
+			if err != nil {
+				t.Fatalf("%c: %v", r, err)
+			}
+			total++
+			if got == r {
+				correct++
+			}
+		}
+	}
+	rate := float64(correct) / float64(total)
+	if rate < 0.85 {
+		t.Errorf("distorted accuracy = %v, want >= 0.85", rate)
+	}
+}
+
+func TestHeavyDistortionDegrades(t *testing.T) {
+	lr := NewLetterRecognizer()
+	mild, heavy := 0, 0
+	for _, r := range font.Letters() {
+		traj := glyphTraj(r).Resample(80)
+		if got, _, _ := lr.Classify(distort(traj, uint64(r), 0.002)); got == r {
+			mild++
+		}
+		if got, _, _ := lr.Classify(distort(traj, uint64(r), 0.05)); got == r {
+			heavy++
+		}
+	}
+	if heavy >= mild {
+		t.Errorf("heavy distortion (%d) should underperform mild (%d)", heavy, mild)
+	}
+}
+
+func TestRankOrdering(t *testing.T) {
+	lr := NewLetterRecognizer()
+	ranked, err := lr.Rank(glyphTraj('O'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 26 {
+		t.Fatalf("ranked %d letters", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Distance < ranked[i-1].Distance {
+			t.Fatal("rank not sorted")
+		}
+	}
+	if ranked[0].R != 'O' {
+		t.Errorf("best match for O = %c", ranked[0].R)
+	}
+}
+
+func TestRotationBoundPreventsMWConfusion(t *testing.T) {
+	// M upside down is W; a rotation-bounded matcher must still call a
+	// right-side-up M an M, and the distance to W must stay clearly
+	// larger.
+	lr := NewLetterRecognizer()
+	ranked, err := lr.Rank(glyphTraj('M'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dM, dW float64
+	for _, m := range ranked {
+		switch m.R {
+		case 'M':
+			dM = m.Distance
+		case 'W':
+			dW = m.Distance
+		}
+	}
+	if dM >= dW {
+		t.Errorf("M distance %v >= W distance %v", dM, dW)
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	lr := NewLetterRecognizer()
+	if _, _, err := lr.Classify(nil); !errors.Is(err, ErrEmptyTrajectory) {
+		t.Errorf("nil err = %v", err)
+	}
+	if _, _, err := lr.Classify(geom.Polyline{{X: 1, Y: 1}, {X: 1, Y: 1}}); !errors.Is(err, ErrEmptyTrajectory) {
+		t.Errorf("degenerate err = %v", err)
+	}
+}
+
+func TestBoundedDistanceSymmetricCases(t *testing.T) {
+	a := glyphTraj('L').Resample(ResampleN).Normalize()
+	if d := boundedDistance(a, a); d > 1e-9 {
+		t.Errorf("self distance = %v", d)
+	}
+	// A small rotation is absorbed by the alignment.
+	b := a.Rotate(0.2)
+	if d := boundedDistance(b, a); d > 0.03 {
+		t.Errorf("small-rotation distance = %v", d)
+	}
+	// A large rotation is not fully absorbed.
+	c := a.Rotate(math.Pi)
+	if d := boundedDistance(c, a); d < 0.1 {
+		t.Errorf("half-turn distance = %v, should stay large", d)
+	}
+}
+
+func TestWordRecognizer(t *testing.T) {
+	lex := []string{"GO", "AT", "ON", "CAT", "DOG", "SUN", "WAVE", "RAIN"}
+	wr := NewWordRecognizer(lex)
+	if len(wr.Lexicon()) != len(lex) {
+		t.Fatalf("lexicon = %v", wr.Lexicon())
+	}
+	for _, w := range lex {
+		traj := font.WordPath(w, 0.2, 0.25)
+		got, d, err := wr.Classify(traj)
+		if err != nil {
+			t.Fatalf("%s: %v", w, err)
+		}
+		if got != w {
+			t.Errorf("clean %q classified as %q (d=%v)", w, got, d)
+		}
+	}
+}
+
+func TestWordRecognizerDistorted(t *testing.T) {
+	lex := []string{"CAT", "DOG", "SUN", "MAP", "TEN"}
+	wr := NewWordRecognizer(lex)
+	correct := 0
+	for i, w := range lex {
+		traj := distort(font.WordPath(w, 0.2, 0.25).Resample(200), uint64(i+1), 0.004)
+		got, _, err := wr.Classify(traj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == w {
+			correct++
+		}
+	}
+	if correct < 4 {
+		t.Errorf("distorted word accuracy %d/5", correct)
+	}
+}
+
+func TestWordRecognizerErrors(t *testing.T) {
+	wr := NewWordRecognizer(nil)
+	if _, _, err := wr.Classify(font.WordPath("GO", 1, 0.25)); err == nil {
+		t.Error("empty lexicon accepted")
+	}
+	wr2 := NewWordRecognizer([]string{"GO"})
+	if _, _, err := wr2.Classify(nil); !errors.Is(err, ErrEmptyTrajectory) {
+		t.Errorf("nil trajectory err = %v", err)
+	}
+}

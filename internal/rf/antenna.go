@@ -1,0 +1,125 @@
+package rf
+
+import (
+	"math"
+
+	"polardraw/internal/geom"
+)
+
+// Antenna is a linearly polarized reader antenna mounted near the
+// whiteboard, facing the writing area.
+//
+// PolAngle is the orientation of the polarization axis measured from
+// the +X axis toward "up the board" (-Y). When Aim is set, the angle
+// lives in the antenna's aperture plane (transverse to the boresight
+// from Pos toward Aim), measured from the aperture-plane projection of
+// "up the board" -- this is how a physical panel antenna is mounted:
+// rotate the panel by gamma around its boresight. The paper mounts the
+// two antennas so their polarization axes sit at equal angles gamma
+// either side of vertical (Fig. 8(c)), i.e. PolAngle = pi/2 +/- gamma.
+// With a zero Aim the axis lies in the board plane itself.
+type Antenna struct {
+	// Name identifies the antenna in reports ("ant1", "ant2").
+	Name string
+	// Pos is the phase centre in board-frame metres (Z > 0 is in front
+	// of the board).
+	Pos geom.Vec3
+	// Aim is the point the boresight looks at (typically the writing
+	// block centre). Zero means "not aimed": the polarization axis is
+	// interpreted in the board plane.
+	Aim geom.Vec3
+	// PolAngle is the linear polarization axis angle, radians from +X
+	// toward -Y (see the struct comment for the plane it lives in).
+	PolAngle float64
+	// GainDBi is the boresight gain.
+	GainDBi float64
+	// CablePhase is the static phase offset (radians) this antenna's
+	// cable and RF chain add to every reported phase.
+	CablePhase float64
+}
+
+// PolVector returns the polarization axis as a unit vector in the
+// board frame.
+func (a Antenna) PolVector() geom.Vec3 {
+	s, c := math.Sincos(a.PolAngle)
+	if a.Aim == (geom.Vec3{}) || a.Aim == a.Pos {
+		// Board-plane convention: angle from +X toward -Y.
+		return geom.Vec3{X: c, Y: -s, Z: 0}
+	}
+	// Aperture-plane convention: build an orthonormal basis transverse
+	// to the boresight. h is the aperture-plane "horizontal" (+X
+	// projected), v the aperture-plane "vertical" (up the board, -Y
+	// projected); the axis is h*cos + v*sin, so PolAngle = pi/2 means
+	// vertical, exactly as in the board-plane convention.
+	b := a.Aim.Sub(a.Pos).Unit()
+	v := geom.Vec3{Y: -1}.ProjectOntoPlane(b).Unit()
+	if v == (geom.Vec3{}) {
+		// Boresight parallel to the board vertical: fall back to +X.
+		v = geom.Vec3{X: 1}.ProjectOntoPlane(b).Unit()
+	}
+	h := v.Cross(b).Unit()
+	if h.X < 0 {
+		h = h.Scale(-1) // keep h pointing toward +X
+	}
+	return h.Scale(c).Add(v.Scale(s))
+}
+
+// PolarizationMismatch returns the axial angle (0..pi/2) between this
+// antenna's polarization axis and a dipole whose in-board-plane
+// direction makes angle alpha with +X (toward -Y). This is the angle
+// beta of the paper's Figures 3(b) and 8.
+func (a Antenna) PolarizationMismatch(alpha float64) float64 {
+	return geom.AxialDist(a.PolAngle, alpha)
+}
+
+// PairAtGamma builds the paper's two-antenna rig: both antennas at
+// height y (negative = above the writing area) and depth z in front of
+// the board, at the given x positions, aimed at target (the writing
+// block centre), with polarization axes at pi/2 +/- gamma in their
+// aperture planes (antenna 1 tilted left of vertical, antenna 2
+// right).
+func PairAtGamma(x1, x2, y, z, gamma float64, target geom.Vec3) [2]Antenna {
+	return [2]Antenna{
+		{
+			Name:     "ant1",
+			Pos:      geom.Vec3{X: x1, Y: y, Z: z},
+			Aim:      target,
+			PolAngle: math.Pi/2 + gamma,
+			GainDBi:  6,
+		},
+		{
+			Name:     "ant2",
+			Pos:      geom.Vec3{X: x2, Y: y, Z: z},
+			Aim:      target,
+			PolAngle: math.Pi/2 - gamma,
+			GainDBi:  6,
+		},
+	}
+}
+
+// CircularAntenna reports whether the antenna should be treated as
+// circularly polarized. The baselines (Tagoram, RF-IDraw) use standard
+// circularly polarized antennas, which couple to any dipole orientation
+// with a constant 3 dB polarization loss instead of the cos(beta)
+// projection. A NaN PolAngle marks an antenna as circular.
+func (a Antenna) Circular() bool { return math.IsNaN(a.PolAngle) }
+
+// CircularPol is the PolAngle sentinel for circularly polarized
+// antennas.
+var CircularPol = math.NaN()
+
+// ArrayAt builds n circularly polarized antennas in a row for the
+// baseline systems, spaced `spacing` metres apart starting at x0, all
+// at height y and depth z.
+func ArrayAt(n int, x0, spacing, y, z float64) []Antenna {
+	out := make([]Antenna, n)
+	for i := range out {
+		out[i] = Antenna{
+			Name:     "arr" + string(rune('1'+i)),
+			Pos:      geom.Vec3{X: x0 + float64(i)*spacing, Y: y, Z: z},
+			PolAngle: CircularPol,
+			GainDBi:  6,
+		}
+	}
+	return out
+}

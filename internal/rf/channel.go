@@ -1,0 +1,233 @@
+package rf
+
+import (
+	"math"
+	"math/cmplx"
+
+	"polardraw/internal/geom"
+)
+
+// Channel is the monostatic backscatter channel between one reader
+// antenna and one passive tag, through free space plus a set of
+// reflected paths. It is pure physics: no measurement noise, no
+// quantization -- those belong to the reader (package reader), which
+// also knows the modulation scheme in use.
+type Channel struct {
+	// FreqHz is the carrier frequency (defaults to DefaultFrequency
+	// when zero).
+	FreqHz float64
+	// TxPowerDBm is the reader transmit power (defaults to 30 dBm).
+	TxPowerDBm float64
+	// TagGainDBi is the tag dipole's peak gain (defaults to 2 dBi).
+	TagGainDBi float64
+	// TagSensitivityDBm is the minimum power the tag chip needs to
+	// respond (defaults to -14 dBm, typical of the paper's AD-227m5
+	// class inlay).
+	TagSensitivityDBm float64
+	// BackscatterLossDB is the modulation loss of the tag's reflection
+	// (defaults to 5 dB).
+	BackscatterLossDB float64
+	// ReaderSensitivityDBm is the weakest backscatter the reader can
+	// decode (defaults to -84 dBm, the R420 datasheet figure).
+	ReaderSensitivityDBm float64
+	// Reflectors are the static multipath scatterers.
+	Reflectors []Reflector
+	// Bystander optionally adds an interfering person.
+	Bystander *Bystander
+}
+
+// Response is the noise-free channel observation for one interrogation.
+type Response struct {
+	// OK is false when the tag did not power up or the backscatter is
+	// below the reader's sensitivity; all other fields are then
+	// meaningless.
+	OK bool
+	// RSSdBm is the backscatter power at the reader port.
+	RSSdBm float64
+	// Phase is the backscatter carrier phase in [0, 2*pi), including
+	// the antenna's cable offset.
+	Phase float64
+	// TagPowerDBm is the power delivered to the tag chip (diagnostic;
+	// drives the activation decision).
+	TagPowerDBm float64
+	// LoSDominant is a diagnostic flag: true when the line-of-sight
+	// path carries more field than all reflections combined. The
+	// "spurious phase" artifact of section 2 appears exactly when this
+	// goes false while OK stays true.
+	LoSDominant bool
+}
+
+func (c *Channel) freq() float64 {
+	if c.FreqHz == 0 {
+		return DefaultFrequency
+	}
+	return c.FreqHz
+}
+
+// Lambda returns the operating wavelength in metres.
+func (c *Channel) Lambda() float64 { return Wavelength(c.freq()) }
+
+func (c *Channel) txPower() float64 {
+	if c.TxPowerDBm == 0 {
+		return 30
+	}
+	return c.TxPowerDBm
+}
+
+func (c *Channel) tagGain() float64 {
+	if c.TagGainDBi == 0 {
+		return 1.5
+	}
+	return c.TagGainDBi
+}
+
+func (c *Channel) tagSensitivity() float64 {
+	if c.TagSensitivityDBm == 0 {
+		return -14
+	}
+	return c.TagSensitivityDBm
+}
+
+// backscatterLoss defaults to 14 dB: modulation loss plus chip and
+// matching losses, calibrated so the writing-range RSS lands in the
+// -40..-65 dBm band the paper's Fig. 9 traces show.
+func (c *Channel) backscatterLoss() float64 {
+	if c.BackscatterLossDB == 0 {
+		return 14
+	}
+	return c.BackscatterLossDB
+}
+
+func (c *Channel) readerSensitivity() float64 {
+	if c.ReaderSensitivityDBm == 0 {
+		return -84
+	}
+	return c.ReaderSensitivityDBm
+}
+
+// coupling returns the one-way field coupling factor (0..1) between the
+// antenna's polarization and a tag dipole with axis `axis`, for a wave
+// propagating along unit vector u from antenna to tag. It is the
+// product of the dipole pattern factor (the dipole radiates nothing
+// along its own axis) and the polarization projection (Malus).
+// polAxis is the field polarization direction for this path, already
+// rotated by any reflection.
+func coupling(polAxis geom.Vec3, axis geom.Vec3, u geom.Vec3) float64 {
+	// Project both the field polarization and the dipole onto the plane
+	// transverse to propagation.
+	dPerp := axis.ProjectOntoPlane(u)
+	pattern := dPerp.Norm() // sin of angle between dipole and propagation
+	if pattern < 1e-9 {
+		return 0
+	}
+	pPerp := polAxis.ProjectOntoPlane(u)
+	if pPerp.Norm() < 1e-9 {
+		return 0
+	}
+	cosBeta := math.Abs(pPerp.Unit().Dot(dPerp.Unit()))
+	return pattern * cosBeta
+}
+
+// rotatedPol returns the antenna polarization axis rotated about the
+// board normal by rot radians (reflections rotate the field's
+// polarization; the exact rotation axis is phenomenological).
+func rotatedPol(a Antenna, rot float64) geom.Vec3 {
+	p := a.PolVector()
+	s, c := math.Sincos(rot)
+	return geom.Vec3{X: p.X*c - p.Y*s, Y: p.X*s + p.Y*c, Z: p.Z}
+}
+
+// circularLossField is the one-way field factor for a circularly
+// polarized antenna talking to a linear dipole: 3 dB in power, 1/sqrt(2)
+// in field, independent of dipole rotation within the transverse plane.
+const circularLossField = 0.7071067811865476
+
+// pathContribution accumulates the complex one-way field of a single
+// propagation path of length l with extra loss lossDB and field
+// coupling coup. Field amplitude is referenced so that |E| = 1/l for a
+// lossless, perfectly coupled path (free-space spreading), making
+// 20*log10|E| composable with FSPL(1 m).
+func pathContribution(l, lossDB, coup, lambda float64) complex128 {
+	if coup <= 0 || l <= 0 {
+		return 0
+	}
+	amp := coup * DBToField(-lossDB) / l
+	phase := -2 * math.Pi * l / lambda
+	return cmplx.Rect(amp, phase)
+}
+
+// Probe computes the noise-free channel response for antenna a
+// interrogating a tag at tagPos with dipole axis tagAxis (unit vector)
+// at time t seconds (time only matters for the bystander's motion).
+func (c *Channel) Probe(a Antenna, tagPos, tagAxis geom.Vec3, t float64) Response {
+	lambda := c.Lambda()
+
+	// Line of sight.
+	losVec := tagPos.Sub(a.Pos)
+	losLen := losVec.Norm()
+	u := losVec.Unit()
+	var losCoup float64
+	if a.Circular() {
+		dPerp := tagAxis.ProjectOntoPlane(u)
+		losCoup = circularLossField * dPerp.Norm()
+	} else {
+		losCoup = coupling(a.PolVector(), tagAxis, u)
+	}
+	losE := pathContribution(losLen, 0, losCoup, lambda)
+
+	// Reflected paths: antenna -> reflector -> tag.
+	var refE complex128
+	addReflector := func(pos geom.Vec3, lossDB, polRot float64) {
+		l := a.Pos.Dist(pos) + pos.Dist(tagPos)
+		ur := tagPos.Sub(pos).Unit()
+		var coup float64
+		if a.Circular() {
+			dPerp := tagAxis.ProjectOntoPlane(ur)
+			coup = circularLossField * dPerp.Norm()
+		} else {
+			coup = coupling(rotatedPol(a, polRot), tagAxis, ur)
+		}
+		refE += pathContribution(l, lossDB, coup, lambda)
+	}
+	for _, r := range c.Reflectors {
+		addReflector(r.Pos, r.LossDB, r.PolRotation)
+	}
+	if pos, ok := c.Bystander.At(t); ok {
+		lossDB := c.Bystander.LossDB
+		if lossDB == 0 {
+			lossDB = 9
+		}
+		addReflector(pos, lossDB, c.Bystander.PolRotation)
+	}
+
+	oneWay := losE + refE
+	mag := cmplx.Abs(oneWay)
+	if mag == 0 {
+		return Response{}
+	}
+
+	// Power delivered to the tag chip.
+	tagPower := c.txPower() + a.GainDBi + c.tagGain() - FSPL(1, lambda) + FieldToDB(mag)
+	if tagPower < c.tagSensitivity() {
+		return Response{TagPowerDBm: tagPower}
+	}
+
+	// Monostatic round trip: by reciprocity the return traverses the
+	// same set of paths, so the two-way complex response is the square
+	// of the one-way response.
+	roundTrip := oneWay * oneWay
+	rss := c.txPower() + 2*a.GainDBi + 2*c.tagGain() -
+		2*FSPL(1, lambda) - c.backscatterLoss() + FieldToDB(cmplx.Abs(roundTrip))
+	if rss < c.readerSensitivity() {
+		return Response{TagPowerDBm: tagPower}
+	}
+
+	phase := geom.WrapAngle(-cmplx.Phase(roundTrip) + a.CablePhase)
+	return Response{
+		OK:          true,
+		RSSdBm:      rss,
+		Phase:       phase,
+		TagPowerDBm: tagPower,
+		LoSDominant: cmplx.Abs(losE) > cmplx.Abs(refE),
+	}
+}

@@ -1,0 +1,290 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"polardraw/internal/geom"
+)
+
+// boardDipole returns a tag dipole lying in the board plane at angle
+// alpha from +X toward -Y (the pen azimuthal convention).
+func boardDipole(alpha float64) geom.Vec3 {
+	s, c := math.Sincos(alpha)
+	return geom.Vec3{X: c, Y: -s, Z: 0}
+}
+
+func vertAntenna(z float64) Antenna {
+	return Antenna{Name: "a", Pos: geom.Vec3{X: 0, Y: 0, Z: z}, PolAngle: math.Pi / 2, GainDBi: 8}
+}
+
+func TestWavelengthUHF(t *testing.T) {
+	l := Wavelength(DefaultFrequency)
+	if l < 0.31 || l > 0.34 {
+		t.Errorf("lambda = %v m, want ~0.326", l)
+	}
+}
+
+func TestDBmRoundTrip(t *testing.T) {
+	f := func(dbm float64) bool {
+		if math.IsNaN(dbm) || math.IsInf(dbm, 0) || math.Abs(dbm) > 200 {
+			return true
+		}
+		back := MilliwattsToDBm(DBmToMilliwatts(dbm))
+		return math.Abs(back-dbm) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if !math.IsInf(MilliwattsToDBm(0), -1) {
+		t.Error("0 mW should be -Inf dBm")
+	}
+}
+
+func TestFSPLMonotone(t *testing.T) {
+	lambda := 0.326
+	prev := FSPL(0.05, lambda)
+	for d := 0.1; d < 5; d += 0.1 {
+		cur := FSPL(d, lambda)
+		if cur <= prev {
+			t.Fatalf("FSPL not monotone at %v m", d)
+		}
+		prev = cur
+	}
+	// Doubling distance adds 6 dB.
+	if diff := FSPL(2, lambda) - FSPL(1, lambda); math.Abs(diff-6.02) > 0.01 {
+		t.Errorf("doubling distance added %v dB", diff)
+	}
+}
+
+// TestRSSPeaksWhenAligned reproduces the core of the paper's Fig. 3(b):
+// rotating the tag under a vertically polarized antenna, RSS is maximal
+// when the dipole is parallel to the polarization axis and the tag goes
+// unread near 90 degrees mismatch.
+func TestRSSPeaksWhenAligned(t *testing.T) {
+	ch := &Channel{}
+	ant := vertAntenna(2.5)
+	tagPos := geom.Vec3{X: 0, Y: 0, Z: 0}
+
+	aligned := ch.Probe(ant, tagPos, boardDipole(math.Pi/2), 0)
+	tilted := ch.Probe(ant, tagPos, boardDipole(math.Pi/2+geom.Radians(45)), 0)
+	if !aligned.OK || !tilted.OK {
+		t.Fatalf("aligned/tilted should read: %+v %+v", aligned, tilted)
+	}
+	if aligned.RSSdBm <= tilted.RSSdBm {
+		t.Errorf("aligned RSS %v <= 45deg RSS %v", aligned.RSSdBm, tilted.RSSdBm)
+	}
+	// Near-perpendicular: tag must fail to power up (no reflectors).
+	perp := ch.Probe(ant, tagPos, boardDipole(math.Pi/2+geom.Radians(89)), 0)
+	if perp.OK {
+		t.Errorf("perpendicular dipole still read: %+v", perp)
+	}
+}
+
+// TestMalusFourthPower checks the monostatic RSS follows 40log10(cos b).
+func TestMalusFourthPower(t *testing.T) {
+	ch := &Channel{}
+	ant := vertAntenna(2.5)
+	tagPos := geom.Vec3{}
+	r0 := ch.Probe(ant, tagPos, boardDipole(math.Pi/2), 0)
+	r45 := ch.Probe(ant, tagPos, boardDipole(math.Pi/2+math.Pi/4), 0)
+	if !r0.OK || !r45.OK {
+		t.Fatal("probes failed")
+	}
+	drop := r0.RSSdBm - r45.RSSdBm
+	want := -40 * math.Log10(math.Cos(math.Pi/4)) // ~6.02 dB
+	if math.Abs(drop-want) > 0.1 {
+		t.Errorf("45 deg drop = %v dB, want %v", drop, want)
+	}
+}
+
+// TestPhaseTracksDistance reproduces Fig. 3(c): phase advances with
+// 4*pi/lambda per metre while RSS barely moves.
+func TestPhaseTracksDistance(t *testing.T) {
+	ch := &Channel{}
+	ant := vertAntenna(2.5)
+	lambda := ch.Lambda()
+	d := 0.02 // 2 cm shift along Z (toward the antenna)
+	r1 := ch.Probe(ant, geom.Vec3{Z: 0}, boardDipole(math.Pi/2), 0)
+	r2 := ch.Probe(ant, geom.Vec3{Z: d}, boardDipole(math.Pi/2), 0)
+	if !r1.OK || !r2.OK {
+		t.Fatal("probes failed")
+	}
+	// Distance shrank by d, so phase decreases by 4*pi*d/lambda.
+	want := -4 * math.Pi * d / lambda
+	got := geom.AngleDiff(r1.Phase, r2.Phase)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("phase delta = %v, want %v", got, want)
+	}
+	if math.Abs(r1.RSSdBm-r2.RSSdBm) > 0.5 {
+		t.Errorf("RSS moved %v dB over 2 cm", r1.RSSdBm-r2.RSSdBm)
+	}
+}
+
+// TestSpuriousPhaseNearPerpendicular: with reflectors present, the tag
+// still reads near 90 degrees mismatch but the phase comes from the
+// reflected path -- the section 2 artifact the pre-processor rejects.
+func TestSpuriousPhaseNearPerpendicular(t *testing.T) {
+	ch := &Channel{Reflectors: []Reflector{
+		{Pos: geom.Vec3{X: 0.5, Y: -0.5, Z: 1.2}, LossDB: 6, PolRotation: geom.Radians(80)},
+	}}
+	ant := vertAntenna(1.0)
+	tagPos := geom.Vec3{}
+	onAxis := ch.Probe(ant, tagPos, boardDipole(math.Pi/2), 0)
+	nearPerp := ch.Probe(ant, tagPos, boardDipole(math.Pi/2+geom.Radians(88)), 0)
+	if !onAxis.OK {
+		t.Fatal("aligned probe failed")
+	}
+	if !nearPerp.OK {
+		t.Skip("reflected path too weak to energize tag in this configuration")
+	}
+	if !onAxis.LoSDominant {
+		t.Error("aligned probe should be LoS dominant")
+	}
+	if nearPerp.LoSDominant {
+		t.Error("near-perpendicular probe should be reflection dominated")
+	}
+	if geom.AngleDist(onAxis.Phase, nearPerp.Phase) < 0.2 {
+		t.Errorf("expected a spurious phase jump, got %v vs %v", onAxis.Phase, nearPerp.Phase)
+	}
+}
+
+// TestCircularAntennaRotationInsensitive: the baselines' circular
+// antennas must see (almost) no RSS change under tag rotation within
+// the transverse plane.
+func TestCircularAntennaRotationInsensitive(t *testing.T) {
+	ch := &Channel{}
+	ant := Antenna{Name: "c", Pos: geom.Vec3{Z: 1.5}, PolAngle: CircularPol, GainDBi: 8}
+	tagPos := geom.Vec3{}
+	var min, max float64 = math.Inf(1), math.Inf(-1)
+	for deg := 0.0; deg < 180; deg += 5 {
+		r := ch.Probe(ant, tagPos, boardDipole(geom.Radians(deg)), 0)
+		if !r.OK {
+			t.Fatalf("circular antenna failed to read at %v deg", deg)
+		}
+		min = math.Min(min, r.RSSdBm)
+		max = math.Max(max, r.RSSdBm)
+	}
+	if max-min > 0.5 {
+		t.Errorf("circular antenna RSS swing = %v dB under rotation", max-min)
+	}
+}
+
+// TestBystanderPerturbsChannel: a walking bystander must modulate the
+// response over time; a static one much less.
+func TestBystanderPerturbsChannel(t *testing.T) {
+	base := &Channel{}
+	walking := &Channel{Bystander: &Bystander{
+		Mode: BystanderWalking, Pos: geom.Vec3{X: 0.3, Y: 0.3, Z: 0.4}, LossDB: 8,
+		PolRotation: geom.Radians(30),
+	}}
+	ant := vertAntenna(1.0)
+	tagPos := geom.Vec3{}
+	axis := boardDipole(math.Pi / 2)
+
+	r0 := base.Probe(ant, tagPos, axis, 0)
+	var maxDev float64
+	for tt := 0.0; tt < 3; tt += 0.05 {
+		r := walking.Probe(ant, tagPos, axis, tt)
+		if !r.OK {
+			continue
+		}
+		maxDev = math.Max(maxDev, math.Abs(r.RSSdBm-r0.RSSdBm))
+	}
+	if maxDev < 0.3 {
+		t.Errorf("walking bystander max RSS deviation = %v dB, want noticeable", maxDev)
+	}
+}
+
+func TestBystanderAt(t *testing.T) {
+	if _, ok := (*Bystander)(nil).At(0); ok {
+		t.Error("nil bystander should be absent")
+	}
+	b := &Bystander{Mode: BystanderNone}
+	if _, ok := b.At(0); ok {
+		t.Error("BystanderNone should be absent")
+	}
+	w := &Bystander{Mode: BystanderWalking, Pos: geom.Vec3{X: 1}}
+	p1, ok1 := w.At(0)
+	p2, ok2 := w.At(0.7)
+	if !ok1 || !ok2 {
+		t.Fatal("walking bystander absent")
+	}
+	if p1.Dist(p2) == 0 {
+		t.Error("walking bystander did not move")
+	}
+	s := &Bystander{Mode: BystanderStatic, Pos: geom.Vec3{X: 1}}
+	q1, _ := s.At(0)
+	q2, _ := s.At(0.5)
+	if q1.Dist(q2) > 0.05 {
+		t.Errorf("static bystander moved %v m", q1.Dist(q2))
+	}
+}
+
+func TestTagActivationThresholdWithDistance(t *testing.T) {
+	ch := &Channel{}
+	axis := boardDipole(math.Pi / 2)
+	near := ch.Probe(vertAntenna(1.0), geom.Vec3{}, axis, 0)
+	if !near.OK {
+		t.Fatal("tag should read at 1 m")
+	}
+	far := ch.Probe(vertAntenna(40), geom.Vec3{}, axis, 0)
+	if far.OK {
+		t.Error("tag should not power up at 40 m")
+	}
+	if far.TagPowerDBm >= near.TagPowerDBm {
+		t.Error("tag power should fall with distance")
+	}
+}
+
+func TestPairAtGamma(t *testing.T) {
+	pair := PairAtGamma(0.2, 0.76, -0.1, 0.15, geom.Radians(15), geom.Vec3{X: 0.28, Y: 0.125})
+	if d := geom.AngleDist(pair[0].PolAngle, math.Pi/2+geom.Radians(15)); d > 1e-9 {
+		t.Errorf("ant1 pol angle off by %v", d)
+	}
+	if d := geom.AngleDist(pair[1].PolAngle, math.Pi/2-geom.Radians(15)); d > 1e-9 {
+		t.Errorf("ant2 pol angle off by %v", d)
+	}
+	// Mismatch with a vertical pen (alpha = pi/2) must equal gamma for
+	// both antennas.
+	for i, a := range pair {
+		if d := math.Abs(a.PolarizationMismatch(math.Pi/2) - geom.Radians(15)); d > 1e-9 {
+			t.Errorf("ant%d mismatch off by %v", i+1, d)
+		}
+	}
+}
+
+func TestArrayAt(t *testing.T) {
+	arr := ArrayAt(4, 0.1, 0.25, -0.1, 0.15)
+	if len(arr) != 4 {
+		t.Fatalf("len = %d", len(arr))
+	}
+	for i, a := range arr {
+		if !a.Circular() {
+			t.Errorf("array antenna %d not circular", i)
+		}
+		wantX := 0.1 + 0.25*float64(i)
+		if math.Abs(a.Pos.X-wantX) > 1e-12 {
+			t.Errorf("array antenna %d at %v, want x=%v", i, a.Pos, wantX)
+		}
+	}
+}
+
+func TestPolarizationMismatchSymmetry(t *testing.T) {
+	// The rotation-direction ambiguity (Fig. 8a): equal mismatch for
+	// clockwise and counterclockwise rotations from the pol axis.
+	a := Antenna{PolAngle: math.Pi / 2}
+	f := func(d float64) bool {
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return true
+		}
+		d = math.Mod(math.Abs(d), math.Pi/2)
+		cw := a.PolarizationMismatch(math.Pi/2 - d)
+		ccw := a.PolarizationMismatch(math.Pi/2 + d)
+		return math.Abs(cw-ccw) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package rf
+
+import (
+	"math"
+
+	"polardraw/internal/geom"
+)
+
+// Reflector is a static scatterer (wall, desk, metal cabinet) that adds
+// a reflected propagation path between each antenna and the tag. The
+// reflection attenuates the field and, crucially for the paper's
+// "spurious phase" artifact, rotates its polarization, so a reflected
+// path can energize the tag even when the line-of-sight path is
+// polarization-blocked.
+type Reflector struct {
+	// Pos is the effective scattering point in board-frame metres.
+	Pos geom.Vec3
+	// LossDB is the additional one-way field loss at the reflection, dB.
+	LossDB float64
+	// PolRotation rotates the field's polarization axis within the
+	// board plane, radians.
+	PolRotation float64
+}
+
+// BystanderMode selects how a nearby person moves during a session.
+type BystanderMode int
+
+const (
+	// BystanderNone disables the bystander.
+	BystanderNone BystanderMode = iota
+	// BystanderStatic keeps the person standing still (with small
+	// breathing/posture sway) at the configured position.
+	BystanderStatic
+	// BystanderWalking walks the person on a circle of radius
+	// WalkRadius around their position at walking speed.
+	BystanderWalking
+)
+
+// Bystander models an interfering person near the whiteboard
+// (section 5.2.5): a strong, possibly moving scatterer.
+type Bystander struct {
+	Mode BystanderMode
+	// Pos is the person's nominal position (board frame, metres).
+	Pos geom.Vec3
+	// LossDB is the one-way field loss of the body-reflected path.
+	LossDB float64
+	// PolRotation of the body-scattered field.
+	PolRotation float64
+	// WalkRadius and WalkSpeed shape the walking orbit.
+	WalkRadius float64
+	WalkSpeed  float64
+	// SwayAmplitude is the static-mode positional sway, metres.
+	SwayAmplitude float64
+}
+
+// At returns the bystander's scattering point at time t seconds, and
+// whether the bystander is present at all.
+func (b *Bystander) At(t float64) (geom.Vec3, bool) {
+	if b == nil || b.Mode == BystanderNone {
+		return geom.Vec3{}, false
+	}
+	switch b.Mode {
+	case BystanderStatic:
+		sway := b.SwayAmplitude
+		if sway == 0 {
+			sway = 0.005
+		}
+		// Slow quasi-periodic sway: breathing ~0.3 Hz plus posture drift.
+		dx := sway * math.Sin(2*math.Pi*0.3*t)
+		dz := 0.5 * sway * math.Sin(2*math.Pi*0.11*t+1)
+		return geom.Vec3{X: b.Pos.X + dx, Y: b.Pos.Y, Z: b.Pos.Z + dz}, true
+	case BystanderWalking:
+		r := b.WalkRadius
+		if r == 0 {
+			r = 0.4
+		}
+		v := b.WalkSpeed
+		if v == 0 {
+			v = 1.0 // m/s, relaxed indoor walking
+		}
+		omega := v / r
+		return geom.Vec3{
+			X: b.Pos.X + r*math.Cos(omega*t),
+			Y: b.Pos.Y,
+			Z: b.Pos.Z + r*math.Sin(omega*t),
+		}, true
+	default:
+		return geom.Vec3{}, false
+	}
+}
+
+// OfficeReflectors returns the default static clutter used by every
+// experiment: a handful of scatterers around a whiteboard in a small
+// office, with moderate losses and assorted polarization rotations.
+// boardW is the board width in metres; reflectors scale around it.
+func OfficeReflectors(boardW float64) []Reflector {
+	return []Reflector{
+		// Ceiling fixture above the rig.
+		{Pos: geom.Vec3{X: boardW / 2, Y: -1.2, Z: 1.0}, LossDB: 14, PolRotation: geom.Radians(70)},
+		// Desk to the right of the board.
+		{Pos: geom.Vec3{X: boardW + 0.8, Y: 0.4, Z: 0.6}, LossDB: 12, PolRotation: geom.Radians(40)},
+		// Metal cabinet left of the board.
+		{Pos: geom.Vec3{X: -0.7, Y: 0.2, Z: 0.8}, LossDB: 10, PolRotation: geom.Radians(85)},
+		// Floor bounce.
+		{Pos: geom.Vec3{X: boardW / 2, Y: 1.5, Z: 0.9}, LossDB: 16, PolRotation: geom.Radians(55)},
+	}
+}

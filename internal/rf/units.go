@@ -1,0 +1,67 @@
+// Package rf models the physical layer PolarDraw runs on: linearly
+// polarized reader antennas, the passive-tag backscatter link, and a
+// ray-based indoor multipath channel.
+//
+// The channel is deliberately simple but captures exactly the phenomena
+// the paper's algorithms depend on (section 2 of the paper):
+//
+//   - RSS follows the polarization mismatch between the tag dipole and
+//     the antenna's polarization axis (Malus's law per traversal, a
+//     fourth-power field factor for the monostatic round trip), and is
+//     otherwise insensitive to centimetre-scale translation.
+//   - Phase advances by 4*pi/lambda per metre of tag-antenna distance
+//     (the backscatter path is traversed twice) and is insensitive to
+//     rotation -- until the line-of-sight coupling collapses near 90
+//     degrees mismatch, at which point reflected paths dominate and the
+//     reported phase jumps ("spurious readings").
+//   - Nearby people act as additional reflectors, static or moving.
+//
+// All geometry uses the board frame of package geom: X to the right
+// along the whiteboard, Y downward along the board, Z out of the board
+// toward the room. Distances are metres, powers dBm, angles radians.
+package rf
+
+import "math"
+
+// SpeedOfLight in vacuum, m/s.
+const SpeedOfLight = 299_792_458.0
+
+// DefaultFrequency is the centre of the FCC UHF RFID hop band, Hz.
+const DefaultFrequency = 920.625e6
+
+// Wavelength returns the carrier wavelength in metres for a frequency
+// in Hz.
+func Wavelength(freqHz float64) float64 { return SpeedOfLight / freqHz }
+
+// DBmToMilliwatts converts a power in dBm to milliwatts.
+func DBmToMilliwatts(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MilliwattsToDBm converts a power in milliwatts to dBm. Zero or
+// negative power maps to -Inf.
+func MilliwattsToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// FSPL returns the one-way free-space path loss in dB over a distance d
+// metres at wavelength lambda metres. Distances below 1 cm are clamped
+// to keep the near-field singularity out of the simulation.
+func FSPL(d, lambda float64) float64 {
+	if d < 0.01 {
+		d = 0.01
+	}
+	return 20 * math.Log10(4*math.Pi*d/lambda)
+}
+
+// FieldToDB converts a linear field amplitude ratio to dB (20 log10).
+func FieldToDB(a float64) float64 {
+	if a <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(a)
+}
+
+// DBToField converts dB to a linear field amplitude ratio.
+func DBToField(db float64) float64 { return math.Pow(10, db/20) }

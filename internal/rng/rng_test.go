@@ -1,0 +1,161 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	base1 := New(7)
+	base2 := New(7)
+	f1 := base1.Fork(1)
+	f2 := base2.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("forks with different tags produced %d/100 identical outputs", same)
+	}
+	// Same tag from identical parents must match.
+	g1 := New(7).Fork(3)
+	g2 := New(7).Fork(3)
+	for i := 0; i < 50; i++ {
+		if g1.Uint64() != g2.Uint64() {
+			t.Fatal("same-tag forks diverged")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(99)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestIntn(t *testing.T) {
+	s := New(11)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %v", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("Intn(5) only hit %d values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(123)
+	n := 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("Norm mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("Norm variance = %v", variance)
+	}
+}
+
+func TestNormScaled(t *testing.T) {
+	s := New(321)
+	n := 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.NormScaled(10, 2)
+	}
+	if mean := sum / float64(n); math.Abs(mean-10) > 0.1 {
+		t.Errorf("NormScaled mean = %v", mean)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := New(77)
+	p := s.Perm(10)
+	if len(p) != 10 {
+		t.Fatalf("Perm len = %d", len(p))
+	}
+	seen := map[int]bool{}
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniformityChiSquare(t *testing.T) {
+	// Coarse uniformity check over 16 buckets; chi-square with 15 dof
+	// should stay below ~38 (p ~ 0.001) for a healthy generator.
+	s := New(2024)
+	const buckets, n = 16, 64000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[int(s.Float64()*buckets)]++
+	}
+	expected := float64(n) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 38 {
+		t.Errorf("chi-square = %v, distribution looks non-uniform: %v", chi2, counts)
+	}
+}

@@ -1,0 +1,45 @@
+// Package tag models the passive UHF RFID inlay attached to the
+// whiteboard pen: its identity (EPC), its electrical parameters, and
+// how its dipole axis follows the pen's pose.
+//
+// The paper uses an Avery Dennison AD-227m5 inlay taped along the pen
+// barrel, so the dipole axis coincides with the pen axis; everything
+// the channel needs is the dipole direction plus a couple of dB-level
+// constants.
+package tag
+
+import (
+	"fmt"
+
+	"polardraw/internal/rf"
+)
+
+// Tag describes one passive tag.
+type Tag struct {
+	// EPC is the 96-bit identifier, hex encoded.
+	EPC string
+	// SensitivityDBm is the chip's minimum activation power.
+	SensitivityDBm float64
+	// GainDBi is the dipole's peak gain.
+	GainDBi float64
+	// ModulationPhase is the constant phase the tag's modulator adds to
+	// the backscattered carrier, radians.
+	ModulationPhase float64
+}
+
+// AD227 returns a tag with the electrical parameters of the paper's
+// AD-227m5-class inlay and a deterministic EPC derived from serial.
+func AD227(serial uint32) Tag {
+	return Tag{
+		EPC:            fmt.Sprintf("e28011%02x00000000%08x", serial%256, serial),
+		SensitivityDBm: -14,
+		GainDBi:        2,
+	}
+}
+
+// ApplyTo copies the tag's electrical parameters into a channel, so
+// experiments can swap tags without rebuilding the channel.
+func (t Tag) ApplyTo(c *rf.Channel) {
+	c.TagSensitivityDBm = t.SensitivityDBm
+	c.TagGainDBi = t.GainDBi
+}

@@ -1,0 +1,41 @@
+package tag
+
+import (
+	"testing"
+
+	"polardraw/internal/rf"
+)
+
+func TestAD227Deterministic(t *testing.T) {
+	a := AD227(7)
+	b := AD227(7)
+	if a.EPC != b.EPC {
+		t.Errorf("same serial gave different EPCs: %s vs %s", a.EPC, b.EPC)
+	}
+	c := AD227(8)
+	if a.EPC == c.EPC {
+		t.Error("different serials gave the same EPC")
+	}
+	if len(a.EPC) != 24 { // 96 bits = 24 hex chars
+		t.Errorf("EPC length = %d, want 24 hex chars", len(a.EPC))
+	}
+}
+
+func TestAD227Electrical(t *testing.T) {
+	tg := AD227(1)
+	if tg.SensitivityDBm > -10 || tg.SensitivityDBm < -20 {
+		t.Errorf("sensitivity = %v dBm, implausible", tg.SensitivityDBm)
+	}
+	if tg.GainDBi <= 0 || tg.GainDBi > 3 {
+		t.Errorf("gain = %v dBi, implausible for a dipole", tg.GainDBi)
+	}
+}
+
+func TestApplyTo(t *testing.T) {
+	tg := Tag{SensitivityDBm: -12, GainDBi: 1.5}
+	var ch rf.Channel
+	tg.ApplyTo(&ch)
+	if ch.TagSensitivityDBm != -12 || ch.TagGainDBi != 1.5 {
+		t.Errorf("ApplyTo did not copy params: %+v", ch)
+	}
+}
