@@ -25,6 +25,7 @@ import (
 	"polardraw/internal/reader"
 	"polardraw/internal/recognition"
 	"polardraw/internal/rf"
+	"polardraw/internal/session"
 	"polardraw/internal/tag"
 )
 
@@ -470,6 +471,70 @@ func BenchmarkTrackLetter(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStreamTracker measures the incremental pipeline: the same
+// letter as BenchmarkTrackLetter, pushed sample-at-a-time through a
+// StreamTracker and finalized — the cost of the streaming path
+// relative to batch Track.
+func BenchmarkStreamTracker(b *testing.B) {
+	rig := motion.DefaultRig()
+	ants := rig.Antennas()
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	g, _ := font.Lookup('Z')
+	path := g.Path().Scale(0.2).Translate(geom.Vec2{X: 0.18, Y: 0.02})
+	sess := motion.Write(path, "Z", motion.Config{Seed: 1})
+	rd := reader.New(reader.Config{Antennas: ants[:], Channel: ch, EPC: tag.AD227(1).EPC, Seed: 1})
+	samples := rd.Inventory(sess)
+	tr := core.New(core.Config{Antennas: ants})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := tr.Stream()
+		for _, s := range samples {
+			if err := st.Push(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := st.Finalize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(samples)), "samples/op")
+}
+
+// BenchmarkSessionServer measures the full serving layer: a mixed
+// four-pen inventory demultiplexed through the session manager's
+// per-pen queues, workers, and incremental trackers.
+func BenchmarkSessionServer(b *testing.B) {
+	rig := motion.DefaultRig()
+	ants := rig.Antennas()
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	tag.AD227(1).ApplyTo(ch)
+	letters := []rune{'H', 'E', 'L', 'O'}
+	scenes := make([]reader.TaggedScene, 0, len(letters))
+	for k, r := range letters {
+		g, _ := font.Lookup(r)
+		path := g.Path().Scale(0.2).Translate(geom.Vec2{X: 0.18, Y: 0.03})
+		sess := motion.Write(path, string(r), motion.Config{Seed: uint64(k + 1)})
+		scenes = append(scenes, reader.TaggedScene{EPC: tag.AD227(uint32(k + 1)).EPC, Scene: sess})
+	}
+	rd := reader.New(reader.Config{Antennas: ants[:], Channel: ch, EPC: scenes[0].EPC, Seed: 1})
+	samples := rd.MultiInventory(scenes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := session.NewManager(session.Config{
+			Tracker: core.Config{Antennas: ants, Window: 0.3},
+		})
+		if err := m.DispatchBatch(samples); err != nil {
+			b.Fatal(err)
+		}
+		results := m.Close()
+		if len(results) != len(scenes) {
+			b.Fatalf("decoded %d of %d pens", len(results), len(scenes))
+		}
+	}
+	b.ReportMetric(float64(len(samples)), "samples/op")
+	b.ReportMetric(float64(len(scenes)), "pens/op")
 }
 
 // BenchmarkRecognizeLetter measures classifier throughput.

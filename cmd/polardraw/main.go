@@ -8,6 +8,7 @@
 //	polardraw -text HELLO                # simulate and track a word
 //	polardraw -letter Q -air             # one in-air letter
 //	polardraw -llrp 127.0.0.1:5084       # track a live LLRP stream
+//	polardraw -serve -llrp 127.0.0.1:5084 # multi-pen streaming session server
 //	polardraw -text WOW -system tagoram4 # use a baseline system
 package main
 
@@ -16,13 +17,16 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
+	"polardraw/internal/core"
 	"polardraw/internal/experiment"
 	"polardraw/internal/geom"
 	"polardraw/internal/llrp"
 	"polardraw/internal/reader"
 	"polardraw/internal/recognition"
+	"polardraw/internal/session"
 )
 
 func main() {
@@ -33,6 +37,8 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		system  = flag.String("system", "polardraw", "tracking system: polardraw, polardraw-nopol, tagoram2, tagoram4, rfidraw4")
 		llrpSrv = flag.String("llrp", "", "track a live LLRP reader at host:port instead of simulating")
+		serve   = flag.Bool("serve", false, "with -llrp: run the streaming session server, demuxing every pen in the stream")
+		window  = flag.Float64("window", 0, "with -serve: preprocessing window seconds (0 = auto from pen count)")
 		size    = flag.Float64("size", 0.20, "letter size in metres")
 	)
 	flag.Parse()
@@ -46,6 +52,15 @@ func main() {
 	sc.InAir = *air
 	sc.LetterSize = *size
 
+	if *serve {
+		if *llrpSrv == "" {
+			fatal(fmt.Errorf("-serve requires -llrp host:port"))
+		}
+		if err := serveLLRP(sc, *llrpSrv, *window); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *llrpSrv != "" {
 		if err := trackLLRP(sc, sys, *llrpSrv); err != nil {
 			fatal(err)
@@ -141,6 +156,112 @@ func trackSamples(sc experiment.Scenario, sys experiment.System, samples []reade
 	// The experiment package owns system construction; route through a
 	// scenario-built tracker on the default rig.
 	return experiment.TrackerFor(sc, sys).Track(samples)
+}
+
+// serveLLRP runs the streaming session server: it subscribes to the
+// LLRP report stream, demultiplexes every pen (EPC) in it through the
+// session manager's incremental trackers, prints live progress, and
+// renders each pen's trajectory when the stream ends.
+func serveLLRP(sc experiment.Scenario, addr string, window float64) error {
+	c, err := llrp.Dial(addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("session server: streaming from %s\n", addr)
+
+	newManager := func(pens int, window float64) *session.Manager {
+		if window == 0 {
+			// The aggregate read rate divides among the pens, so the
+			// averaging window grows proportionally to keep both
+			// antennas represented in each window; the 1.5 slack
+			// absorbs inventory slot jitter.
+			window = 0.05 * float64(pens)
+			if pens > 1 {
+				window *= 1.5
+			}
+		}
+		var mu sync.Mutex
+		windows := map[string]int{}
+		return session.NewManager(session.Config{
+			Tracker: core.Config{Antennas: sc.Rig.Antennas(), Window: window},
+			OnPoint: func(epc string, w core.Window, live geom.Vec2) {
+				mu.Lock()
+				windows[epc]++
+				n := windows[epc]
+				mu.Unlock()
+				if n%10 == 1 { // progress line every 10 windows per pen
+					fmt.Printf("  pen …%s t=%5.2fs window %3d live=(%.3f, %.3f)\n",
+						epc[max(0, len(epc)-6):], w.T, n, live.X, live.Y)
+				}
+			},
+		})
+	}
+
+	// Peek at the first second of traffic to learn the pen count (it
+	// sets the auto window), then dispatch live.
+	var mgr *session.Manager
+	var pending []reader.Sample
+	epcs := map[string]bool{}
+	err = c.Stream(func(batch []reader.Sample) error {
+		for _, s := range batch {
+			if !epcs[s.EPC] {
+				epcs[s.EPC] = true
+				if mgr != nil {
+					// The window was sized from the pens seen in the
+					// first second; a later joiner shares the read
+					// rate but not that sizing, so its decode may be
+					// too coarse to survive. Tell the operator.
+					fmt.Printf("warning: pen %s joined after the window was fixed; "+
+						"restart -serve (or set -window) to size for %d pens\n",
+						s.EPC, len(epcs))
+				}
+			}
+		}
+		if mgr == nil {
+			pending = append(pending, batch...)
+			// Elapsed (not absolute) time: a real reader stamps
+			// reports with epoch microseconds.
+			if last := pending[len(pending)-1]; last.T-pending[0].T < 1.0 {
+				return nil
+			}
+			mgr = newManager(len(epcs), window)
+			fmt.Printf("session server: %d pen(s) detected\n", len(epcs))
+			err := mgr.DispatchBatch(pending)
+			pending = nil
+			return err
+		}
+		return mgr.DispatchBatch(batch)
+	})
+	if err != nil {
+		return err
+	}
+	if mgr == nil {
+		// Short stream: everything is still buffered.
+		mgr = newManager(len(epcs), window)
+		if err := mgr.DispatchBatch(pending); err != nil {
+			return err
+		}
+	}
+
+	stats := mgr.Stats()
+	results := mgr.Close() // drains the remaining queued reports
+	for _, st := range stats {
+		fmt.Printf("pen %s: %d reads, queue depth mean %.1f max %d\n",
+			st.EPC, st.Received, st.QueueMeanDepth, st.QueueMaxDepth)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no pen produced a decodable stream")
+	}
+	for epc, res := range results {
+		fmt.Printf("\npen %s (%d windows, correction %.2f rad):\n",
+			epc, len(res.Windows), res.Correction)
+		fmt.Print(experiment.RenderTrajectory(res.Trajectory, 60, 12))
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,12 +1,15 @@
 // Command readersim runs a standalone LLRP-lite reader simulator: it
-// synthesizes one writing session, runs the RFID reader simulation
-// over it, and serves the resulting tag-report stream to LLRP clients
-// (cmd/polardraw -llrp, examples/llrpstream) over TCP.
+// synthesizes one or more writing sessions, runs the RFID reader
+// simulation over them, and serves the resulting tag-report stream to
+// LLRP clients (cmd/polardraw -llrp/-serve, examples/llrpstream) over
+// TCP.
 //
 // Usage:
 //
 //	readersim -listen 127.0.0.1:5084 -text HELLO
+//	readersim -pens 4 -text HI,NO,UP,GO     # four pens sharing the reader
 //	polardraw -llrp 127.0.0.1:5084
+//	polardraw -serve -llrp 127.0.0.1:5084   # multi-pen session server
 package main
 
 import (
@@ -29,15 +32,20 @@ import (
 func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:5084", "address to serve LLRP on (5084 is the standard LLRP port)")
-		text     = flag.String("text", "WOW", "word the simulated user writes")
+		text     = flag.String("text", "WOW", "word(s) the simulated users write; comma-separated, cycled across pens")
+		pens     = flag.Int("pens", 1, "number of simultaneously writing pens (tags) sharing the reader")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		air      = flag.Bool("air", false, "write in the air")
 		realtime = flag.Bool("realtime", false, "pace report batches at roughly live speed")
 		once     = flag.Bool("once", false, "serve a single client and exit")
 	)
 	flag.Parse()
+	if *pens < 1 {
+		*pens = 1
+	}
 
-	samples, dur, err := simulate(strings.ToUpper(*text), *seed, *air)
+	words := strings.Split(strings.ToUpper(*text), ",")
+	samples, dur, err := simulate(words, *pens, *seed, *air)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "readersim:", err)
 		os.Exit(1)
@@ -54,8 +62,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "readersim:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("readersim: serving %d tag reads (%.1f s of writing %q) on %s\n",
-		len(samples), dur, *text, ln.Addr())
+	fmt.Printf("readersim: serving %d tag reads (%.1f s, %d pen(s) writing %s) on %s\n",
+		len(samples), dur, *pens, strings.Join(words, "/"), ln.Addr())
 
 	if *once {
 		conn, err := ln.Accept()
@@ -96,12 +104,11 @@ func (l *oneShotListener) Accept() (net.Conn, error) {
 func (l *oneShotListener) Close() error   { return nil }
 func (l *oneShotListener) Addr() net.Addr { return &net.TCPAddr{} }
 
-// simulate produces the tag-read stream for the given word.
-func simulate(text string, seed uint64, air bool) ([]reader.Sample, float64, error) {
-	rig := motion.DefaultRig()
+// wordPath lays out one word on the rig's writing block.
+func wordPath(rig motion.Rig, text string) (geom.Polyline, error) {
 	path := font.WordPath(text, 0.2, 0.25)
 	if len(path) < 2 {
-		return nil, 0, fmt.Errorf("nothing writable in %q", text)
+		return nil, fmt.Errorf("nothing writable in %q", text)
 	}
 	_, max := path.Bounds()
 	if max.X > rig.BoardW*0.95 {
@@ -109,18 +116,44 @@ func simulate(text string, seed uint64, air bool) ([]reader.Sample, float64, err
 	}
 	_, max = path.Bounds()
 	c := rig.Centre()
-	path = path.Translate(geom.Vec2{X: c.X - max.X/2, Y: c.Y - max.Y/2})
+	return path.Translate(geom.Vec2{X: c.X - max.X/2, Y: c.Y - max.Y/2}), nil
+}
 
-	sess := motion.Write(path, text, motion.Config{Seed: seed, InAir: air})
+// simulate produces the mixed tag-read stream for pens writers; words
+// are cycled across pens and each pen carries its own tag (EPC).
+func simulate(words []string, pens int, seed uint64, air bool) ([]reader.Sample, float64, error) {
+	rig := motion.DefaultRig()
 	ants := rig.Antennas()
 	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
-	tg := tag.AD227(1)
-	tg.ApplyTo(ch)
+	tag.AD227(1).ApplyTo(ch)
 	rd := reader.New(reader.Config{
 		Antennas: ants[:],
 		Channel:  ch,
-		EPC:      tg.EPC,
+		EPC:      tag.AD227(1).EPC,
 		Seed:     seed,
 	})
-	return rd.Inventory(sess), sess.Duration(), nil
+
+	scenes := make([]reader.TaggedScene, 0, pens)
+	dur := 0.0
+	for k := 0; k < pens; k++ {
+		word := words[k%len(words)]
+		path, err := wordPath(rig, word)
+		if err != nil {
+			return nil, 0, err
+		}
+		sess := motion.Write(path, word, motion.Config{Seed: seed + uint64(k), InAir: air})
+		if d := sess.Duration(); d > dur {
+			dur = d
+		}
+		scenes = append(scenes, reader.TaggedScene{
+			EPC:   tag.AD227(uint32(k + 1)).EPC,
+			Scene: sess,
+		})
+	}
+	if pens == 1 {
+		// Single-pen inventory keeps the historical sample stream
+		// (same seed, same timing) that existing clients expect.
+		return rd.Inventory(scenes[0].Scene), dur, nil
+	}
+	return rd.MultiInventory(scenes), dur, nil
 }

@@ -1,15 +1,19 @@
 // LLRP stream: the full networking path of the paper's implementation
-// (section 4). A simulated ImpinJ-class reader serves tag reports over
-// the LLRP-lite protocol on a loopback TCP socket; the tracking client
-// connects, starts the inventory, collects the reports, and feeds them
-// to the PolarDraw pipeline -- exactly how the paper's Java
-// interrogation module fed its C# tracker.
+// (section 4), extended to the section 7 multi-user setting. A
+// simulated ImpinJ-class reader inventories FOUR tagged pens writing
+// simultaneously and serves the mixed tag-report stream over the
+// LLRP-lite protocol on a loopback TCP socket. The client side is the
+// streaming session server: it subscribes to the live report stream,
+// demultiplexes the pens by EPC, and decodes every trajectory
+// incrementally as report batches arrive — no pen waits for the
+// session to end before its windows are processed.
 package main
 
 import (
 	"fmt"
 	"log"
 	"net"
+	"sync"
 	"time"
 
 	"polardraw/internal/core"
@@ -20,26 +24,41 @@ import (
 	"polardraw/internal/motion"
 	"polardraw/internal/reader"
 	"polardraw/internal/rf"
+	"polardraw/internal/session"
 	"polardraw/internal/tag"
 )
 
 func main() {
-	// Reader side: simulate a user writing "HI" and stage the tag
-	// reads behind an LLRP server.
+	// Reader side: four users write different letters at once; the
+	// EPC Gen2 inventory divides the read rate among their tags.
 	rig := motion.DefaultRig()
-	path := font.WordPath("HI", 0.2, 0.25).Translate(geom.Vec2{X: 0.12, Y: 0.03})
-	session := motion.Write(path, "HI", motion.Config{Seed: 11})
 	antennas := rig.Antennas()
 	channel := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
-	pen := tag.AD227(3)
-	pen.ApplyTo(channel)
+	tag.AD227(1).ApplyTo(channel)
+
+	letters := []rune{'H', 'E', 'L', 'O'}
+	scenes := make([]reader.TaggedScene, 0, len(letters))
+	truth := map[string]geom.Polyline{}
+	labels := map[string]string{}
+	for k, r := range letters {
+		g, ok := font.Lookup(r)
+		if !ok {
+			log.Fatalf("no glyph %c", r)
+		}
+		path := g.Path().Scale(0.2).Translate(geom.Vec2{X: 0.18, Y: 0.03})
+		sess := motion.Write(path, string(r), motion.Config{Seed: uint64(31 + k)})
+		epc := tag.AD227(uint32(k + 1)).EPC
+		scenes = append(scenes, reader.TaggedScene{EPC: epc, Scene: sess})
+		truth[epc] = sess.Truth
+		labels[epc] = sess.Label
+	}
 	rd := reader.New(reader.Config{
 		Antennas: antennas[:],
 		Channel:  channel,
-		EPC:      pen.EPC,
-		Seed:     11,
+		EPC:      scenes[0].EPC,
+		Seed:     31,
 	})
-	srv := &llrp.Server{Samples: rd.Inventory(session), BatchSize: 16}
+	srv := &llrp.Server{Samples: rd.MultiInventory(scenes), BatchSize: 16}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -47,32 +66,57 @@ func main() {
 	}
 	go srv.Serve(ln)
 	defer srv.Close()
-	fmt.Printf("reader simulator listening on %s\n", ln.Addr())
+	fmt.Printf("reader simulator: %d pens on %s\n", len(scenes), ln.Addr())
 
-	// Client side: the tracking pipeline, fed over the wire.
-	client, err := llrp.Dial(ln.Addr().String(), 2*time.Second)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer client.Close()
-	if err := client.Start(); err != nil {
-		log.Fatal(err)
-	}
-	samples, err := client.Collect()
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("collected %d tag reads over LLRP\n", len(samples))
+	// Client side: the streaming session server. Four pens share the
+	// ~100 reads/s aggregate rate, so the preprocessing window grows
+	// proportionally (4 x 50 ms, plus slack for slot jitter).
+	var mu sync.Mutex
+	liveWindows := map[string]int{}
+	mgr := session.NewManager(session.Config{
+		Tracker: core.Config{Antennas: antennas, Window: 0.3},
+		OnPoint: func(epc string, w core.Window, live geom.Vec2) {
+			mu.Lock()
+			liveWindows[epc]++
+			n := liveWindows[epc]
+			mu.Unlock()
+			if n%8 == 1 {
+				fmt.Printf("  [%s] window %2d at t=%4.1fs: live estimate (%.2f, %.2f)\n",
+					labels[epc], n, w.T, live.X, live.Y)
+			}
+		},
+	})
 
-	tracker := core.New(core.Config{Antennas: antennas})
-	result, err := tracker.Track(samples)
+	c, err := llrp.Dial(ln.Addr().String(), 2*time.Second)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dist, err := geom.ProcrustesDistance(result.Trajectory, session.Truth, 64)
-	if err != nil {
+	defer c.Close()
+	if err := c.Start(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("tracked %q with %.1f cm Procrustes error:\n", session.Label, dist*100)
-	fmt.Print(experiment.RenderTrajectory(result.Trajectory, 64, 12))
+	var streamed int
+	if err := c.Stream(func(batch []reader.Sample) error {
+		streamed += len(batch)
+		return mgr.DispatchBatch(batch)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d tag reads over LLRP into %d live sessions\n",
+		streamed, mgr.Len())
+
+	results := mgr.Close()
+	if len(results) < len(scenes) {
+		log.Fatalf("only %d of %d pens decoded", len(results), len(scenes))
+	}
+	for _, sc := range scenes {
+		res := results[sc.EPC]
+		dist, err := geom.ProcrustesDistance(res.Trajectory, truth[sc.EPC], 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\npen %s wrote %q — %.1f cm Procrustes error:\n",
+			sc.EPC, labels[sc.EPC], dist*100)
+		fmt.Print(experiment.RenderTrajectory(res.Trajectory, 48, 10))
+	}
 }

@@ -1,0 +1,3 @@
+module polardraw
+
+go 1.24.0

@@ -253,128 +253,157 @@ func (g *grid) neighborhood(from int, dMax float64) []int {
 // seconds into tens of milliseconds.
 const beamWidth = 12.0
 
-// viterbi decodes the most likely cell sequence given the per-step
-// evidence and an initial log-probability vector. It returns cell
-// indices, one per step (len(evidence)+1 states). Decoding is
-// beam-pruned (see beamWidth).
-func (g *grid) viterbi(cfg Config, initLog []float64, evidence []stepEvidence) []int {
-	n := g.size()
-	prev := make([]float64, n)
-	copy(prev, initLog)
-	back := make([][]int32, len(evidence))
-
+// viterbiState is the forward-pass state of the beam-pruned Viterbi
+// decoder, advanced one evidence step at a time. Both the batch
+// decoder and core.StreamTracker drive the same state machine, so a
+// streamed decode is bit-identical to a batch one.
+type viterbiState struct {
+	g   *grid
+	cfg Config
+	// prev holds the running log-probability per cell; cur is the
+	// scratch vector swapped in each step.
+	prev, cur []float64
+	// back accumulates one backpointer vector per step.
+	back [][]int32
 	// active lists the states currently carrying probability mass.
-	active := make([]int, 0, n)
-	maxInit := math.Inf(-1)
-	for _, v := range prev {
-		if v > maxInit {
-			maxInit = v
-		}
-	}
-	for i, v := range prev {
-		if v > maxInit-beamWidth {
-			active = append(active, i)
-		} else {
-			prev[i] = math.Inf(-1)
-		}
-	}
+	active []int
+	// maxPrev is the maximum of prev (the beam anchor).
+	maxPrev float64
+	hypBuf  []float64
+}
 
-	cur := make([]float64, n)
-	var hypBuf []float64
-	for t, ev := range evidence {
-		for i := range cur {
+// newViterbiState seeds the decoder with an initial log-probability
+// vector and applies the first beam prune.
+func (g *grid) newViterbiState(cfg Config, initLog []float64) *viterbiState {
+	n := g.size()
+	v := &viterbiState{g: g, cfg: cfg}
+	v.prev = make([]float64, n)
+	copy(v.prev, initLog)
+	v.cur = make([]float64, n)
+	v.active = make([]int, 0, n)
+	v.maxPrev = math.Inf(-1)
+	for _, p := range v.prev {
+		if p > v.maxPrev {
+			v.maxPrev = p
+		}
+	}
+	for i, p := range v.prev {
+		if p > v.maxPrev-beamWidth {
+			v.active = append(v.active, i)
+		} else {
+			v.prev[i] = math.Inf(-1)
+		}
+	}
+	return v
+}
+
+// step advances the forward pass by one evidence transition.
+func (v *viterbiState) step(ev stepEvidence) {
+	g, cfg := v.g, v.cfg
+	cur := v.cur
+	for i := range cur {
+		cur[i] = math.Inf(-1)
+	}
+	bk := make([]int32, g.size())
+	for i := range bk {
+		bk[i] = -1
+	}
+	stencil := g.buildStencil(ev)
+	hyp := g.hyperbolaLog(cfg, ev, v.hypBuf)
+	if hyp != nil {
+		v.hypBuf = hyp
+	}
+	useRadial := ev.haveDL && cfg.UseRadialSolve
+	// Radial displacement prior spread: per-antenna path-length
+	// noise amplified by the solve's conditioning, in metres.
+	const radialSigma = 0.005
+	invVar := 1 / (2 * radialSigma * radialSigma)
+	for _, from := range v.active {
+		base := v.prev[from]
+		fx, fy := from%g.nx, from/g.nx
+		var dExp geom.Vec2
+		radialOK := false
+		if useRadial {
+			if d, ok := g.radialDisplacement(from, ev.dl1, ev.dl2); ok {
+				// Noise can inflate the solve beyond physical
+				// bounds; cap at the annulus.
+				if n := d.Norm(); n > ev.dMax*1.5 {
+					d = d.Scale(ev.dMax * 1.5 / n)
+				}
+				dExp = d
+				radialOK = true
+			}
+		}
+		for _, st := range stencil {
+			x, y := fx+st.dx, fy+st.dy
+			if x < 0 || x >= g.nx || y < 0 || y >= g.ny {
+				continue
+			}
+			to := y*g.nx + x
+			score := base + st.score
+			if hyp != nil {
+				score += hyp[to]
+			}
+			if radialOK {
+				ddx := float64(st.dx)*g.cell - dExp.X
+				ddy := float64(st.dy)*g.cell - dExp.Y
+				score -= (ddx*ddx + ddy*ddy) * invVar
+			}
+			if score > cur[to] {
+				cur[to] = score
+				bk[to] = int32(from)
+			}
+		}
+	}
+	// If every path died (all evidence contradictory), hold
+	// position: carry the previous distribution forward.
+	maxCur := math.Inf(-1)
+	for _, s := range cur {
+		if s > maxCur {
+			maxCur = s
+		}
+	}
+	if math.IsInf(maxCur, -1) {
+		copy(cur, v.prev)
+		for i := range bk {
+			bk[i] = int32(i)
+		}
+		maxCur = v.maxPrev
+	}
+	// Beam prune and rebuild the active list.
+	v.active = v.active[:0]
+	for i, s := range cur {
+		if s > maxCur-beamWidth {
+			v.active = append(v.active, i)
+		} else if !math.IsInf(s, -1) {
 			cur[i] = math.Inf(-1)
 		}
-		back[t] = make([]int32, n)
-		for i := range back[t] {
-			back[t][i] = -1
-		}
-		stencil := g.buildStencil(ev)
-		hyp := g.hyperbolaLog(cfg, ev, hypBuf)
-		if hyp != nil {
-			hypBuf = hyp
-		}
-		useRadial := ev.haveDL && cfg.UseRadialSolve
-		// Radial displacement prior spread: per-antenna path-length
-		// noise amplified by the solve's conditioning, in metres.
-		const radialSigma = 0.005
-		invVar := 1 / (2 * radialSigma * radialSigma)
-		for _, from := range active {
-			base := prev[from]
-			fx, fy := from%g.nx, from/g.nx
-			var dExp geom.Vec2
-			radialOK := false
-			if useRadial {
-				if d, ok := g.radialDisplacement(from, ev.dl1, ev.dl2); ok {
-					// Noise can inflate the solve beyond physical
-					// bounds; cap at the annulus.
-					if n := d.Norm(); n > ev.dMax*1.5 {
-						d = d.Scale(ev.dMax * 1.5 / n)
-					}
-					dExp = d
-					radialOK = true
-				}
-			}
-			for _, st := range stencil {
-				x, y := fx+st.dx, fy+st.dy
-				if x < 0 || x >= g.nx || y < 0 || y >= g.ny {
-					continue
-				}
-				to := y*g.nx + x
-				score := base + st.score
-				if hyp != nil {
-					score += hyp[to]
-				}
-				if radialOK {
-					ddx := float64(st.dx)*g.cell - dExp.X
-					ddy := float64(st.dy)*g.cell - dExp.Y
-					score -= (ddx*ddx + ddy*ddy) * invVar
-				}
-				if score > cur[to] {
-					cur[to] = score
-					back[t][to] = int32(from)
-				}
-			}
-		}
-		// If every path died (all evidence contradictory), hold
-		// position: carry the previous distribution forward.
-		maxCur := math.Inf(-1)
-		for _, v := range cur {
-			if v > maxCur {
-				maxCur = v
-			}
-		}
-		if math.IsInf(maxCur, -1) {
-			copy(cur, prev)
-			for i := range back[t] {
-				back[t][i] = int32(i)
-			}
-			maxCur = maxInit
-		}
-		// Beam prune and rebuild the active list.
-		active = active[:0]
-		for i, v := range cur {
-			if v > maxCur-beamWidth {
-				active = append(active, i)
-			} else if !math.IsInf(v, -1) {
-				cur[i] = math.Inf(-1)
-			}
-		}
-		maxInit = maxCur
-		prev, cur = cur, prev
 	}
+	v.maxPrev = maxCur
+	v.back = append(v.back, bk)
+	v.prev, v.cur = cur, v.prev
+}
 
-	// Backtrack from the best final state.
+// best returns the current maximum-probability cell — the streaming
+// (filtering) position estimate after the steps seen so far.
+func (v *viterbiState) best() int {
 	best := 0
-	for i := 1; i < n; i++ {
-		if prev[i] > prev[best] {
+	for i := 1; i < len(v.prev); i++ {
+		if v.prev[i] > v.prev[best] {
 			best = i
 		}
 	}
-	path := make([]int, len(evidence)+1)
-	path[len(evidence)] = best
-	for t := len(evidence) - 1; t >= 0; t-- {
-		b := back[t][path[t+1]]
+	return best
+}
+
+// path backtracks the most likely cell sequence over every step taken
+// so far (len(back)+1 states). It does not mutate the state, so it may
+// be called mid-stream.
+func (v *viterbiState) path() []int {
+	path := make([]int, len(v.back)+1)
+	path[len(v.back)] = v.best()
+	for t := len(v.back) - 1; t >= 0; t-- {
+		b := v.back[t][path[t+1]]
 		if b < 0 {
 			b = int32(path[t+1])
 		}
@@ -383,32 +412,57 @@ func (g *grid) viterbi(cfg Config, initLog []float64, evidence []stepEvidence) [
 	return path
 }
 
-// greedy decodes by per-step argmax (the DESIGN.md Viterbi ablation).
-func (g *grid) greedy(cfg Config, initLog []float64, evidence []stepEvidence) []int {
-	n := g.size()
+// viterbi decodes the most likely cell sequence given the per-step
+// evidence and an initial log-probability vector. It returns cell
+// indices, one per step (len(evidence)+1 states). Decoding is
+// beam-pruned (see beamWidth).
+func (g *grid) viterbi(cfg Config, initLog []float64, evidence []stepEvidence) []int {
+	v := g.newViterbiState(cfg, initLog)
+	for _, ev := range evidence {
+		v.step(ev)
+	}
+	return v.path()
+}
+
+// greedyState is the incremental form of the greedy decoder.
+type greedyState struct {
+	g    *grid
+	cfg  Config
+	cur  int
+	path []int
+}
+
+func (g *grid) newGreedyState(cfg Config, initLog []float64) *greedyState {
 	best := 0
-	for i := 1; i < n; i++ {
+	for i := 1; i < g.size(); i++ {
 		if initLog[i] > initLog[best] {
 			best = i
 		}
 	}
-	path := make([]int, 0, len(evidence)+1)
-	path = append(path, best)
-	cur := best
-	for _, ev := range evidence {
-		fromPos := g.center(cur)
-		bestTo, bestScore := cur, math.Inf(-1)
-		for _, to := range g.neighborhood(cur, ev.dMax) {
-			e := g.emissionLog(cfg, fromPos, to, ev)
-			if e > bestScore {
-				bestScore = e
-				bestTo = to
-			}
+	return &greedyState{g: g, cfg: cfg, cur: best, path: []int{best}}
+}
+
+func (s *greedyState) step(ev stepEvidence) {
+	fromPos := s.g.center(s.cur)
+	bestTo, bestScore := s.cur, math.Inf(-1)
+	for _, to := range s.g.neighborhood(s.cur, ev.dMax) {
+		e := s.g.emissionLog(s.cfg, fromPos, to, ev)
+		if e > bestScore {
+			bestScore = e
+			bestTo = to
 		}
-		cur = bestTo
-		path = append(path, cur)
 	}
-	return path
+	s.cur = bestTo
+	s.path = append(s.path, bestTo)
+}
+
+// greedy decodes by per-step argmax (the DESIGN.md Viterbi ablation).
+func (g *grid) greedy(cfg Config, initLog []float64, evidence []stepEvidence) []int {
+	s := g.newGreedyState(cfg, initLog)
+	for _, ev := range evidence {
+		s.step(ev)
+	}
+	return append([]int(nil), s.path...)
 }
 
 // initialDistribution implements section 3.5's bootstrap: hyperbolic

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+	"polardraw/internal/motion"
+	"polardraw/internal/reader"
+	"polardraw/internal/rf"
+	"polardraw/internal/tag"
+)
+
+// synthSamples produces a realistic tag-read stream for one letter.
+func synthSamples(t testing.TB, letter rune, seed uint64) ([]reader.Sample, [2]rf.Antenna) {
+	t.Helper()
+	rig := motion.DefaultRig()
+	ants := rig.Antennas()
+	g, ok := font.Lookup(letter)
+	if !ok {
+		t.Fatalf("no glyph %c", letter)
+	}
+	path := g.Path().Scale(0.2).Translate(geom.Vec2{X: 0.18, Y: 0.02})
+	sess := motion.Write(path, string(letter), motion.Config{Seed: seed})
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	tg := tag.AD227(1)
+	tg.ApplyTo(ch)
+	rd := reader.New(reader.Config{Antennas: ants[:], Channel: ch, EPC: tg.EPC, Seed: seed})
+	return rd.Inventory(sess), ants
+}
+
+// requireSameResult asserts a streamed result reproduces the batch one.
+func requireSameResult(t *testing.T, batch, stream *Result) {
+	t.Helper()
+	if len(batch.Trajectory) != len(stream.Trajectory) {
+		t.Fatalf("trajectory length: batch %d, stream %d",
+			len(batch.Trajectory), len(stream.Trajectory))
+	}
+	const tol = 1e-9
+	for i := range batch.Trajectory {
+		if math.Abs(batch.Trajectory[i].X-stream.Trajectory[i].X) > tol ||
+			math.Abs(batch.Trajectory[i].Y-stream.Trajectory[i].Y) > tol {
+			t.Fatalf("trajectory[%d]: batch %+v, stream %+v",
+				i, batch.Trajectory[i], stream.Trajectory[i])
+		}
+	}
+	if len(batch.Windows) != len(stream.Windows) {
+		t.Fatalf("windows: batch %d, stream %d", len(batch.Windows), len(stream.Windows))
+	}
+	for i := range batch.Windows {
+		bw, sw := batch.Windows[i], stream.Windows[i]
+		if math.Abs(bw.T-sw.T) > tol || bw.Spurious != sw.Spurious ||
+			bw.Count != sw.Count ||
+			math.Abs(bw.Phase[0]-sw.Phase[0]) > tol ||
+			math.Abs(bw.Phase[1]-sw.Phase[1]) > tol ||
+			math.Abs(bw.RSS[0]-sw.RSS[0]) > tol ||
+			math.Abs(bw.RSS[1]-sw.RSS[1]) > tol {
+			t.Fatalf("window[%d] differs: batch %+v, stream %+v", i, bw, sw)
+		}
+	}
+	if batch.RotationalWindows != stream.RotationalWindows ||
+		batch.TranslationalWindows != stream.TranslationalWindows ||
+		batch.SpuriousRejected != stream.SpuriousRejected {
+		t.Fatalf("diagnostics differ: batch rot=%d trans=%d spur=%d, stream rot=%d trans=%d spur=%d",
+			batch.RotationalWindows, batch.TranslationalWindows, batch.SpuriousRejected,
+			stream.RotationalWindows, stream.TranslationalWindows, stream.SpuriousRejected)
+	}
+	if math.Abs(batch.Correction-stream.Correction) > tol {
+		t.Fatalf("correction: batch %v, stream %v", batch.Correction, stream.Correction)
+	}
+}
+
+// TestStreamMatchesBatch feeds identical sessions through Track and
+// StreamTracker under several push granularities and configurations
+// and requires identical trajectories and diagnostics.
+func TestStreamMatchesBatch(t *testing.T) {
+	cases := []struct {
+		name   string
+		letter rune
+		seed   uint64
+		chunk  int // samples per Push; 1 = sample-at-a-time
+		mod    func(*Config)
+	}{
+		{name: "sample-at-a-time", letter: 'A', seed: 1, chunk: 1},
+		{name: "chunk-7", letter: 'M', seed: 2, chunk: 7},
+		{name: "chunk-64", letter: 'S', seed: 3, chunk: 64},
+		{name: "one-big-push", letter: 'Z', seed: 4, chunk: 1 << 20},
+		{name: "greedy-decode", letter: 'C', seed: 5, chunk: 5,
+			mod: func(c *Config) { c.GreedyDecode = true }},
+		{name: "no-polarization", letter: 'A', seed: 6, chunk: 3,
+			mod: func(c *Config) { c.DisablePolarization = true }},
+		{name: "arithmetic-mean", letter: 'W', seed: 7, chunk: 9,
+			mod: func(c *Config) { c.ArithmeticPhaseMean = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			samples, ants := synthSamples(t, tc.letter, tc.seed)
+			cfg := Config{Antennas: ants}
+			if tc.mod != nil {
+				tc.mod(&cfg)
+			}
+			tr := New(cfg)
+			batch, err := tr.Track(samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			st := tr.Stream()
+			for start := 0; start < len(samples); start += tc.chunk {
+				end := start + tc.chunk
+				if end > len(samples) {
+					end = len(samples)
+				}
+				if err := st.Push(samples[start:end]...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			stream, err := st.Finalize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, batch, stream)
+			if st.Received() != len(samples) {
+				t.Fatalf("received %d of %d samples", st.Received(), len(samples))
+			}
+			if st.Dropped() != 0 {
+				t.Fatalf("dropped %d samples from an ordered stream", st.Dropped())
+			}
+		})
+	}
+}
+
+// TestStreamEdgeCases covers degenerate streams: empty, too short, and
+// spurious bursts mid-stream.
+func TestStreamEdgeCases(t *testing.T) {
+	rig := motion.DefaultRig()
+	ants := rig.Antennas()
+	cfg := Config{Antennas: ants}
+
+	t.Run("empty-stream", func(t *testing.T) {
+		st := New(cfg).Stream()
+		if _, err := st.Finalize(); err != ErrTooFewSamples {
+			t.Fatalf("got %v, want ErrTooFewSamples", err)
+		}
+		// Finalize is idempotent.
+		if _, err := st.Finalize(); err != ErrTooFewSamples {
+			t.Fatalf("second Finalize: got %v", err)
+		}
+		if err := st.Push(reader.Sample{T: 0}); err != ErrFinalized {
+			t.Fatalf("Push after Finalize: got %v, want ErrFinalized", err)
+		}
+	})
+
+	t.Run("one-window", func(t *testing.T) {
+		st := New(cfg).Stream()
+		// Both antennas read within a single 50 ms window.
+		if err := st.Push(
+			reader.Sample{T: 0.000, Antenna: 0, RSS: -50, Phase: 1},
+			reader.Sample{T: 0.010, Antenna: 1, RSS: -52, Phase: 2},
+		); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Finalize(); err != ErrTooFewSamples {
+			t.Fatalf("got %v, want ErrTooFewSamples", err)
+		}
+	})
+
+	t.Run("mid-stream-spurious-burst", func(t *testing.T) {
+		// A stable stream with a sudden large phase jump mid-way: the
+		// section 3.1 rejection must flag it identically in both paths.
+		var samples []reader.Sample
+		for i := 0; i < 40; i++ {
+			tm := float64(i) * 0.025
+			phase := 1.0
+			if i >= 18 && i < 22 {
+				phase = 2.5 // reflection artifact
+			}
+			samples = append(samples, reader.Sample{
+				T: tm, Antenna: i % 2, RSS: -50, Phase: phase,
+			})
+		}
+		tr := New(cfg)
+		batch, err := tr.Track(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch.SpuriousRejected == 0 {
+			t.Fatal("burst not flagged spurious; test input too tame")
+		}
+		st := tr.Stream()
+		for _, s := range samples {
+			if err := st.Push(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stream, err := st.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, batch, stream)
+	})
+
+	t.Run("late-sample-dropped", func(t *testing.T) {
+		st := New(cfg).Stream()
+		if err := st.Push(
+			reader.Sample{T: 0.00, Antenna: 0, RSS: -50, Phase: 1},
+			reader.Sample{T: 0.02, Antenna: 1, RSS: -50, Phase: 1},
+			reader.Sample{T: 0.30, Antenna: 0, RSS: -50, Phase: 1}, // closes window 0
+			reader.Sample{T: 0.01, Antenna: 1, RSS: -50, Phase: 1}, // late
+		); err != nil {
+			t.Fatal(err)
+		}
+		if st.Dropped() != 1 {
+			t.Fatalf("dropped = %d, want 1", st.Dropped())
+		}
+	})
+
+	t.Run("live-estimate", func(t *testing.T) {
+		samples, ants := synthSamples(t, 'O', 8)
+		tr := New(Config{Antennas: ants})
+		st := tr.Stream()
+		var windows int
+		st.OnWindow = func(w Window, live geom.Vec2) {
+			windows++
+			if math.IsNaN(live.X) || math.IsNaN(live.Y) {
+				t.Fatalf("NaN live estimate at window %d", windows)
+			}
+		}
+		if _, ok := st.Latest(); ok {
+			t.Fatal("Latest before any window should report not-ready")
+		}
+		if err := st.Push(samples...); err != nil {
+			t.Fatal(err)
+		}
+		if windows == 0 {
+			t.Fatal("OnWindow never fired")
+		}
+		if _, ok := st.Latest(); !ok {
+			t.Fatal("Latest after windows closed should be ready")
+		}
+		if st.Windows() != windows {
+			t.Fatalf("Windows() = %d, callbacks = %d", st.Windows(), windows)
+		}
+	})
+}

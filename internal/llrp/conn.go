@@ -60,17 +60,22 @@ type Server struct {
 	// i.e. replay as fast as the pipe allows; set to mimic realtime).
 	Interval time.Duration
 
-	mu sync.Mutex
-	ln net.Listener
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
 }
 
-// Serve accepts connections on ln until Close is called. Each
-// connection is handled sequentially; the simulated reader, like the
-// real one, has one LLRP control channel.
+// Serve accepts connections on ln until Close is called. Connections
+// are handled concurrently — a real reader has one LLRP control
+// channel, but the session server (cmd/polardraw -serve) and tests
+// fan several trackers out over one simulated inventory. Serve
+// returns after in-flight connections finish.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -79,14 +84,31 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return err
 		}
-		s.handle(conn)
+		s.mu.Lock()
+		if s.conns == nil {
+			s.conns = make(map[net.Conn]struct{})
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		wg.Add(1)
+		go func(conn net.Conn) {
+			defer wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}(conn)
 	}
 }
 
-// Close stops the listener.
+// Close stops the listener and tears down in-flight connections, so
+// Serve returns even if a client has stalled mid-handshake.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
 	if s.ln == nil {
 		return nil
 	}
@@ -216,39 +238,56 @@ func (c *Client) Start() error {
 	return nil
 }
 
-// Collect reads tag reports until the reader closes the inventory (or
-// the connection drops) and returns them as simulator samples.
-func (c *Client) Collect() ([]reader.Sample, error) {
-	var all []TagReport
+// Stream reads tag reports and delivers each RO_ACCESS_REPORT batch to
+// handler as it arrives — the live path the streaming tracker and the
+// session server consume. It returns when the reader closes the
+// inventory, the connection drops, or handler returns an error (which
+// is passed through).
+func (c *Client) Stream(handler func(batch []reader.Sample) error) error {
 	for {
 		m, err := ReadMessage(c.br)
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				break
+				return nil
 			}
-			return ReportsToSamples(all), err
+			return err
 		}
 		switch m.Type {
 		case MsgROAccessReport:
 			reports, err := DecodeROAccessReport(m)
 			if err != nil {
-				return ReportsToSamples(all), err
+				return err
 			}
-			all = append(all, reports...)
+			if len(reports) == 0 {
+				continue
+			}
+			if err := handler(ReportsToSamples(reports)); err != nil {
+				return err
+			}
 		case MsgKeepalive:
 			if err := WriteMessage(c.bw, Message{Type: MsgKeepaliveAck, ID: m.ID}); err != nil {
-				return ReportsToSamples(all), err
+				return err
 			}
 			if err := c.bw.Flush(); err != nil {
-				return ReportsToSamples(all), err
+				return err
 			}
 		case MsgCloseConnection:
-			return ReportsToSamples(all), nil
+			return nil
 		default:
 			// Ignore anything else, as permissive clients do.
 		}
 	}
-	return ReportsToSamples(all), nil
+}
+
+// Collect reads tag reports until the reader closes the inventory (or
+// the connection drops) and returns them as simulator samples.
+func (c *Client) Collect() ([]reader.Sample, error) {
+	var all []reader.Sample
+	err := c.Stream(func(batch []reader.Sample) error {
+		all = append(all, batch...)
+		return nil
+	})
+	return all, err
 }
 
 // Close releases the connection.

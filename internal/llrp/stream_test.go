@@ -1,0 +1,117 @@
+package llrp
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"polardraw/internal/reader"
+)
+
+// testSamples builds a deterministic two-antenna inventory.
+func testSamples(n int) []reader.Sample {
+	out := make([]reader.Sample, n)
+	for i := range out {
+		out[i] = reader.Sample{
+			T:       float64(i) * 0.01,
+			Antenna: i % 2,
+			RSS:     -50,
+			Phase:   1.5,
+			EPC:     "e28011010000000000000001",
+		}
+	}
+	return out
+}
+
+// TestClientStream checks per-batch delivery order and sizes.
+func TestClientStream(t *testing.T) {
+	samples := testSamples(50)
+	srv := &Server{Samples: samples, BatchSize: 8}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []reader.Sample
+	batches := 0
+	err = c.Stream(func(batch []reader.Sample) error {
+		batches++
+		if len(batch) == 0 || len(batch) > 8 {
+			t.Errorf("batch %d has %d samples", batches, len(batch))
+		}
+		got = append(got, batch...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("streamed %d samples, want %d", len(got), len(samples))
+	}
+	if batches != (len(samples)+7)/8 {
+		t.Fatalf("batches = %d, want %d", batches, (len(samples)+7)/8)
+	}
+	for i := range got {
+		if got[i].Antenna != samples[i].Antenna || got[i].EPC != samples[i].EPC {
+			t.Fatalf("sample %d reordered: %+v vs %+v", i, got[i], samples[i])
+		}
+	}
+}
+
+// TestServerConcurrentClients verifies several clients can stream the
+// same inventory simultaneously.
+func TestServerConcurrentClients(t *testing.T) {
+	samples := testSamples(64)
+	srv := &Server{Samples: samples, BatchSize: 16}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	const clients = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for k := 0; k < clients; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(ln.Addr().String(), 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if err := c.Start(); err != nil {
+				errs <- err
+				return
+			}
+			got, err := c.Collect()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(got) != len(samples) {
+				errs <- ErrTruncated
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

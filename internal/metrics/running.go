@@ -1,0 +1,49 @@
+package metrics
+
+import "sync"
+
+// Running is a goroutine-safe online accumulator: count, mean, and
+// maximum of a stream of observations, O(1) memory. The session server
+// uses it for queue-depth and rate gauges; it is general enough for
+// any streaming statistic that does not need percentiles.
+type Running struct {
+	mu    sync.Mutex
+	n     int64
+	mean  float64
+	max   float64
+	valid bool
+}
+
+// Observe records one value.
+func (r *Running) Observe(x float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	// Welford-style incremental mean keeps precision over long streams.
+	r.mean += (x - r.mean) / float64(r.n)
+	if !r.valid || x > r.max {
+		r.max = x
+		r.valid = true
+	}
+}
+
+// Count returns the number of observations.
+func (r *Running) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Mean returns the running mean, or 0 with no observations.
+func (r *Running) Mean() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mean
+}
+
+// Max returns the largest observation, or 0 with none.
+func (r *Running) Max() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.max
+}

@@ -1,0 +1,406 @@
+// Package session multiplexes many pens (tags) over one tracking
+// process: the serving layer the paper's section 7 multi-user
+// discussion sketches. A Manager demultiplexes a mixed tag-report
+// stream by EPC into per-pen sessions, each owning a bounded sample
+// queue drained by a dedicated goroutine into an incremental
+// core.StreamTracker. Sessions carry their own metrics (received,
+// dropped, windows, queue depth) and are evicted — finalized and
+// reported — on demand, on idleness, or when the session cap is hit.
+//
+// One Manager shares a single core.Tracker, so the expensive HMM grid
+// is built once no matter how many pens stream concurrently.
+package session
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardraw/internal/core"
+	"polardraw/internal/geom"
+	"polardraw/internal/metrics"
+	"polardraw/internal/reader"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultQueueSize   = 256
+	DefaultMaxSessions = 64
+)
+
+// Errors returned by the manager.
+var (
+	ErrClosed         = errors.New("session: manager closed")
+	ErrSessionClosed  = errors.New("session: session closed")
+	ErrUnknownSession = errors.New("session: unknown EPC")
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Tracker is the core pipeline configuration shared by every
+	// session (zero fields take the paper's defaults).
+	Tracker core.Config
+	// QueueSize bounds each session's sample queue (default 256).
+	QueueSize int
+	// MaxSessions caps concurrently live sessions (default 64). When a
+	// new EPC would exceed the cap, the least-recently-active session
+	// is evicted: finalized and delivered to OnEvict.
+	MaxSessions int
+	// DropWhenFull selects the backpressure policy for a full queue:
+	// false (default) blocks the dispatcher until the worker drains —
+	// true backpressure toward the LLRP socket; true drops the sample
+	// and counts it, favouring liveness over completeness.
+	DropWhenFull bool
+	// OnPoint, if set, is invoked from the session worker each time a
+	// window closes, with the live position estimate.
+	OnPoint func(epc string, w core.Window, live geom.Vec2)
+	// OnEvict, if set, receives the finalized result (or error) of
+	// every session that is evicted or finalized.
+	OnEvict func(epc string, res *core.Result, err error)
+}
+
+// Stats is a point-in-time snapshot of one session's counters.
+type Stats struct {
+	EPC string
+	// Received counts samples dispatched to the session; QueueDropped
+	// counts those discarded at a full queue (DropWhenFull mode);
+	// LateDropped counts samples the tracker rejected as belonging to
+	// already-closed windows.
+	Received, QueueDropped, LateDropped uint64
+	// Windows is the number of closed (valid) preprocessing windows.
+	Windows int
+	// QueueMeanDepth and QueueMaxDepth summarize occupancy observed at
+	// enqueue time.
+	QueueMeanDepth float64
+	QueueMaxDepth  int
+	// Live is the tracker's latest position estimate; HasLive reports
+	// whether any window has closed yet.
+	Live    geom.Vec2
+	HasLive bool
+	// LastActive is when the session last received a sample.
+	LastActive time.Time
+}
+
+// session is one pen's streaming state.
+type session struct {
+	epc string
+
+	// sendMu serializes enqueues against close: Dispatch holds the read
+	// side (possibly blocking on a full queue), stop takes the write
+	// side, so the queue channel is never closed mid-send.
+	sendMu sync.RWMutex
+	closed bool
+	queue  chan reader.Sample
+	done   chan struct{} // worker exited
+
+	received     atomic.Uint64
+	queueDropped atomic.Uint64
+	lateDropped  atomic.Uint64
+	lastActive   atomic.Int64 // UnixNano
+	depth        metrics.Running
+
+	// Worker-owned tracker; shared fields below are the only state
+	// other goroutines read, updated by the worker under liveMu.
+	st      *core.StreamTracker
+	liveMu  sync.Mutex
+	live    geom.Vec2
+	hasLive bool
+	windows int
+}
+
+// Manager demultiplexes a mixed sample stream into per-EPC sessions.
+type Manager struct {
+	cfg     Config
+	tracker *core.Tracker
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	closed   bool
+}
+
+// NewManager builds a manager; zero Config fields take defaults.
+func NewManager(cfg Config) *Manager {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = DefaultQueueSize
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	return &Manager{
+		cfg:      cfg,
+		tracker:  core.New(cfg.Tracker),
+		sessions: make(map[string]*session),
+	}
+}
+
+// Tracker exposes the shared batch tracker (same grid the streams use).
+func (m *Manager) Tracker() *core.Tracker { return m.tracker }
+
+// Dispatch routes one sample to its EPC's session, creating the
+// session on first sight (evicting the least-recently-active one if
+// the cap is reached). With DropWhenFull unset, Dispatch blocks while
+// the session queue is full. A sample racing an eviction of its own
+// session is re-dispatched into a fresh session rather than failing.
+func (m *Manager) Dispatch(smp reader.Sample) error {
+	for {
+		s, err := m.sessionFor(smp.EPC)
+		if err != nil {
+			return err
+		}
+		s.lastActive.Store(time.Now().UnixNano())
+		s.depth.Observe(float64(len(s.queue)))
+		switch err := s.enqueue(smp, m.cfg.DropWhenFull); err {
+		case nil:
+			s.received.Add(1)
+			return nil
+		case ErrSessionClosed:
+			// Evicted between lookup and enqueue: the session is
+			// already out of the map, so the next lookup starts a
+			// fresh one.
+			continue
+		default:
+			return err
+		}
+	}
+}
+
+// DispatchBatch routes a batch (e.g. one RO_ACCESS_REPORT) in order.
+func (m *Manager) DispatchBatch(batch []reader.Sample) error {
+	for _, smp := range batch {
+		if err := m.Dispatch(smp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Manager) sessionFor(epc string) (*session, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s, ok := m.sessions[epc]; ok {
+		m.mu.Unlock()
+		return s, nil
+	}
+	var evict *session
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		evict = m.lruLocked()
+		delete(m.sessions, evict.epc)
+	}
+	s := m.startSession(epc)
+	m.sessions[epc] = s
+	m.mu.Unlock()
+
+	if evict != nil {
+		res, err := evict.finalize()
+		if m.cfg.OnEvict != nil {
+			m.cfg.OnEvict(evict.epc, res, err)
+		}
+	}
+	return s, nil
+}
+
+// lruLocked returns the least-recently-active session; m.mu held.
+func (m *Manager) lruLocked() *session {
+	var oldest *session
+	for _, s := range m.sessions {
+		if oldest == nil || s.lastActive.Load() < oldest.lastActive.Load() {
+			oldest = s
+		}
+	}
+	return oldest
+}
+
+func (m *Manager) startSession(epc string) *session {
+	s := &session{
+		epc:   epc,
+		queue: make(chan reader.Sample, m.cfg.QueueSize),
+		done:  make(chan struct{}),
+		st:    m.tracker.Stream(),
+	}
+	s.lastActive.Store(time.Now().UnixNano())
+	onPoint := m.cfg.OnPoint
+	s.st.OnWindow = func(w core.Window, live geom.Vec2) {
+		s.liveMu.Lock()
+		s.live, s.hasLive = live, true
+		s.windows++
+		s.liveMu.Unlock()
+		if onPoint != nil {
+			onPoint(epc, w, live)
+		}
+	}
+	go s.run()
+	return s
+}
+
+// run drains the queue into the tracker until the queue closes.
+func (s *session) run() {
+	defer close(s.done)
+	for smp := range s.queue {
+		_ = s.st.Push(smp) // ErrFinalized impossible: finalize waits for done
+		s.lateDropped.Store(uint64(s.st.Dropped()))
+	}
+}
+
+// enqueue adds a sample under the session's backpressure policy.
+func (s *session) enqueue(smp reader.Sample, drop bool) error {
+	s.sendMu.RLock()
+	defer s.sendMu.RUnlock()
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if drop {
+		select {
+		case s.queue <- smp:
+		default:
+			s.queueDropped.Add(1)
+		}
+		return nil
+	}
+	s.queue <- smp
+	return nil
+}
+
+// stop closes the queue and waits for the worker to drain it.
+func (s *session) stop() {
+	s.sendMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.sendMu.Unlock()
+	<-s.done
+}
+
+// finalize stops the worker and decodes the full trajectory.
+func (s *session) finalize() (*core.Result, error) {
+	s.stop()
+	return s.st.Finalize()
+}
+
+func (s *session) stats() Stats {
+	s.liveMu.Lock()
+	live, hasLive, windows := s.live, s.hasLive, s.windows
+	s.liveMu.Unlock()
+	return Stats{
+		EPC:            s.epc,
+		Received:       s.received.Load(),
+		QueueDropped:   s.queueDropped.Load(),
+		LateDropped:    s.lateDropped.Load(),
+		Windows:        windows,
+		QueueMeanDepth: s.depth.Mean(),
+		QueueMaxDepth:  int(s.depth.Max()),
+		Live:           live,
+		HasLive:        hasLive,
+		LastActive:     time.Unix(0, s.lastActive.Load()),
+	}
+}
+
+// Stats snapshots every live session, sorted by EPC.
+func (m *Manager) Stats() []Stats {
+	m.mu.Lock()
+	ss := make([]*session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.mu.Unlock()
+	out := make([]Stats, len(ss))
+	for i, s := range ss {
+		out[i] = s.stats()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EPC < out[j].EPC })
+	return out
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Finalize evicts one session and returns its decoded trajectory.
+func (m *Manager) Finalize(epc string) (*core.Result, error) {
+	m.mu.Lock()
+	s, ok := m.sessions[epc]
+	if ok {
+		delete(m.sessions, epc)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownSession
+	}
+	res, err := s.finalize()
+	if m.cfg.OnEvict != nil {
+		m.cfg.OnEvict(epc, res, err)
+	}
+	return res, err
+}
+
+// EvictIdle finalizes every session idle for at least maxIdle and
+// returns how many were evicted.
+func (m *Manager) EvictIdle(maxIdle time.Duration) int {
+	cutoff := time.Now().Add(-maxIdle).UnixNano()
+	m.mu.Lock()
+	var idle []*session
+	for epc, s := range m.sessions {
+		if s.lastActive.Load() <= cutoff {
+			idle = append(idle, s)
+			delete(m.sessions, epc)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range idle {
+		res, err := s.finalize()
+		if m.cfg.OnEvict != nil {
+			m.cfg.OnEvict(s.epc, res, err)
+		}
+	}
+	return len(idle)
+}
+
+// FinalizeAll drains and finalizes every session, returning results
+// keyed by EPC (sessions whose streams were too short are omitted; they
+// still reach OnEvict with their error). The manager stays usable.
+func (m *Manager) FinalizeAll() map[string]*core.Result {
+	m.mu.Lock()
+	ss := make([]*session, 0, len(m.sessions))
+	for epc, s := range m.sessions {
+		ss = append(ss, s)
+		delete(m.sessions, epc)
+	}
+	m.mu.Unlock()
+
+	out := make(map[string]*core.Result, len(ss))
+	var wg sync.WaitGroup
+	var outMu sync.Mutex
+	for _, s := range ss {
+		wg.Add(1)
+		go func(s *session) {
+			defer wg.Done()
+			res, err := s.finalize()
+			if m.cfg.OnEvict != nil {
+				m.cfg.OnEvict(s.epc, res, err)
+			}
+			if err == nil {
+				outMu.Lock()
+				out[s.epc] = res
+				outMu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	return out
+}
+
+// Close finalizes everything and rejects further dispatches.
+func (m *Manager) Close() map[string]*core.Result {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	return m.FinalizeAll()
+}
