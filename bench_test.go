@@ -537,6 +537,74 @@ func BenchmarkSessionServer(b *testing.B) {
 	b.ReportMetric(float64(len(scenes)), "pens/op")
 }
 
+// BenchmarkShardedServer measures the sharded serving tier: an
+// eight-pen mixed inventory hashed across four shard workers, each
+// demultiplexing into per-pen streaming trackers — the configuration
+// cmd/loadgen scales up.
+func BenchmarkShardedServer(b *testing.B) {
+	rig := motion.DefaultRig()
+	ants := rig.Antennas()
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	tag.AD227(1).ApplyTo(ch)
+	letters := []rune{'H', 'E', 'L', 'O', 'W', 'R', 'D', 'S'}
+	scenes := make([]reader.TaggedScene, 0, len(letters))
+	for k, r := range letters {
+		g, _ := font.Lookup(r)
+		path := g.Path().Scale(0.2).Translate(geom.Vec2{X: 0.18, Y: 0.03})
+		sess := motion.Write(path, string(r), motion.Config{Seed: uint64(k + 1)})
+		scenes = append(scenes, reader.TaggedScene{EPC: tag.AD227(uint32(k + 1)).EPC, Scene: sess})
+	}
+	rd := reader.New(reader.Config{Antennas: ants[:], Channel: ch, EPC: scenes[0].EPC, Seed: 1})
+	samples := rd.MultiInventory(scenes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sm := session.NewShardedManager(session.ShardedConfig{
+			Session: session.Config{
+				Tracker: core.Config{Antennas: ants, Window: 0.3, CommitLag: 16},
+			},
+			Shards: 4,
+		})
+		if err := sm.DispatchBatch(samples); err != nil {
+			b.Fatal(err)
+		}
+		results := sm.Close()
+		if len(results) != len(scenes) {
+			b.Fatalf("decoded %d of %d pens", len(results), len(scenes))
+		}
+	}
+	b.ReportMetric(float64(len(samples)), "samples/op")
+	b.ReportMetric(float64(len(scenes)), "pens/op")
+	b.ReportMetric(4, "shards/op")
+}
+
+// BenchmarkStreamTrackerLag is BenchmarkStreamTracker with fixed-lag
+// smoothing enabled: the same decode with memory bounded to CommitLag
+// backpointer vectors, plus the cost of per-window commit detection.
+func BenchmarkStreamTrackerLag(b *testing.B) {
+	rig := motion.DefaultRig()
+	ants := rig.Antennas()
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	g, _ := font.Lookup('Z')
+	path := g.Path().Scale(0.2).Translate(geom.Vec2{X: 0.18, Y: 0.02})
+	sess := motion.Write(path, "Z", motion.Config{Seed: 1})
+	rd := reader.New(reader.Config{Antennas: ants[:], Channel: ch, EPC: tag.AD227(1).EPC, Seed: 1})
+	samples := rd.Inventory(sess)
+	tr := core.New(core.Config{Antennas: ants, CommitLag: 16})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := tr.Stream()
+		for _, s := range samples {
+			if err := st.Push(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := st.Finalize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(samples)), "samples/op")
+}
+
 // BenchmarkRecognizeLetter measures classifier throughput.
 func BenchmarkRecognizeLetter(b *testing.B) {
 	lr := recognition.NewLetterRecognizer()

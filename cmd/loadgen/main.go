@@ -1,0 +1,180 @@
+// Command loadgen drives many synthetic pens through the sharded
+// session server as fast as the hardware allows and reports sustained
+// throughput and window-close latency — the scale harness for the
+// millions-of-users north star.
+//
+// It synthesizes a handful of letter write sessions once, then replays
+// them under fresh EPCs round after round until the duration elapses:
+// every pen gets its own session, every round exercises session
+// creation, steady-state decode, and LRU eviction. Window-close
+// latency is measured per pen as the time from the most recent
+// Dispatch to the OnPoint callback that a closed window triggers, i.e.
+// ingress queue + session queue + decode time.
+//
+//	go run ./cmd/loadgen -pens 64 -shards 4 -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardraw/internal/core"
+	"polardraw/internal/font"
+	"polardraw/internal/geom"
+	"polardraw/internal/metrics"
+	"polardraw/internal/motion"
+	"polardraw/internal/reader"
+	"polardraw/internal/rf"
+	"polardraw/internal/session"
+	"polardraw/internal/tag"
+)
+
+var (
+	pens       = flag.Int("pens", 64, "concurrent pens per round")
+	shards     = flag.Int("shards", 4, "session shards")
+	duration   = flag.Duration("duration", 10*time.Second, "how long to sustain load")
+	window     = flag.Float64("window", 0.05, "tracker window, seconds")
+	lag        = flag.Int("lag", 32, "CommitLag in windows (0 = unbounded decoder memory)")
+	queue      = flag.Int("queue", session.DefaultQueueSize, "per-session queue size")
+	shardQueue = flag.Int("shardqueue", session.DefaultShardQueue, "per-shard ingress queue size")
+	drop       = flag.Bool("drop", false, "drop samples at full queues instead of blocking")
+)
+
+// penState carries the latency probe for one live session.
+type penState struct {
+	lastEnq atomic.Int64 // UnixNano of the most recent Dispatch
+}
+
+func main() {
+	flag.Parse()
+
+	// Base streams: a few distinct letters simulated once, replayed
+	// under per-pen EPCs. Simulation cost stays out of the timed loop.
+	letters := []rune{'A', 'C', 'M', 'S', 'Z', 'O', 'W', 'H'}
+	rig := motion.DefaultRig()
+	ants := rig.Antennas()
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	tag.AD227(1).ApplyTo(ch)
+	base := make([][]reader.Sample, len(letters))
+	for i, r := range letters {
+		g, ok := font.Lookup(r)
+		if !ok {
+			panic(fmt.Sprintf("no glyph %c", r))
+		}
+		path := g.Path().Scale(0.2).Translate(geom.Vec2{X: 0.18, Y: 0.03})
+		sess := motion.Write(path, string(r), motion.Config{Seed: uint64(i + 1)})
+		rd := reader.New(reader.Config{
+			Antennas: ants[:], Channel: ch, EPC: tag.AD227(1).EPC, Seed: uint64(i + 1),
+		})
+		base[i] = rd.Inventory(sess)
+	}
+
+	// One round = every pen's full stream, interleaved in time order
+	// as a shared reader would emit it.
+	type slot struct {
+		pen int
+		smp reader.Sample
+	}
+	var sched []slot
+	for p := 0; p < *pens; p++ {
+		for _, smp := range base[p%len(base)] {
+			sched = append(sched, slot{pen: p, smp: smp})
+		}
+	}
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].smp.T < sched[j].smp.T })
+
+	var (
+		states      sync.Map // epc -> *penState
+		windowsDone atomic.Int64
+		latMu       sync.Mutex
+		latencies   []float64 // milliseconds
+		evictOK     atomic.Int64
+		evictErr    atomic.Int64
+	)
+	const maxLatSamples = 1 << 21
+	sm := session.NewShardedManager(session.ShardedConfig{
+		Session: session.Config{
+			Tracker: core.Config{
+				Antennas:  ants,
+				Window:    *window,
+				CommitLag: *lag,
+			},
+			QueueSize:    *queue,
+			MaxSessions:  *pens, // per shard: several rounds of pens before LRU eviction
+			DropWhenFull: *drop,
+			OnPoint: func(epc string, _ core.Window, _ geom.Vec2) {
+				windowsDone.Add(1)
+				if v, ok := states.Load(epc); ok {
+					lat := float64(time.Now().UnixNano()-v.(*penState).lastEnq.Load()) / 1e6
+					latMu.Lock()
+					if len(latencies) < maxLatSamples {
+						latencies = append(latencies, lat)
+					}
+					latMu.Unlock()
+				}
+			},
+			OnEvict: func(_ string, res *core.Result, err error) {
+				if err != nil {
+					evictErr.Add(1)
+				} else {
+					evictOK.Add(1)
+				}
+			},
+		},
+		Shards:       *shards,
+		QueueSize:    *shardQueue,
+		DropWhenFull: *drop,
+	})
+
+	fmt.Printf("loadgen: pens=%d shards=%d window=%gs lag=%d queue=%d shardqueue=%d drop=%v\n",
+		*pens, *shards, *window, *lag, *queue, *shardQueue, *drop)
+
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	dispatched := int64(0)
+	rounds := 0
+	for rounds == 0 || time.Now().Before(deadline) {
+		for p := 0; p < *pens; p++ {
+			epc := fmt.Sprintf("pen-%04d-%06d", p, rounds)
+			states.Store(epc, &penState{})
+		}
+		for _, sl := range sched {
+			epc := fmt.Sprintf("pen-%04d-%06d", sl.pen, rounds)
+			smp := sl.smp
+			smp.EPC = epc
+			if v, ok := states.Load(epc); ok {
+				v.(*penState).lastEnq.Store(time.Now().UnixNano())
+			}
+			if err := sm.Dispatch(smp); err != nil {
+				panic(err)
+			}
+			dispatched++
+		}
+		rounds++
+		if time.Since(start) > 10*(*duration) {
+			break // safety valve: a single round took far too long
+		}
+	}
+	results := sm.Close()
+	elapsed := time.Since(start)
+
+	wins := windowsDone.Load()
+	fmt.Printf("rounds=%d sessions=%d (%d still live and finalized at close)\n",
+		rounds, rounds*(*pens), len(results))
+	fmt.Printf("dispatched %d samples in %.2fs: %.0f samples/s\n",
+		dispatched, elapsed.Seconds(), float64(dispatched)/elapsed.Seconds())
+	fmt.Printf("windows closed: %d (%.0f windows/s)\n",
+		wins, float64(wins)/elapsed.Seconds())
+	latMu.Lock()
+	p50 := metrics.Percentile(latencies, 50)
+	p99 := metrics.Percentile(latencies, 99)
+	n := len(latencies)
+	latMu.Unlock()
+	fmt.Printf("window-close latency (n=%d): p50=%.3fms p99=%.3fms\n", n, p50, p99)
+	fmt.Printf("finalized: %d ok, %d too-short; ingress dropped: %d\n",
+		evictOK.Load(), evictErr.Load(), sm.IngressDropped())
+}

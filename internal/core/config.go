@@ -46,6 +46,16 @@ type Config struct {
 	// VMax is the maximum pen speed, m/s (default 0.2; section 3.4).
 	VMax float64
 
+	// CommitLag bounds the Viterbi smoothing lag of the streaming
+	// decoder, in windows. When > 0, a StreamTracker commits the
+	// trajectory prefix as soon as every surviving path agrees on it
+	// (lossless) and force-commits along the current best path
+	// whenever more than CommitLag windows remain undecided, so
+	// resident decoder memory is O(CommitLag) backpointer vectors
+	// instead of O(windows). 0 (the default) keeps the full unbounded
+	// history; batch Track ignores the field. See StreamTracker.OnCommit.
+	CommitLag int
+
 	// Ablation switches (DESIGN.md "design choices"); all default to
 	// the full PolarDraw behaviour.
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 
 	"polardraw/internal/geom"
 )
@@ -168,19 +169,22 @@ func (g *grid) emissionLog(cfg Config, prev geom.Vec2, cand int, ev stepEvidence
 // direction-term log score. The emission of Eq. 11 factors into a
 // per-offset part (annulus + direction) and a per-cell part
 // (hyperbola); precomputing both once per step removes all math calls
-// from the Viterbi inner loop.
+// from the Viterbi inner loop. off caches dy*nx+dx so interior cells
+// skip the per-transition bounds arithmetic entirely.
 type stencilEntry struct {
-	dx, dy int
 	score  float64
+	off    int32
+	dx, dy int16
 }
 
 // buildStencil enumerates the offsets admitted by the Eq. 8 annulus
-// and scores each with the direction factor of Eq. 11. The result
+// and scores each with the direction factor of Eq. 11, appending into
+// buf (pass buf[:0] to reuse an earlier step's allocation). The result
 // matches emissionLog's per-offset terms exactly.
-func (g *grid) buildStencil(ev stepEvidence) []stencilEntry {
-	r := int((ev.dMax+g.cell*0.75)/g.cell) + 1
+func (g *grid) buildStencil(ev stepEvidence, buf []stencilEntry) []stencilEntry {
+	r := g.stencilRadius(ev)
 	hasDir := ev.dir != (geom.Vec2{})
-	out := make([]stencilEntry, 0, (2*r+1)*(2*r+1))
+	out := buf
 	for dy := -r; dy <= r; dy++ {
 		for dx := -r; dx <= r; dx++ {
 			d := geom.Vec2{X: float64(dx) * g.cell, Y: float64(dy) * g.cell}
@@ -198,15 +202,38 @@ func (g *grid) buildStencil(ev stepEvidence) []stencilEntry {
 					score += math.Log(againstDirPenalty)
 				}
 			}
-			out = append(out, stencilEntry{dx: dx, dy: dy, score: score})
+			out = append(out, stencilEntry{
+				score: score,
+				off:   int32(dy*g.nx + dx),
+				dx:    int16(dx), dy: int16(dy),
+			})
 		}
 	}
 	return out
 }
 
-// hyperbolaLog returns the per-cell hyperbola log factor of Eq. 11 for
-// one step, or nil when the term is disabled or the measurement is
-// spurious. It matches emissionLog's per-cell term exactly.
+// stencilRadius is the largest |dx|/|dy| the stencil for ev can hold:
+// cells at least this far from every board edge can take the
+// bounds-check-free interior path of the transition scan.
+func (g *grid) stencilRadius(ev stepEvidence) int {
+	return int((ev.dMax+g.cell*0.75)/g.cell) + 1
+}
+
+// hyperbolaAt returns the hyperbola log factor of Eq. 11 for one cell
+// and one measured inter-antenna phase difference: the sparse building
+// block of the decoder's on-demand emission scoring. It matches
+// emissionLog's per-cell term exactly.
+func (g *grid) hyperbolaAt(i int, dphi float64) float64 {
+	miss := geom.AngleDist(g.expDphi[i], dphi) / math.Pi
+	f := 1 - miss
+	return math.Log(f*f + 1e-3)
+}
+
+// hyperbolaLog returns the dense per-cell hyperbola factor for one
+// step, or nil when the term is disabled or the measurement is
+// spurious. The decoder no longer evaluates the whole grid (cells are
+// scored on demand via hyperbolaAt); this remains as the dense
+// reference the sparse-vs-dense equivalence suite checks against.
 func (g *grid) hyperbolaLog(cfg Config, ev stepEvidence, buf []float64) []float64 {
 	if cfg.DisableHyperbola || math.IsNaN(ev.dphi) {
 		return nil
@@ -216,20 +243,19 @@ func (g *grid) hyperbolaLog(cfg Config, ev stepEvidence, buf []float64) []float6
 	}
 	buf = buf[:g.size()]
 	for i := range buf {
-		miss := geom.AngleDist(g.expDphi[i], ev.dphi) / math.Pi
-		f := 1 - miss
-		buf[i] = math.Log(f*f + 1e-3)
+		buf[i] = g.hyperbolaAt(i, ev.dphi)
 	}
 	return buf
 }
 
 // neighborhood enumerates candidate destination cells within dMax (+
-// slack) of a cell.
-func (g *grid) neighborhood(from int, dMax float64) []int {
+// slack) of a cell, appending into buf (pass buf[:0] to reuse an
+// earlier step's allocation).
+func (g *grid) neighborhood(from int, dMax float64, buf []int) []int {
 	r := int(dMax/g.cell) + 1
 	fx := from % g.nx
 	fy := from / g.nx
-	out := make([]int, 0, (2*r+1)*(2*r+1))
+	out := buf
 	for dy := -r; dy <= r; dy++ {
 		y := fy + dy
 		if y < 0 || y >= g.ny {
@@ -253,33 +279,84 @@ func (g *grid) neighborhood(from int, dMax float64) []int {
 // seconds into tens of milliseconds.
 const beamWidth = 12.0
 
+// backChunk is how many backpointer vectors share one backing
+// allocation when the recycling pool runs dry: unbounded (no-lag)
+// decodes retain every vector, so chunking amortizes the per-step
+// allocation they would otherwise pay.
+const backChunk = 16
+
 // viterbiState is the forward-pass state of the beam-pruned Viterbi
 // decoder, advanced one evidence step at a time. Both the batch
 // decoder and core.StreamTracker drive the same state machine, so a
 // streamed decode is bit-identical to a batch one.
+//
+// The pass is sparse: each step scores only the cells reachable from
+// the active beam through the annulus stencil — the Eq. 11 hyperbola
+// term, which depends only on the destination cell, is hoisted out of
+// the transition argmax and computed once per written cell instead of
+// over the whole grid — and scratch state is cleared through dirty
+// lists, so no per-step work scales with grid size once the beam
+// narrows.
+//
+// With fixed-lag smoothing (advanceCommit) the decoder also commits
+// the trajectory prefix all surviving paths agree on, recycling the
+// backpointer vectors behind the commit point, which bounds resident
+// decoder memory by the lag instead of the stream length.
 type viterbiState struct {
 	g   *grid
 	cfg Config
 	// prev holds the running log-probability per cell; cur is the
-	// scratch vector swapped in each step.
+	// scratch vector swapped in each step. Invariant: both are -Inf
+	// outside their dirty lists (active for prev, stale for cur).
 	prev, cur []float64
-	// back accumulates one backpointer vector per step.
-	back [][]int32
-	// active lists the states currently carrying probability mass.
-	active []int
+	// active lists the states currently carrying probability mass in
+	// prev, ascending (the order fixes tie-breaks deterministically);
+	// stale lists the cells of cur still holding values from two steps
+	// ago, cleared lazily at the start of the next step.
+	active, stale []int
 	// maxPrev is the maximum of prev (the beam anchor).
 	maxPrev float64
-	hypBuf  []float64
+	// steps counts the evidence transitions taken, so decoded states
+	// exist for times 0..steps.
+	steps int
+
+	stencil []stencilEntry // buildStencil reuse buffer
+	touched []int32        // current-step dirty list (reused)
+	mask    []uint64       // prune bitmap for the ascending active rebuild
+
+	// back holds one backpointer vector per uncommitted step: back[j]
+	// belongs to step commitT+2+j (the transition into the state at
+	// time commitT+2+j). Vectors for steps <= commitT+1 can never be
+	// consulted again and have been recycled into pool.
+	back [][]int32
+	pool [][]int32 // reset vectors (all -1)
+
+	// Fixed-lag smoothing state: committed[t] is the decided path cell
+	// for every time t <= commitT (-1 until the first commit); forced
+	// counts force-commits, after which the decode may deviate from
+	// the unbounded-lag Viterbi path.
+	commitT   int
+	committed []int32
+	forced    int
+
+	// Merge-detection scratch (advanceCommit).
+	setMark    []uint32
+	setGen     uint32
+	setA, setB []int32
+	trailBuf   []int32
 }
 
 // newViterbiState seeds the decoder with an initial log-probability
 // vector and applies the first beam prune.
 func (g *grid) newViterbiState(cfg Config, initLog []float64) *viterbiState {
 	n := g.size()
-	v := &viterbiState{g: g, cfg: cfg}
+	v := &viterbiState{g: g, cfg: cfg, commitT: -1}
 	v.prev = make([]float64, n)
 	copy(v.prev, initLog)
 	v.cur = make([]float64, n)
+	for i := range v.cur {
+		v.cur[i] = math.Inf(-1)
+	}
 	v.active = make([]int, 0, n)
 	v.maxPrev = math.Inf(-1)
 	for _, p := range v.prev {
@@ -297,22 +374,56 @@ func (g *grid) newViterbiState(cfg Config, initLog []float64) *viterbiState {
 	return v
 }
 
+// getBack returns a reset backpointer vector (all -1), recycling a
+// committed-past vector when one is available.
+func (v *viterbiState) getBack() []int32 {
+	if n := len(v.pool); n > 0 {
+		bk := v.pool[n-1]
+		v.pool[n-1] = nil
+		v.pool = v.pool[:n-1]
+		return bk
+	}
+	n := v.g.size()
+	flat := make([]int32, n*backChunk)
+	for i := range flat {
+		flat[i] = -1
+	}
+	for c := 1; c < backChunk; c++ {
+		v.pool = append(v.pool, flat[c*n:(c+1)*n:(c+1)*n])
+	}
+	return flat[:n:n]
+}
+
+// putBack resets a no-longer-needed vector and returns it to the pool.
+func (v *viterbiState) putBack(bk []int32) {
+	for i := range bk {
+		bk[i] = -1
+	}
+	v.pool = append(v.pool, bk)
+}
+
 // step advances the forward pass by one evidence transition.
 func (v *viterbiState) step(ev stepEvidence) {
 	g, cfg := v.g, v.cfg
 	cur := v.cur
-	for i := range cur {
-		cur[i] = math.Inf(-1)
+	// Lazy clear: only the cells written when this buffer was last the
+	// destination are non-Inf. A sequential sweep beats scattered
+	// stores once the dirty list covers most of the grid.
+	if len(v.stale)*2 >= len(cur) {
+		for i := range cur {
+			cur[i] = math.Inf(-1)
+		}
+	} else {
+		for _, i := range v.stale {
+			cur[i] = math.Inf(-1)
+		}
 	}
-	bk := make([]int32, g.size())
-	for i := range bk {
-		bk[i] = -1
-	}
-	stencil := g.buildStencil(ev)
-	hyp := g.hyperbolaLog(cfg, ev, v.hypBuf)
-	if hyp != nil {
-		v.hypBuf = hyp
-	}
+	bk := v.getBack()
+	touched := v.touched[:0]
+	v.stencil = g.buildStencil(ev, v.stencil[:0])
+	stencil := v.stencil
+	r := g.stencilRadius(ev)
+	hypOn := !cfg.DisableHyperbola && !math.IsNaN(ev.dphi)
 	useRadial := ev.haveDL && cfg.UseRadialSolve
 	// Radial displacement prior spread: per-antenna path-length
 	// noise amplified by the solve's conditioning, in metres.
@@ -334,61 +445,109 @@ func (v *viterbiState) step(ev stepEvidence) {
 				radialOK = true
 			}
 		}
+		if !radialOK && fx >= r && fx < g.nx-r && fy >= r && fy < g.ny-r {
+			// Interior fast path: every stencil offset stays on the
+			// board, so the bounds arithmetic drops out of the scan.
+			for _, st := range stencil {
+				to := from + int(st.off)
+				score := base + st.score
+				if score > cur[to] {
+					if bk[to] < 0 {
+						touched = append(touched, int32(to))
+					}
+					cur[to] = score
+					bk[to] = int32(from)
+				}
+			}
+			continue
+		}
 		for _, st := range stencil {
-			x, y := fx+st.dx, fy+st.dy
+			x, y := fx+int(st.dx), fy+int(st.dy)
 			if x < 0 || x >= g.nx || y < 0 || y >= g.ny {
 				continue
 			}
 			to := y*g.nx + x
 			score := base + st.score
-			if hyp != nil {
-				score += hyp[to]
-			}
 			if radialOK {
 				ddx := float64(st.dx)*g.cell - dExp.X
 				ddy := float64(st.dy)*g.cell - dExp.Y
 				score -= (ddx*ddx + ddy*ddy) * invVar
 			}
 			if score > cur[to] {
+				if bk[to] < 0 {
+					touched = append(touched, int32(to))
+				}
 				cur[to] = score
 				bk[to] = int32(from)
 			}
 		}
 	}
-	// If every path died (all evidence contradictory), hold
-	// position: carry the previous distribution forward.
+	// The Eq. 11 hyperbola term depends only on the destination cell,
+	// so it cannot change which predecessor wins: apply it after the
+	// argmax, once per written cell, instead of once per transition
+	// (or, as the dense reference does, once per grid cell).
+	if hypOn {
+		for _, i := range touched {
+			cur[i] += g.hyperbolaAt(int(i), ev.dphi)
+		}
+	}
 	maxCur := math.Inf(-1)
-	for _, s := range cur {
-		if s > maxCur {
+	for _, i := range touched {
+		if s := cur[i]; s > maxCur {
 			maxCur = s
 		}
 	}
 	if math.IsInf(maxCur, -1) {
-		copy(cur, v.prev)
-		for i := range bk {
+		// Every path died (all evidence contradictory): hold position
+		// by carrying the previous distribution forward. (No cell was
+		// written, so touched is empty here.)
+		for _, i := range v.active {
+			cur[i] = v.prev[i]
 			bk[i] = int32(i)
+			touched = append(touched, int32(i))
 		}
 		maxCur = v.maxPrev
 	}
-	// Beam prune and rebuild the active list.
-	v.active = v.active[:0]
-	for i, s := range cur {
-		if s > maxCur-beamWidth {
-			v.active = append(v.active, i)
-		} else if !math.IsInf(s, -1) {
+	// Beam prune and rebuild the active list: only touched cells can
+	// be finite. The bitmap pass restores ascending cell order so the
+	// next step's transition scan (and hence every tie-break) is
+	// identical to a dense full-grid pass.
+	if v.mask == nil {
+		v.mask = make([]uint64, (len(cur)+63)/64)
+	}
+	for _, i := range touched {
+		if cur[i] > maxCur-beamWidth {
+			v.mask[i>>6] |= 1 << (uint(i) & 63)
+		} else {
 			cur[i] = math.Inf(-1)
 		}
 	}
+	newActive := v.stale[:0]
+	for w, bs := range v.mask {
+		if bs == 0 {
+			continue
+		}
+		v.mask[w] = 0
+		base := w << 6
+		for bs != 0 {
+			newActive = append(newActive, base+bits.TrailingZeros64(bs))
+			bs &= bs - 1
+		}
+	}
+	v.touched = touched
 	v.maxPrev = maxCur
 	v.back = append(v.back, bk)
+	v.steps++
+	v.stale = v.active
+	v.active = newActive
 	v.prev, v.cur = cur, v.prev
 }
 
 // best returns the current maximum-probability cell — the streaming
 // (filtering) position estimate after the steps seen so far.
 func (v *viterbiState) best() int {
-	best := 0
-	for i := 1; i < len(v.prev); i++ {
+	best := v.active[0]
+	for _, i := range v.active[1:] {
 		if v.prev[i] > v.prev[best] {
 			best = i
 		}
@@ -396,20 +555,151 @@ func (v *viterbiState) best() int {
 	return best
 }
 
-// path backtracks the most likely cell sequence over every step taken
-// so far (len(back)+1 states). It does not mutate the state, so it may
-// be called mid-stream.
+// path returns the most likely cell sequence over every step taken so
+// far (steps+1 states): the committed prefix concatenated with a
+// backtrack from the current best state. It does not mutate the
+// state, so it may be called mid-stream.
 func (v *viterbiState) path() []int {
-	path := make([]int, len(v.back)+1)
-	path[len(v.back)] = v.best()
-	for t := len(v.back) - 1; t >= 0; t-- {
-		b := v.back[t][path[t+1]]
+	path := make([]int, v.steps+1)
+	for t, c := range v.committed {
+		path[t] = int(c)
+	}
+	path[v.steps] = v.best()
+	for t := v.steps - 1; t > v.commitT; t-- {
+		b := v.back[t-v.commitT-1][path[t+1]]
 		if b < 0 {
 			b = int32(path[t+1])
 		}
 		path[t] = int(b)
 	}
 	return path
+}
+
+// advanceCommit extends the committed path prefix and returns the
+// newly decided cells (a view into internal state, valid until the
+// next call) together with the time index of the first one. Natural
+// commits happen whenever every surviving path shares one ancestor:
+// that prefix can never change again, so committing it is lossless.
+// When maxLag > 0 and more than maxLag steps remain undecided, the
+// oldest are force-committed along the current best path, trading the
+// guarantee of matching the unbounded decode (forced counts these)
+// for bounded memory and latency. Recycled backpointer vectors keep
+// resident decoder memory at O(maxLag) vectors.
+func (v *viterbiState) advanceCommit(maxLag int) (start int, cells []int32) {
+	start = v.commitT + 1
+	if v.steps > v.commitT+1 {
+		v.commitMerged()
+	}
+	if maxLag > 0 {
+		if f := v.steps - maxLag; f > v.commitT {
+			v.commitForced(f)
+		}
+	}
+	if v.commitT >= start {
+		return start, v.committed[start : v.commitT+1]
+	}
+	return start, nil
+}
+
+// commitMerged finds the latest time at which all surviving paths pass
+// through a single cell and commits the path up to it.
+func (v *viterbiState) commitMerged() {
+	if len(v.setMark) == 0 {
+		v.setMark = make([]uint32, v.g.size())
+	}
+	set := v.setA[:0]
+	for _, i := range v.active {
+		set = append(set, int32(i))
+	}
+	next := v.setB[:0]
+	// set holds the candidate ancestors, starting as the active beam
+	// at time steps; walk the backpointers until it collapses. The
+	// walk never commits the current time (a singleton beam collapses
+	// at steps-1 after one mapping), which keeps the newest state open
+	// as the vector bookkeeping assumes.
+	collapsed := -1
+	for k := v.steps; collapsed < 0 && k >= v.commitT+2; k-- {
+		prevLen := len(set)
+		bk := v.back[k-v.commitT-2]
+		v.setGen++
+		next = next[:0]
+		for _, c := range set {
+			b := bk[c]
+			if b < 0 {
+				b = c // hold-position step
+			}
+			if v.setMark[b] != v.setGen {
+				v.setMark[b] = v.setGen
+				next = append(next, b)
+			}
+		}
+		set, next = next, set
+		if len(set) == 1 {
+			collapsed = k - 1
+		} else if len(set)*3 > prevLen*2 {
+			// Opportunistic detection only: the ancestor set stopped
+			// contracting geometrically, so a full merge this step is
+			// unlikely — bail rather than walk the whole lag window.
+			// (In smooth probability fields backpointer maps are
+			// near-bijections, so this keeps detection ~O(active) per
+			// step; forced commits still bound memory and latency.)
+			break
+		}
+	}
+	if collapsed > v.commitT {
+		v.commitThrough(collapsed, set[0])
+	}
+	v.setA, v.setB = set[:0], next[:0]
+}
+
+// commitForced commits the path through time f along the current best
+// path: the decoder's answer for those steps is frozen even though
+// future evidence might have revised it.
+func (v *viterbiState) commitForced(f int) {
+	c := int32(v.best())
+	for t := v.steps; t > f; t-- {
+		if b := v.back[t-v.commitT-2][c]; b >= 0 {
+			c = b
+		}
+	}
+	v.forced++
+	v.commitThrough(f, c)
+}
+
+// commitThrough appends the path cells for times commitT+1..tc to the
+// committed prefix (cell being the path cell at time tc) and recycles
+// the backpointer vectors no longer reachable by any backtrack.
+func (v *viterbiState) commitThrough(tc int, cell int32) {
+	n := tc - v.commitT
+	if cap(v.trailBuf) < n {
+		v.trailBuf = make([]int32, n)
+	}
+	trail := v.trailBuf[:n]
+	c := cell
+	for t := tc; t > v.commitT; t-- {
+		trail[t-v.commitT-1] = c
+		if t > v.commitT+1 {
+			if b := v.back[t-v.commitT-2][c]; b >= 0 {
+				c = b
+			}
+		}
+	}
+	v.committed = append(v.committed, trail...)
+	// Backtracks now stop at time tc+1 via committed, so vectors for
+	// steps <= tc+1 are dead.
+	drop := n
+	if drop > len(v.back) {
+		drop = len(v.back)
+	}
+	for j := 0; j < drop; j++ {
+		v.putBack(v.back[j])
+	}
+	k := copy(v.back, v.back[drop:])
+	for j := k; j < len(v.back); j++ {
+		v.back[j] = nil
+	}
+	v.back = v.back[:k]
+	v.commitT = tc
 }
 
 // viterbi decodes the most likely cell sequence given the per-step
@@ -430,6 +720,7 @@ type greedyState struct {
 	cfg  Config
 	cur  int
 	path []int
+	nbr  []int // neighborhood reuse buffer
 }
 
 func (g *grid) newGreedyState(cfg Config, initLog []float64) *greedyState {
@@ -445,7 +736,8 @@ func (g *grid) newGreedyState(cfg Config, initLog []float64) *greedyState {
 func (s *greedyState) step(ev stepEvidence) {
 	fromPos := s.g.center(s.cur)
 	bestTo, bestScore := s.cur, math.Inf(-1)
-	for _, to := range s.g.neighborhood(s.cur, ev.dMax) {
+	s.nbr = s.g.neighborhood(s.cur, ev.dMax, s.nbr[:0])
+	for _, to := range s.nbr {
 		e := s.g.emissionLog(s.cfg, fromPos, to, ev)
 		if e > bestScore {
 			bestScore = e

@@ -116,7 +116,7 @@ func TestNeighborhoodBounds(t *testing.T) {
 	g := newGrid(cfg)
 	// Corner cell: neighborhood must stay in range.
 	for _, cell := range []int{0, g.nx - 1, g.size() - 1, g.size() - g.nx} {
-		for _, n := range g.neighborhood(cell, 0.012) {
+		for _, n := range g.neighborhood(cell, 0.012, nil) {
 			if n < 0 || n >= g.size() {
 				t.Fatalf("neighborhood of %d contains %d", cell, n)
 			}
@@ -124,7 +124,7 @@ func TestNeighborhoodBounds(t *testing.T) {
 	}
 	// Interior neighborhood of radius 1cm with 5mm cells: (2*3+1)^2.
 	mid := g.index(geom.Vec2{X: 0.3, Y: 0.1})
-	n := g.neighborhood(mid, 0.01)
+	n := g.neighborhood(mid, 0.01, nil)
 	if len(n) != 49 {
 		t.Errorf("interior neighborhood size = %d, want 49", len(n))
 	}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"polardraw/internal/geom"
+)
+
+// denseRef is the O(grid) reference form of the Viterbi forward pass:
+// full-grid scratch clears, a full-grid transition scan, and the dense
+// hyperbolaLog emission vector. The production decoder replaces all
+// three with active-set machinery; these tests require it to
+// reproduce the reference bit-for-bit.
+type denseRef struct {
+	g         *grid
+	cfg       Config
+	prev, cur []float64
+	back      [][]int32
+	hypBuf    []float64
+	maxPrev   float64
+}
+
+func newDenseRef(g *grid, cfg Config, initLog []float64) *denseRef {
+	d := &denseRef{g: g, cfg: cfg}
+	d.prev = append([]float64(nil), initLog...)
+	d.cur = make([]float64, g.size())
+	d.maxPrev = math.Inf(-1)
+	for _, p := range d.prev {
+		if p > d.maxPrev {
+			d.maxPrev = p
+		}
+	}
+	for i, p := range d.prev {
+		if p <= d.maxPrev-beamWidth {
+			d.prev[i] = math.Inf(-1)
+		}
+	}
+	return d
+}
+
+func (d *denseRef) step(ev stepEvidence) {
+	g, cfg := d.g, d.cfg
+	for i := range d.cur {
+		d.cur[i] = math.Inf(-1)
+	}
+	bk := make([]int32, g.size())
+	for i := range bk {
+		bk[i] = -1
+	}
+	stencil := g.buildStencil(ev, nil)
+	hyp := g.hyperbolaLog(cfg, ev, d.hypBuf)
+	if hyp != nil {
+		d.hypBuf = hyp
+	}
+	useRadial := ev.haveDL && cfg.UseRadialSolve
+	const radialSigma = 0.005
+	invVar := 1 / (2 * radialSigma * radialSigma)
+	for from := 0; from < g.size(); from++ {
+		base := d.prev[from]
+		if math.IsInf(base, -1) {
+			continue
+		}
+		fx, fy := from%g.nx, from/g.nx
+		var dExp geom.Vec2
+		radialOK := false
+		if useRadial {
+			if dd, ok := g.radialDisplacement(from, ev.dl1, ev.dl2); ok {
+				if n := dd.Norm(); n > ev.dMax*1.5 {
+					dd = dd.Scale(ev.dMax * 1.5 / n)
+				}
+				dExp = dd
+				radialOK = true
+			}
+		}
+		for _, st := range stencil {
+			x, y := fx+int(st.dx), fy+int(st.dy)
+			if x < 0 || x >= g.nx || y < 0 || y >= g.ny {
+				continue
+			}
+			to := y*g.nx + x
+			score := base + st.score
+			if radialOK {
+				ddx := float64(st.dx)*g.cell - dExp.X
+				ddy := float64(st.dy)*g.cell - dExp.Y
+				score -= (ddx*ddx + ddy*ddy) * invVar
+			}
+			if score > d.cur[to] {
+				d.cur[to] = score
+				bk[to] = int32(from)
+			}
+		}
+	}
+	if hyp != nil {
+		for i := range d.cur {
+			if bk[i] >= 0 {
+				d.cur[i] += hyp[i]
+			}
+		}
+	}
+	maxCur := math.Inf(-1)
+	for _, s := range d.cur {
+		if s > maxCur {
+			maxCur = s
+		}
+	}
+	if math.IsInf(maxCur, -1) {
+		copy(d.cur, d.prev)
+		for i := range bk {
+			bk[i] = int32(i)
+		}
+		maxCur = d.maxPrev
+	}
+	for i, s := range d.cur {
+		if s <= maxCur-beamWidth && !math.IsInf(s, -1) {
+			d.cur[i] = math.Inf(-1)
+		}
+	}
+	d.maxPrev = maxCur
+	d.back = append(d.back, bk)
+	d.prev, d.cur = d.cur, d.prev
+}
+
+func (d *denseRef) best() int {
+	best := 0
+	for i := 1; i < len(d.prev); i++ {
+		if d.prev[i] > d.prev[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func (d *denseRef) path() []int {
+	path := make([]int, len(d.back)+1)
+	path[len(d.back)] = d.best()
+	for t := len(d.back) - 1; t >= 0; t-- {
+		b := d.back[t][path[t+1]]
+		if b < 0 {
+			b = int32(path[t+1])
+		}
+		path[t] = int(b)
+	}
+	return path
+}
+
+// letterEvidence replays the Fig. 5 pipeline up to the decoder for one
+// synthesized letter, returning the grid, evidence steps, and initial
+// distribution the decoder would see.
+func letterEvidence(t *testing.T, letter rune, seed uint64, mod func(*Config)) (*grid, Config, []float64, []stepEvidence) {
+	t.Helper()
+	samples, ants := synthSamples(t, letter, seed)
+	cfg := Config{Antennas: ants}
+	if mod != nil {
+		mod(&cfg)
+	}
+	cfg = cfg.withDefaults()
+	g := newGrid(cfg)
+	ws := preprocess(samples, cfg)
+	if len(ws) < 2 {
+		t.Fatalf("letter %c produced %d windows", letter, len(ws))
+	}
+	eb := newEvidenceBuilder(cfg)
+	evs := make([]stepEvidence, 0, len(ws)-1)
+	for i := 1; i < len(ws); i++ {
+		evs = append(evs, eb.step(ws, i))
+	}
+	return g, cfg, g.initialDistribution(cfg, interPhaseDiff(ws, 0)), evs
+}
+
+// TestSparseDecoderMatchesDenseReference locksteps the production
+// decoder against the dense reference over real letter evidence,
+// requiring bit-identical probability vectors, filtering estimates,
+// and decoded paths at every step.
+func TestSparseDecoderMatchesDenseReference(t *testing.T) {
+	cases := []struct {
+		name   string
+		letter rune
+		seed   uint64
+		mod    func(*Config)
+	}{
+		{name: "default", letter: 'Z', seed: 1},
+		{name: "no-hyperbola", letter: 'A', seed: 2,
+			mod: func(c *Config) { c.DisableHyperbola = true }},
+		{name: "no-polarization", letter: 'M', seed: 3,
+			mod: func(c *Config) { c.DisablePolarization = true }},
+		{name: "radial-solve", letter: 'S', seed: 4,
+			mod: func(c *Config) { c.UseRadialSolve = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, cfg, init, evs := letterEvidence(t, tc.letter, tc.seed, tc.mod)
+			v := g.newViterbiState(cfg, init)
+			d := newDenseRef(g, cfg, init)
+			for k, ev := range evs {
+				v.step(ev)
+				d.step(ev)
+				for i := range d.prev {
+					if v.prev[i] != d.prev[i] {
+						t.Fatalf("step %d: prob[%d] sparse %v, dense %v",
+							k, i, v.prev[i], d.prev[i])
+					}
+				}
+				if v.best() != d.best() {
+					t.Fatalf("step %d: best sparse %d, dense %d", k, v.best(), d.best())
+				}
+				if len(v.active) == 0 {
+					t.Fatalf("step %d: empty active set", k)
+				}
+				for j := 1; j < len(v.active); j++ {
+					if v.active[j] <= v.active[j-1] {
+						t.Fatalf("step %d: active list not ascending at %d", k, j)
+					}
+				}
+			}
+			vp, dp := v.path(), d.path()
+			if len(vp) != len(dp) {
+				t.Fatalf("path length sparse %d, dense %d", len(vp), len(dp))
+			}
+			for i := range vp {
+				if vp[i] != dp[i] {
+					t.Fatalf("path[%d]: sparse %d, dense %d", i, vp[i], dp[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSparseDecoderHoldFallback drives both decoders through evidence
+// no transition can satisfy (the hold-position fallback) and requires
+// identical recovery.
+func TestSparseDecoderHoldFallback(t *testing.T) {
+	cfg := gridCfg()
+	g := newGrid(cfg)
+	init := g.initialDistribution(cfg, g.expDphi[g.index(geom.Vec2{X: 0.3, Y: 0.1})])
+	v := g.newViterbiState(cfg, init)
+	d := newDenseRef(g, cfg, init)
+	evs := []stepEvidence{
+		{dMin: 0.004, dMax: 0.008, dphi: math.NaN()},
+		// dMin == dMax just above a representable step kills every
+		// candidate: the annulus admits no cell.
+		{dMin: 0.0049, dMax: 0.005, dphi: math.NaN()},
+		{dMin: 0, dMax: 0.008, dphi: g.expDphi[g.index(geom.Vec2{X: 0.31, Y: 0.1})]},
+	}
+	for k, ev := range evs {
+		v.step(ev)
+		d.step(ev)
+		for i := range d.prev {
+			if v.prev[i] != d.prev[i] {
+				t.Fatalf("step %d: prob[%d] sparse %v, dense %v", k, i, v.prev[i], d.prev[i])
+			}
+		}
+	}
+	vp, dp := v.path(), d.path()
+	for i := range vp {
+		if vp[i] != dp[i] {
+			t.Fatalf("path[%d]: sparse %d, dense %d", i, vp[i], dp[i])
+		}
+	}
+}
+
+// TestHyperbolaAtMatchesDense checks the sparse per-cell scorer
+// against the dense vector it replaced, cell for cell.
+func TestHyperbolaAtMatchesDense(t *testing.T) {
+	cfg := gridCfg()
+	g := newGrid(cfg)
+	for _, dphi := range []float64{0, 0.7, math.Pi, 5.1} {
+		ev := stepEvidence{dphi: dphi}
+		dense := g.hyperbolaLog(cfg, ev, nil)
+		for i := range dense {
+			if got := g.hyperbolaAt(i, dphi); got != dense[i] {
+				t.Fatalf("dphi %v cell %d: hyperbolaAt %v, dense %v", dphi, i, got, dense[i])
+			}
+		}
+	}
+	if g.hyperbolaLog(cfg, stepEvidence{dphi: math.NaN()}, nil) != nil {
+		t.Fatal("dense hyperbola for spurious window should be nil")
+	}
+}

@@ -14,8 +14,12 @@ var ErrFinalized = errors.New("core: stream tracker already finalized")
 // accepts raw samples one at a time (or in small batches), maintains
 // the windowing, spurious-rejection, direction-estimation, and decoder
 // state online, and exposes a live position estimate after every
-// closed window. Finalize reproduces the batch Track result exactly:
-// the same samples pushed in time order yield a bit-identical Result.
+// closed window. Finalize reproduces the batch Track result exactly —
+// the same samples pushed in time order yield a bit-identical Result —
+// unless Config.CommitLag forces a commit (the bounded-memory decode
+// freezes its prefix at the lag, which may deviate from what the
+// unbounded Viterbi pass would decide with hindsight; the committed
+// prefix always remains a prefix of Finalize's own trajectory).
 //
 // Samples must arrive in non-decreasing bucket order (the order every
 // reader and LLRP stream produces); a sample belonging to an
@@ -31,6 +35,19 @@ type StreamTracker struct {
 	// valid window closes with the window and the decoder's live
 	// (filtering) position estimate.
 	OnWindow func(w Window, live geom.Vec2)
+
+	// OnCommit, when set before the first Push, receives committed
+	// trajectory segments from the fixed-lag Viterbi smoother: seg
+	// holds the decided path points (grid-cell centres, before the
+	// Eq. 10 rotation correction Finalize applies) for window indices
+	// start..start+len(seg)-1. Segments are contiguous,
+	// non-overlapping, and final: their concatenation is always a
+	// prefix of the uncorrected Finalize trajectory. Commits fire
+	// whenever all surviving decoder paths merge; when
+	// Config.CommitLag > 0 they are additionally forced so no more
+	// than CommitLag windows stay undecided. Viterbi only (ignored
+	// under GreedyDecode).
+	OnCommit func(start int, seg geom.Polyline)
 
 	started bool
 	startT  float64
@@ -59,7 +76,11 @@ type windowAcc struct {
 }
 
 func (a *windowAcc) reset() {
-	*a = windowAcc{}
+	a.rssSum = [2]float64{}
+	a.count = [2]int{}
+	// Keep the phase buffers' capacity: the next window reuses them.
+	a.phases[0] = a.phases[0][:0]
+	a.phases[1] = a.phases[1][:0]
 }
 
 // Stream returns a StreamTracker sharing this tracker's configuration
@@ -162,6 +183,16 @@ func (s *StreamTracker) closeOpen() {
 			s.gre.step(ev)
 		} else {
 			s.vit.step(ev)
+		}
+	}
+	if s.vit != nil && (s.cfg.CommitLag > 0 || s.OnCommit != nil) {
+		start, cells := s.vit.advanceCommit(s.cfg.CommitLag)
+		if len(cells) > 0 && s.OnCommit != nil {
+			seg := make(geom.Polyline, len(cells))
+			for i, c := range cells {
+				seg[i] = s.grid.center(int(c))
+			}
+			s.OnCommit(start, seg)
 		}
 	}
 	if s.OnWindow != nil {

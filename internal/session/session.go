@@ -122,6 +122,12 @@ type Manager struct {
 
 // NewManager builds a manager; zero Config fields take defaults.
 func NewManager(cfg Config) *Manager {
+	return newManagerWith(cfg, core.New(cfg.Tracker))
+}
+
+// newManagerWith builds a manager around an existing tracker, so a
+// sharded deployment shares one precomputed HMM grid across shards.
+func newManagerWith(cfg Config, tr *core.Tracker) *Manager {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = DefaultQueueSize
 	}
@@ -130,7 +136,7 @@ func NewManager(cfg Config) *Manager {
 	}
 	return &Manager{
 		cfg:      cfg,
-		tracker:  core.New(cfg.Tracker),
+		tracker:  tr,
 		sessions: make(map[string]*session),
 	}
 }
@@ -312,8 +318,13 @@ func (m *Manager) Stats() []Stats {
 	for i, s := range ss {
 		out[i] = s.stats()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].EPC < out[j].EPC })
+	sortStats(out)
 	return out
+}
+
+// sortStats orders snapshots by EPC.
+func sortStats(out []Stats) {
+	sort.Slice(out, func(i, j int) bool { return out[i].EPC < out[j].EPC })
 }
 
 // Len returns the number of live sessions.

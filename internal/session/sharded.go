@@ -1,0 +1,230 @@
+package session
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardraw/internal/core"
+	"polardraw/internal/reader"
+)
+
+// Defaults for ShardedConfig zero values.
+const (
+	DefaultShards     = 4
+	DefaultShardQueue = 1024
+)
+
+// ShardedConfig parameterizes a ShardedManager.
+type ShardedConfig struct {
+	// Session configures every shard's Manager. The OnPoint/OnEvict
+	// callbacks are shared across shards and may be invoked
+	// concurrently from different shard workers. MaxSessions applies
+	// per shard.
+	Session Config
+	// Shards is the number of independent managers EPCs are hashed
+	// across (default 4). Each shard has its own dispatch worker, so
+	// decode work for different pens proceeds on up to Shards cores
+	// even when the caller dispatches from a single goroutine.
+	Shards int
+	// QueueSize bounds each shard's ingress queue (default 1024).
+	QueueSize int
+	// DropWhenFull selects the ingress backpressure policy: false
+	// (default) blocks Dispatch until the shard worker drains; true
+	// drops the sample and counts it in IngressDropped.
+	DropWhenFull bool
+}
+
+// ShardedManager scales the session tier horizontally: samples are
+// hashed by EPC onto N independent Managers, each fed by a dedicated
+// worker goroutine draining a bounded ingress queue. All shards share
+// one core.Tracker, so the expensive HMM grid is still built exactly
+// once. Per-EPC sample order is preserved end to end: an EPC always
+// lands on the same shard, whose single worker dispatches in arrival
+// order into the session's own queue.
+type ShardedManager struct {
+	cfg     ShardedConfig
+	tracker *core.Tracker
+	shards  []*shard
+
+	// mu guards closed against ingress sends, with the same
+	// read-side-enqueue pattern sessions use: Dispatch holds the read
+	// lock while sending, Close takes the write lock before closing
+	// the queues.
+	mu     sync.RWMutex
+	closed bool
+
+	ingressDropped atomic.Uint64
+}
+
+// shard is one Manager plus its ingress queue and worker.
+type shard struct {
+	m     *Manager
+	queue chan reader.Sample
+	done  chan struct{}
+}
+
+// NewShardedManager builds the sharded tier; zero fields take
+// defaults.
+func NewShardedManager(cfg ShardedConfig) *ShardedManager {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = DefaultShardQueue
+	}
+	sm := &ShardedManager{cfg: cfg, tracker: core.New(cfg.Session.Tracker)}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{
+			m:     newManagerWith(cfg.Session, sm.tracker),
+			queue: make(chan reader.Sample, cfg.QueueSize),
+			done:  make(chan struct{}),
+		}
+		go sh.run()
+		sm.shards = append(sm.shards, sh)
+	}
+	return sm
+}
+
+// run drains the ingress queue into the shard's manager until the
+// queue closes.
+func (sh *shard) run() {
+	defer close(sh.done)
+	for smp := range sh.queue {
+		// ErrClosed impossible: shard managers close only after their
+		// queue is drained.
+		_ = sh.m.Dispatch(smp)
+	}
+}
+
+// Tracker exposes the shared batch tracker (same grid all shards use).
+func (sm *ShardedManager) Tracker() *core.Tracker { return sm.tracker }
+
+// Shards returns the shard count.
+func (sm *ShardedManager) Shards() int { return len(sm.shards) }
+
+// hashEPC is FNV-1a over the EPC string.
+func hashEPC(epc string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(epc); i++ {
+		h ^= uint32(epc[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (sm *ShardedManager) shardFor(epc string) *shard {
+	return sm.shards[hashEPC(epc)%uint32(len(sm.shards))]
+}
+
+// Dispatch routes one sample to its EPC's shard. With DropWhenFull
+// unset it blocks while the shard's ingress queue is full.
+func (sm *ShardedManager) Dispatch(smp reader.Sample) error {
+	sh := sm.shardFor(smp.EPC)
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
+	if sm.closed {
+		return ErrClosed
+	}
+	if sm.cfg.DropWhenFull {
+		select {
+		case sh.queue <- smp:
+		default:
+			sm.ingressDropped.Add(1)
+		}
+		return nil
+	}
+	sh.queue <- smp
+	return nil
+}
+
+// DispatchBatch routes a batch (e.g. one RO_ACCESS_REPORT) in order.
+func (sm *ShardedManager) DispatchBatch(batch []reader.Sample) error {
+	for _, smp := range batch {
+		if err := sm.Dispatch(smp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IngressDropped counts samples discarded at full shard queues
+// (DropWhenFull mode).
+func (sm *ShardedManager) IngressDropped() uint64 {
+	return sm.ingressDropped.Load()
+}
+
+// Len returns the number of live sessions across all shards.
+func (sm *ShardedManager) Len() int {
+	n := 0
+	for _, sh := range sm.shards {
+		n += sh.m.Len()
+	}
+	return n
+}
+
+// Stats snapshots every live session across shards, sorted by EPC.
+func (sm *ShardedManager) Stats() []Stats {
+	var out []Stats
+	for _, sh := range sm.shards {
+		out = append(out, sh.m.Stats()...)
+	}
+	sortStats(out)
+	return out
+}
+
+// Finalize evicts one session and returns its decoded trajectory.
+// Samples for the EPC still queued at its shard's ingress when
+// Finalize runs are not waited for; they re-open a fresh session when
+// the worker reaches them, exactly as a late sample after an eviction
+// would.
+func (sm *ShardedManager) Finalize(epc string) (*core.Result, error) {
+	return sm.shardFor(epc).m.Finalize(epc)
+}
+
+// EvictIdle finalizes every session idle for at least maxIdle and
+// returns how many were evicted.
+func (sm *ShardedManager) EvictIdle(maxIdle time.Duration) int {
+	n := 0
+	for _, sh := range sm.shards {
+		n += sh.m.EvictIdle(maxIdle)
+	}
+	return n
+}
+
+// Close stops ingress, drains every shard queue, finalizes all
+// sessions concurrently, and returns the decoded results keyed by
+// EPC (sessions whose streams were too short are omitted; they still
+// reach OnEvict with their error). Further dispatches fail with
+// ErrClosed. Close is idempotent; later calls return nil.
+func (sm *ShardedManager) Close() map[string]*core.Result {
+	sm.mu.Lock()
+	if sm.closed {
+		sm.mu.Unlock()
+		return nil
+	}
+	sm.closed = true
+	for _, sh := range sm.shards {
+		close(sh.queue)
+	}
+	sm.mu.Unlock()
+
+	out := make(map[string]*core.Result)
+	var outMu sync.Mutex
+	var wg sync.WaitGroup
+	for _, sh := range sm.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			<-sh.done // ingress fully drained into sessions
+			res := sh.m.Close()
+			outMu.Lock()
+			for epc, r := range res {
+				out[epc] = r
+			}
+			outMu.Unlock()
+		}(sh)
+	}
+	wg.Wait()
+	return out
+}
