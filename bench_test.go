@@ -567,7 +567,10 @@ func BenchmarkShardedServer(b *testing.B) {
 		if err := sm.DispatchBatch(samples); err != nil {
 			b.Fatal(err)
 		}
-		results := sm.Close()
+		results, err := sm.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(results) != len(scenes) {
 			b.Fatalf("decoded %d of %d pens", len(results), len(scenes))
 		}

@@ -1,7 +1,12 @@
 // Command loadgen drives many synthetic pens through the sharded
-// session server as fast as the hardware allows and reports sustained
-// throughput and window-close latency — the scale harness for the
-// millions-of-users north star.
+// session tier and reports sustained throughput and window-close
+// latency — the scale harness for the millions-of-users north star.
+//
+// The shard tier behind it is pluggable: -shards takes either a count
+// (in-process LocalBackends behind the rendezvous router — the
+// single-process deployment) or a comma-separated list of host:port
+// shard servers (shardrpc clients behind the same router — the
+// multi-process/multi-host deployment, see `polardraw -serve-shard`).
 //
 // It synthesizes a handful of letter write sessions once, then replays
 // them under fresh EPCs round after round until the duration elapses:
@@ -9,15 +14,26 @@
 // creation, steady-state decode, and LRU eviction. Window-close
 // latency is measured per pen as the time from the most recent
 // Dispatch to the OnPoint callback that a closed window triggers, i.e.
-// ingress queue + session queue + decode time.
+// ingress queue + session queue + decode time (+ both network hops in
+// remote mode, where the event arrives over the wire).
+//
+// By default samples are offered as fast as the tier accepts them, so
+// the numbers characterize saturation. With -pace, samples replay at
+// their true timestamps instead, so latency is measured at a fixed
+// offered load — the regime a real deployment runs in.
 //
 //	go run ./cmd/loadgen -pens 64 -shards 4 -duration 10s
+//	go run ./cmd/loadgen -pens 64 -shards 127.0.0.1:7101,127.0.0.1:7102
+//	go run ./cmd/loadgen -pens 64 -shards 4 -pace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,18 +46,20 @@ import (
 	"polardraw/internal/reader"
 	"polardraw/internal/rf"
 	"polardraw/internal/session"
+	"polardraw/internal/shardrpc"
 	"polardraw/internal/tag"
 )
 
 var (
 	pens       = flag.Int("pens", 64, "concurrent pens per round")
-	shards     = flag.Int("shards", 4, "session shards")
+	shards     = flag.String("shards", "4", "in-process shard count, or comma-separated host:port shard servers")
 	duration   = flag.Duration("duration", 10*time.Second, "how long to sustain load")
-	window     = flag.Float64("window", 0.05, "tracker window, seconds")
-	lag        = flag.Int("lag", 32, "CommitLag in windows (0 = unbounded decoder memory)")
-	queue      = flag.Int("queue", session.DefaultQueueSize, "per-session queue size")
-	shardQueue = flag.Int("shardqueue", session.DefaultShardQueue, "per-shard ingress queue size")
-	drop       = flag.Bool("drop", false, "drop samples at full queues instead of blocking")
+	window     = flag.Float64("window", 0.05, "tracker window, seconds (local shards only)")
+	lag        = flag.Int("lag", core.DefaultCommitLag, "CommitLag in windows, 0 = unbounded decoder memory (local shards only)")
+	queue      = flag.Int("queue", session.DefaultQueueSize, "per-session queue size (local shards only)")
+	shardQueue = flag.Int("shardqueue", session.DefaultShardQueue, "per-shard ingress queue size (local shards only)")
+	drop       = flag.Bool("drop", false, "drop samples at full queues instead of blocking (local shards only)")
+	pace       = flag.Bool("pace", false, "replay samples at true timestamps (fixed offered load) instead of at saturation")
 )
 
 // penState carries the latency probe for one live session.
@@ -86,6 +104,8 @@ func main() {
 		}
 	}
 	sort.SliceStable(sched, func(i, j int) bool { return sched[i].smp.T < sched[j].smp.T })
+	schedT0 := sched[0].smp.T
+	schedDur := sched[len(sched)-1].smp.T - schedT0
 
 	var (
 		states      sync.Map // epc -> *penState
@@ -96,42 +116,81 @@ func main() {
 		evictErr    atomic.Int64
 	)
 	const maxLatSamples = 1 << 21
-	sm := session.NewShardedManager(session.ShardedConfig{
-		Session: session.Config{
-			Tracker: core.Config{
-				Antennas:  ants,
-				Window:    *window,
-				CommitLag: *lag,
-			},
-			QueueSize:    *queue,
-			MaxSessions:  *pens, // per shard: several rounds of pens before LRU eviction
-			DropWhenFull: *drop,
-			OnPoint: func(epc string, _ core.Window, _ geom.Vec2) {
-				windowsDone.Add(1)
-				if v, ok := states.Load(epc); ok {
-					lat := float64(time.Now().UnixNano()-v.(*penState).lastEnq.Load()) / 1e6
-					latMu.Lock()
-					if len(latencies) < maxLatSamples {
-						latencies = append(latencies, lat)
-					}
-					latMu.Unlock()
-				}
-			},
-			OnEvict: func(_ string, res *core.Result, err error) {
-				if err != nil {
-					evictErr.Add(1)
-				} else {
-					evictOK.Add(1)
-				}
-			},
-		},
-		Shards:       *shards,
-		QueueSize:    *shardQueue,
-		DropWhenFull: *drop,
-	})
+	// onPoint is shared by every shard worker (local mode) or client
+	// read loop (remote mode) — all state it touches is atomic or
+	// mutex-guarded, per the session.Config concurrency contract.
+	onPoint := func(epc string, _ core.Window, _ geom.Vec2) {
+		windowsDone.Add(1)
+		if v, ok := states.Load(epc); ok {
+			lat := float64(time.Now().UnixNano()-v.(*penState).lastEnq.Load()) / 1e6
+			latMu.Lock()
+			if len(latencies) < maxLatSamples {
+				latencies = append(latencies, lat)
+			}
+			latMu.Unlock()
+		}
+	}
 
-	fmt.Printf("loadgen: pens=%d shards=%d window=%gs lag=%d queue=%d shardqueue=%d drop=%v\n",
-		*pens, *shards, *window, *lag, *queue, *shardQueue, *drop)
+	var (
+		backend  session.ShardBackend
+		router   *session.Router // remote mode only
+		localSM  *session.ShardedManager
+		topology string
+	)
+	if n, err := strconv.Atoi(*shards); err == nil {
+		// Local mode: N in-process shards behind the rendezvous router.
+		localSM = session.NewShardedManager(session.ShardedConfig{
+			Session: session.Config{
+				Tracker: core.Config{
+					Antennas:  ants,
+					Window:    *window,
+					CommitLag: *lag,
+				},
+				QueueSize:    *queue,
+				MaxSessions:  *pens, // per shard: several rounds of pens before LRU eviction
+				DropWhenFull: *drop,
+				OnPoint:      onPoint,
+				OnEvict: func(_ string, res *core.Result, err error) {
+					if err != nil {
+						evictErr.Add(1)
+					} else {
+						evictOK.Add(1)
+					}
+				},
+			},
+			Shards:       n,
+			QueueSize:    *shardQueue,
+			DropWhenFull: *drop,
+		})
+		backend = localSM
+		topology = fmt.Sprintf("local shards=%d window=%gs lag=%d queue=%d shardqueue=%d drop=%v",
+			n, *window, *lag, *queue, *shardQueue, *drop)
+	} else {
+		// Remote mode: one shardrpc client per shard server, behind the
+		// same router. Tracker configuration (window, lag, queues) is
+		// the server's: set it on `polardraw -serve-shard`.
+		addrs := strings.Split(*shards, ",")
+		nbs := make([]session.NamedBackend, 0, len(addrs))
+		for _, addr := range addrs {
+			addr = strings.TrimSpace(addr)
+			c, err := dialRetry(addr, onPoint)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				os.Exit(1)
+			}
+			nbs = append(nbs, session.NamedBackend{Name: addr, Backend: c})
+		}
+		router = session.NewRouter(nbs)
+		backend = router
+		topology = fmt.Sprintf("remote shards=%v", router.Backends())
+	}
+
+	fmt.Printf("loadgen: pens=%d pace=%v %s\n", *pens, *pace, topology)
+	if *pace {
+		offered := float64(len(sched)) / schedDur
+		fmt.Printf("offered load: %.0f samples/s (%d samples per %.2fs round)\n",
+			offered, len(sched), schedDur)
+	}
 
 	deadline := time.Now().Add(*duration)
 	start := time.Now()
@@ -142,14 +201,21 @@ func main() {
 			epc := fmt.Sprintf("pen-%04d-%06d", p, rounds)
 			states.Store(epc, &penState{})
 		}
+		roundStart := time.Now()
 		for _, sl := range sched {
+			if *pace {
+				target := roundStart.Add(time.Duration((sl.smp.T - schedT0) * float64(time.Second)))
+				if d := time.Until(target); d > 0 {
+					time.Sleep(d)
+				}
+			}
 			epc := fmt.Sprintf("pen-%04d-%06d", sl.pen, rounds)
 			smp := sl.smp
 			smp.EPC = epc
 			if v, ok := states.Load(epc); ok {
 				v.(*penState).lastEnq.Store(time.Now().UnixNano())
 			}
-			if err := sm.Dispatch(smp); err != nil {
+			if err := backend.Dispatch(smp); err != nil {
 				panic(err)
 			}
 			dispatched++
@@ -159,7 +225,10 @@ func main() {
 			break // safety valve: a single round took far too long
 		}
 	}
-	results := sm.Close()
+	results, err := backend.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: close: %v\n", err)
+	}
 	elapsed := time.Since(start)
 
 	wins := windowsDone.Load()
@@ -175,6 +244,28 @@ func main() {
 	n := len(latencies)
 	latMu.Unlock()
 	fmt.Printf("window-close latency (n=%d): p50=%.3fms p99=%.3fms\n", n, p50, p99)
-	fmt.Printf("finalized: %d ok, %d too-short; ingress dropped: %d\n",
-		evictOK.Load(), evictErr.Load(), sm.IngressDropped())
+	if localSM != nil {
+		fmt.Printf("finalized: %d ok, %d too-short; ingress dropped: %d\n",
+			evictOK.Load(), evictErr.Load(), localSM.IngressDropped())
+	} else {
+		for _, h := range router.Health() {
+			fmt.Printf("backend %s: dispatched=%d dropped=%d errors=%d healthy=%v\n",
+				h.Name, h.Dispatched, h.Dropped, h.Errors, h.Healthy)
+		}
+	}
+}
+
+// dialRetry connects to one shard server, retrying while it starts up
+// (the CI smoke launches servers and loadgen together).
+func dialRetry(addr string, onPoint func(string, core.Window, geom.Vec2)) (*shardrpc.Client, error) {
+	var lastErr error
+	for i := 0; i < 20; i++ {
+		c, err := shardrpc.Dial(shardrpc.ClientConfig{Addr: addr, OnPoint: onPoint})
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		time.Sleep(250 * time.Millisecond)
+	}
+	return nil, lastErr
 }

@@ -9,12 +9,14 @@
 //	polardraw -letter Q -air             # one in-air letter
 //	polardraw -llrp 127.0.0.1:5084       # track a live LLRP stream
 //	polardraw -serve -llrp 127.0.0.1:5084 # multi-pen streaming session server
+//	polardraw -serve-shard -listen :7100 # shard RPC server (see cmd/loadgen -shards)
 //	polardraw -text WOW -system tagoram4 # use a baseline system
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"sync"
@@ -27,6 +29,7 @@ import (
 	"polardraw/internal/reader"
 	"polardraw/internal/recognition"
 	"polardraw/internal/session"
+	"polardraw/internal/shardrpc"
 )
 
 func main() {
@@ -38,8 +41,13 @@ func main() {
 		system  = flag.String("system", "polardraw", "tracking system: polardraw, polardraw-nopol, tagoram2, tagoram4, rfidraw4")
 		llrpSrv = flag.String("llrp", "", "track a live LLRP reader at host:port instead of simulating")
 		serve   = flag.Bool("serve", false, "with -llrp: run the streaming session server, demuxing every pen in the stream")
-		window  = flag.Float64("window", 0, "with -serve: preprocessing window seconds (0 = auto from pen count)")
+		window  = flag.Float64("window", 0, "with -serve/-serve-shard: preprocessing window seconds (0 = auto / core default)")
 		size    = flag.Float64("size", 0.20, "letter size in metres")
+
+		shard   = flag.Bool("serve-shard", false, "run a shard RPC server hosting one session manager (a multi-process shard; see cmd/loadgen -shards)")
+		listen  = flag.String("listen", ":7100", "with -serve-shard: TCP listen address")
+		lag     = flag.Int("lag", core.DefaultCommitLag, "with -serve-shard: Viterbi CommitLag in windows (0 = unbounded decoder memory)")
+		maxSess = flag.Int("max-sessions", 1024, "with -serve-shard: live-session cap before LRU eviction")
 	)
 	flag.Parse()
 
@@ -52,6 +60,12 @@ func main() {
 	sc.InAir = *air
 	sc.LetterSize = *size
 
+	if *shard {
+		if err := serveShard(sc, *listen, *window, *lag, *maxSess); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *serve {
 		if *llrpSrv == "" {
 			fatal(fmt.Errorf("-serve requires -llrp host:port"))
@@ -262,6 +276,30 @@ func serveLLRP(sc experiment.Scenario, addr string, window float64) error {
 		fmt.Print(experiment.RenderTrajectory(res.Trajectory, 60, 12))
 	}
 	return nil
+}
+
+// serveShard runs one shard of the multi-process session tier: a TCP
+// server hosting a session manager on the default rig, spoken to by
+// shardrpc clients behind a session router (see cmd/loadgen -shards).
+// It serves until killed.
+func serveShard(sc experiment.Scenario, addr string, window float64, lag, maxSessions int) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := shardrpc.NewServer(shardrpc.ServerConfig{
+		Session: session.Config{
+			Tracker: core.Config{
+				Antennas:  sc.Rig.Antennas(),
+				Window:    window,
+				CommitLag: lag,
+			},
+			MaxSessions: maxSessions,
+		},
+	})
+	fmt.Printf("shard server: listening on %s (window=%gs lag=%d max-sessions=%d)\n",
+		ln.Addr(), window, lag, maxSessions)
+	return srv.Serve(ln)
 }
 
 func fatal(err error) {

@@ -1,0 +1,183 @@
+package session
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardraw/internal/core"
+	"polardraw/internal/reader"
+)
+
+// ShardBackend is the transport-agnostic contract of one session-tier
+// shard: something that accepts a mixed multi-pen sample stream,
+// demultiplexes it into per-EPC tracking sessions, and can report or
+// finalize them. Three implementations exist:
+//
+//   - LocalBackend: an in-process Manager behind a bounded ingress
+//     queue and dedicated worker (the shard of PR 2's ShardedManager).
+//   - shardrpc.Client: the same contract spoken over a TCP connection
+//     to a shard server process (shardrpc.Server), for multi-process
+//     and multi-host deployments.
+//   - Router: a rendezvous-hash fan-out over any mix of the above,
+//     itself a ShardBackend so topologies compose.
+//
+// Implementations must preserve per-EPC dispatch order. Methods may be
+// called concurrently. Local implementations never fail Stats,
+// EvictIdle, or Close; remote ones surface transport errors.
+type ShardBackend interface {
+	// Dispatch routes one sample to its EPC's session.
+	Dispatch(smp reader.Sample) error
+	// DispatchBatch routes a batch (e.g. one RO_ACCESS_REPORT) in order.
+	DispatchBatch(batch []reader.Sample) error
+	// Finalize evicts one session and returns its decoded trajectory.
+	Finalize(epc string) (*core.Result, error)
+	// Stats snapshots every live session, sorted by EPC.
+	Stats() ([]Stats, error)
+	// EvictIdle finalizes sessions idle for at least maxIdle.
+	EvictIdle(maxIdle time.Duration) (int, error)
+	// Close stops ingress, drains, finalizes every session, and returns
+	// the decoded results keyed by EPC. Close is terminal.
+	Close() (map[string]*core.Result, error)
+}
+
+// LocalConfig parameterizes a LocalBackend.
+type LocalConfig struct {
+	// Session configures the backend's Manager. Its OnPoint/OnEvict
+	// callbacks are invoked concurrently from per-session workers; see
+	// the Config docs.
+	Session Config
+	// QueueSize bounds the ingress queue (default DefaultShardQueue).
+	QueueSize int
+	// DropWhenFull selects the ingress backpressure policy: false
+	// (default) blocks Dispatch until the worker drains; true drops the
+	// sample and counts it in Dropped.
+	DropWhenFull bool
+}
+
+// LocalBackend is the in-process ShardBackend: one Manager fed by a
+// dedicated worker goroutine draining a bounded ingress queue, so
+// decode work proceeds off the dispatcher's goroutine. Per-EPC order
+// is preserved: the single worker dispatches in arrival order into the
+// session's own queue.
+type LocalBackend struct {
+	cfg   LocalConfig
+	m     *Manager
+	queue chan reader.Sample
+	done  chan struct{}
+
+	// mu guards closed against ingress sends, with the same
+	// read-side-enqueue pattern sessions use: Dispatch holds the read
+	// lock while sending, Close takes the write lock before closing
+	// the queue.
+	mu     sync.RWMutex
+	closed bool
+
+	dropped atomic.Uint64
+}
+
+// NewLocalBackend builds an in-process backend; zero fields take
+// defaults.
+func NewLocalBackend(cfg LocalConfig) *LocalBackend {
+	return newLocalBackendWith(cfg, core.New(cfg.Session.Tracker))
+}
+
+// newLocalBackendWith builds a backend around an existing tracker, so
+// a sharded deployment shares one precomputed HMM grid across shards.
+func newLocalBackendWith(cfg LocalConfig, tr *core.Tracker) *LocalBackend {
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = DefaultShardQueue
+	}
+	lb := &LocalBackend{
+		cfg:   cfg,
+		m:     newManagerWith(cfg.Session, tr),
+		queue: make(chan reader.Sample, cfg.QueueSize),
+		done:  make(chan struct{}),
+	}
+	go lb.run()
+	return lb
+}
+
+// run drains the ingress queue into the manager until the queue
+// closes.
+func (lb *LocalBackend) run() {
+	defer close(lb.done)
+	for smp := range lb.queue {
+		// ErrClosed impossible: the manager closes only after the
+		// queue is drained.
+		_ = lb.m.Dispatch(smp)
+	}
+}
+
+// Manager exposes the backend's session manager.
+func (lb *LocalBackend) Manager() *Manager { return lb.m }
+
+// Dispatch enqueues one sample. With DropWhenFull unset it blocks
+// while the ingress queue is full.
+func (lb *LocalBackend) Dispatch(smp reader.Sample) error {
+	lb.mu.RLock()
+	defer lb.mu.RUnlock()
+	if lb.closed {
+		return ErrClosed
+	}
+	if lb.cfg.DropWhenFull {
+		select {
+		case lb.queue <- smp:
+		default:
+			lb.dropped.Add(1)
+		}
+		return nil
+	}
+	lb.queue <- smp
+	return nil
+}
+
+// DispatchBatch enqueues a batch in order.
+func (lb *LocalBackend) DispatchBatch(batch []reader.Sample) error {
+	for _, smp := range batch {
+		if err := lb.Dispatch(smp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Dropped counts samples discarded at a full ingress queue
+// (DropWhenFull mode).
+func (lb *LocalBackend) Dropped() uint64 { return lb.dropped.Load() }
+
+// Finalize evicts one session and returns its decoded trajectory.
+// Samples for the EPC still queued at ingress when Finalize runs are
+// not waited for; they re-open a fresh session when the worker reaches
+// them, exactly as a late sample after an eviction would.
+func (lb *LocalBackend) Finalize(epc string) (*core.Result, error) {
+	return lb.m.Finalize(epc)
+}
+
+// Stats snapshots every live session, sorted by EPC. Local backends
+// never fail.
+func (lb *LocalBackend) Stats() ([]Stats, error) { return lb.m.Stats(), nil }
+
+// Len returns the number of live sessions.
+func (lb *LocalBackend) Len() int { return lb.m.Len() }
+
+// EvictIdle finalizes every session idle for at least maxIdle.
+func (lb *LocalBackend) EvictIdle(maxIdle time.Duration) (int, error) {
+	return lb.m.EvictIdle(maxIdle), nil
+}
+
+// Close stops ingress, drains the queue, finalizes all sessions, and
+// returns the decoded results keyed by EPC. Close is idempotent; later
+// calls return (nil, nil).
+func (lb *LocalBackend) Close() (map[string]*core.Result, error) {
+	lb.mu.Lock()
+	if lb.closed {
+		lb.mu.Unlock()
+		return nil, nil
+	}
+	lb.closed = true
+	close(lb.queue)
+	lb.mu.Unlock()
+	<-lb.done // ingress fully drained into sessions
+	return lb.m.Close(), nil
+}

@@ -1,0 +1,311 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardraw/internal/core"
+	"polardraw/internal/reader"
+)
+
+// unhealthyAfter is the consecutive-failure count past which a
+// backend's Health snapshot reports Healthy == false. A single success
+// resets the streak.
+const unhealthyAfter = 3
+
+// NamedBackend pairs a backend with the stable name the router hashes
+// it under. Names must be unique within one router; for remote
+// backends the listen address is the natural choice. Renaming a
+// backend remaps every EPC it owned.
+type NamedBackend struct {
+	Name    string
+	Backend ShardBackend
+}
+
+// BackendHealth is a point-in-time snapshot of one routed backend's
+// dispatch counters.
+type BackendHealth struct {
+	Name string
+	// Dispatched counts samples routed to the backend; Dropped counts
+	// those the backend refused (its Dispatch/DispatchBatch returned an
+	// error — for remote backends, typically a transport failure).
+	Dispatched, Dropped uint64
+	// Errors counts failed calls of any kind (dispatch and control).
+	Errors uint64
+	// Healthy is false after unhealthyAfter consecutive failed calls.
+	Healthy bool
+	// LastErr is the most recent failure's message, "" if none.
+	LastErr string
+}
+
+// routerBackend wraps one backend with its routing metrics.
+type routerBackend struct {
+	name string
+	b    ShardBackend
+
+	dispatched atomic.Uint64
+	dropped    atomic.Uint64
+	errs       atomic.Uint64
+	consec     atomic.Uint32
+	lastErr    atomic.Value // string
+}
+
+// fail records a failed call against the backend.
+func (rb *routerBackend) fail(err error) {
+	rb.errs.Add(1)
+	rb.consec.Add(1)
+	rb.lastErr.Store(err.Error())
+}
+
+// ok records a successful call.
+func (rb *routerBackend) ok() { rb.consec.Store(0) }
+
+// Router fans a mixed multi-pen stream out over a fixed set of shard
+// backends using rendezvous (highest-random-weight) hashing: each EPC
+// goes to the backend whose (backend name, EPC) hash scores highest.
+// Unlike the modulo hash it replaces, the mapping is stable under
+// membership change — adding a backend moves an EPC only if the new
+// backend wins that EPC's rendezvous, and removing one remaps only the
+// EPCs it owned. Per-EPC order is preserved because an EPC always
+// routes to exactly one backend, and backends preserve it internally.
+//
+// Router itself implements ShardBackend, so a single-process
+// deployment (router over LocalBackends) and a multi-host one (router
+// over shardrpc.Clients) are the same code path, and routers compose.
+type Router struct {
+	backends []*routerBackend
+}
+
+// NewRouter builds a router over the given backends. It panics on an
+// empty set or a duplicate name — both are configuration bugs.
+func NewRouter(backends []NamedBackend) *Router {
+	if len(backends) == 0 {
+		panic("session: router needs at least one backend")
+	}
+	seen := make(map[string]bool, len(backends))
+	r := &Router{}
+	for _, nb := range backends {
+		if seen[nb.Name] {
+			panic(fmt.Sprintf("session: duplicate router backend %q", nb.Name))
+		}
+		seen[nb.Name] = true
+		r.backends = append(r.backends, &routerBackend{name: nb.Name, b: nb.Backend})
+	}
+	return r
+}
+
+// rendezvousScore is FNV-1a over the backend name, a separator, and
+// the EPC, pushed through a murmur3-style finalizer. The finalizer
+// matters: raw FNV states for two backends stay correlated after
+// absorbing the same EPC suffix, which skews the rendezvous argmax
+// (observed ~60% of keys moving to a 4th backend instead of ~25%);
+// full avalanche restores the uniform share. 64-bit so score
+// collisions between backends are negligible; ties break toward the
+// earlier backend deterministically.
+func rendezvousScore(name, epc string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	h ^= 0xff // separator: ("ab","c") and ("a","bc") must differ
+	h *= 1099511628211
+	for i := 0; i < len(epc); i++ {
+		h ^= uint64(epc[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// backendFor returns the EPC's rendezvous winner.
+func (r *Router) backendFor(epc string) *routerBackend {
+	best := r.backends[0]
+	bestScore := rendezvousScore(best.name, epc)
+	for _, rb := range r.backends[1:] {
+		if s := rendezvousScore(rb.name, epc); s > bestScore {
+			best, bestScore = rb, s
+		}
+	}
+	return best
+}
+
+// BackendFor reports which backend (by name) the EPC routes to.
+func (r *Router) BackendFor(epc string) string { return r.backendFor(epc).name }
+
+// Backends returns the backend names in configuration order.
+func (r *Router) Backends() []string {
+	names := make([]string, len(r.backends))
+	for i, rb := range r.backends {
+		names[i] = rb.name
+	}
+	return names
+}
+
+// Health snapshots per-backend dispatch/drop/error counters in
+// configuration order.
+func (r *Router) Health() []BackendHealth {
+	out := make([]BackendHealth, len(r.backends))
+	for i, rb := range r.backends {
+		h := BackendHealth{
+			Name:       rb.name,
+			Dispatched: rb.dispatched.Load(),
+			Dropped:    rb.dropped.Load(),
+			Errors:     rb.errs.Load(),
+			Healthy:    rb.consec.Load() < unhealthyAfter,
+		}
+		if msg, ok := rb.lastErr.Load().(string); ok {
+			h.LastErr = msg
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// Dropped sums samples dropped across all backends (failed dispatch
+// calls, counted sample by sample).
+func (r *Router) Dropped() uint64 {
+	var n uint64
+	for _, rb := range r.backends {
+		n += rb.dropped.Load()
+	}
+	return n
+}
+
+// Dispatch routes one sample to its EPC's rendezvous backend.
+func (r *Router) Dispatch(smp reader.Sample) error {
+	rb := r.backendFor(smp.EPC)
+	rb.dispatched.Add(1)
+	if err := rb.b.Dispatch(smp); err != nil {
+		rb.dropped.Add(1)
+		rb.fail(err)
+		return fmt.Errorf("router: backend %s: %w", rb.name, err)
+	}
+	rb.ok()
+	return nil
+}
+
+// DispatchBatch partitions the batch by backend — preserving per-EPC
+// order — and forwards each sub-batch with one call, so a remote
+// backend sees one framed message per report instead of one per
+// sample. A failing backend drops only its own sub-batch; the rest
+// still dispatch. The joined errors are returned.
+func (r *Router) DispatchBatch(batch []reader.Sample) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	// Partition in first-seen order. The common case (a report from
+	// one reader, handful of pens) stays allocation-light.
+	type part struct {
+		rb  *routerBackend
+		sub []reader.Sample
+	}
+	var parts []part
+	idx := make(map[*routerBackend]int, len(r.backends))
+	for _, smp := range batch {
+		rb := r.backendFor(smp.EPC)
+		i, ok := idx[rb]
+		if !ok {
+			i = len(parts)
+			idx[rb] = i
+			parts = append(parts, part{rb: rb})
+		}
+		parts[i].sub = append(parts[i].sub, smp)
+	}
+	var errs []error
+	for _, p := range parts {
+		p.rb.dispatched.Add(uint64(len(p.sub)))
+		if err := p.rb.b.DispatchBatch(p.sub); err != nil {
+			p.rb.dropped.Add(uint64(len(p.sub)))
+			p.rb.fail(err)
+			errs = append(errs, fmt.Errorf("router: backend %s: %w", p.rb.name, err))
+			continue
+		}
+		p.rb.ok()
+	}
+	return errors.Join(errs...)
+}
+
+// Finalize routes to the EPC's owning backend.
+func (r *Router) Finalize(epc string) (*core.Result, error) {
+	rb := r.backendFor(epc)
+	res, err := rb.b.Finalize(epc)
+	if err != nil && !errors.Is(err, ErrUnknownSession) && !errors.Is(err, core.ErrTooFewSamples) {
+		// Transport-level failure, not a per-session outcome.
+		rb.fail(err)
+	} else {
+		rb.ok()
+	}
+	return res, err
+}
+
+// Stats merges every backend's snapshots, sorted by EPC. Backends that
+// fail contribute nothing; their errors are joined and returned
+// alongside the stats gathered from the rest.
+func (r *Router) Stats() ([]Stats, error) {
+	var out []Stats
+	var errs []error
+	for _, rb := range r.backends {
+		st, err := rb.b.Stats()
+		if err != nil {
+			rb.fail(err)
+			errs = append(errs, fmt.Errorf("router: backend %s: %w", rb.name, err))
+			continue
+		}
+		rb.ok()
+		out = append(out, st...)
+	}
+	sortStats(out)
+	return out, errors.Join(errs...)
+}
+
+// EvictIdle sweeps every backend and sums the evictions.
+func (r *Router) EvictIdle(maxIdle time.Duration) (int, error) {
+	n := 0
+	var errs []error
+	for _, rb := range r.backends {
+		k, err := rb.b.EvictIdle(maxIdle)
+		if err != nil {
+			rb.fail(err)
+			errs = append(errs, fmt.Errorf("router: backend %s: %w", rb.name, err))
+			continue
+		}
+		rb.ok()
+		n += k
+	}
+	return n, errors.Join(errs...)
+}
+
+// Close closes every backend concurrently and merges their results.
+// EPC keys cannot collide: each EPC routes to exactly one backend.
+func (r *Router) Close() (map[string]*core.Result, error) {
+	out := make(map[string]*core.Result)
+	var mu sync.Mutex
+	var errs []error
+	var wg sync.WaitGroup
+	for _, rb := range r.backends {
+		wg.Add(1)
+		go func(rb *routerBackend) {
+			defer wg.Done()
+			res, err := rb.b.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("router: backend %s: %w", rb.name, err))
+				return
+			}
+			for epc, r := range res {
+				out[epc] = r
+			}
+		}(rb)
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}

@@ -1,0 +1,294 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"polardraw/internal/core"
+	"polardraw/internal/geom"
+	"polardraw/internal/reader"
+)
+
+// stubBackend records dispatches and optionally fails everything.
+type stubBackend struct {
+	mu       sync.Mutex
+	got      []reader.Sample
+	fail     error
+	finalize map[string]*core.Result
+}
+
+func (s *stubBackend) Dispatch(smp reader.Sample) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail != nil {
+		return s.fail
+	}
+	s.got = append(s.got, smp)
+	return nil
+}
+
+func (s *stubBackend) DispatchBatch(batch []reader.Sample) error {
+	for _, smp := range batch {
+		if err := s.Dispatch(smp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *stubBackend) Finalize(epc string) (*core.Result, error) {
+	if s.fail != nil {
+		return nil, s.fail
+	}
+	if r, ok := s.finalize[epc]; ok {
+		return r, nil
+	}
+	return nil, ErrUnknownSession
+}
+
+func (s *stubBackend) Stats() ([]Stats, error) {
+	if s.fail != nil {
+		return nil, s.fail
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := map[string]bool{}
+	var out []Stats
+	for _, smp := range s.got {
+		if !seen[smp.EPC] {
+			seen[smp.EPC] = true
+			out = append(out, Stats{EPC: smp.EPC})
+		}
+	}
+	return out, nil
+}
+
+func (s *stubBackend) EvictIdle(time.Duration) (int, error) {
+	if s.fail != nil {
+		return 0, s.fail
+	}
+	return 0, nil
+}
+
+func (s *stubBackend) Close() (map[string]*core.Result, error) {
+	if s.fail != nil {
+		return nil, s.fail
+	}
+	return map[string]*core.Result{}, nil
+}
+
+func namedStubs(names ...string) ([]NamedBackend, map[string]*stubBackend) {
+	var nbs []NamedBackend
+	stubs := map[string]*stubBackend{}
+	for _, n := range names {
+		sb := &stubBackend{}
+		stubs[n] = sb
+		nbs = append(nbs, NamedBackend{Name: n, Backend: sb})
+	}
+	return nbs, stubs
+}
+
+// TestRouterRendezvousStability checks the property the modulo hash
+// lacked and the consistent-hash router exists for: growing the
+// backend set remaps an EPC only if the NEW backend wins its
+// rendezvous — every other EPC keeps its original backend — and
+// removing the added backend restores the original mapping exactly.
+func TestRouterRendezvousStability(t *testing.T) {
+	nbs3, _ := namedStubs("a:1", "b:1", "c:1")
+	nbs4, _ := namedStubs("a:1", "b:1", "c:1", "d:1")
+	r3 := NewRouter(nbs3)
+	r4 := NewRouter(nbs4)
+
+	epcs := make([]string, 0, 512)
+	for i := 0; i < 512; i++ {
+		epcs = append(epcs, fmt.Sprintf("pen-%04d", i))
+	}
+	moved := 0
+	for _, epc := range epcs {
+		before, after := r3.BackendFor(epc), r4.BackendFor(epc)
+		if after != before {
+			if after != "d:1" {
+				t.Fatalf("EPC %s moved %s -> %s, not to the added backend", epc, before, after)
+			}
+			moved++
+		}
+	}
+	// Rendezvous should hand the new backend roughly 1/4 of the keys;
+	// a modulo hash would have remapped ~3/4. Accept a generous band.
+	if moved == 0 || moved > len(epcs)/2 {
+		t.Fatalf("adding a backend moved %d/%d EPCs; want ~1/4", moved, len(epcs))
+	}
+
+	// Shrink back: mapping identical to the original.
+	r3b := NewRouter(nbs3[:3])
+	for _, epc := range epcs {
+		if r3.BackendFor(epc) != r3b.BackendFor(epc) {
+			t.Fatalf("EPC %s mapping unstable across identical configurations", epc)
+		}
+	}
+}
+
+// TestRouterOrderAndPartition checks DispatchBatch keeps per-EPC order
+// inside each backend's sub-batch.
+func TestRouterOrderAndPartition(t *testing.T) {
+	nbs, stubs := namedStubs("x", "y", "z")
+	r := NewRouter(nbs)
+	var batch []reader.Sample
+	for i := 0; i < 300; i++ {
+		batch = append(batch, reader.Sample{T: float64(i), EPC: fmt.Sprintf("pen-%d", i%17)})
+	}
+	if err := r.DispatchBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	lastT := map[string]float64{}
+	for name, sb := range stubs {
+		sb.mu.Lock()
+		for _, smp := range sb.got {
+			if want := r.BackendFor(smp.EPC); want != name {
+				t.Fatalf("EPC %s landed on %s, routed to %s", smp.EPC, name, want)
+			}
+			if prev, ok := lastT[smp.EPC]; ok && smp.T <= prev {
+				t.Fatalf("EPC %s order violated: %v after %v", smp.EPC, smp.T, prev)
+			}
+			lastT[smp.EPC] = smp.T
+			total++
+		}
+		sb.mu.Unlock()
+	}
+	if total != len(batch) {
+		t.Fatalf("delivered %d of %d samples", total, len(batch))
+	}
+}
+
+// TestRouterHealth checks drop/error accounting against a failing
+// backend: its samples are counted dropped and it turns unhealthy,
+// while healthy backends keep serving.
+func TestRouterHealth(t *testing.T) {
+	nbs, stubs := namedStubs("ok", "bad")
+	stubs["bad"].fail = errors.New("connection refused")
+	r := NewRouter(nbs)
+
+	var badEPC, okEPC string
+	for i := 0; ; i++ {
+		epc := fmt.Sprintf("pen-%d", i)
+		if r.BackendFor(epc) == "bad" && badEPC == "" {
+			badEPC = epc
+		}
+		if r.BackendFor(epc) == "ok" && okEPC == "" {
+			okEPC = epc
+		}
+		if badEPC != "" && okEPC != "" {
+			break
+		}
+	}
+
+	for i := 0; i < unhealthyAfter; i++ {
+		if err := r.Dispatch(reader.Sample{EPC: badEPC}); err == nil {
+			t.Fatal("dispatch to failing backend should error")
+		}
+	}
+	if err := r.Dispatch(reader.Sample{EPC: okEPC}); err != nil {
+		t.Fatal(err)
+	}
+
+	healths := map[string]BackendHealth{}
+	for _, h := range r.Health() {
+		healths[h.Name] = h
+	}
+	bad, ok := healths["bad"], healths["ok"]
+	if bad.Healthy || bad.Dropped != uint64(unhealthyAfter) || bad.Errors != uint64(unhealthyAfter) || bad.LastErr == "" {
+		t.Fatalf("bad backend health = %+v", bad)
+	}
+	if !ok.Healthy || ok.Dropped != 0 || ok.Dispatched != 1 {
+		t.Fatalf("ok backend health = %+v", ok)
+	}
+	if r.Dropped() != uint64(unhealthyAfter) {
+		t.Fatalf("router dropped = %d, want %d", r.Dropped(), unhealthyAfter)
+	}
+
+	// Errors on Stats/EvictIdle/Close surface but don't stop the
+	// healthy backend's contribution.
+	if _, err := r.Stats(); err == nil {
+		t.Fatal("Stats should join the failing backend's error")
+	}
+	if _, err := r.EvictIdle(time.Minute); err == nil {
+		t.Fatal("EvictIdle should join the failing backend's error")
+	}
+	if _, err := r.Close(); err == nil {
+		t.Fatal("Close should join the failing backend's error")
+	}
+}
+
+// TestRouterConcurrentCallbacks exercises the documented concurrency
+// contract of shared OnPoint/OnEvict callbacks under -race: every
+// session worker on every shard behind the router may invoke them
+// simultaneously, so the callbacks themselves must synchronize any
+// shared state (here a mutex-guarded pair of maps). A callback doing
+// plain map/int writes would fail this test under the race detector.
+func TestRouterConcurrentCallbacks(t *testing.T) {
+	const pens = 8
+	samples, _, ants := penStreams(t, pens, 23)
+	perEPC := reader.SplitByEPC(samples)
+	if len(perEPC) != pens {
+		t.Fatalf("scenario produced %d EPCs, want %d", len(perEPC), pens)
+	}
+
+	var mu sync.Mutex
+	points := map[string]int{}
+	evicts := map[string]int{}
+	sm := NewShardedManager(ShardedConfig{
+		Session: Config{
+			Tracker: core.Config{Antennas: ants, Window: 0.25, CommitLag: 8},
+			OnPoint: func(epc string, _ core.Window, _ geom.Vec2) {
+				mu.Lock()
+				points[epc]++
+				mu.Unlock()
+			},
+			OnEvict: func(epc string, _ *core.Result, _ error) {
+				mu.Lock()
+				evicts[epc]++
+				mu.Unlock()
+			},
+		},
+		Shards: 4,
+	})
+
+	// Every pen streams from its own goroutine, so the four shard
+	// workers run hot simultaneously and the callbacks genuinely
+	// overlap.
+	var wg sync.WaitGroup
+	for epc := range perEPC {
+		wg.Add(1)
+		go func(epc string) {
+			defer wg.Done()
+			for _, smp := range perEPC[epc] {
+				if err := sm.Dispatch(smp); err != nil {
+					t.Errorf("dispatch %s: %v", epc, err)
+					return
+				}
+			}
+		}(epc)
+	}
+	wg.Wait()
+	if _, err := sm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(points) != pens {
+		t.Fatalf("OnPoint saw %d pens, want %d", len(points), pens)
+	}
+	if len(evicts) != pens {
+		t.Fatalf("OnEvict saw %d pens, want %d", len(evicts), pens)
+	}
+	for epc, n := range evicts {
+		if n != 1 {
+			t.Fatalf("EPC %s evicted %d times", epc, n)
+		}
+	}
+}

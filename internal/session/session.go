@@ -53,11 +53,20 @@ type Config struct {
 	// true backpressure toward the LLRP socket; true drops the sample
 	// and counts it, favouring liveness over completeness.
 	DropWhenFull bool
-	// OnPoint, if set, is invoked from the session worker each time a
-	// window closes, with the live position estimate.
+	// OnPoint, if set, is invoked each time a window closes, with the
+	// live position estimate. It runs on the closing session's worker
+	// goroutine, so with more than one live session invocations are
+	// CONCURRENT — and in a sharded deployment the same callback is
+	// shared by every shard's workers (and by shardrpc client read
+	// loops). The callback must synchronize any shared state itself;
+	// see TestRouterConcurrentCallbacks for the contract under -race.
+	// A slow OnPoint stalls only its own session's decode.
 	OnPoint func(epc string, w core.Window, live geom.Vec2)
 	// OnEvict, if set, receives the finalized result (or error) of
-	// every session that is evicted or finalized.
+	// every session that is evicted or finalized. Like OnPoint it may
+	// be invoked concurrently (evictions triggered from different
+	// goroutines, FinalizeAll finalizing sessions in parallel) and must
+	// be safe for concurrent use.
 	OnEvict func(epc string, res *core.Result, err error)
 }
 

@@ -1,8 +1,8 @@
 package session
 
 import (
+	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"polardraw/internal/core"
@@ -18,13 +18,15 @@ const (
 // ShardedConfig parameterizes a ShardedManager.
 type ShardedConfig struct {
 	// Session configures every shard's Manager. The OnPoint/OnEvict
-	// callbacks are shared across shards and may be invoked
-	// concurrently from different shard workers. MaxSessions applies
-	// per shard.
+	// callbacks are shared across shards and ARE invoked concurrently:
+	// every session worker on every shard may call them at the same
+	// time, so they must be safe for concurrent use (atomics, a mutex,
+	// or a channel — see TestRouterConcurrentCallbacks). MaxSessions
+	// applies per shard.
 	Session Config
-	// Shards is the number of independent managers EPCs are hashed
-	// across (default 4). Each shard has its own dispatch worker, so
-	// decode work for different pens proceeds on up to Shards cores
+	// Shards is the number of independent local backends EPCs are
+	// routed across (default 4). Each shard has its own ingress worker,
+	// so decode work for different pens proceeds on up to Shards cores
 	// even when the caller dispatches from a single goroutine.
 	Shards int
 	// QueueSize bounds each shard's ingress queue (default 1024).
@@ -35,33 +37,25 @@ type ShardedConfig struct {
 	DropWhenFull bool
 }
 
-// ShardedManager scales the session tier horizontally: samples are
-// hashed by EPC onto N independent Managers, each fed by a dedicated
-// worker goroutine draining a bounded ingress queue. All shards share
-// one core.Tracker, so the expensive HMM grid is still built exactly
-// once. Per-EPC sample order is preserved end to end: an EPC always
-// lands on the same shard, whose single worker dispatches in arrival
-// order into the session's own queue.
+// ShardedManager is the single-process deployment of the shard
+// architecture: a thin facade over a Router spread across N
+// LocalBackends that share one core.Tracker, so the expensive HMM grid
+// is still built exactly once. It is the degenerate case of the same
+// router that fronts multi-process shardrpc backends — routing,
+// ordering, and metrics behave identically; only the transport
+// differs. Per-EPC sample order is preserved end to end: the router
+// sends an EPC to exactly one backend, whose single worker dispatches
+// in arrival order into the session's own queue.
 type ShardedManager struct {
 	cfg     ShardedConfig
 	tracker *core.Tracker
-	shards  []*shard
+	locals  []*LocalBackend
+	router  *Router
 
-	// mu guards closed against ingress sends, with the same
-	// read-side-enqueue pattern sessions use: Dispatch holds the read
-	// lock while sending, Close takes the write lock before closing
-	// the queues.
+	// mu guards closed: Dispatch holds the read lock across the route,
+	// Close takes the write lock before closing the backends.
 	mu     sync.RWMutex
 	closed bool
-
-	ingressDropped atomic.Uint64
-}
-
-// shard is one Manager plus its ingress queue and worker.
-type shard struct {
-	m     *Manager
-	queue chan reader.Sample
-	done  chan struct{}
 }
 
 // NewShardedManager builds the sharded tier; zero fields take
@@ -74,104 +68,72 @@ func NewShardedManager(cfg ShardedConfig) *ShardedManager {
 		cfg.QueueSize = DefaultShardQueue
 	}
 	sm := &ShardedManager{cfg: cfg, tracker: core.New(cfg.Session.Tracker)}
+	nbs := make([]NamedBackend, 0, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
-		sh := &shard{
-			m:     newManagerWith(cfg.Session, sm.tracker),
-			queue: make(chan reader.Sample, cfg.QueueSize),
-			done:  make(chan struct{}),
-		}
-		go sh.run()
-		sm.shards = append(sm.shards, sh)
+		lb := newLocalBackendWith(LocalConfig{
+			Session:      cfg.Session,
+			QueueSize:    cfg.QueueSize,
+			DropWhenFull: cfg.DropWhenFull,
+		}, sm.tracker)
+		sm.locals = append(sm.locals, lb)
+		nbs = append(nbs, NamedBackend{Name: fmt.Sprintf("shard-%d", i), Backend: lb})
 	}
+	sm.router = NewRouter(nbs)
 	return sm
-}
-
-// run drains the ingress queue into the shard's manager until the
-// queue closes.
-func (sh *shard) run() {
-	defer close(sh.done)
-	for smp := range sh.queue {
-		// ErrClosed impossible: shard managers close only after their
-		// queue is drained.
-		_ = sh.m.Dispatch(smp)
-	}
 }
 
 // Tracker exposes the shared batch tracker (same grid all shards use).
 func (sm *ShardedManager) Tracker() *core.Tracker { return sm.tracker }
 
 // Shards returns the shard count.
-func (sm *ShardedManager) Shards() int { return len(sm.shards) }
+func (sm *ShardedManager) Shards() int { return len(sm.locals) }
 
-// hashEPC is FNV-1a over the EPC string.
-func hashEPC(epc string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(epc); i++ {
-		h ^= uint32(epc[i])
-		h *= 16777619
-	}
-	return h
-}
-
-func (sm *ShardedManager) shardFor(epc string) *shard {
-	return sm.shards[hashEPC(epc)%uint32(len(sm.shards))]
-}
+// Router exposes the EPC router, e.g. to inspect per-shard health or
+// the EPC→shard mapping.
+func (sm *ShardedManager) Router() *Router { return sm.router }
 
 // Dispatch routes one sample to its EPC's shard. With DropWhenFull
 // unset it blocks while the shard's ingress queue is full.
 func (sm *ShardedManager) Dispatch(smp reader.Sample) error {
-	sh := sm.shardFor(smp.EPC)
 	sm.mu.RLock()
 	defer sm.mu.RUnlock()
 	if sm.closed {
 		return ErrClosed
 	}
-	if sm.cfg.DropWhenFull {
-		select {
-		case sh.queue <- smp:
-		default:
-			sm.ingressDropped.Add(1)
-		}
-		return nil
-	}
-	sh.queue <- smp
-	return nil
+	return sm.router.Dispatch(smp)
 }
 
 // DispatchBatch routes a batch (e.g. one RO_ACCESS_REPORT) in order.
 func (sm *ShardedManager) DispatchBatch(batch []reader.Sample) error {
-	for _, smp := range batch {
-		if err := sm.Dispatch(smp); err != nil {
-			return err
-		}
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
+	if sm.closed {
+		return ErrClosed
 	}
-	return nil
+	return sm.router.DispatchBatch(batch)
 }
 
 // IngressDropped counts samples discarded at full shard queues
 // (DropWhenFull mode).
 func (sm *ShardedManager) IngressDropped() uint64 {
-	return sm.ingressDropped.Load()
+	n := uint64(0)
+	for _, lb := range sm.locals {
+		n += lb.Dropped()
+	}
+	return n
 }
 
 // Len returns the number of live sessions across all shards.
 func (sm *ShardedManager) Len() int {
 	n := 0
-	for _, sh := range sm.shards {
-		n += sh.m.Len()
+	for _, lb := range sm.locals {
+		n += lb.Len()
 	}
 	return n
 }
 
 // Stats snapshots every live session across shards, sorted by EPC.
-func (sm *ShardedManager) Stats() []Stats {
-	var out []Stats
-	for _, sh := range sm.shards {
-		out = append(out, sh.m.Stats()...)
-	}
-	sortStats(out)
-	return out
-}
+func (sm *ShardedManager) Stats() ([]Stats, error) { return sm.router.Stats() }
 
 // Finalize evicts one session and returns its decoded trajectory.
 // Samples for the EPC still queued at its shard's ingress when
@@ -179,17 +141,13 @@ func (sm *ShardedManager) Stats() []Stats {
 // the worker reaches them, exactly as a late sample after an eviction
 // would.
 func (sm *ShardedManager) Finalize(epc string) (*core.Result, error) {
-	return sm.shardFor(epc).m.Finalize(epc)
+	return sm.router.Finalize(epc)
 }
 
 // EvictIdle finalizes every session idle for at least maxIdle and
 // returns how many were evicted.
-func (sm *ShardedManager) EvictIdle(maxIdle time.Duration) int {
-	n := 0
-	for _, sh := range sm.shards {
-		n += sh.m.EvictIdle(maxIdle)
-	}
-	return n
+func (sm *ShardedManager) EvictIdle(maxIdle time.Duration) (int, error) {
+	return sm.router.EvictIdle(maxIdle)
 }
 
 // Close stops ingress, drains every shard queue, finalizes all
@@ -197,34 +155,13 @@ func (sm *ShardedManager) EvictIdle(maxIdle time.Duration) int {
 // EPC (sessions whose streams were too short are omitted; they still
 // reach OnEvict with their error). Further dispatches fail with
 // ErrClosed. Close is idempotent; later calls return nil.
-func (sm *ShardedManager) Close() map[string]*core.Result {
+func (sm *ShardedManager) Close() (map[string]*core.Result, error) {
 	sm.mu.Lock()
 	if sm.closed {
 		sm.mu.Unlock()
-		return nil
+		return nil, nil
 	}
 	sm.closed = true
-	for _, sh := range sm.shards {
-		close(sh.queue)
-	}
 	sm.mu.Unlock()
-
-	out := make(map[string]*core.Result)
-	var outMu sync.Mutex
-	var wg sync.WaitGroup
-	for _, sh := range sm.shards {
-		wg.Add(1)
-		go func(sh *shard) {
-			defer wg.Done()
-			<-sh.done // ingress fully drained into sessions
-			res := sh.m.Close()
-			outMu.Lock()
-			for epc, r := range res {
-				out[epc] = r
-			}
-			outMu.Unlock()
-		}(sh)
-	}
-	wg.Wait()
-	return out
+	return sm.router.Close()
 }

@@ -30,7 +30,10 @@ func TestShardedDemuxMatchesBatch(t *testing.T) {
 	if err := sm.DispatchBatch(samples); err != nil {
 		t.Fatal(err)
 	}
-	results := sm.Close()
+	results, err := sm.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != pens {
 		t.Fatalf("results = %d, want %d", len(results), pens)
 	}
@@ -58,7 +61,7 @@ func TestShardedDemuxMatchesBatch(t *testing.T) {
 	if err := sm.Dispatch(samples[0]); err != ErrClosed {
 		t.Fatalf("dispatch after close: %v, want ErrClosed", err)
 	}
-	if sm.Close() != nil {
+	if res, _ := sm.Close(); res != nil {
 		t.Fatal("second Close should return nil")
 	}
 }
@@ -88,7 +91,10 @@ func TestShardedStatsAndEviction(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	st := sm.Stats()
+	st, err := sm.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(st) != pens {
 		t.Fatalf("stats = %d, want %d", len(st), pens)
 	}
@@ -97,7 +103,7 @@ func TestShardedStatsAndEviction(t *testing.T) {
 			t.Fatalf("stats unsorted at %d: %s >= %s", i, st[i-1].EPC, st[i].EPC)
 		}
 	}
-	if n := sm.EvictIdle(0); n != pens {
+	if n, _ := sm.EvictIdle(0); n != pens {
 		t.Fatalf("evicted %d, want %d", n, pens)
 	}
 	if sm.Len() != 0 {
@@ -174,6 +180,7 @@ func TestShardedJoinLeaveRace(t *testing.T) {
 				sm.Len()
 				sm.Stats()
 				sm.EvictIdle(time.Minute)
+				sm.Router().Health()
 				time.Sleep(time.Millisecond)
 			}
 		}
@@ -222,15 +229,15 @@ func TestShardedDropWhenFull(t *testing.T) {
 	}
 }
 
-// TestShardStability checks that an EPC always hashes to the same
+// TestShardStability checks that an EPC always routes to the same
 // shard (the property per-EPC ordering rests on).
 func TestShardStability(t *testing.T) {
 	sm := NewShardedManager(ShardedConfig{Shards: 7})
 	defer sm.Close()
 	for _, epc := range []string{"", "a", "E280-1160-6000-0001", "pen-042"} {
-		s0 := sm.shardFor(epc)
+		s0 := sm.Router().BackendFor(epc)
 		for i := 0; i < 10; i++ {
-			if sm.shardFor(epc) != s0 {
+			if sm.Router().BackendFor(epc) != s0 {
 				t.Fatalf("EPC %q moved shards", epc)
 			}
 		}

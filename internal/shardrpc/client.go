@@ -1,0 +1,510 @@
+package shardrpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardraw/internal/core"
+	"polardraw/internal/geom"
+	"polardraw/internal/reader"
+	"polardraw/internal/session"
+)
+
+// Client errors.
+var (
+	// ErrClientClosed is returned by every method after Close.
+	ErrClientClosed = errors.New("shardrpc: client closed")
+	// ErrCallTimeout is returned when a request's response does not
+	// arrive within CallTimeout; the connection is torn down (the frame
+	// stream cannot be resynchronized) and redialed on next use.
+	ErrCallTimeout = errors.New("shardrpc: call timed out")
+)
+
+// ClientConfig parameterizes a shard client.
+type ClientConfig struct {
+	// Addr is the shard server's host:port.
+	Addr string
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// CallTimeout bounds each synchronous request (default 30s).
+	CallTimeout time.Duration
+	// BatchSize is the number of dispatched samples buffered before an
+	// automatic flush (default 64). Larger batches amortize framing and
+	// syscalls; smaller ones reduce added latency.
+	BatchSize int
+	// FlushInterval bounds how long a buffered sample may wait for its
+	// batch to fill (default 2ms).
+	FlushInterval time.Duration
+	// OnPoint, if set, subscribes the connection to the server's
+	// window-close events, mirroring session.Config.OnPoint across the
+	// wire. It is invoked from the client's read loop: keep it fast, or
+	// responses stall behind it.
+	OnPoint func(epc string, w core.Window, live geom.Vec2)
+}
+
+func (cfg ClientConfig) withDefaults() ClientConfig {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 30 * time.Second
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 2 * time.Millisecond
+	}
+	return cfg
+}
+
+// respMsg is one response delivered to a waiting call.
+type respMsg struct {
+	payload []byte
+	err     error
+}
+
+// Client speaks the shardrpc protocol to one shard server and
+// implements session.ShardBackend, so a session.Router treats a
+// remote shard process exactly like an in-process one. The connection
+// is long-lived and reused across every call; dispatched samples are
+// buffered and flushed in batches (and always flushed before any
+// synchronous request, preserving per-EPC order between samples and
+// control calls). On a transport failure the connection is redialed
+// on next use; samples buffered or in flight across the failure are
+// dropped and counted in Lost.
+//
+// A Client is safe for concurrent use.
+type Client struct {
+	cfg ClientConfig
+
+	mu      sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	gen     int // connection generation; stale read loops are ignored
+	pending []reader.Sample
+	waiters []chan respMsg
+	closed  bool
+
+	stopFlush chan struct{}
+
+	lost       atomic.Uint64
+	reconnects atomic.Uint64
+}
+
+// Dial connects to a shard server. The background flush loop starts
+// immediately; the connection is re-established transparently after
+// failures.
+func Dial(cfg ClientConfig) (*Client, error) {
+	c := &Client{cfg: cfg.withDefaults(), stopFlush: make(chan struct{})}
+	c.mu.Lock()
+	err := c.ensureConnLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	go c.flushLoop()
+	return c, nil
+}
+
+// Addr returns the configured server address.
+func (c *Client) Addr() string { return c.cfg.Addr }
+
+// Lost counts samples dropped at transport failures (buffered but
+// unsendable).
+func (c *Client) Lost() uint64 { return c.lost.Load() }
+
+// Reconnects counts successful redials after a connection failure.
+func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
+
+// ensureConnLocked dials if no live connection exists; c.mu held.
+func (c *Client) ensureConnLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("shardrpc: dial %s: %w", c.cfg.Addr, err)
+	}
+	if c.gen > 0 {
+		c.reconnects.Add(1)
+	}
+	c.conn = conn
+	c.bw = bufio.NewWriter(conn)
+	c.gen++
+	go c.readLoop(conn, c.gen)
+	if c.cfg.OnPoint != nil {
+		// A failed subscribe has already torn the connection down
+		// (c.bw is nil again), so it must fail the ensure: callers are
+		// about to write frames.
+		if err := c.writeFrameLocked(opSubscribe, nil); err != nil {
+			return fmt.Errorf("shardrpc: subscribe %s: %w", c.cfg.Addr, err)
+		}
+	}
+	return nil
+}
+
+// teardownLocked invalidates the current connection and fails every
+// pending waiter; c.mu held. Stale generations are ignored so a dying
+// read loop cannot kill its successor.
+func (c *Client) teardownLocked(gen int, cause error) {
+	if gen != c.gen || c.conn == nil {
+		return
+	}
+	c.conn.Close()
+	c.conn = nil
+	c.bw = nil
+	for _, ch := range c.waiters {
+		ch <- respMsg{err: cause}
+	}
+	c.waiters = nil
+}
+
+// writeFrameLocked frames one message and flushes; c.mu held.
+func (c *Client) writeFrameLocked(op byte, payload []byte) error {
+	if err := writeFrame(c.bw, op, payload); err != nil {
+		c.teardownLocked(c.gen, err)
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.teardownLocked(c.gen, err)
+		return err
+	}
+	return nil
+}
+
+// flushLocked sends the buffered dispatch batch; c.mu held. Samples
+// that cannot be sent are dropped and counted: buffering them across
+// an outage would grow without bound and then replay arbitrarily stale
+// reads.
+func (c *Client) flushLocked() error {
+	if len(c.pending) == 0 {
+		return nil
+	}
+	if err := c.ensureConnLocked(); err != nil {
+		c.lost.Add(uint64(len(c.pending)))
+		c.pending = nil
+		return err
+	}
+	var e enc
+	if err := encodeSamples(&e, c.pending); err != nil {
+		c.lost.Add(uint64(len(c.pending)))
+		c.pending = c.pending[:0]
+		return err
+	}
+	n := len(c.pending)
+	if err := c.writeFrameLocked(opDispatch, e.b); err != nil {
+		c.lost.Add(uint64(n))
+		c.pending = nil
+		return err
+	}
+	c.pending = c.pending[:0]
+	return nil
+}
+
+// flushLoop bounds the time a buffered sample waits for its batch.
+func (c *Client) flushLoop() {
+	t := time.NewTicker(c.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			c.mu.Lock()
+			if !c.closed && len(c.pending) > 0 {
+				_ = c.flushLocked()
+			}
+			c.mu.Unlock()
+		case <-c.stopFlush:
+			return
+		}
+	}
+}
+
+// readLoop demultiplexes the connection's inbound stream: event frames
+// go to OnPoint, response frames to the oldest pending waiter.
+func (c *Client) readLoop(conn net.Conn, gen int) {
+	fail := func(err error) {
+		c.mu.Lock()
+		c.teardownLocked(gen, err)
+		c.mu.Unlock()
+	}
+	br := bufio.NewReader(conn)
+	for {
+		op, payload, err := readFrame(br)
+		if err != nil {
+			fail(err)
+			return
+		}
+		switch op {
+		case opEvPoint:
+			c.mu.Lock()
+			stale := gen != c.gen
+			c.mu.Unlock()
+			if stale {
+				return // superseded connection; stop delivering
+			}
+			d := dec{b: payload}
+			epc := d.str()
+			w := decodeWindow(&d)
+			live := geom.Vec2{X: d.f64(), Y: d.f64()}
+			if d.err != nil {
+				fail(d.err)
+				return
+			}
+			if c.cfg.OnPoint != nil {
+				c.cfg.OnPoint(epc, w, live)
+			}
+		case opResp:
+			c.mu.Lock()
+			if gen != c.gen {
+				// This connection was torn down (its waiters already
+				// failed) and possibly replaced: a late response here
+				// belongs to an old request and must NOT be handed to
+				// the successor connection's waiter queue.
+				c.mu.Unlock()
+				return
+			}
+			if len(c.waiters) == 0 {
+				// Response with nothing pending: protocol violation.
+				c.teardownLocked(gen, errors.New("shardrpc: unsolicited response"))
+				c.mu.Unlock()
+				return
+			}
+			ch := c.waiters[0]
+			c.waiters = c.waiters[1:]
+			c.mu.Unlock()
+			ch <- respMsg{payload: payload}
+		default:
+			fail(fmt.Errorf("shardrpc: unexpected opcode 0x%02x", op))
+			return
+		}
+	}
+}
+
+// call performs one synchronous request: flush buffered samples (so
+// per-EPC order is preserved relative to the request), frame it, and
+// wait for the FIFO-matched response.
+func (c *Client) call(op byte, payload []byte, force bool) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed && !force {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if err := c.flushLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	if err := c.ensureConnLocked(); err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	ch := make(chan respMsg, 1)
+	c.waiters = append(c.waiters, ch)
+	gen := c.gen
+	err := c.writeFrameLocked(op, payload)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err // teardown already failed ch
+	}
+	select {
+	case msg := <-ch:
+		return msg.payload, msg.err
+	case <-time.After(c.cfg.CallTimeout):
+		c.mu.Lock()
+		c.teardownLocked(gen, ErrCallTimeout)
+		c.mu.Unlock()
+		// The teardown delivered an error unless a response raced in.
+		select {
+		case msg := <-ch:
+			return msg.payload, msg.err
+		default:
+			return nil, ErrCallTimeout
+		}
+	}
+}
+
+// checkStatus consumes the response status byte, returning the
+// reconstructed error for failures.
+func checkStatus(d *dec) error {
+	if d.u8() == statusErr {
+		return decodeError(d)
+	}
+	return d.err
+}
+
+// Dispatch buffers one sample, flushing when the batch fills. Errors
+// surface only at flush boundaries; samples lost to a transport
+// failure are counted in Lost.
+func (c *Client) Dispatch(smp reader.Sample) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	c.pending = append(c.pending, smp)
+	if len(c.pending) >= c.cfg.BatchSize {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// DispatchBatch buffers a batch in order.
+func (c *Client) DispatchBatch(batch []reader.Sample) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	c.pending = append(c.pending, batch...)
+	if len(c.pending) >= c.cfg.BatchSize {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// Flush forces out any buffered samples.
+func (c *Client) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	return c.flushLocked()
+}
+
+// Finalize evicts one remote session and returns its decoded
+// trajectory. The wire encoding is bit-exact, so the Result matches
+// what an in-process backend would have produced.
+func (c *Client) Finalize(epc string) (*core.Result, error) {
+	var e enc
+	if err := e.str(epc); err != nil {
+		return nil, err
+	}
+	payload, err := c.call(opFinalize, e.b, false)
+	if err != nil {
+		return nil, err
+	}
+	d := dec{b: payload}
+	if err := checkStatus(&d); err != nil {
+		return nil, err
+	}
+	res := decodeResult(&d)
+	if d.err != nil {
+		return nil, d.err
+	}
+	return res, nil
+}
+
+// Stats snapshots the remote manager's live sessions.
+func (c *Client) Stats() ([]session.Stats, error) {
+	payload, err := c.call(opStats, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	d := dec{b: payload}
+	if err := checkStatus(&d); err != nil {
+		return nil, err
+	}
+	n := int(d.u32())
+	if d.err != nil || n > d.remaining()/60+1 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := make([]session.Stats, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, decodeStats(&d))
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return out, nil
+}
+
+// EvictIdle sweeps the remote manager.
+func (c *Client) EvictIdle(maxIdle time.Duration) (int, error) {
+	var e enc
+	e.i64(int64(maxIdle))
+	payload, err := c.call(opEvictIdle, e.b, false)
+	if err != nil {
+		return 0, err
+	}
+	d := dec{b: payload}
+	if err := checkStatus(&d); err != nil {
+		return 0, err
+	}
+	n := int(d.u32())
+	return n, d.err
+}
+
+// Len returns the remote manager's live session count.
+func (c *Client) Len() (int, error) {
+	payload, err := c.call(opLen, nil, false)
+	if err != nil {
+		return 0, err
+	}
+	d := dec{b: payload}
+	if err := checkStatus(&d); err != nil {
+		return 0, err
+	}
+	n := int(d.u32())
+	return n, d.err
+}
+
+// Ping round-trips an empty request, verifying the server is live.
+func (c *Client) Ping() error {
+	payload, err := c.call(opPing, nil, false)
+	if err != nil {
+		return err
+	}
+	d := dec{b: payload}
+	return checkStatus(&d)
+}
+
+// Close flushes buffered samples, closes the remote manager, and
+// returns its finalized results, then shuts the client down. Later
+// calls return (nil, nil).
+func (c *Client) Close() (map[string]*core.Result, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stopFlush)
+
+	payload, callErr := c.call(opClose, nil, true)
+
+	c.mu.Lock()
+	c.teardownLocked(c.gen, ErrClientClosed)
+	c.mu.Unlock()
+
+	if callErr != nil {
+		return nil, callErr
+	}
+	d := dec{b: payload}
+	if err := checkStatus(&d); err != nil {
+		return nil, err
+	}
+	n := int(d.u32())
+	if d.err != nil || n > d.remaining()/20+1 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := make(map[string]*core.Result, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		epc := d.str()
+		res := decodeResult(&d)
+		if d.err == nil {
+			out[epc] = res
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return out, nil
+}

@@ -1,0 +1,400 @@
+// Package shardrpc puts a TCP boundary at the session tier's shard
+// interface, so shards can live in separate processes and hosts: a
+// Server hosts one session.Manager per process; a Client implements
+// session.ShardBackend over a long-lived connection, ready to sit
+// behind a session.Router next to in-process backends.
+//
+// # Wire protocol
+//
+// The protocol is a compact length-prefixed binary framing, symmetric
+// in both directions:
+//
+//	frame  := length(uint32 BE) opcode(byte) payload
+//
+// where length covers the opcode and payload. Scalars are big-endian;
+// floats are IEEE-754 bit patterns (so a trajectory survives the wire
+// bit-identically); strings are uint16 length + bytes. Request frames
+// flow client→server; the server answers each request frame that
+// expects a reply with exactly one opResp frame, in request order, so
+// responses need no correlation IDs — a client matches them FIFO.
+// Dispatch and subscribe frames are one-way (no response), which is
+// what makes sample streaming cheap: a dispatch costs one buffered
+// write, and backpressure propagates through TCP when the server's
+// session queues fill. opEvPoint frames are server→client pushes
+// (window-close events for subscribed connections) and may interleave
+// with responses; the opcode's high bits distinguish the two.
+//
+// Response payloads start with a status byte; failures carry a code
+// that round-trips the session/core sentinel errors, so
+// errors.Is(err, session.ErrUnknownSession) works across the wire.
+package shardrpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"polardraw/internal/core"
+	"polardraw/internal/geom"
+	"polardraw/internal/reader"
+	"polardraw/internal/session"
+)
+
+// timeFromUnixNano rebuilds a wall-clock timestamp from its wire form.
+func timeFromUnixNano(ns int64) time.Time { return time.Unix(0, ns) }
+
+// maxFrame bounds a frame so a corrupt length prefix cannot allocate
+// unbounded memory. 64 MiB comfortably holds the largest legitimate
+// frame (a Close response for thousands of sessions).
+const maxFrame = 64 << 20
+
+// Opcodes. Requests occupy the low range; 0x40 marks server pushes,
+// 0x80 marks responses.
+const (
+	opDispatch  byte = 0x01 // one-way: batch of samples
+	opFinalize  byte = 0x02
+	opStats     byte = 0x03
+	opEvictIdle byte = 0x04
+	opLen       byte = 0x05
+	opClose     byte = 0x06
+	opSubscribe byte = 0x07 // one-way: request opEvPoint pushes
+	opPing      byte = 0x08
+
+	opEvPoint byte = 0x40 // server push: a window closed
+	opResp    byte = 0x80 // response to the oldest pending request
+)
+
+// Response status bytes and error codes.
+const (
+	statusOK  byte = 0
+	statusErr byte = 1
+
+	errCodeGeneric      byte = 0
+	errCodeUnknown      byte = 1
+	errCodeTooFew       byte = 2
+	errCodeClosed       byte = 3
+	errCodeShardClosing byte = 4
+)
+
+// ErrShardClosing is returned for requests that reach a shard server
+// whose manager has already been closed by a prior opClose.
+var ErrShardClosing = errors.New("shardrpc: shard manager closed")
+
+// writeFrame writes one frame. The caller is responsible for
+// serializing writers and flushing any buffering.
+func writeFrame(w io.Writer, op byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = op
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame, enforcing the size bound.
+func readFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("shardrpc: bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// enc appends big-endian primitives to a byte slice.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte) { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) {
+	e.b = binary.BigEndian.AppendUint16(e.b, v)
+}
+func (e *enc) u32(v uint32) {
+	e.b = binary.BigEndian.AppendUint32(e.b, v)
+}
+func (e *enc) u64(v uint64) {
+	e.b = binary.BigEndian.AppendUint64(e.b, v)
+}
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) str(s string) error {
+	if len(s) > math.MaxUint16 {
+		return fmt.Errorf("shardrpc: string too long (%d bytes)", len(s))
+	}
+	e.u16(uint16(len(s)))
+	e.b = append(e.b, s...)
+	return nil
+}
+
+// dec consumes big-endian primitives from a byte slice; the first
+// truncation latches err and every later read returns zero values.
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *dec) u8() byte {
+	if b := d.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+func (d *dec) u16() uint16 {
+	if b := d.take(2); b != nil {
+		return binary.BigEndian.Uint16(b)
+	}
+	return 0
+}
+func (d *dec) u32() uint32 {
+	if b := d.take(4); b != nil {
+		return binary.BigEndian.Uint32(b)
+	}
+	return 0
+}
+func (d *dec) u64() uint64 {
+	if b := d.take(8); b != nil {
+		return binary.BigEndian.Uint64(b)
+	}
+	return 0
+}
+func (d *dec) i64() int64    { return int64(d.u64()) }
+func (d *dec) f64() float64  { return math.Float64frombits(d.u64()) }
+func (d *dec) boolean() bool { return d.u8() != 0 }
+func (d *dec) str() string {
+	n := int(d.u16())
+	if b := d.take(n); b != nil {
+		return string(b)
+	}
+	return ""
+}
+
+// remaining reports unread payload bytes (a well-formed message ends
+// with zero).
+func (d *dec) remaining() int { return len(d.b) }
+
+// --- message bodies ---
+
+func encodeSample(e *enc, s reader.Sample) error {
+	e.f64(s.T)
+	e.u32(uint32(int32(s.Antenna)))
+	e.f64(s.RSS)
+	e.f64(s.Phase)
+	return e.str(s.EPC)
+}
+
+func decodeSample(d *dec) reader.Sample {
+	return reader.Sample{
+		T:       d.f64(),
+		Antenna: int(int32(d.u32())),
+		RSS:     d.f64(),
+		Phase:   d.f64(),
+		EPC:     d.str(),
+	}
+}
+
+func encodeSamples(e *enc, batch []reader.Sample) error {
+	e.u32(uint32(len(batch)))
+	for _, s := range batch {
+		if err := encodeSample(e, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeSamples(d *dec) []reader.Sample {
+	n := int(d.u32())
+	if d.err != nil || n < 0 {
+		return nil
+	}
+	// Guard against a hostile count: each sample is ≥ 30 bytes.
+	if n > d.remaining()/30+1 {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := make([]reader.Sample, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, decodeSample(d))
+	}
+	return out
+}
+
+func encodeWindow(e *enc, w core.Window) {
+	e.f64(w.T)
+	for a := 0; a < 2; a++ {
+		e.f64(w.RSS[a])
+		e.f64(w.Phase[a])
+		e.u32(uint32(w.Count[a]))
+		e.boolean(w.Spurious[a])
+	}
+	e.boolean(w.Valid)
+}
+
+func decodeWindow(d *dec) core.Window {
+	var w core.Window
+	w.T = d.f64()
+	for a := 0; a < 2; a++ {
+		w.RSS[a] = d.f64()
+		w.Phase[a] = d.f64()
+		w.Count[a] = int(d.u32())
+		w.Spurious[a] = d.boolean()
+	}
+	w.Valid = d.boolean()
+	return w
+}
+
+func encodeResult(e *enc, r *core.Result) {
+	e.u32(uint32(len(r.Trajectory)))
+	for _, p := range r.Trajectory {
+		e.f64(p.X)
+		e.f64(p.Y)
+	}
+	e.u32(uint32(len(r.Windows)))
+	for _, w := range r.Windows {
+		encodeWindow(e, w)
+	}
+	e.f64(r.Correction)
+	e.u32(uint32(r.RotationalWindows))
+	e.u32(uint32(r.TranslationalWindows))
+	e.u32(uint32(r.SpuriousRejected))
+}
+
+func decodeResult(d *dec) *core.Result {
+	r := &core.Result{}
+	n := int(d.u32())
+	if d.err != nil || n > d.remaining()/16+1 {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	r.Trajectory = make(geom.Polyline, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		r.Trajectory = append(r.Trajectory, geom.Vec2{X: d.f64(), Y: d.f64()})
+	}
+	n = int(d.u32())
+	if d.err != nil || n > d.remaining()/49+1 {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	r.Windows = make([]core.Window, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		r.Windows = append(r.Windows, decodeWindow(d))
+	}
+	r.Correction = d.f64()
+	r.RotationalWindows = int(d.u32())
+	r.TranslationalWindows = int(d.u32())
+	r.SpuriousRejected = int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	return r
+}
+
+func encodeStats(e *enc, st session.Stats) error {
+	if err := e.str(st.EPC); err != nil {
+		return err
+	}
+	e.u64(st.Received)
+	e.u64(st.QueueDropped)
+	e.u64(st.LateDropped)
+	e.u32(uint32(st.Windows))
+	e.f64(st.QueueMeanDepth)
+	e.u32(uint32(st.QueueMaxDepth))
+	e.f64(st.Live.X)
+	e.f64(st.Live.Y)
+	e.boolean(st.HasLive)
+	e.i64(st.LastActive.UnixNano())
+	return nil
+}
+
+func decodeStats(d *dec) session.Stats {
+	st := session.Stats{
+		EPC:            d.str(),
+		Received:       d.u64(),
+		QueueDropped:   d.u64(),
+		LateDropped:    d.u64(),
+		Windows:        int(d.u32()),
+		QueueMeanDepth: d.f64(),
+		QueueMaxDepth:  int(d.u32()),
+	}
+	st.Live.X = d.f64()
+	st.Live.Y = d.f64()
+	st.HasLive = d.boolean()
+	st.LastActive = timeFromUnixNano(d.i64())
+	return st
+}
+
+// encodeError maps the session/core sentinels onto wire codes so the
+// client can reconstruct them.
+func encodeError(e *enc, err error) {
+	e.u8(statusErr)
+	switch {
+	case errors.Is(err, session.ErrUnknownSession):
+		e.u8(errCodeUnknown)
+	case errors.Is(err, core.ErrTooFewSamples):
+		e.u8(errCodeTooFew)
+	case errors.Is(err, session.ErrClosed):
+		e.u8(errCodeClosed)
+	case errors.Is(err, ErrShardClosing):
+		e.u8(errCodeShardClosing)
+	default:
+		e.u8(errCodeGeneric)
+	}
+	_ = e.str(err.Error())
+}
+
+// decodeError reconstructs the error from a statusErr payload (the
+// status byte already consumed).
+func decodeError(d *dec) error {
+	code := d.u8()
+	msg := d.str()
+	if d.err != nil {
+		return d.err
+	}
+	switch code {
+	case errCodeUnknown:
+		return session.ErrUnknownSession
+	case errCodeTooFew:
+		return core.ErrTooFewSamples
+	case errCodeClosed:
+		return session.ErrClosed
+	case errCodeShardClosing:
+		return ErrShardClosing
+	default:
+		return errors.New(msg)
+	}
+}

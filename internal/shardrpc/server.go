@@ -1,0 +1,352 @@
+package shardrpc
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polardraw/internal/core"
+	"polardraw/internal/geom"
+	"polardraw/internal/session"
+)
+
+// ServerConfig parameterizes a shard server.
+type ServerConfig struct {
+	// Session configures the hosted Manager. Its OnPoint callback, if
+	// set, is chained before the server's own event broadcast; both are
+	// invoked concurrently from session workers.
+	Session session.Config
+	// EventBuffer bounds each subscribed connection's outgoing
+	// window-close event queue (default 256). When a slow client lets
+	// it fill, events are dropped — never blocking decode workers — and
+	// counted in EventsDropped.
+	EventBuffer int
+}
+
+// Server hosts one session.Manager per process behind the shardrpc
+// wire protocol: the remote half of a ShardBackend. Any number of
+// connections may dispatch into the same manager; per-EPC order is
+// preserved per connection (frames on one connection are processed
+// sequentially), so a router that pins each EPC to one client
+// connection keeps the same ordering guarantee the in-process tier
+// has. Dispatch applies the manager's backpressure policy: a blocking
+// session queue stalls the connection's read loop, pushing back
+// through TCP to the dispatching client.
+type Server struct {
+	cfg ServerConfig
+	m   *session.Manager
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*srvConn]struct{}
+	closed bool
+
+	eventsDropped atomic.Uint64
+}
+
+// pointEvent is one OnPoint callback queued toward a subscriber.
+type pointEvent struct {
+	epc  string
+	w    core.Window
+	live geom.Vec2
+}
+
+// NewServer builds a server hosting a fresh Manager. Call Serve to
+// accept connections.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 256
+	}
+	s := &Server{cfg: cfg, conns: make(map[*srvConn]struct{})}
+	userPoint := cfg.Session.OnPoint
+	cfg.Session.OnPoint = func(epc string, w core.Window, live geom.Vec2) {
+		if userPoint != nil {
+			userPoint(epc, w, live)
+		}
+		s.broadcastPoint(pointEvent{epc: epc, w: w, live: live})
+	}
+	s.m = session.NewManager(cfg.Session)
+	return s
+}
+
+// Manager exposes the hosted session manager.
+func (s *Server) Manager() *session.Manager { return s.m }
+
+// EventsDropped counts window-close events shed at full subscriber
+// queues.
+func (s *Server) EventsDropped() uint64 { return s.eventsDropped.Load() }
+
+// Serve accepts and serves connections on ln until Close. It returns
+// nil after Close, or the first accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.handle(c)
+	}
+}
+
+// Close stops accepting, tears down every connection, and closes the
+// hosted manager (finalizing its sessions).
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.c.Close()
+	}
+	s.m.Close()
+}
+
+// broadcastPoint fans one window-close event out to every subscribed
+// connection, dropping (and counting) at full queues rather than
+// blocking the session worker that closed the window.
+func (s *Server) broadcastPoint(ev pointEvent) {
+	s.mu.Lock()
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		if c.subscribed.Load() {
+			conns = append(conns, c)
+		}
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		select {
+		case c.events <- ev:
+		default:
+			s.eventsDropped.Add(1)
+		}
+	}
+}
+
+// srvConn is one client connection.
+type srvConn struct {
+	s *Server
+	c net.Conn
+
+	// wmu serializes frame writes: responses from the request loop and
+	// events from the pump share one stream.
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	events     chan pointEvent
+	subscribed atomic.Bool
+	stop       chan struct{}
+}
+
+func (s *Server) handle(c net.Conn) {
+	sc := &srvConn{
+		s:      s,
+		c:      c,
+		bw:     bufio.NewWriter(c),
+		events: make(chan pointEvent, s.cfg.EventBuffer),
+		stop:   make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Close()
+		return
+	}
+	s.conns[sc] = struct{}{}
+	s.mu.Unlock()
+
+	go sc.eventPump()
+	sc.readLoop()
+
+	close(sc.stop)
+	s.mu.Lock()
+	delete(s.conns, sc)
+	s.mu.Unlock()
+	c.Close()
+}
+
+// eventPump drains queued window-close events onto the wire.
+func (sc *srvConn) eventPump() {
+	for {
+		select {
+		case ev := <-sc.events:
+			var e enc
+			if e.str(ev.epc) != nil {
+				continue
+			}
+			encodeWindow(&e, ev.w)
+			e.f64(ev.live.X)
+			e.f64(ev.live.Y)
+			if sc.write(opEvPoint, e.b) != nil {
+				return // conn broken; read loop notices too
+			}
+		case <-sc.stop:
+			return
+		}
+	}
+}
+
+// write frames one message under the connection's write lock.
+func (sc *srvConn) write(op byte, payload []byte) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if err := writeFrame(sc.bw, op, payload); err != nil {
+		return err
+	}
+	return sc.bw.Flush()
+}
+
+// respondErr sends a statusErr response.
+func (sc *srvConn) respondErr(err error) error {
+	var e enc
+	encodeError(&e, err)
+	return sc.write(opResp, e.b)
+}
+
+// readLoop processes request frames sequentially until the connection
+// drops or a protocol violation occurs.
+func (sc *srvConn) readLoop() {
+	br := bufio.NewReader(sc.c)
+	m := sc.s.m
+	for {
+		op, payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		d := dec{b: payload}
+		switch op {
+		case opDispatch:
+			batch := decodeSamples(&d)
+			if d.err != nil {
+				return
+			}
+			// One-way: an ErrClosed after opClose is deliberately
+			// silent — the client learned the terminal state from its
+			// own Close response.
+			_ = m.DispatchBatch(batch)
+
+		case opSubscribe:
+			sc.subscribed.Store(true)
+
+		case opPing:
+			var e enc
+			e.u8(statusOK)
+			if sc.write(opResp, e.b) != nil {
+				return
+			}
+
+		case opFinalize:
+			epc := d.str()
+			if d.err != nil {
+				return
+			}
+			res, err := m.Finalize(epc)
+			var e enc
+			if err != nil {
+				encodeError(&e, err)
+			} else {
+				e.u8(statusOK)
+				encodeResult(&e, res)
+			}
+			if sc.write(opResp, e.b) != nil {
+				return
+			}
+
+		case opStats:
+			st := m.Stats()
+			var e enc
+			e.u8(statusOK)
+			e.u32(uint32(len(st)))
+			bad := false
+			for _, s := range st {
+				if encodeStats(&e, s) != nil {
+					bad = true
+					break
+				}
+			}
+			if bad {
+				if sc.respondErr(ErrShardClosing) != nil {
+					return
+				}
+				continue
+			}
+			if sc.write(opResp, e.b) != nil {
+				return
+			}
+
+		case opEvictIdle:
+			maxIdle := time.Duration(d.i64())
+			if d.err != nil {
+				return
+			}
+			n := m.EvictIdle(maxIdle)
+			var e enc
+			e.u8(statusOK)
+			e.u32(uint32(n))
+			if sc.write(opResp, e.b) != nil {
+				return
+			}
+
+		case opLen:
+			var e enc
+			e.u8(statusOK)
+			e.u32(uint32(m.Len()))
+			if sc.write(opResp, e.b) != nil {
+				return
+			}
+
+		case opClose:
+			results := m.Close()
+			var e enc
+			e.u8(statusOK)
+			e.u32(uint32(len(results)))
+			ok := true
+			for epc, res := range results {
+				if e.str(epc) != nil {
+					ok = false
+					break
+				}
+				encodeResult(&e, res)
+			}
+			if !ok {
+				if sc.respondErr(ErrShardClosing) != nil {
+					return
+				}
+				continue
+			}
+			if sc.write(opResp, e.b) != nil {
+				return
+			}
+
+		default:
+			// Unknown opcode: protocol violation, drop the connection.
+			return
+		}
+	}
+}
