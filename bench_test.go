@@ -502,6 +502,45 @@ func BenchmarkStreamTracker(b *testing.B) {
 	b.ReportMetric(float64(len(samples)), "samples/op")
 }
 
+// BenchmarkStreamTrackerTopK is BenchmarkStreamTracker with the
+// count-bounded beam at the pinned serving default
+// (core.DefaultBeamTopK): the same letter, but per-step decode cost
+// bounded by K states instead of the log-window beam's ~70% grid
+// coverage. The tracker (and hence the shared stencil cache) persists
+// across iterations, matching the serving tier where thousands of
+// sessions share one grid.
+func BenchmarkStreamTrackerTopK(b *testing.B) {
+	rig := motion.DefaultRig()
+	ants := rig.Antennas()
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	g, _ := font.Lookup('Z')
+	path := g.Path().Scale(0.2).Translate(geom.Vec2{X: 0.18, Y: 0.02})
+	sess := motion.Write(path, "Z", motion.Config{Seed: 1})
+	rd := reader.New(reader.Config{Antennas: ants[:], Channel: ch, EPC: tag.AD227(1).EPC, Seed: 1})
+	samples := rd.Inventory(sess)
+	tr := core.New(core.Config{Antennas: ants, BeamTopK: core.DefaultBeamTopK})
+	b.ResetTimer()
+	var ds core.DecodeStats
+	for i := 0; i < b.N; i++ {
+		st := tr.Stream()
+		for _, s := range samples {
+			if err := st.Push(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ds = st.DecodeStats()
+		if _, err := st.Finalize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(samples)), "samples/op")
+	b.ReportMetric(ds.ActiveMean, "active-cells/op")
+	hits, misses := tr.StencilCacheStats()
+	if hits+misses > 0 {
+		b.ReportMetric(float64(hits)/float64(hits+misses)*100, "stencil-hit-%")
+	}
+}
+
 // BenchmarkSessionServer measures the full serving layer: a mixed
 // four-pen inventory demultiplexed through the session manager's
 // per-pen queues, workers, and incremental trackers.

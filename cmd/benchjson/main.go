@@ -1,0 +1,147 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-diffable JSON document, so CI can upload a per-PR benchmark
+// artifact (ns/op, B/op, allocs/op, and every custom b.ReportMetric
+// unit) that tooling can compare across PRs without re-parsing bench
+// text.
+//
+//	go test -run='^$' -bench=. -benchmem . | go run ./cmd/benchjson -o BENCH.json
+//
+// Non-benchmark lines (logs, loadgen output, PASS/ok trailers) are
+// ignored, so piping a whole CI transcript through it is fine.
+// Repeated runs of one benchmark (-count > 1) stay separate entries,
+// preserving run-to-run spread.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `Benchmark...` result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -P GOMAXPROCS suffix (if
+	// any) stripped into Procs.
+	Name  string `json:"name"`
+	Procs int    `json:"procs,omitempty"`
+	// Iterations is b.N for the run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every reported pair, e.g.
+	// "ns/op", "B/op", "allocs/op", "samples/op".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole document, with the context lines `go test`
+// prints before the results.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one benchmark result line, reporting ok=false for
+// anything that is not one.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	// Shortest legal line: name, iterations, value, unit.
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Metrics: map[string]float64{}}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil && p > 0 {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = n
+	// The rest are (value, unit) pairs.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Benchmark{}, false
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, true
+}
+
+// parse consumes a whole `go test -bench` transcript.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if b, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default stdout)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one input file, got %d", flag.NArg()))
+	}
+
+	rep, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(buf); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

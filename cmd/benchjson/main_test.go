@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// sample is a realistic CI transcript slice: bench results with custom
+// metrics interleaved with loadgen output and trailers, all of which
+// must be ignored.
+const sample = `goos: linux
+goarch: amd64
+pkg: polardraw
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStreamTracker-8    	       5	  40935596 ns/op	       481.0 samples/op	 4396243 B/op	      87 allocs/op
+BenchmarkStreamTrackerTopK 	       5	   4466371 ns/op	       192.0 active-cells/op	       481.0 samples/op	        80.22 stencil-hit-%	 4421371 B/op	     205 allocs/op
+loadgen: pens=64 pace=false local shards=4
+windows closed: 52886 (17178 windows/s)
+PASS
+ok  	polardraw	1.044s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "polardraw" {
+		t.Fatalf("context not captured: %+v", rep)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu not captured: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkStreamTracker" || b.Procs != 8 || b.Iterations != 5 {
+		t.Fatalf("first benchmark header: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 40935596 || b.Metrics["allocs/op"] != 87 ||
+		b.Metrics["B/op"] != 4396243 || b.Metrics["samples/op"] != 481 {
+		t.Fatalf("first benchmark metrics: %+v", b.Metrics)
+	}
+
+	b = rep.Benchmarks[1]
+	if b.Name != "BenchmarkStreamTrackerTopK" || b.Procs != 0 {
+		t.Fatalf("second benchmark header: %+v", b)
+	}
+	if b.Metrics["active-cells/op"] != 192 || b.Metrics["stencil-hit-%"] != 80.22 {
+		t.Fatalf("custom metrics not captured: %+v", b.Metrics)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  	polardraw	1.044s",
+		"loadgen: pens=64",
+		"BenchmarkBroken only three",          // odd metric fields
+		"BenchmarkBroken x 12 ns/op",          // non-numeric iterations
+		"Benchmark 5 abc ns/op",               // non-numeric value
+		"--- BENCH: BenchmarkStreamTracker-8", // log header
+		"    bench_test.go:61: Figure 2: ...", // b.Log output
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("parseLine accepted %q", line)
+		}
+	}
+}

@@ -56,6 +56,8 @@ var (
 	duration   = flag.Duration("duration", 10*time.Second, "how long to sustain load")
 	window     = flag.Float64("window", 0.05, "tracker window, seconds (local shards only)")
 	lag        = flag.Int("lag", core.DefaultCommitLag, "CommitLag in windows, 0 = unbounded decoder memory (local shards only)")
+	topk       = flag.Int("topk", core.DefaultBeamTopK, "BeamTopK decoder count bound, 0 = window-only beam pruning (local shards only)")
+	adaptive   = flag.Bool("adaptive-beam", false, "enable the adaptive top-K controller (local shards only; requires -topk > 0)")
 	queue      = flag.Int("queue", session.DefaultQueueSize, "per-session queue size (local shards only)")
 	shardQueue = flag.Int("shardqueue", session.DefaultShardQueue, "per-shard ingress queue size (local shards only)")
 	drop       = flag.Bool("drop", false, "drop samples at full queues instead of blocking (local shards only)")
@@ -142,9 +144,11 @@ func main() {
 		localSM = session.NewShardedManager(session.ShardedConfig{
 			Session: session.Config{
 				Tracker: core.Config{
-					Antennas:  ants,
-					Window:    *window,
-					CommitLag: *lag,
+					Antennas:     ants,
+					Window:       *window,
+					CommitLag:    *lag,
+					BeamTopK:     *topk,
+					BeamAdaptive: *adaptive,
 				},
 				QueueSize:    *queue,
 				MaxSessions:  *pens, // per shard: several rounds of pens before LRU eviction
@@ -163,8 +167,8 @@ func main() {
 			DropWhenFull: *drop,
 		})
 		backend = localSM
-		topology = fmt.Sprintf("local shards=%d window=%gs lag=%d queue=%d shardqueue=%d drop=%v",
-			n, *window, *lag, *queue, *shardQueue, *drop)
+		topology = fmt.Sprintf("local shards=%d window=%gs lag=%d topk=%d adaptive=%v queue=%d shardqueue=%d drop=%v",
+			n, *window, *lag, *topk, *adaptive, *queue, *shardQueue, *drop)
 	} else {
 		// Remote mode: one shardrpc client per shard server, behind the
 		// same router. Tracker configuration (window, lag, queues) is
@@ -181,6 +185,9 @@ func main() {
 			nbs = append(nbs, session.NamedBackend{Name: addr, Backend: c})
 		}
 		router = session.NewRouter(nbs)
+		// Probe the shard servers every second so a dead shard shows up
+		// in the final health report even if dispatches stop reaching it.
+		router.StartHeartbeat(time.Second)
 		backend = router
 		topology = fmt.Sprintf("remote shards=%v", router.Backends())
 	}
@@ -225,6 +232,35 @@ func main() {
 			break // safety valve: a single round took far too long
 		}
 	}
+	// Decode telemetry snapshot over the sessions still live (evicted
+	// ones carried their counters out with them): how sparse the beam
+	// ran, how the lag smoother committed, and how the shared stencil
+	// cache served the tier.
+	var decodeLine string
+	if sts, err := backend.Stats(); err == nil {
+		var activeMean, occupancy float64
+		var merged, forced int
+		var sHits, sMisses uint64
+		n := 0
+		for _, st := range sts {
+			if st.Decode.Steps == 0 {
+				continue
+			}
+			n++
+			activeMean += st.Decode.ActiveMean
+			occupancy += st.Decode.Occupancy
+			merged += st.Decode.MergeCommits
+			forced += st.Decode.ForcedCommits
+			sHits += st.Decode.StencilHits
+			sMisses += st.Decode.StencilMisses
+		}
+		if n > 0 {
+			decodeLine = fmt.Sprintf(
+				"decode (%d live sessions): mean active %.0f cells (%.2f%% of grid), commits merged=%d forced=%d, stencil hit rate %.1f%%",
+				n, activeMean/float64(n), occupancy/float64(n)*100, merged, forced,
+				hitRate(sHits, sMisses))
+		}
+	}
 	results, err := backend.Close()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: close: %v\n", err)
@@ -244,15 +280,31 @@ func main() {
 	n := len(latencies)
 	latMu.Unlock()
 	fmt.Printf("window-close latency (n=%d): p50=%.3fms p99=%.3fms\n", n, p50, p99)
+	if decodeLine != "" {
+		fmt.Println(decodeLine)
+	}
 	if localSM != nil {
+		hits, misses := localSM.Tracker().StencilCacheStats()
+		fmt.Printf("stencil cache (grid-wide): hits=%d misses=%d (%.1f%% hit rate)\n",
+			hits, misses, hitRate(hits, misses))
 		fmt.Printf("finalized: %d ok, %d too-short; ingress dropped: %d\n",
 			evictOK.Load(), evictErr.Load(), localSM.IngressDropped())
 	} else {
+		healthy, unhealthy := router.HealthCounts()
+		fmt.Printf("backends: %d healthy, %d unhealthy\n", healthy, unhealthy)
 		for _, h := range router.Health() {
-			fmt.Printf("backend %s: dispatched=%d dropped=%d errors=%d healthy=%v\n",
-				h.Name, h.Dispatched, h.Dropped, h.Errors, h.Healthy)
+			fmt.Printf("backend %s: dispatched=%d dropped=%d errors=%d pings=%d pingfails=%d healthy=%v\n",
+				h.Name, h.Dispatched, h.Dropped, h.Errors, h.Pings, h.PingFails, h.Healthy)
 		}
 	}
+}
+
+// hitRate returns hits/(hits+misses) as a percentage, 0 when idle.
+func hitRate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses) * 100
 }
 
 // dialRetry connects to one shard server, retrying while it starts up

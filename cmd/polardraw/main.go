@@ -47,6 +47,7 @@ func main() {
 		shard   = flag.Bool("serve-shard", false, "run a shard RPC server hosting one session manager (a multi-process shard; see cmd/loadgen -shards)")
 		listen  = flag.String("listen", ":7100", "with -serve-shard: TCP listen address")
 		lag     = flag.Int("lag", core.DefaultCommitLag, "with -serve-shard: Viterbi CommitLag in windows (0 = unbounded decoder memory)")
+		topk    = flag.Int("topk", core.DefaultBeamTopK, "with -serve/-serve-shard: BeamTopK decoder count bound (0 = window-only beam pruning)")
 		maxSess = flag.Int("max-sessions", 1024, "with -serve-shard: live-session cap before LRU eviction")
 	)
 	flag.Parse()
@@ -61,7 +62,7 @@ func main() {
 	sc.LetterSize = *size
 
 	if *shard {
-		if err := serveShard(sc, *listen, *window, *lag, *maxSess); err != nil {
+		if err := serveShard(sc, *listen, *window, *lag, *topk, *maxSess); err != nil {
 			fatal(err)
 		}
 		return
@@ -70,7 +71,7 @@ func main() {
 		if *llrpSrv == "" {
 			fatal(fmt.Errorf("-serve requires -llrp host:port"))
 		}
-		if err := serveLLRP(sc, *llrpSrv, *window); err != nil {
+		if err := serveLLRP(sc, *llrpSrv, *window, *topk); err != nil {
 			fatal(err)
 		}
 		return
@@ -176,7 +177,7 @@ func trackSamples(sc experiment.Scenario, sys experiment.System, samples []reade
 // LLRP report stream, demultiplexes every pen (EPC) in it through the
 // session manager's incremental trackers, prints live progress, and
 // renders each pen's trajectory when the stream ends.
-func serveLLRP(sc experiment.Scenario, addr string, window float64) error {
+func serveLLRP(sc experiment.Scenario, addr string, window float64, topK int) error {
 	c, err := llrp.Dial(addr, 5*time.Second)
 	if err != nil {
 		return err
@@ -201,7 +202,7 @@ func serveLLRP(sc experiment.Scenario, addr string, window float64) error {
 		var mu sync.Mutex
 		windows := map[string]int{}
 		return session.NewManager(session.Config{
-			Tracker: core.Config{Antennas: sc.Rig.Antennas(), Window: window},
+			Tracker: core.Config{Antennas: sc.Rig.Antennas(), Window: window, BeamTopK: topK},
 			OnPoint: func(epc string, w core.Window, live geom.Vec2) {
 				mu.Lock()
 				windows[epc]++
@@ -282,7 +283,7 @@ func serveLLRP(sc experiment.Scenario, addr string, window float64) error {
 // server hosting a session manager on the default rig, spoken to by
 // shardrpc clients behind a session router (see cmd/loadgen -shards).
 // It serves until killed.
-func serveShard(sc experiment.Scenario, addr string, window float64, lag, maxSessions int) error {
+func serveShard(sc experiment.Scenario, addr string, window float64, lag, topK, maxSessions int) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -293,12 +294,13 @@ func serveShard(sc experiment.Scenario, addr string, window float64, lag, maxSes
 				Antennas:  sc.Rig.Antennas(),
 				Window:    window,
 				CommitLag: lag,
+				BeamTopK:  topK,
 			},
 			MaxSessions: maxSessions,
 		},
 	})
-	fmt.Printf("shard server: listening on %s (window=%gs lag=%d max-sessions=%d)\n",
-		ln.Addr(), window, lag, maxSessions)
+	fmt.Printf("shard server: listening on %s (window=%gs lag=%d topk=%d max-sessions=%d)\n",
+		ln.Addr(), window, lag, topK, maxSessions)
 	return srv.Serve(ln)
 }
 

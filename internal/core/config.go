@@ -22,6 +22,17 @@ import (
 // an explicit choice.
 const DefaultCommitLag = 64
 
+// DefaultBeamTopK is the count bound serving deployments should start
+// from, chosen by the top-K beam accuracy study (internal/experiment's
+// TestBeamTopKAccuracy): across the letter corpus, mean trajectory
+// error at K = 192 matches the window-only beam to well under the
+// 0.5 cm bound, while the active set shrinks from ~70% of the grid on
+// noisy evidence to at most K states — which is what makes the sparse
+// decoder's per-step cost beam-bound instead of grid-bound.
+// Config.BeamTopK zero still means window-only pruning — count-bounded
+// serving is an explicit choice.
+const DefaultBeamTopK = 192
+
 // Config parameterizes the tracker. Zero values take the paper's
 // defaults (see DESIGN.md for the parameter provenance table).
 type Config struct {
@@ -57,6 +68,32 @@ type Config struct {
 	Elevation float64
 	// VMax is the maximum pen speed, m/s (default 0.2; section 3.4).
 	VMax float64
+
+	// BeamTopK bounds the active Viterbi beam by count: after the
+	// log-window prune (beamWidth), only the BeamTopK highest-scoring
+	// states survive a step, selected by partial selection with
+	// deterministic tie-breaking (equal scores at the cut keep the
+	// lowest cell indices, matching the decoder's ascending active
+	// order). 0 (the default) keeps today's window-only behaviour,
+	// which is bit-identical to the dense reference decoder; see
+	// DefaultBeamTopK for the serving recommendation.
+	BeamTopK int
+	// BeamAdaptive enables the adaptive top-K controller (requires
+	// BeamTopK > 0): when the beam is ambiguous — many states score
+	// within a small margin of the per-step maximum — the effective K
+	// widens (up to 4x BeamTopK) so the true path is not cut; when the
+	// beam is confident it narrows (down to BeamTopK/4) and the decode
+	// gets cheaper. The controller is part of the decoder state, so
+	// streamed and batch decodes evolve it identically.
+	BeamAdaptive bool
+
+	// DisableStencilCache turns off the shared per-grid stencil cache
+	// and rebuilds the annulus/direction stencil per step per session
+	// (the pre-cache behaviour). The cache is exact-keyed on the
+	// evidence values the stencil depends on, so decoded trajectories
+	// are bit-identical either way; the switch exists for the
+	// equivalence suite and for memory-constrained single-session use.
+	DisableStencilCache bool
 
 	// CommitLag bounds the Viterbi smoothing lag of the streaming
 	// decoder, in windows. When > 0, a StreamTracker commits the

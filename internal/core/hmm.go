@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/bits"
+	"slices"
 
 	"polardraw/internal/geom"
 )
@@ -22,6 +23,12 @@ type grid struct {
 	// gradient matrix used by the radial displacement solve. A zero
 	// matrix marks an ill-conditioned cell.
 	radialInv [][4]float64
+	// stencils shares built annulus/direction stencils across every
+	// decoder on this grid (see stencilcache.go). Quantized step
+	// evidence repeats heavily within and across sessions, so the
+	// per-step trig/score work amortizes across the whole serving tier
+	// instead of being rebuilt per step per session.
+	stencils stencilCache
 }
 
 func newGrid(cfg Config) *grid {
@@ -320,9 +327,23 @@ type viterbiState struct {
 	// exist for times 0..steps.
 	steps int
 
-	stencil []stencilEntry // buildStencil reuse buffer
+	stencil []stencilEntry // buildStencil reuse buffer (cache-off path)
 	touched []int32        // current-step dirty list (reused)
 	mask    []uint64       // prune bitmap for the ascending active rebuild
+
+	// Top-K selection state: kCur is the adaptive controller's current
+	// count bound (cfg.BeamTopK when the controller is off), selBuf the
+	// quickselect scratch, tieBuf the boundary-tie scratch.
+	kCur   int
+	selBuf []float64
+	tieBuf []int32
+
+	// Decode telemetry (see DecodeStats).
+	activeSum                  uint64
+	activePeak                 int
+	topkPruned                 uint64
+	mergeCommits               int
+	stencilHits, stencilMisses uint64
 
 	// back holds one backpointer vector per uncommitted step: back[j]
 	// belongs to step commitT+2+j (the transition into the state at
@@ -420,8 +441,17 @@ func (v *viterbiState) step(ev stepEvidence) {
 	}
 	bk := v.getBack()
 	touched := v.touched[:0]
-	v.stencil = g.buildStencil(ev, v.stencil[:0])
-	stencil := v.stencil
+	var stencil []stencilEntry
+	if cfg.DisableStencilCache {
+		v.stencil = g.buildStencil(ev, v.stencil[:0])
+		stencil = v.stencil
+	} else if st, hit := g.stencilFor(ev); hit {
+		v.stencilHits++
+		stencil = st
+	} else {
+		v.stencilMisses++
+		stencil = st
+	}
 	r := g.stencilRadius(ev)
 	hypOn := !cfg.DisableHyperbola && !math.IsNaN(ev.dphi)
 	useRadial := ev.haveDL && cfg.UseRadialSolve
@@ -515,11 +545,42 @@ func (v *viterbiState) step(ev stepEvidence) {
 	if v.mask == nil {
 		v.mask = make([]uint64, (len(cur)+63)/64)
 	}
-	for _, i := range touched {
-		if cur[i] > maxCur-beamWidth {
-			v.mask[i>>6] |= 1 << (uint(i) & 63)
-		} else {
-			cur[i] = math.Inf(-1)
+	if thr, kEff, surv, bounded := v.topKSelect(cur, touched, maxCur); bounded {
+		// Count bound composed with the window prune: keep states
+		// strictly above the K-th survivor score; boundary ties fill
+		// the remaining slots in ascending cell order, matching the
+		// dense pass's lowest-index-wins tie-breaking. Everything else
+		// (window-pruned or below the cut) clears to -Inf.
+		nAbove := 0
+		ties := v.tieBuf[:0]
+		for _, i := range touched {
+			switch s := cur[i]; {
+			case s > thr:
+				v.mask[i>>6] |= 1 << (uint(i) & 63)
+				nAbove++
+			case s == thr:
+				ties = append(ties, i)
+			default:
+				cur[i] = math.Inf(-1)
+			}
+		}
+		slices.Sort(ties)
+		for j, i := range ties {
+			if j < kEff-nAbove {
+				v.mask[i>>6] |= 1 << (uint(i) & 63)
+			} else {
+				cur[i] = math.Inf(-1)
+			}
+		}
+		v.tieBuf = ties
+		v.topkPruned += uint64(surv - kEff)
+	} else {
+		for _, i := range touched {
+			if cur[i] > maxCur-beamWidth {
+				v.mask[i>>6] |= 1 << (uint(i) & 63)
+			} else {
+				cur[i] = math.Inf(-1)
+			}
 		}
 	}
 	newActive := v.stale[:0]
@@ -541,6 +602,177 @@ func (v *viterbiState) step(ev stepEvidence) {
 	v.stale = v.active
 	v.active = newActive
 	v.prev, v.cur = cur, v.prev
+	v.activeSum += uint64(len(newActive))
+	if len(newActive) > v.activePeak {
+		v.activePeak = len(newActive)
+	}
+}
+
+// adaptMargin is the adaptive controller's confidence window, nats:
+// states scoring within this margin of the per-step maximum count as
+// contenders for the decode.
+const adaptMargin = 2.0
+
+// topKSelect decides whether the count bound applies this step. It
+// collects the window-prune survivors, runs the adaptive controller,
+// and — when the survivors exceed the bound — returns the K-th-largest
+// survivor score (the selection threshold), the effective K, and the
+// survivor count.
+func (v *viterbiState) topKSelect(cur []float64, touched []int32, maxCur float64) (thr float64, kEff, surv int, bounded bool) {
+	k := v.cfg.BeamTopK
+	if k <= 0 {
+		return 0, 0, 0, false
+	}
+	sel := v.selBuf[:0]
+	nClose := 0
+	for _, i := range touched {
+		if s := cur[i]; s > maxCur-beamWidth {
+			sel = append(sel, s)
+			if s > maxCur-adaptMargin {
+				nClose++
+			}
+		}
+	}
+	v.selBuf = sel
+	if v.cfg.BeamAdaptive {
+		k = v.adaptK(nClose)
+	} else {
+		v.kCur = k
+	}
+	if len(sel) <= k {
+		return 0, 0, 0, false
+	}
+	return kthLargest(sel, k), k, len(sel), true
+}
+
+// adaptK is the adaptive top-K controller: when the max-probability
+// margin is small — many states score within adaptMargin of the
+// per-step maximum — it widens the bound (the posterior is flat and a
+// hard cut risks dropping the true path); when the beam is confident
+// (few contenders) it narrows toward the floor and the decode gets
+// cheaper. Multiplicative steps within [BeamTopK/4, BeamTopK*4],
+// floored at 16 states. The controller state lives in the decoder, so
+// batch and streamed decodes evolve identically.
+func (v *viterbiState) adaptK(nClose int) int {
+	base := v.cfg.BeamTopK
+	if v.kCur == 0 {
+		v.kCur = base
+	}
+	kMin, kMax := base/4, base*4
+	if kMin < 16 {
+		kMin = 16
+	}
+	switch {
+	case nClose >= v.kCur:
+		if v.kCur = v.kCur * 2; v.kCur > kMax {
+			v.kCur = kMax
+		}
+	case nClose < v.kCur/4:
+		if v.kCur = v.kCur / 2; v.kCur < kMin {
+			v.kCur = kMin
+		}
+	}
+	return v.kCur
+}
+
+// kthLargest returns the k-th largest value of s (1 <= k <= len(s)),
+// reordering s in place: Hoare-partition quickselect with a
+// median-of-three pivot, expected O(n). Only the returned value is
+// consumed, and the k-th largest value is unique regardless of
+// partition order, so the selection is deterministic.
+func kthLargest(s []float64, k int) float64 {
+	lo, hi := 0, len(s)-1
+	target := k - 1 // index in descending sorted order
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if s[mid] > s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] > s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] > s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		pivot := s[mid]
+		i, j := lo, hi
+		for i <= j {
+			for s[i] > pivot {
+				i++
+			}
+			for s[j] < pivot {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case target <= j:
+			hi = j
+		case target >= i:
+			lo = i
+		default:
+			return s[target]
+		}
+	}
+	return s[target]
+}
+
+// DecodeStats is a snapshot of one decoder's telemetry: how sparse the
+// beam actually is, how the fixed-lag smoother is committing, and how
+// the shared stencil cache served this decoder.
+type DecodeStats struct {
+	// Steps counts the evidence transitions decoded so far.
+	Steps int
+	// ActiveLast/ActiveMean/ActivePeak describe the active-set size
+	// (states carrying probability mass) after each step.
+	ActiveLast int
+	ActiveMean float64
+	ActivePeak int
+	// Occupancy is ActiveMean over the grid size: the fraction of the
+	// board the beam actually touches per step.
+	Occupancy float64
+	// BeamK is the effective count bound — the adaptive controller's
+	// current K, or BeamTopK when the controller is off (0 when the
+	// beam is window-only).
+	BeamK int
+	// TopKPruned counts states that survived the log-window prune but
+	// were cut by the count bound.
+	TopKPruned uint64
+	// MergeCommits and ForcedCommits count fixed-lag commit events by
+	// kind: merged commits are lossless (every surviving path agreed
+	// on the prefix), forced ones froze the prefix at the lag bound.
+	MergeCommits, ForcedCommits int
+	// StencilHits/StencilMisses count this decoder's lookups in the
+	// shared per-grid stencil cache (zero when the cache is disabled;
+	// grid-wide totals: Tracker.StencilCacheStats).
+	StencilHits, StencilMisses uint64
+}
+
+// decodeStats snapshots the decoder's telemetry counters.
+func (v *viterbiState) decodeStats() DecodeStats {
+	st := DecodeStats{
+		Steps:         v.steps,
+		ActiveLast:    len(v.active),
+		ActivePeak:    v.activePeak,
+		BeamK:         v.kCur,
+		TopKPruned:    v.topkPruned,
+		MergeCommits:  v.mergeCommits,
+		ForcedCommits: v.forced,
+		StencilHits:   v.stencilHits,
+		StencilMisses: v.stencilMisses,
+	}
+	if st.BeamK == 0 {
+		st.BeamK = v.cfg.BeamTopK
+	}
+	if v.steps > 0 {
+		st.ActiveMean = float64(v.activeSum) / float64(v.steps)
+		st.Occupancy = st.ActiveMean / float64(v.g.size())
+	}
+	return st
 }
 
 // best returns the current maximum-probability cell — the streaming
@@ -647,6 +879,7 @@ func (v *viterbiState) commitMerged() {
 		}
 	}
 	if collapsed > v.commitT {
+		v.mergeCommits++
 		v.commitThrough(collapsed, set[0])
 	}
 	v.setA, v.setB = set[:0], next[:0]

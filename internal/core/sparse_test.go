@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 
 	"polardraw/internal/geom"
@@ -186,6 +188,16 @@ func TestSparseDecoderMatchesDenseReference(t *testing.T) {
 			mod: func(c *Config) { c.DisablePolarization = true }},
 		{name: "radial-solve", letter: 'S', seed: 4,
 			mod: func(c *Config) { c.UseRadialSolve = true }},
+		// BeamTopK = 0 must stay bit-identical to the dense reference
+		// with the stencil cache either on (default) or off: the cache
+		// is exact-keyed, so it may never change a single bit.
+		{name: "stencil-cache-off", letter: 'C', seed: 5,
+			mod: func(c *Config) { c.DisableStencilCache = true }},
+		// A count bound at least as large as the grid can never cut a
+		// window survivor, so the top-K machinery must also be
+		// bit-identical to the dense reference.
+		{name: "topk-above-grid", letter: 'O', seed: 6,
+			mod: func(c *Config) { c.BeamTopK = 1 << 20 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -237,9 +249,12 @@ func TestSparseDecoderHoldFallback(t *testing.T) {
 	d := newDenseRef(g, cfg, init)
 	evs := []stepEvidence{
 		{dMin: 0.004, dMax: 0.008, dphi: math.NaN()},
-		// dMin == dMax just above a representable step kills every
-		// candidate: the annulus admits no cell.
-		{dMin: 0.0049, dMax: 0.005, dphi: math.NaN()},
+		// A contradictory annulus (dMin > dMax, as raw noise can
+		// produce) whose slack-widened band [dMin-0.4c, dMax+0.75c]
+		// falls strictly between the representable step distances 0 and
+		// one cell: no offset survives, so every path dies and the
+		// decoders must hold position.
+		{dMin: 0.0021, dMax: 0.00124, dphi: math.NaN()},
 		{dMin: 0, dMax: 0.008, dphi: g.expDphi[g.index(geom.Vec2{X: 0.31, Y: 0.1})]},
 	}
 	for k, ev := range evs {
@@ -256,6 +271,185 @@ func TestSparseDecoderHoldFallback(t *testing.T) {
 		if vp[i] != dp[i] {
 			t.Fatalf("path[%d]: sparse %d, dense %d", i, vp[i], dp[i])
 		}
+	}
+	// Prove the fallback actually fired: a held step backtracks as a
+	// self-loop, so the decoded path repeats across the dead step.
+	if vp[2] != vp[1] {
+		t.Fatalf("path %d -> %d across the dead step: hold-position branch was not exercised", vp[1], vp[2])
+	}
+}
+
+// TestTopKSelectionMatchesSortedReference checks the count bound's
+// selection semantics against a brute-force reference: after one step
+// from a shared initial distribution (where the top-K and window-only
+// decoders see identical pre-prune scores), the top-K beam must be
+// exactly the K best window survivors ordered by (score desc, cell
+// asc) — the same lowest-index-wins tie-breaking the dense pass uses —
+// and the active list must stay ascending.
+func TestTopKSelectionMatchesSortedReference(t *testing.T) {
+	cases := []struct {
+		letter rune
+		seed   uint64
+		k      int
+	}{
+		{'Z', 1, 64}, {'A', 2, 128}, {'M', 3, DefaultBeamTopK}, {'S', 4, 1},
+	}
+	for _, tc := range cases {
+		g, cfg, init, evs := letterEvidence(t, tc.letter, tc.seed, nil)
+		cfgK := cfg
+		cfgK.BeamTopK = tc.k
+		vw := g.newViterbiState(cfg, init)
+		vk := g.newViterbiState(cfgK, init)
+		vw.step(evs[0])
+		vk.step(evs[0])
+
+		type cand struct {
+			cell  int
+			score float64
+		}
+		cands := make([]cand, 0, len(vw.active))
+		for _, i := range vw.active {
+			cands = append(cands, cand{i, vw.prev[i]})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].score != cands[b].score {
+				return cands[a].score > cands[b].score
+			}
+			return cands[a].cell < cands[b].cell
+		})
+		n := tc.k
+		if n > len(cands) {
+			n = len(cands)
+		}
+		want := make(map[int]float64, n)
+		for _, c := range cands[:n] {
+			want[c.cell] = c.score
+		}
+		if len(vk.active) != n {
+			t.Fatalf("%c k=%d: active %d, want %d", tc.letter, tc.k, len(vk.active), n)
+		}
+		for j, i := range vk.active {
+			if j > 0 && i <= vk.active[j-1] {
+				t.Fatalf("%c k=%d: active list not ascending at %d", tc.letter, tc.k, j)
+			}
+			s, ok := want[i]
+			if !ok {
+				t.Fatalf("%c k=%d: cell %d kept but not in the top-%d reference", tc.letter, tc.k, i, n)
+			}
+			if s != vk.prev[i] {
+				t.Fatalf("%c k=%d: cell %d score %v, want %v", tc.letter, tc.k, i, vk.prev[i], s)
+			}
+		}
+		if st := vk.decodeStats(); st.TopKPruned != uint64(len(cands)-n) {
+			t.Fatalf("%c k=%d: TopKPruned %d, want %d", tc.letter, tc.k, st.TopKPruned, len(cands)-n)
+		}
+	}
+}
+
+// TestKthLargestMatchesSort pits the quickselect against a full sort
+// over adversarial shapes (sorted, reversed, constant, heavy ties,
+// random).
+func TestKthLargestMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := map[string]func(n int) []float64{
+		"random": func(n int) []float64 {
+			s := make([]float64, n)
+			for i := range s {
+				s[i] = rng.NormFloat64()
+			}
+			return s
+		},
+		"sorted": func(n int) []float64 {
+			s := make([]float64, n)
+			for i := range s {
+				s[i] = float64(i)
+			}
+			return s
+		},
+		"reverse": func(n int) []float64 {
+			s := make([]float64, n)
+			for i := range s {
+				s[i] = float64(n - i)
+			}
+			return s
+		},
+		"ties": func(n int) []float64 {
+			s := make([]float64, n)
+			for i := range s {
+				s[i] = float64(i % 3)
+			}
+			return s
+		},
+		"const": func(n int) []float64 {
+			s := make([]float64, n)
+			for i := range s {
+				s[i] = 4.2
+			}
+			return s
+		},
+	}
+	for name, gen := range shapes {
+		for _, n := range []int{1, 2, 7, 64, 501} {
+			for _, k := range []int{1, 2, n / 2, n} {
+				if k < 1 || k > n {
+					continue
+				}
+				s := gen(n)
+				sorted := append([]float64(nil), s...)
+				sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+				if got, wnt := kthLargest(s, k), sorted[k-1]; got != wnt {
+					t.Fatalf("%s n=%d k=%d: kthLargest %v, want %v", name, n, k, got, wnt)
+				}
+			}
+		}
+	}
+}
+
+// TestHoldFallbackUnderTopK drives the all-paths-died hold-position
+// branch of viterbiState.step under a count-bounded beam (the
+// window-only variant is covered against the dense reference by
+// TestSparseDecoderHoldFallback): contradictory evidence must carry
+// the previous beam forward unchanged, respect the count bound, and
+// leave the decoder able to recover.
+func TestHoldFallbackUnderTopK(t *testing.T) {
+	cfg := gridCfg()
+	cfg.BeamTopK = 8
+	g := newGrid(cfg)
+	init := g.initialDistribution(cfg, g.expDphi[g.index(geom.Vec2{X: 0.3, Y: 0.1})])
+	v := g.newViterbiState(cfg, init)
+	v.step(stepEvidence{dMin: 0.004, dMax: 0.008, dphi: math.NaN()})
+	if len(v.active) == 0 || len(v.active) > cfg.BeamTopK {
+		t.Fatalf("step 1: active %d, want 1..%d", len(v.active), cfg.BeamTopK)
+	}
+	before := make(map[int]float64, len(v.active))
+	for _, i := range v.active {
+		before[i] = v.prev[i]
+	}
+	// A contradictory annulus falling strictly between the
+	// representable step distances 0 and one cell kills every
+	// candidate (see TestSparseDecoderHoldFallback).
+	v.step(stepEvidence{dMin: 0.0021, dMax: 0.00124, dphi: math.NaN()})
+	if len(v.active) == 0 || len(v.active) > cfg.BeamTopK {
+		t.Fatalf("hold step: active %d, want 1..%d", len(v.active), cfg.BeamTopK)
+	}
+	for _, i := range v.active {
+		s, ok := before[i]
+		if !ok {
+			t.Fatalf("hold step: cell %d appeared from outside the previous beam", i)
+		}
+		if s != v.prev[i] {
+			t.Fatalf("hold step: cell %d score %v, want carried %v", i, v.prev[i], s)
+		}
+	}
+	// Held backpointers are self-loops: the decoded path repeats.
+	p := v.path()
+	if p[2] != p[1] {
+		t.Fatalf("hold step: path %d -> %d, want a repeat", p[1], p[2])
+	}
+	// And the decoder recovers on the next consistent step.
+	v.step(stepEvidence{dMin: 0, dMax: 0.008, dphi: g.expDphi[g.index(geom.Vec2{X: 0.31, Y: 0.1})]})
+	if len(v.active) == 0 || len(v.active) > cfg.BeamTopK {
+		t.Fatalf("recovery step: active %d, want 1..%d", len(v.active), cfg.BeamTopK)
 	}
 }
 

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"polardraw/internal/geom"
+)
+
+// stencilCacheCap bounds the number of cached stencils per grid. Each
+// entry is at most a few KB, so the cap keeps the cache at single-digit
+// megabytes. When the cap is hit the cache resets rather than refusing
+// new entries: serving evidence drifts (different pens, different
+// strokes), and a reset re-adapts in a handful of steps while a frozen
+// cache would miss forever.
+const stencilCacheCap = 4096
+
+// stencilKey is everything a stencil depends on besides the grid
+// itself. The Eq. 11 hyperbola term (dphi) is deliberately absent: it
+// is scored per destination cell, outside the stencil, so keying on it
+// would only shatter otherwise-identical entries. Keys are the exact
+// float64 evidence values — no lossy quantization, so a cache hit
+// returns bit-identical scores to a rebuild. Hits are still frequent
+// because the evidence is quantized upstream: readers report phase on
+// a fixed lattice and windows close on fixed spacings, so (dMin, dMax,
+// dir) collide exactly both within a stream and across the thousands
+// of sessions sharing one grid.
+type stencilKey struct {
+	dMin, dMax float64
+	dir        geom.Vec2
+}
+
+// stencilCache shares built stencils across every decoder on one grid.
+// Values are immutable after insertion (readers never write through
+// them), so lookups need only the read lock.
+type stencilCache struct {
+	mu      sync.RWMutex
+	entries map[stencilKey][]stencilEntry
+
+	hits, misses atomic.Uint64
+	resets       atomic.Uint64
+}
+
+// stencilFor returns the stencil for ev, building and caching it on
+// miss. The returned slice is shared and must not be modified. The
+// second return reports whether this was a cache hit.
+func (g *grid) stencilFor(ev stepEvidence) ([]stencilEntry, bool) {
+	key := stencilKey{dMin: ev.dMin, dMax: ev.dMax, dir: ev.dir}
+	c := &g.stencils
+	c.mu.RLock()
+	st, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return st, true
+	}
+	// Build outside the lock: concurrent misses on the same key build
+	// redundantly but deterministically, so whichever insert wins the
+	// race stores the same bits the loser computed.
+	built := g.buildStencil(ev, nil)
+	c.mu.Lock()
+	if st, ok = c.entries[key]; !ok {
+		if len(c.entries) >= stencilCacheCap {
+			c.entries = nil
+			c.resets.Add(1)
+		}
+		if c.entries == nil {
+			c.entries = make(map[stencilKey][]stencilEntry, 64)
+		}
+		c.entries[key] = built
+		st = built
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return st, false
+}
+
+// stencilCacheStats snapshots the grid-wide hit/miss counters.
+func (g *grid) stencilCacheStats() (hits, misses uint64) {
+	return g.stencils.hits.Load(), g.stencils.misses.Load()
+}
+
+// StencilCacheStats reports the cumulative hit/miss counters of the
+// tracker's shared per-grid stencil cache, aggregated across every
+// batch and streaming decode on this tracker.
+func (tr *Tracker) StencilCacheStats() (hits, misses uint64) {
+	return tr.grid.stencilCacheStats()
+}

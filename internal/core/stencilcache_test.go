@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"polardraw/internal/reader"
+)
+
+// TestStencilCacheConcurrentBitIdentical is the serving-shaped race
+// test for the shared per-grid stencil cache: many sessions decode
+// concurrently on one tracker (one grid, one cache) while a
+// cache-disabled tracker provides the reference, and every decoded
+// trajectory must match the reference bit for bit. Run under -race in
+// CI, it also proves the cache's locking discipline. The hit-rate
+// assertion pins the amortization claim: replayed evidence must
+// actually hit.
+func TestStencilCacheConcurrentBitIdentical(t *testing.T) {
+	letters := []rune{'Z', 'A', 'M'}
+	type pen struct {
+		samples []reader.Sample
+	}
+	pens := make([]pen, len(letters))
+	var cfg Config
+	for i, r := range letters {
+		samples, ants := synthSamples(t, r, uint64(i+1))
+		cfg = Config{Antennas: ants, BeamTopK: DefaultBeamTopK, CommitLag: DefaultCommitLag}
+		pens[i] = pen{samples: samples}
+	}
+
+	// Reference: cache disabled, same config otherwise.
+	refCfg := cfg
+	refCfg.DisableStencilCache = true
+	refTr := New(refCfg)
+	refs := make([]*Result, len(pens))
+	for i, p := range pens {
+		st := refTr.Stream()
+		if err := st.Push(p.samples...); err != nil {
+			t.Fatal(err)
+		}
+		res, err := st.Finalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = res
+	}
+	if h, m := refTr.StencilCacheStats(); h != 0 || m != 0 {
+		t.Fatalf("cache-disabled tracker touched the cache: hits=%d misses=%d", h, m)
+	}
+
+	shared := New(cfg)
+	const workers = 8
+	const decodesPerWorker = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for d := 0; d < decodesPerWorker; d++ {
+				i := (w + d) % len(pens)
+				st := shared.Stream()
+				if err := st.Push(pens[i].samples...); err != nil {
+					errs <- err
+					return
+				}
+				res, err := st.Finalize()
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := refs[i]
+				if len(res.Trajectory) != len(want.Trajectory) {
+					t.Errorf("worker %d letter %c: trajectory length %d, want %d",
+						w, letters[i], len(res.Trajectory), len(want.Trajectory))
+					return
+				}
+				for j := range want.Trajectory {
+					if res.Trajectory[j] != want.Trajectory[j] {
+						t.Errorf("worker %d letter %c: trajectory[%d] = %+v, want %+v (cache changed the decode)",
+							w, letters[i], j, res.Trajectory[j], want.Trajectory[j])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	hits, misses := shared.StencilCacheStats()
+	if hits == 0 {
+		t.Fatalf("shared cache never hit (misses=%d): amortization claim broken", misses)
+	}
+	if misses == 0 {
+		t.Fatal("shared cache never missed: counters not wired")
+	}
+	t.Logf("stencil cache: %d hits, %d misses (%.1f%% hit rate) across %d concurrent decodes",
+		hits, misses, float64(hits)/float64(hits+misses)*100, workers*decodesPerWorker)
+}

@@ -215,6 +215,18 @@ func (s *StreamTracker) Latest() (geom.Vec2, bool) {
 	}
 }
 
+// DecodeStats snapshots the Viterbi decoder's telemetry (active-set
+// size, adaptive beam bound, commit counts, stencil-cache hits). It
+// returns the zero value before the first valid window closes or under
+// GreedyDecode. Like Push, it must be serialized with the tracker's
+// other methods by the caller.
+func (s *StreamTracker) DecodeStats() DecodeStats {
+	if s.vit == nil {
+		return DecodeStats{}
+	}
+	return s.vit.decodeStats()
+}
+
 // Received returns the number of samples pushed so far.
 func (s *StreamTracker) Received() int { return s.received }
 

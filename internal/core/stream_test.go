@@ -92,6 +92,10 @@ func TestStreamMatchesBatch(t *testing.T) {
 			mod: func(c *Config) { c.DisablePolarization = true }},
 		{name: "arithmetic-mean", letter: 'W', seed: 7, chunk: 9,
 			mod: func(c *Config) { c.ArithmeticPhaseMean = true }},
+		// The adaptive top-K controller is decoder state: a streamed
+		// decode must evolve K step for step with the batch one.
+		{name: "topk-adaptive", letter: 'O', seed: 8, chunk: 11,
+			mod: func(c *Config) { c.BeamTopK = DefaultBeamTopK; c.BeamAdaptive = true }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

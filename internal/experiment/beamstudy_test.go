@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"testing"
+
+	"polardraw/internal/core"
+	"polardraw/internal/geom"
+	"polardraw/internal/reader"
+	"polardraw/internal/rf"
+	"polardraw/internal/tag"
+)
+
+// TestBeamTopKAccuracy is the top-K beam error study behind
+// core.DefaultBeamTopK, mirroring TestForcedCommitLagAccuracy: a count
+// bound cuts states the log-window beam would have kept, so a
+// too-small K should cost accuracy while a large one should match the
+// window-only beam. The sweep replays a letter corpus through
+// StreamTrackers at several K (plus the adaptive controller at the
+// default K) and reports mean/max Procrustes trajectory error per
+// setting, asserting the pinned default stays within 0.5 cm mean error
+// of the window-only beam so a regression in the selection logic trips
+// it.
+func TestBeamTopKAccuracy(t *testing.T) {
+	sc := Default(5)
+	letters := []rune{'A', 'C', 'E', 'M', 'O', 'S', 'W', 'Z'}
+	ks := []int{32, 64, 96, 128, core.DefaultBeamTopK, 256, 0}
+
+	// Synthesize each letter's stream once; every K decodes the same
+	// samples against the same truth.
+	type stream struct {
+		label   string
+		samples []reader.Sample
+		truth   geom.Polyline
+		dur     float64
+	}
+	ants := sc.antennasFor(PolarDraw2)
+	streams := make([]stream, 0, len(letters))
+	for i, r := range letters {
+		path, err := sc.letterPath(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, truth := sc.session(path, string(r), uint64(i+1))
+		rd := reader.New(reader.Config{
+			Antennas: ants,
+			Channel:  sc.channel(),
+			EPC:      tag.AD227(1).EPC,
+			Seed:     sc.Seed*7_000_003 + uint64(i+1),
+		})
+		streams = append(streams, stream{
+			label:   string(r),
+			samples: rd.Inventory(sess),
+			truth:   truth,
+			dur:     sess.Duration(),
+		})
+	}
+
+	bmin, bmax := sc.boardBounds()
+	run := func(topK int, adaptive bool) (mean, worst float64, worstLabel string, active float64) {
+		tr := core.New(core.Config{
+			Antennas:     [2]rf.Antenna{ants[0], ants[1]},
+			BoardMin:     bmin,
+			BoardMax:     bmax,
+			BeamTopK:     topK,
+			BeamAdaptive: adaptive,
+		})
+		var sum, activeSum float64
+		for _, s := range streams {
+			st := tr.Stream()
+			if err := st.Push(s.samples...); err != nil {
+				t.Fatal(err)
+			}
+			activeSum += st.DecodeStats().ActiveMean
+			res, err := st.Finalize()
+			if err != nil {
+				t.Fatalf("topK %d letter %s: %v", topK, s.label, err)
+			}
+			traj := trimLeadIn(res.Trajectory, s.dur)
+			d, err := geom.ProcrustesDistance(traj, s.truth, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += d
+			if d > worst {
+				worst, worstLabel = d, s.label
+			}
+		}
+		return sum / float64(len(streams)), worst, worstLabel, activeSum / float64(len(streams))
+	}
+
+	errAt := map[int]float64{} // topK -> mean Procrustes error, metres
+	for _, k := range ks {
+		mean, worst, worstLabel, active := run(k, false)
+		errAt[k] = mean
+		t.Logf("BeamTopK %4d: mean %.2f cm, worst %.2f cm (%s), mean active %.0f cells",
+			k, mean*100, worst*100, worstLabel, active)
+	}
+	meanAd, worstAd, worstAdLabel, activeAd := run(core.DefaultBeamTopK, true)
+	t.Logf("BeamTopK %4d (adaptive): mean %.2f cm, worst %.2f cm (%s), mean active %.0f cells",
+		core.DefaultBeamTopK, meanAd*100, worstAd*100, worstAdLabel, activeAd)
+
+	// The serving default must not measurably degrade the trajectory:
+	// within 0.5 cm mean error of the window-only beam across the
+	// corpus, so a selection or tie-break regression trips the bound.
+	def, unbounded := errAt[core.DefaultBeamTopK], errAt[0]
+	if def > unbounded+0.005 {
+		t.Fatalf("DefaultBeamTopK=%d mean error %.2f cm exceeds window-only %.2f cm by more than 0.5 cm",
+			core.DefaultBeamTopK, def*100, unbounded*100)
+	}
+	// The adaptive controller at the default K must hold the same bound.
+	if meanAd > unbounded+0.005 {
+		t.Fatalf("adaptive BeamTopK=%d mean error %.2f cm exceeds window-only %.2f cm by more than 0.5 cm",
+			core.DefaultBeamTopK, meanAd*100, unbounded*100)
+	}
+	// And the corpus must stay decodable (sanity: errors in the paper's
+	// few-centimetre regime, not a collapsed decode).
+	if def > 0.06 {
+		t.Fatalf("DefaultBeamTopK mean error %.2f cm is outside the sane regime", def*100)
+	}
+}

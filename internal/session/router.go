@@ -35,7 +35,14 @@ type BackendHealth struct {
 	Dispatched, Dropped uint64
 	// Errors counts failed calls of any kind (dispatch and control).
 	Errors uint64
-	// Healthy is false after unhealthyAfter consecutive failed calls.
+	// Pings and PingFails count heartbeat probes (StartHeartbeat) sent
+	// to the backend and the ones that failed. Zero for backends that
+	// do not support probing.
+	Pings, PingFails uint64
+	// Healthy is false after unhealthyAfter consecutive failed calls
+	// OR unhealthyAfter consecutive failed heartbeat probes. The two
+	// streaks are independent: answering pings does not excuse failing
+	// dispatches.
 	Healthy bool
 	// LastErr is the most recent failure's message, "" if none.
 	LastErr string
@@ -49,9 +56,28 @@ type routerBackend struct {
 	dispatched atomic.Uint64
 	dropped    atomic.Uint64
 	errs       atomic.Uint64
+	pings      atomic.Uint64
+	pingFails  atomic.Uint64
+	// consec counts consecutive failed dispatch/control calls;
+	// pingConsec counts consecutive failed heartbeat probes. They are
+	// deliberately separate streaks: a backend that still answers Ping
+	// but rejects every dispatch must stay unhealthy, so a probe
+	// success may not erase a call-failure streak (and vice versa).
 	consec     atomic.Uint32
+	pingConsec atomic.Uint32
 	lastErr    atomic.Value // string
 }
+
+// healthy reports whether neither failure streak has hit the bound.
+func (rb *routerBackend) healthy() bool {
+	return rb.consec.Load() < unhealthyAfter && rb.pingConsec.Load() < unhealthyAfter
+}
+
+// pinger is implemented by backends that support a cheap liveness
+// probe (shardrpc.Client round-trips an empty request). In-process
+// backends have no transport to probe and are skipped by the
+// heartbeat: they are healthy by construction.
+type pinger interface{ Ping() error }
 
 // fail records a failed call against the backend.
 func (rb *routerBackend) fail(err error) {
@@ -77,6 +103,11 @@ func (rb *routerBackend) ok() { rb.consec.Store(0) }
 // over shardrpc.Clients) are the same code path, and routers compose.
 type Router struct {
 	backends []*routerBackend
+
+	// Heartbeat state (StartHeartbeat/StopHeartbeat).
+	hbMu   sync.Mutex
+	hbStop chan struct{}
+	hbDone chan struct{}
 }
 
 // NewRouter builds a router over the given backends. It panics on an
@@ -159,7 +190,9 @@ func (r *Router) Health() []BackendHealth {
 			Dispatched: rb.dispatched.Load(),
 			Dropped:    rb.dropped.Load(),
 			Errors:     rb.errs.Load(),
-			Healthy:    rb.consec.Load() < unhealthyAfter,
+			Pings:      rb.pings.Load(),
+			PingFails:  rb.pingFails.Load(),
+			Healthy:    rb.healthy(),
 		}
 		if msg, ok := rb.lastErr.Load().(string); ok {
 			h.LastErr = msg
@@ -167,6 +200,100 @@ func (r *Router) Health() []BackendHealth {
 		out[i] = h
 	}
 	return out
+}
+
+// HealthCounts reports how many backends are currently healthy and
+// unhealthy — the summary the heartbeat maintains. Routing is NOT
+// affected by health: an unhealthy backend keeps its rendezvous share
+// (mapping stability over failover) and the counts exist so an
+// operator or a future spare-backend policy can act on them.
+func (r *Router) HealthCounts() (healthy, unhealthy int) {
+	for _, rb := range r.backends {
+		if rb.healthy() {
+			healthy++
+		} else {
+			unhealthy++
+		}
+	}
+	return healthy, unhealthy
+}
+
+// StartHeartbeat begins probing every probeable backend (those
+// implementing Ping, i.e. remote shardrpc clients) every interval,
+// feeding a per-backend probe-failure streak that marks the backend
+// unhealthy alongside the call-failure streak — so an idle cluster
+// still notices a dead shard within a few intervals, and a shard that
+// answers pings while rejecting traffic stays unhealthy. Probes run
+// concurrently, bounded by the backend transport's own timeouts; a
+// second StartHeartbeat replaces the running one. Call StopHeartbeat
+// (or Close, which implies it) to stop; stopping waits out any
+// in-flight probe round.
+func (r *Router) StartHeartbeat(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	r.hbMu.Lock()
+	defer r.hbMu.Unlock()
+	r.stopHeartbeatLocked()
+	stop, done := make(chan struct{}), make(chan struct{})
+	r.hbStop, r.hbDone = stop, done
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.probeAll()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// probeAll pings every probeable backend once, concurrently: one
+// unreachable shard blocking on its transport timeout must not delay
+// detection of the others. Probe outcomes touch only the ping streak —
+// see routerBackend.consec for why a probe success may not erase a
+// call-failure streak.
+func (r *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, rb := range r.backends {
+		p, ok := rb.b.(pinger)
+		if !ok {
+			continue
+		}
+		wg.Add(1)
+		go func(rb *routerBackend, p pinger) {
+			defer wg.Done()
+			rb.pings.Add(1)
+			if err := p.Ping(); err != nil {
+				rb.pingFails.Add(1)
+				rb.errs.Add(1)
+				rb.pingConsec.Add(1)
+				rb.lastErr.Store(err.Error())
+			} else {
+				rb.pingConsec.Store(0)
+			}
+		}(rb, p)
+	}
+	wg.Wait()
+}
+
+// StopHeartbeat stops the heartbeat loop, if any, and waits for it.
+func (r *Router) StopHeartbeat() {
+	r.hbMu.Lock()
+	defer r.hbMu.Unlock()
+	r.stopHeartbeatLocked()
+}
+
+func (r *Router) stopHeartbeatLocked() {
+	if r.hbStop != nil {
+		close(r.hbStop)
+		<-r.hbDone
+		r.hbStop, r.hbDone = nil, nil
+	}
 }
 
 // Dropped sums samples dropped across all backends (failed dispatch
@@ -283,9 +410,11 @@ func (r *Router) EvictIdle(maxIdle time.Duration) (int, error) {
 	return n, errors.Join(errs...)
 }
 
-// Close closes every backend concurrently and merges their results.
-// EPC keys cannot collide: each EPC routes to exactly one backend.
+// Close stops the heartbeat, closes every backend concurrently, and
+// merges their results. EPC keys cannot collide: each EPC routes to
+// exactly one backend.
 func (r *Router) Close() (map[string]*core.Result, error) {
+	r.StopHeartbeat()
 	out := make(map[string]*core.Result)
 	var mu sync.Mutex
 	var errs []error

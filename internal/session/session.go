@@ -88,6 +88,11 @@ type Stats struct {
 	// whether any window has closed yet.
 	Live    geom.Vec2
 	HasLive bool
+	// Decode is the session decoder's telemetry snapshot (active-set
+	// size, beam occupancy, merge-vs-forced commit counts, stencil-
+	// cache hits), taken at the most recent window close. Zero under
+	// GreedyDecode or before the first window.
+	Decode core.DecodeStats
 	// LastActive is when the session last received a sample.
 	LastActive time.Time
 }
@@ -117,6 +122,7 @@ type session struct {
 	live    geom.Vec2
 	hasLive bool
 	windows int
+	decode  core.DecodeStats
 }
 
 // Manager demultiplexes a mixed sample stream into per-EPC sessions.
@@ -240,9 +246,14 @@ func (m *Manager) startSession(epc string) *session {
 	s.lastActive.Store(time.Now().UnixNano())
 	onPoint := m.cfg.OnPoint
 	s.st.OnWindow = func(w core.Window, live geom.Vec2) {
+		// DecodeStats is tracker-owned state: snapshot it here, on the
+		// worker goroutine driving the tracker, and mirror it under
+		// liveMu for concurrent stats() readers.
+		decode := s.st.DecodeStats()
 		s.liveMu.Lock()
 		s.live, s.hasLive = live, true
 		s.windows++
+		s.decode = decode
 		s.liveMu.Unlock()
 		if onPoint != nil {
 			onPoint(epc, w, live)
@@ -299,7 +310,7 @@ func (s *session) finalize() (*core.Result, error) {
 
 func (s *session) stats() Stats {
 	s.liveMu.Lock()
-	live, hasLive, windows := s.live, s.hasLive, s.windows
+	live, hasLive, windows, decode := s.live, s.hasLive, s.windows, s.decode
 	s.liveMu.Unlock()
 	return Stats{
 		EPC:            s.epc,
@@ -311,6 +322,7 @@ func (s *session) stats() Stats {
 		QueueMaxDepth:  int(s.depth.Max()),
 		Live:           live,
 		HasLive:        hasLive,
+		Decode:         decode,
 		LastActive:     time.Unix(0, s.lastActive.Load()),
 	}
 }

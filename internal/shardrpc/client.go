@@ -412,7 +412,7 @@ func (c *Client) Stats() ([]session.Stats, error) {
 		return nil, err
 	}
 	n := int(d.u32())
-	if d.err != nil || n > d.remaining()/60+1 {
+	if d.err != nil || n > d.remaining()/minStatsWire+1 {
 		return nil, io.ErrUnexpectedEOF
 	}
 	out := make([]session.Stats, 0, n)

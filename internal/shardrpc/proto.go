@@ -324,6 +324,12 @@ func decodeResult(d *dec) *core.Result {
 	return r
 }
 
+// minStatsWire is the exact size of one encoded Stats record with an
+// empty EPC — the floor the client's count sanity check divides by.
+// TestMinStatsWirePinsEncoder ties it to encodeStats: change one,
+// change both.
+const minStatsWire = 131
+
 func encodeStats(e *enc, st session.Stats) error {
 	if err := e.str(st.EPC); err != nil {
 		return err
@@ -337,6 +343,17 @@ func encodeStats(e *enc, st session.Stats) error {
 	e.f64(st.Live.X)
 	e.f64(st.Live.Y)
 	e.boolean(st.HasLive)
+	e.u32(uint32(st.Decode.Steps))
+	e.u32(uint32(st.Decode.ActiveLast))
+	e.f64(st.Decode.ActiveMean)
+	e.u32(uint32(st.Decode.ActivePeak))
+	e.f64(st.Decode.Occupancy)
+	e.u32(uint32(st.Decode.BeamK))
+	e.u64(st.Decode.TopKPruned)
+	e.u32(uint32(st.Decode.MergeCommits))
+	e.u32(uint32(st.Decode.ForcedCommits))
+	e.u64(st.Decode.StencilHits)
+	e.u64(st.Decode.StencilMisses)
 	e.i64(st.LastActive.UnixNano())
 	return nil
 }
@@ -354,6 +371,17 @@ func decodeStats(d *dec) session.Stats {
 	st.Live.X = d.f64()
 	st.Live.Y = d.f64()
 	st.HasLive = d.boolean()
+	st.Decode.Steps = int(d.u32())
+	st.Decode.ActiveLast = int(d.u32())
+	st.Decode.ActiveMean = d.f64()
+	st.Decode.ActivePeak = int(d.u32())
+	st.Decode.Occupancy = d.f64()
+	st.Decode.BeamK = int(d.u32())
+	st.Decode.TopKPruned = d.u64()
+	st.Decode.MergeCommits = int(d.u32())
+	st.Decode.ForcedCommits = int(d.u32())
+	st.Decode.StencilHits = d.u64()
+	st.Decode.StencilMisses = d.u64()
 	st.LastActive = timeFromUnixNano(d.i64())
 	return st
 }

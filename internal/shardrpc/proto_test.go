@@ -1,0 +1,24 @@
+package shardrpc
+
+import (
+	"testing"
+
+	"polardraw/internal/session"
+)
+
+// TestMinStatsWirePinsEncoder ties minStatsWire to encodeStats: the
+// client's Stats count sanity check divides by it, so it must track
+// the encoder's minimum record size exactly. Growing or shrinking the
+// Stats payload without updating the constant fails here instead of
+// silently weakening the allocation guard or rejecting valid
+// responses.
+func TestMinStatsWirePinsEncoder(t *testing.T) {
+	var e enc
+	if err := encodeStats(&e, session.Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.b) != minStatsWire {
+		t.Fatalf("minimum encoded Stats record is %d bytes, minStatsWire = %d: update both together",
+			len(e.b), minStatsWire)
+	}
+}
