@@ -11,9 +11,10 @@
 // per letter would take hours); the trial counts are printed so the
 // sampling is explicit. cmd/experiments runs the same experiments with
 // configurable trial counts.
-package main
+package polardraw
 
 import (
+	"context"
 	"testing"
 
 	"polardraw/internal/core"
@@ -603,10 +604,10 @@ func BenchmarkShardedServer(b *testing.B) {
 			},
 			Shards: 4,
 		})
-		if err := sm.DispatchBatch(samples); err != nil {
+		if err := sm.DispatchBatch(context.Background(), samples); err != nil {
 			b.Fatal(err)
 		}
-		results, err := sm.Close()
+		results, err := sm.Close(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

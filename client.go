@@ -1,0 +1,229 @@
+package polardraw
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"polardraw/internal/core"
+	"polardraw/internal/session"
+	"polardraw/internal/shardrpc"
+)
+
+// Client is the public handle on a PolarDraw serving tier: a mixed
+// multi-pen ingest surface, per-session control, and one unified event
+// stream, over either in-process shards (WithShards) or remote shard
+// servers (WithShardServers). All methods are safe for concurrent use
+// and honour their context's deadline and cancellation.
+type Client struct {
+	cfg     clientConfig
+	backend session.ShardBackend
+
+	sm      *session.ShardedManager // local mode
+	router  *session.Router         // remote mode
+	remotes []*shardrpc.Client      // remote mode
+}
+
+// Open builds a client. With no options it runs session.DefaultShards
+// in-process shards on the default rig geometry — tests and examples;
+// real deployments pass WithAntennas plus either WithShards or
+// WithShardServers. Remote mode dials every server up front (honouring
+// ctx) so a misconfigured cluster fails at Open, not at first
+// dispatch; a version-skewed server fails with ErrVersionMismatch.
+func Open(ctx context.Context, opts ...Option) (*Client, error) {
+	cfg := defaultClientConfig()
+	for _, o := range opts {
+		o.applyClient(&cfg)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := &Client{cfg: cfg}
+	if len(cfg.servers) == 0 {
+		c.sm = session.NewShardedManager(session.ShardedConfig{
+			Session:      cfg.sessionConfig(),
+			Shards:       cfg.shards,
+			QueueSize:    cfg.shardQueue,
+			DropWhenFull: cfg.drop,
+		})
+		c.backend = c.sm
+		return c, nil
+	}
+	nbs := make([]session.NamedBackend, 0, len(cfg.servers))
+	for _, addr := range cfg.servers {
+		if err := ctx.Err(); err != nil {
+			c.closeRemotes()
+			return nil, err
+		}
+		rc, err := shardrpc.Dial(shardrpc.ClientConfig{
+			Addr:        addr,
+			EventBuffer: cfg.eventBuffer,
+		})
+		if err != nil {
+			c.closeRemotes()
+			return nil, fmt.Errorf("polardraw: shard %s: %w", addr, err)
+		}
+		c.remotes = append(c.remotes, rc)
+		nbs = append(nbs, session.NamedBackend{Name: addr, Backend: rc})
+	}
+	c.router = session.NewRouter(nbs)
+	c.router.SetEventBuffer(cfg.eventBuffer)
+	if cfg.heartbeat > 0 {
+		c.router.StartHeartbeat(cfg.heartbeat)
+	}
+	c.backend = c.router
+	return c, nil
+}
+
+// closeRemotes abandons already-dialed connections after a failed
+// Open.
+func (c *Client) closeRemotes() {
+	for _, rc := range c.remotes {
+		_, _ = rc.Close(context.Background())
+	}
+	c.remotes = nil
+}
+
+// Remote reports whether the client fronts remote shard servers.
+func (c *Client) Remote() bool { return c.router != nil }
+
+// OpenSession eagerly creates the EPC's session with per-session
+// decode options overriding the backend defaults. Unlike the implicit
+// create on first Dispatch, OpenSession never evicts another session
+// to make room: at the session cap it fails with ErrSessionLimit.
+// Opening a live EPC is a no-op. Options travel to remote shards
+// losslessly, so a remotely opened session decodes bit-identically to
+// a local one with the same options.
+func (c *Client) OpenSession(ctx context.Context, epc string, opts ...SessionOption) error {
+	var o session.OpenOptions
+	for _, op := range opts {
+		op.applySession(&o)
+	}
+	return c.backend.Open(ctx, epc, o)
+}
+
+// Dispatch routes one sample to its EPC's session, creating the
+// session on first sight. With blocking backpressure (the default) it
+// returns ctx.Err() if the context ends while queues are full.
+func (c *Client) Dispatch(ctx context.Context, smp Sample) error {
+	return c.backend.Dispatch(ctx, smp)
+}
+
+// DispatchBatch routes a batch (e.g. one RO_ACCESS_REPORT) in order.
+func (c *Client) DispatchBatch(ctx context.Context, batch []Sample) error {
+	return c.backend.DispatchBatch(ctx, batch)
+}
+
+// Finalize evicts one session and returns its decoded trajectory
+// (ErrUnknownEPC if none; ErrTooFewSamples if the stream was too
+// short).
+func (c *Client) Finalize(ctx context.Context, epc string) (*Result, error) {
+	return c.backend.Finalize(ctx, epc)
+}
+
+// Stats snapshots every live session across all shards, sorted by EPC.
+func (c *Client) Stats(ctx context.Context) ([]Stats, error) {
+	return c.backend.Stats(ctx)
+}
+
+// EvictIdle finalizes every session idle for at least maxIdle and
+// returns how many were evicted.
+func (c *Client) EvictIdle(ctx context.Context, maxIdle time.Duration) (int, error) {
+	return c.backend.EvictIdle(ctx, maxIdle)
+}
+
+// Subscribe attaches a consumer to the unified event stream: window
+// closes, live points, smoother commits, evictions, and (in remote
+// mode) backend health transitions, delivered identically whichever
+// transport backs the tier. The channel is buffered (WithEventBuffer);
+// a consumer that falls behind loses events rather than stalling
+// decode. Cancel (or ctx expiry) detaches and closes the channel.
+func (c *Client) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
+	return c.backend.Subscribe(ctx)
+}
+
+// Close stops ingress, drains every shard, finalizes all sessions, and
+// returns the decoded results keyed by EPC (sessions too short to
+// decode are omitted; their Evict events still fire). Close is
+// terminal and idempotent.
+func (c *Client) Close(ctx context.Context) (map[string]*Result, error) {
+	return c.backend.Close(ctx)
+}
+
+// Len returns the number of live sessions across all shards (remote
+// mode polls every server; ctx bounds the sweep).
+func (c *Client) Len(ctx context.Context) (int, error) {
+	if c.sm != nil {
+		return c.sm.Len(), nil
+	}
+	n := 0
+	for _, rc := range c.remotes {
+		k, err := rc.Len(ctx)
+		if err != nil {
+			return n, err
+		}
+		n += k
+	}
+	return n, nil
+}
+
+// Backends returns the shard backend names in configuration order
+// (shard-N locally, server addresses remotely).
+func (c *Client) Backends() []string { return c.routerOf().Backends() }
+
+// Health snapshots per-backend routing health in configuration order.
+func (c *Client) Health() []BackendHealth { return c.routerOf().Health() }
+
+// HealthCounts summarizes Health into healthy/unhealthy backend
+// counts.
+func (c *Client) HealthCounts() (healthy, unhealthy int) {
+	return c.routerOf().HealthCounts()
+}
+
+func (c *Client) routerOf() *session.Router {
+	if c.sm != nil {
+		return c.sm.Router()
+	}
+	return c.router
+}
+
+// IngressDropped counts samples discarded at full shard ingress queues
+// (WithDropWhenFull, local mode) — remote shards count drops
+// server-side in their own telemetry.
+func (c *Client) IngressDropped() uint64 {
+	if c.sm != nil {
+		return c.sm.IngressDropped()
+	}
+	return 0
+}
+
+// SamplesLost counts samples dropped at transport failures (remote
+// mode; always zero locally).
+func (c *Client) SamplesLost() uint64 {
+	var n uint64
+	for _, rc := range c.remotes {
+		n += rc.Lost()
+	}
+	return n
+}
+
+// StencilCacheStats reports the shared per-grid stencil cache's
+// cumulative hit/miss counters. Local mode only: remote shards own
+// their grids (ok == false).
+func (c *Client) StencilCacheStats() (hits, misses uint64, ok bool) {
+	if c.sm == nil {
+		return 0, 0, false
+	}
+	h, m := c.sm.Tracker().StencilCacheStats()
+	return h, m, true
+}
+
+// Tracker exposes the local tier's shared batch tracker (same grid the
+// sessions use), nil in remote mode. It exists for equivalence tests
+// that compare streamed decodes against batch decodes on one grid.
+func (c *Client) Tracker() *core.Tracker {
+	if c.sm == nil {
+		return nil
+	}
+	return c.sm.Tracker()
+}

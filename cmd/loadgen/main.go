@@ -1,21 +1,24 @@
-// Command loadgen drives many synthetic pens through the sharded
-// session tier and reports sustained throughput and window-close
+// Command loadgen drives many synthetic pens through the PolarDraw
+// serving tier and reports sustained throughput and window-close
 // latency — the scale harness for the millions-of-users north star.
 //
-// The shard tier behind it is pluggable: -shards takes either a count
-// (in-process LocalBackends behind the rendezvous router — the
+// It is a consumer of the public polardraw client API: the same
+// polardraw.Open call serves both topologies. -shards takes either a
+// count (in-process shards behind the rendezvous router — the
 // single-process deployment) or a comma-separated list of host:port
-// shard servers (shardrpc clients behind the same router — the
+// shard servers (shardrpc connections behind the same router — the
 // multi-process/multi-host deployment, see `polardraw -serve-shard`).
+// Progress and outcomes arrive on the unified event stream
+// (Client.Subscribe) rather than callbacks.
 //
 // It synthesizes a handful of letter write sessions once, then replays
 // them under fresh EPCs round after round until the duration elapses:
 // every pen gets its own session, every round exercises session
 // creation, steady-state decode, and LRU eviction. Window-close
 // latency is measured per pen as the time from the most recent
-// Dispatch to the OnPoint callback that a closed window triggers, i.e.
-// ingress queue + session queue + decode time (+ both network hops in
-// remote mode, where the event arrives over the wire).
+// Dispatch to the Point event that a closed window triggers, i.e.
+// ingress queue + session queue + decode time + event delivery (+ both
+// network hops in remote mode, where the event arrives over the wire).
 //
 // By default samples are offered as fast as the tier accepts them, so
 // the numbers characterize saturation. With -pace, samples replay at
@@ -28,40 +31,31 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"polardraw/internal/core"
+	"polardraw"
 	"polardraw/internal/font"
 	"polardraw/internal/geom"
 	"polardraw/internal/metrics"
 	"polardraw/internal/motion"
 	"polardraw/internal/reader"
 	"polardraw/internal/rf"
-	"polardraw/internal/session"
-	"polardraw/internal/shardrpc"
 	"polardraw/internal/tag"
 )
 
 var (
-	pens       = flag.Int("pens", 64, "concurrent pens per round")
-	shards     = flag.String("shards", "4", "in-process shard count, or comma-separated host:port shard servers")
-	duration   = flag.Duration("duration", 10*time.Second, "how long to sustain load")
-	window     = flag.Float64("window", 0.05, "tracker window, seconds (local shards only)")
-	lag        = flag.Int("lag", core.DefaultCommitLag, "CommitLag in windows, 0 = unbounded decoder memory (local shards only)")
-	topk       = flag.Int("topk", core.DefaultBeamTopK, "BeamTopK decoder count bound, 0 = window-only beam pruning (local shards only)")
-	adaptive   = flag.Bool("adaptive-beam", false, "enable the adaptive top-K controller (local shards only; requires -topk > 0)")
-	queue      = flag.Int("queue", session.DefaultQueueSize, "per-session queue size (local shards only)")
-	shardQueue = flag.Int("shardqueue", session.DefaultShardQueue, "per-shard ingress queue size (local shards only)")
-	drop       = flag.Bool("drop", false, "drop samples at full queues instead of blocking (local shards only)")
-	pace       = flag.Bool("pace", false, "replay samples at true timestamps (fixed offered load) instead of at saturation")
+	pens     = flag.Int("pens", 64, "concurrent pens per round")
+	duration = flag.Duration("duration", 10*time.Second, "how long to sustain load")
+	pace     = flag.Bool("pace", false, "replay samples at true timestamps (fixed offered load) instead of at saturation")
+	serve    = polardraw.BindFlags(flag.CommandLine)
 )
 
 // penState carries the latency probe for one live session.
@@ -71,6 +65,7 @@ type penState struct {
 
 func main() {
 	flag.Parse()
+	ctx := context.Background()
 
 	// Base streams: a few distinct letters simulated once, replayed
 	// under per-pen EPCs. Simulation cost stays out of the timed loop.
@@ -109,6 +104,39 @@ func main() {
 	schedT0 := sched[0].smp.T
 	schedDur := sched[len(sched)-1].smp.T - schedT0
 
+	// A saturation run closes windows faster than a small event buffer
+	// drains at the default; keep the harness lossless unless the
+	// operator explicitly sized the buffer. Likewise the session cap
+	// defaults to the pen count (several rounds of pens before LRU
+	// eviction) only when -max-sessions was not given — an explicit
+	// flag must win.
+	eventBufferSet, maxSessionsSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		eventBufferSet = eventBufferSet || f.Name == "eventbuffer"
+		maxSessionsSet = maxSessionsSet || f.Name == "max-sessions"
+	})
+
+	opts, err := serve.Options()
+	if err != nil {
+		fatal(err)
+	}
+	opts = append(opts, polardraw.WithAntennas(ants))
+	if !maxSessionsSet {
+		opts = append(opts, polardraw.WithMaxSessions(*pens))
+	}
+	if !eventBufferSet {
+		opts = append(opts, polardraw.WithEventBuffer(1<<16))
+	}
+	if serve.Remote() {
+		// Probe the shard servers every second so a dead shard shows up
+		// in the final health report even if dispatches stop reaching it.
+		opts = append(opts, polardraw.WithHeartbeat(time.Second))
+	}
+	c, err := openRetry(ctx, opts)
+	if err != nil {
+		fatal(err)
+	}
+
 	var (
 		states      sync.Map // epc -> *penState
 		windowsDone atomic.Int64
@@ -118,81 +146,46 @@ func main() {
 		evictErr    atomic.Int64
 	)
 	const maxLatSamples = 1 << 21
-	// onPoint is shared by every shard worker (local mode) or client
-	// read loop (remote mode) — all state it touches is atomic or
-	// mutex-guarded, per the session.Config concurrency contract.
-	onPoint := func(epc string, _ core.Window, _ geom.Vec2) {
-		windowsDone.Add(1)
-		if v, ok := states.Load(epc); ok {
-			lat := float64(time.Now().UnixNano()-v.(*penState).lastEnq.Load()) / 1e6
-			latMu.Lock()
-			if len(latencies) < maxLatSamples {
-				latencies = append(latencies, lat)
-			}
-			latMu.Unlock()
-		}
-	}
 
-	var (
-		backend  session.ShardBackend
-		router   *session.Router // remote mode only
-		localSM  *session.ShardedManager
-		topology string
-	)
-	if n, err := strconv.Atoi(*shards); err == nil {
-		// Local mode: N in-process shards behind the rendezvous router.
-		localSM = session.NewShardedManager(session.ShardedConfig{
-			Session: session.Config{
-				Tracker: core.Config{
-					Antennas:     ants,
-					Window:       *window,
-					CommitLag:    *lag,
-					BeamTopK:     *topk,
-					BeamAdaptive: *adaptive,
-				},
-				QueueSize:    *queue,
-				MaxSessions:  *pens, // per shard: several rounds of pens before LRU eviction
-				DropWhenFull: *drop,
-				OnPoint:      onPoint,
-				OnEvict: func(_ string, res *core.Result, err error) {
-					if err != nil {
-						evictErr.Add(1)
-					} else {
-						evictOK.Add(1)
+	// The unified event stream replaces the OnPoint/OnEvict callbacks:
+	// one subscription observes every pen on every shard, local or
+	// remote.
+	events, cancelEvents := c.Subscribe(ctx)
+	eventsDone := make(chan struct{})
+	go func() {
+		defer close(eventsDone)
+		for ev := range events {
+			switch ev.Kind {
+			case polardraw.EventPoint:
+				windowsDone.Add(1)
+				if v, ok := states.Load(ev.EPC); ok {
+					lat := float64(time.Now().UnixNano()-v.(*penState).lastEnq.Load()) / 1e6
+					latMu.Lock()
+					if len(latencies) < maxLatSamples {
+						latencies = append(latencies, lat)
 					}
-				},
-			},
-			Shards:       n,
-			QueueSize:    *shardQueue,
-			DropWhenFull: *drop,
-		})
-		backend = localSM
-		topology = fmt.Sprintf("local shards=%d window=%gs lag=%d topk=%d adaptive=%v queue=%d shardqueue=%d drop=%v",
-			n, *window, *lag, *topk, *adaptive, *queue, *shardQueue, *drop)
-	} else {
-		// Remote mode: one shardrpc client per shard server, behind the
-		// same router. Tracker configuration (window, lag, queues) is
-		// the server's: set it on `polardraw -serve-shard`.
-		addrs := strings.Split(*shards, ",")
-		nbs := make([]session.NamedBackend, 0, len(addrs))
-		for _, addr := range addrs {
-			addr = strings.TrimSpace(addr)
-			c, err := dialRetry(addr, onPoint)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
-				os.Exit(1)
+					latMu.Unlock()
+				}
+			case polardraw.EventEvict:
+				if ev.Err != nil {
+					evictErr.Add(1)
+				} else {
+					evictOK.Add(1)
+				}
 			}
-			nbs = append(nbs, session.NamedBackend{Name: addr, Backend: c})
 		}
-		router = session.NewRouter(nbs)
-		// Probe the shard servers every second so a dead shard shows up
-		// in the final health report even if dispatches stop reaching it.
-		router.StartHeartbeat(time.Second)
-		backend = router
-		topology = fmt.Sprintf("remote shards=%v", router.Backends())
-	}
+	}()
 
-	fmt.Printf("loadgen: pens=%d pace=%v %s\n", *pens, *pace, topology)
+	// Decode settings are printed only for the topology they govern:
+	// remote shards decode with their servers' configuration (set on
+	// `polardraw -serve-shard`), not with this process's flags.
+	if serve.Remote() {
+		fmt.Printf("loadgen: pens=%d pace=%v remote shards=%v (decode config is the servers')\n",
+			*pens, *pace, c.Backends())
+	} else {
+		fmt.Printf("loadgen: pens=%d pace=%v local shards=%s window=%g lag=%d topk=%d adaptive=%v queue=%d drop=%v\n",
+			*pens, *pace, *serve.Shards, *serve.Window, *serve.Lag, *serve.TopK, *serve.Adaptive, *serve.Queue, *serve.Drop)
+	}
 	if *pace {
 		offered := float64(len(sched)) / schedDur
 		fmt.Printf("offered load: %.0f samples/s (%d samples per %.2fs round)\n",
@@ -222,7 +215,7 @@ func main() {
 			if v, ok := states.Load(epc); ok {
 				v.(*penState).lastEnq.Store(time.Now().UnixNano())
 			}
-			if err := backend.Dispatch(smp); err != nil {
+			if err := c.Dispatch(ctx, smp); err != nil {
 				panic(err)
 			}
 			dispatched++
@@ -237,7 +230,7 @@ func main() {
 	// ran, how the lag smoother committed, and how the shared stencil
 	// cache served the tier.
 	var decodeLine string
-	if sts, err := backend.Stats(); err == nil {
+	if sts, err := c.Stats(ctx); err == nil {
 		var activeMean, occupancy float64
 		var merged, forced int
 		var sHits, sMisses uint64
@@ -261,11 +254,14 @@ func main() {
 				hitRate(sHits, sMisses))
 		}
 	}
-	results, err := backend.Close()
+	results, err := c.Close(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: close: %v\n", err)
 	}
 	elapsed := time.Since(start)
+	// Drain the stream so every Evict emitted by Close is counted.
+	cancelEvents()
+	<-eventsDone
 
 	wins := windowsDone.Load()
 	fmt.Printf("rounds=%d sessions=%d (%d still live and finalized at close)\n",
@@ -283,16 +279,16 @@ func main() {
 	if decodeLine != "" {
 		fmt.Println(decodeLine)
 	}
-	if localSM != nil {
-		hits, misses := localSM.Tracker().StencilCacheStats()
+	fmt.Printf("finalized: %d ok, %d too-short\n", evictOK.Load(), evictErr.Load())
+	if hits, misses, ok := c.StencilCacheStats(); ok {
 		fmt.Printf("stencil cache (grid-wide): hits=%d misses=%d (%.1f%% hit rate)\n",
 			hits, misses, hitRate(hits, misses))
-		fmt.Printf("finalized: %d ok, %d too-short; ingress dropped: %d\n",
-			evictOK.Load(), evictErr.Load(), localSM.IngressDropped())
+		fmt.Printf("ingress dropped: %d\n", c.IngressDropped())
 	} else {
-		healthy, unhealthy := router.HealthCounts()
-		fmt.Printf("backends: %d healthy, %d unhealthy\n", healthy, unhealthy)
-		for _, h := range router.Health() {
+		healthy, unhealthy := c.HealthCounts()
+		fmt.Printf("backends: %d healthy, %d unhealthy; samples lost to transport: %d\n",
+			healthy, unhealthy, c.SamplesLost())
+		for _, h := range c.Health() {
 			fmt.Printf("backend %s: dispatched=%d dropped=%d errors=%d pings=%d pingfails=%d healthy=%v\n",
 				h.Name, h.Dispatched, h.Dropped, h.Errors, h.Pings, h.PingFails, h.Healthy)
 		}
@@ -307,17 +303,25 @@ func hitRate(hits, misses uint64) float64 {
 	return float64(hits) / float64(hits+misses) * 100
 }
 
-// dialRetry connects to one shard server, retrying while it starts up
-// (the CI smoke launches servers and loadgen together).
-func dialRetry(addr string, onPoint func(string, core.Window, geom.Vec2)) (*shardrpc.Client, error) {
+// openRetry opens the client, retrying while remote shard servers
+// start up (the CI smoke launches servers and loadgen together).
+func openRetry(ctx context.Context, opts []polardraw.Option) (*polardraw.Client, error) {
 	var lastErr error
 	for i := 0; i < 20; i++ {
-		c, err := shardrpc.Dial(shardrpc.ClientConfig{Addr: addr, OnPoint: onPoint})
+		c, err := polardraw.Open(ctx, opts...)
 		if err == nil {
 			return c, nil
+		}
+		if !errors.Is(err, polardraw.ErrBackendUnavailable) {
+			return nil, err
 		}
 		lastErr = err
 		time.Sleep(250 * time.Millisecond)
 	}
 	return nil, lastErr
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
 }

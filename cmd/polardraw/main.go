@@ -3,6 +3,10 @@
 // PolarDraw tracking pipeline, renders the recovered trajectory as
 // ASCII art, and classifies it.
 //
+// The serving modes (-serve, -serve-shard) are consumers of the public
+// polardraw client API; the decode/topology flags they share with
+// cmd/loadgen come from polardraw.BindFlags.
+//
 // Usage:
 //
 //	polardraw -text HELLO                # simulate and track a word
@@ -14,22 +18,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"strings"
-	"sync"
 	"time"
 
-	"polardraw/internal/core"
+	"polardraw"
 	"polardraw/internal/experiment"
 	"polardraw/internal/geom"
 	"polardraw/internal/llrp"
 	"polardraw/internal/reader"
 	"polardraw/internal/recognition"
-	"polardraw/internal/session"
-	"polardraw/internal/shardrpc"
 )
 
 func main() {
@@ -41,16 +43,18 @@ func main() {
 		system  = flag.String("system", "polardraw", "tracking system: polardraw, polardraw-nopol, tagoram2, tagoram4, rfidraw4")
 		llrpSrv = flag.String("llrp", "", "track a live LLRP reader at host:port instead of simulating")
 		serve   = flag.Bool("serve", false, "with -llrp: run the streaming session server, demuxing every pen in the stream")
-		window  = flag.Float64("window", 0, "with -serve/-serve-shard: preprocessing window seconds (0 = auto / core default)")
 		size    = flag.Float64("size", 0.20, "letter size in metres")
 
-		shard   = flag.Bool("serve-shard", false, "run a shard RPC server hosting one session manager (a multi-process shard; see cmd/loadgen -shards)")
-		listen  = flag.String("listen", ":7100", "with -serve-shard: TCP listen address")
-		lag     = flag.Int("lag", core.DefaultCommitLag, "with -serve-shard: Viterbi CommitLag in windows (0 = unbounded decoder memory)")
-		topk    = flag.Int("topk", core.DefaultBeamTopK, "with -serve/-serve-shard: BeamTopK decoder count bound (0 = window-only beam pruning)")
-		maxSess = flag.Int("max-sessions", 1024, "with -serve-shard: live-session cap before LRU eviction")
+		shard  = flag.Bool("serve-shard", false, "run a shard RPC server hosting one session manager (a multi-process shard; see cmd/loadgen -shards)")
+		listen = flag.String("listen", ":7100", "with -serve-shard: TCP listen address")
+
+		// The serving tier's decode/topology flags (-shards, -window,
+		// -lag, -topk, ...) are shared with cmd/loadgen through one
+		// registration.
+		sf = polardraw.BindFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	ctx := context.Background()
 
 	sys, err := parseSystem(*system)
 	if err != nil {
@@ -62,7 +66,7 @@ func main() {
 	sc.LetterSize = *size
 
 	if *shard {
-		if err := serveShard(sc, *listen, *window, *lag, *topk, *maxSess); err != nil {
+		if err := serveShard(sc, *listen, sf); err != nil {
 			fatal(err)
 		}
 		return
@@ -71,7 +75,7 @@ func main() {
 		if *llrpSrv == "" {
 			fatal(fmt.Errorf("-serve requires -llrp host:port"))
 		}
-		if err := serveLLRP(sc, *llrpSrv, *window, *topk); err != nil {
+		if err := serveLLRP(ctx, sc, *llrpSrv, sf); err != nil {
 			fatal(err)
 		}
 		return
@@ -173,11 +177,12 @@ func trackSamples(sc experiment.Scenario, sys experiment.System, samples []reade
 	return experiment.TrackerFor(sc, sys).Track(samples)
 }
 
-// serveLLRP runs the streaming session server: it subscribes to the
-// LLRP report stream, demultiplexes every pen (EPC) in it through the
-// session manager's incremental trackers, prints live progress, and
-// renders each pen's trajectory when the stream ends.
-func serveLLRP(sc experiment.Scenario, addr string, window float64, topK int) error {
+// serveLLRP runs the streaming session server on the public client
+// API: it subscribes to the LLRP report stream, demultiplexes every
+// pen (EPC) in it through the serving tier, prints live progress from
+// the unified event stream, and renders each pen's trajectory when the
+// stream ends.
+func serveLLRP(ctx context.Context, sc experiment.Scenario, addr string, sf *polardraw.Flags) error {
 	c, err := llrp.Dial(addr, 5*time.Second)
 	if err != nil {
 		return err
@@ -188,44 +193,57 @@ func serveLLRP(sc experiment.Scenario, addr string, window float64, topK int) er
 	}
 	fmt.Printf("session server: streaming from %s\n", addr)
 
-	newManager := func(pens int, window float64) *session.Manager {
-		if window == 0 {
+	newClient := func(pensSeen int) (*polardraw.Client, error) {
+		opts, err := sf.Options()
+		if err != nil {
+			return nil, err
+		}
+		if *sf.Window == 0 {
 			// The aggregate read rate divides among the pens, so the
 			// averaging window grows proportionally to keep both
 			// antennas represented in each window; the 1.5 slack
 			// absorbs inventory slot jitter.
-			window = 0.05 * float64(pens)
-			if pens > 1 {
+			window := 0.05 * float64(pensSeen)
+			if pensSeen > 1 {
 				window *= 1.5
 			}
+			opts = append(opts, polardraw.WithWindow(window))
 		}
-		var mu sync.Mutex
-		windows := map[string]int{}
-		return session.NewManager(session.Config{
-			Tracker: core.Config{Antennas: sc.Rig.Antennas(), Window: window, BeamTopK: topK},
-			OnPoint: func(epc string, w core.Window, live geom.Vec2) {
-				mu.Lock()
-				windows[epc]++
-				n := windows[epc]
-				mu.Unlock()
-				if n%10 == 1 { // progress line every 10 windows per pen
-					fmt.Printf("  pen …%s t=%5.2fs window %3d live=(%.3f, %.3f)\n",
-						epc[max(0, len(epc)-6):], w.T, n, live.X, live.Y)
+		opts = append(opts, polardraw.WithAntennas(sc.Rig.Antennas()))
+		return polardraw.Open(ctx, opts...)
+	}
+
+	// Live progress from the unified event stream: one subscription
+	// covers every pen on every shard.
+	progress := func(cl *polardraw.Client) polardraw.CancelFunc {
+		events, cancel := cl.Subscribe(ctx)
+		go func() {
+			windows := map[string]int{}
+			for ev := range events {
+				if ev.Kind != polardraw.EventPoint {
+					continue
 				}
-			},
-		})
+				windows[ev.EPC]++
+				if n := windows[ev.EPC]; n%10 == 1 { // progress line every 10 windows per pen
+					epc := ev.EPC
+					fmt.Printf("  pen …%s t=%5.2fs window %3d live=(%.3f, %.3f)\n",
+						epc[max(0, len(epc)-6):], ev.Window.T, n, ev.Live.X, ev.Live.Y)
+				}
+			}
+		}()
+		return cancel
 	}
 
 	// Peek at the first second of traffic to learn the pen count (it
 	// sets the auto window), then dispatch live.
-	var mgr *session.Manager
+	var client *polardraw.Client
 	var pending []reader.Sample
 	epcs := map[string]bool{}
 	err = c.Stream(func(batch []reader.Sample) error {
 		for _, s := range batch {
 			if !epcs[s.EPC] {
 				epcs[s.EPC] = true
-				if mgr != nil {
+				if client != nil {
 					// The window was sized from the pens seen in the
 					// first second; a later joiner shares the read
 					// rate but not that sizing, so its decode may be
@@ -236,34 +254,67 @@ func serveLLRP(sc experiment.Scenario, addr string, window float64, topK int) er
 				}
 			}
 		}
-		if mgr == nil {
+		if client == nil {
 			pending = append(pending, batch...)
 			// Elapsed (not absolute) time: a real reader stamps
 			// reports with epoch microseconds.
 			if last := pending[len(pending)-1]; last.T-pending[0].T < 1.0 {
 				return nil
 			}
-			mgr = newManager(len(epcs), window)
+			cl, err := newClient(len(epcs))
+			if err != nil {
+				return err
+			}
+			client = cl
+			progress(client)
 			fmt.Printf("session server: %d pen(s) detected\n", len(epcs))
-			err := mgr.DispatchBatch(pending)
+			err = client.DispatchBatch(ctx, pending)
 			pending = nil
 			return err
 		}
-		return mgr.DispatchBatch(batch)
+		return client.DispatchBatch(ctx, batch)
 	})
 	if err != nil {
 		return err
 	}
-	if mgr == nil {
+	if client == nil {
 		// Short stream: everything is still buffered.
-		mgr = newManager(len(epcs), window)
-		if err := mgr.DispatchBatch(pending); err != nil {
+		cl, err := newClient(len(epcs))
+		if err != nil {
+			return err
+		}
+		client = cl
+		if err := client.DispatchBatch(ctx, pending); err != nil {
 			return err
 		}
 	}
 
-	stats := mgr.Stats()
-	results := mgr.Close() // drains the remaining queued reports
+	// Shard ingress is asynchronous: let the received counters settle
+	// (two identical snapshots 50 ms apart) so the report reflects the
+	// full stream, then close.
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	for settle := 0; settle < 100; settle++ {
+		time.Sleep(50 * time.Millisecond)
+		next, err := client.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		same := len(next) == len(stats)
+		for i := 0; same && i < len(next); i++ {
+			same = next[i].Received == stats[i].Received
+		}
+		stats = next
+		if same {
+			break
+		}
+	}
+	results, err := client.Close(ctx) // drains the remaining queued reports
+	if err != nil {
+		return err
+	}
 	for _, st := range stats {
 		fmt.Printf("pen %s: %d reads, queue depth mean %.1f max %d\n",
 			st.EPC, st.Received, st.QueueMeanDepth, st.QueueMaxDepth)
@@ -279,28 +330,27 @@ func serveLLRP(sc experiment.Scenario, addr string, window float64, topK int) er
 	return nil
 }
 
-// serveShard runs one shard of the multi-process session tier: a TCP
-// server hosting a session manager on the default rig, spoken to by
-// shardrpc clients behind a session router (see cmd/loadgen -shards).
-// It serves until killed.
-func serveShard(sc experiment.Scenario, addr string, window float64, lag, topK, maxSessions int) error {
+// serveShard runs one shard of the multi-process session tier: a
+// polardraw.ShardServer on the default rig, spoken to by clients
+// opened with WithShardServers (see cmd/loadgen -shards). It serves
+// until killed.
+func serveShard(sc experiment.Scenario, addr string, sf *polardraw.Flags) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	srv := shardrpc.NewServer(shardrpc.ServerConfig{
-		Session: session.Config{
-			Tracker: core.Config{
-				Antennas:  sc.Rig.Antennas(),
-				Window:    window,
-				CommitLag: lag,
-				BeamTopK:  topK,
-			},
-			MaxSessions: maxSessions,
-		},
-	})
+	opts, err := sf.Options()
+	if err != nil {
+		return err
+	}
+	opts = append(opts, polardraw.WithAntennas(sc.Rig.Antennas()))
+	srv := polardraw.NewShardServer(opts...)
+	maxSessions := *sf.MaxSessions
+	if maxSessions == 0 {
+		maxSessions = polardraw.DefaultServerMaxSessions
+	}
 	fmt.Printf("shard server: listening on %s (window=%gs lag=%d topk=%d max-sessions=%d)\n",
-		ln.Addr(), window, lag, topK, maxSessions)
+		ln.Addr(), *sf.Window, *sf.Lag, *sf.TopK, maxSessions)
 	return srv.Serve(ln)
 }
 

@@ -3,20 +3,21 @@
 // simulated ImpinJ-class reader inventories FOUR tagged pens writing
 // simultaneously and serves the mixed tag-report stream over the
 // LLRP-lite protocol on a loopback TCP socket. The client side is the
-// streaming session server: it subscribes to the live report stream,
-// demultiplexes the pens by EPC, and decodes every trajectory
+// public polardraw serving API: it subscribes to the live report
+// stream, demultiplexes the pens by EPC, decodes every trajectory
 // incrementally as report batches arrive — no pen waits for the
-// session to end before its windows are processed.
+// session to end before its windows are processed — and watches live
+// progress on the unified event stream.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
-	"sync"
 	"time"
 
-	"polardraw/internal/core"
+	"polardraw"
 	"polardraw/internal/experiment"
 	"polardraw/internal/font"
 	"polardraw/internal/geom"
@@ -24,11 +25,12 @@ import (
 	"polardraw/internal/motion"
 	"polardraw/internal/reader"
 	"polardraw/internal/rf"
-	"polardraw/internal/session"
 	"polardraw/internal/tag"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Reader side: four users write different letters at once; the
 	// EPC Gen2 inventory divides the read rate among their tags.
 	rig := motion.DefaultRig()
@@ -68,24 +70,34 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("reader simulator: %d pens on %s\n", len(scenes), ln.Addr())
 
-	// Client side: the streaming session server. Four pens share the
+	// Client side: the public serving API. Four pens share the
 	// ~100 reads/s aggregate rate, so the preprocessing window grows
 	// proportionally (4 x 50 ms, plus slack for slot jitter).
-	var mu sync.Mutex
-	liveWindows := map[string]int{}
-	mgr := session.NewManager(session.Config{
-		Tracker: core.Config{Antennas: antennas, Window: 0.3},
-		OnPoint: func(epc string, w core.Window, live geom.Vec2) {
-			mu.Lock()
-			liveWindows[epc]++
-			n := liveWindows[epc]
-			mu.Unlock()
-			if n%8 == 1 {
-				fmt.Printf("  [%s] window %2d at t=%4.1fs: live estimate (%.2f, %.2f)\n",
-					labels[epc], n, w.T, live.X, live.Y)
+	client, err := polardraw.Open(ctx,
+		polardraw.WithAntennas(antennas),
+		polardraw.WithWindow(0.3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Live progress per pen from the unified event stream — the
+	// replacement for the old per-callback hooks.
+	events, cancelEvents := client.Subscribe(ctx)
+	go func() {
+		windows := map[string]int{}
+		for ev := range events {
+			if ev.Kind != polardraw.EventPoint {
+				continue
 			}
-		},
-	})
+			windows[ev.EPC]++
+			if n := windows[ev.EPC]; n%8 == 1 {
+				fmt.Printf("  [%s] window %2d at t=%4.1fs: live estimate (%.2f, %.2f)\n",
+					labels[ev.EPC], n, ev.Window.T, ev.Live.X, ev.Live.Y)
+			}
+		}
+	}()
+	defer cancelEvents()
 
 	c, err := llrp.Dial(ln.Addr().String(), 2*time.Second)
 	if err != nil {
@@ -98,14 +110,20 @@ func main() {
 	var streamed int
 	if err := c.Stream(func(batch []reader.Sample) error {
 		streamed += len(batch)
-		return mgr.DispatchBatch(batch)
+		return client.DispatchBatch(ctx, batch)
 	}); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("streamed %d tag reads over LLRP into %d live sessions\n",
-		streamed, mgr.Len())
+	fmt.Printf("streamed %d tag reads over LLRP\n", streamed)
 
-	results := mgr.Close()
+	// Close drains the shard ingress queues and finalizes every
+	// session (ingress is asynchronous, so a Len snapshot here could
+	// still run ahead of session creation).
+	results, err := client.Close(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decoded %d sessions\n", len(results))
 	if len(results) < len(scenes) {
 		log.Fatalf("only %d of %d pens decoded", len(results), len(scenes))
 	}

@@ -1,0 +1,121 @@
+package polardraw
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"polardraw/internal/session"
+)
+
+// Flags is the shared command-line wiring for the serving tier: one
+// registration of the decode/topology/backpressure flags that
+// cmd/loadgen, cmd/polardraw, and any operator tool would otherwise
+// each re-declare. Bind it to a FlagSet, parse, then turn it into
+// functional options:
+//
+//	f := polardraw.BindFlags(flag.CommandLine)
+//	flag.Parse()
+//	opts, err := f.Options()
+//	c, err := polardraw.Open(ctx, append(opts, polardraw.WithAntennas(ants))...)
+//
+// Rig geometry (antennas) is deliberately not a flag: it comes from
+// the deployment's calibration, not the command line.
+type Flags struct {
+	// Shards is either an in-process shard count ("4") or a
+	// comma-separated host:port list of remote shard servers.
+	Shards *string
+	// Window, Lag, TopK, Adaptive, Spurious are the decode defaults
+	// (per-session OpenOptions may override them).
+	Window   *float64
+	Lag      *int
+	TopK     *int
+	Adaptive *bool
+	// Queue, ShardQueue, MaxSessions, Drop, EventBuffer shape
+	// backpressure and fan-out.
+	Queue       *int
+	ShardQueue  *int
+	MaxSessions *int
+	Drop        *bool
+	EventBuffer *int
+}
+
+// BindFlags registers the serving flags on fs (use flag.CommandLine
+// for a main package) and returns the handle to read after parsing.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		Shards:      fs.String("shards", "4", "in-process shard count, or comma-separated host:port shard servers"),
+		Window:      fs.Float64("window", 0, "preprocessing window seconds (0 = core default; widen for many pens per reader)"),
+		Lag:         fs.Int("lag", DefaultCommitLag, "Viterbi CommitLag in windows (0 = unbounded decoder memory)"),
+		TopK:        fs.Int("topk", DefaultBeamTopK, "BeamTopK decoder count bound (0 = window-only beam pruning)"),
+		Adaptive:    fs.Bool("adaptive-beam", false, "enable the adaptive top-K controller (requires -topk > 0)"),
+		Queue:       fs.Int("queue", session.DefaultQueueSize, "per-session sample queue size"),
+		ShardQueue:  fs.Int("shardqueue", session.DefaultShardQueue, "per-shard ingress queue size (local shards only)"),
+		MaxSessions: fs.Int("max-sessions", 0, "live-session cap per shard before LRU eviction (0 = default)"),
+		Drop:        fs.Bool("drop", false, "drop samples at full queues instead of blocking"),
+		EventBuffer: fs.Int("eventbuffer", session.DefaultEventBuffer, "per-subscriber event channel capacity"),
+	}
+}
+
+// Remote reports whether the parsed -shards names remote servers
+// rather than an in-process count.
+func (f *Flags) Remote() bool {
+	_, err := strconv.Atoi(strings.TrimSpace(*f.Shards))
+	return err != nil
+}
+
+// Addrs returns the remote shard server addresses (Remote() mode).
+func (f *Flags) Addrs() []string {
+	parts := strings.Split(*f.Shards, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Options assembles the parsed flags into Open options. In local mode
+// decode flags at their registered defaults are still passed
+// explicitly — the command line is the deployment's source of truth —
+// except Window 0, which keeps the core default. In remote mode the
+// decode/backpressure flags are NOT passed: remote shards decode with
+// their servers' configuration (set these flags on `polardraw
+// -serve-shard` instead, or use per-session OpenSession options, which
+// do travel over the wire); only the event buffer applies client-side.
+func (f *Flags) Options() ([]Option, error) {
+	var opts []Option
+	if f.Remote() {
+		addrs := f.Addrs()
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("polardraw: -shards %q names no servers", *f.Shards)
+		}
+		return append(opts,
+			WithShardServers(addrs...),
+			WithEventBuffer(*f.EventBuffer),
+		), nil
+	}
+	n, _ := strconv.Atoi(strings.TrimSpace(*f.Shards))
+	if n <= 0 {
+		return nil, fmt.Errorf("polardraw: -shards %d must be positive", n)
+	}
+	opts = append(opts,
+		WithShards(n),
+		WithCommitLag(*f.Lag),
+		WithBeamTopK(*f.TopK),
+		WithAdaptiveBeam(*f.Adaptive),
+		WithSessionQueue(*f.Queue),
+		WithShardQueue(*f.ShardQueue),
+		WithDropWhenFull(*f.Drop),
+		WithEventBuffer(*f.EventBuffer),
+	)
+	if *f.Window != 0 {
+		opts = append(opts, WithWindow(*f.Window))
+	}
+	if *f.MaxSessions != 0 {
+		opts = append(opts, WithMaxSessions(*f.MaxSessions))
+	}
+	return opts, nil
+}

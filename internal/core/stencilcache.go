@@ -9,10 +9,13 @@ import (
 
 // stencilCacheCap bounds the number of cached stencils per grid. Each
 // entry is at most a few KB, so the cap keeps the cache at single-digit
-// megabytes. When the cap is hit the cache resets rather than refusing
-// new entries: serving evidence drifts (different pens, different
-// strokes), and a reset re-adapts in a handful of steps while a frozen
-// cache would miss forever.
+// megabytes. Eviction is generational (young/old, see stencilFor): a
+// key that keeps hitting is promoted into the young generation and
+// survives rotations, while a key untouched for a full generation ages
+// out — so unlike the wholesale reset this replaces, hot entries stay
+// warm across the capacity boundary. Serving evidence drifts (different
+// pens, different strokes), and the cold tail is exactly what rotation
+// sheds.
 const stencilCacheCap = 4096
 
 // stencilKey is everything a stencil depends on besides the grid
@@ -32,13 +35,21 @@ type stencilKey struct {
 
 // stencilCache shares built stencils across every decoder on one grid.
 // Values are immutable after insertion (readers never write through
-// them), so lookups need only the read lock.
+// them), so young-generation lookups — the hot path — need only the
+// read lock. Eviction is a two-generation (segmented LRU) scheme:
+// young holds entries inserted or hit since the last rotation, old
+// holds the survivors of the previous generation. A hit in old
+// promotes the entry back into young; when young reaches half the cap,
+// the generations rotate (old is dropped, young becomes old), so total
+// residency never exceeds stencilCacheCap and an entry is evicted only
+// after going unreferenced for a full generation.
 type stencilCache struct {
-	mu      sync.RWMutex
-	entries map[stencilKey][]stencilEntry
+	mu    sync.RWMutex
+	young map[stencilKey][]stencilEntry
+	old   map[stencilKey][]stencilEntry
 
 	hits, misses atomic.Uint64
-	resets       atomic.Uint64
+	rotations    atomic.Uint64
 }
 
 // stencilFor returns the stencil for ev, building and caching it on
@@ -48,10 +59,26 @@ func (g *grid) stencilFor(ev stepEvidence) ([]stencilEntry, bool) {
 	key := stencilKey{dMin: ev.dMin, dMax: ev.dMax, dir: ev.dir}
 	c := &g.stencils
 	c.mu.RLock()
-	st, ok := c.entries[key]
+	st, ok := c.young[key]
+	var inOld bool
+	if !ok {
+		st, inOld = c.old[key]
+		ok = inOld
+	}
 	c.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
+		if inOld {
+			// Promote: a key still hitting after a rotation is hot and
+			// must survive the next one. Re-check under the write lock —
+			// a concurrent promotion or rotation may have moved it.
+			c.mu.Lock()
+			if cur, okOld := c.old[key]; okOld {
+				c.insertYoungLocked(key, cur)
+				delete(c.old, key)
+			}
+			c.mu.Unlock()
+		}
 		return st, true
 	}
 	// Build outside the lock: concurrent misses on the same key build
@@ -59,20 +86,32 @@ func (g *grid) stencilFor(ev stepEvidence) ([]stencilEntry, bool) {
 	// race stores the same bits the loser computed.
 	built := g.buildStencil(ev, nil)
 	c.mu.Lock()
-	if st, ok = c.entries[key]; !ok {
-		if len(c.entries) >= stencilCacheCap {
-			c.entries = nil
-			c.resets.Add(1)
+	if st, ok = c.young[key]; !ok {
+		if st, ok = c.old[key]; ok {
+			c.insertYoungLocked(key, st)
+			delete(c.old, key)
+		} else {
+			c.insertYoungLocked(key, built)
+			st = built
 		}
-		if c.entries == nil {
-			c.entries = make(map[stencilKey][]stencilEntry, 64)
-		}
-		c.entries[key] = built
-		st = built
 	}
 	c.mu.Unlock()
 	c.misses.Add(1)
 	return st, false
+}
+
+// insertYoungLocked adds an entry to the young generation, rotating
+// the generations first if young is full; c.mu held for writing.
+func (c *stencilCache) insertYoungLocked(key stencilKey, st []stencilEntry) {
+	if len(c.young) >= stencilCacheCap/2 {
+		c.old = c.young
+		c.young = nil
+		c.rotations.Add(1)
+	}
+	if c.young == nil {
+		c.young = make(map[stencilKey][]stencilEntry, 64)
+	}
+	c.young[key] = st
 }
 
 // stencilCacheStats snapshots the grid-wide hit/miss counters.

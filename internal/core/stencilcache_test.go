@@ -7,6 +7,60 @@ import (
 	"polardraw/internal/reader"
 )
 
+// TestStencilCacheHotKeysSurviveEviction pins the generational
+// eviction contract: a key that keeps hitting is promoted across
+// generation rotations and stays cached, while the churn of distinct
+// cold keys that forced those rotations ages out. The old wholesale
+// reset failed exactly this — one capacity crossing dropped the hot
+// working set along with the cold tail.
+func TestStencilCacheHotKeysSurviveEviction(t *testing.T) {
+	g := &grid{nx: 4, ny: 4, cell: 0.005, lambda: 0.33}
+	g.expDphi = make([]float64, g.nx*g.ny)
+	g.radialInv = make([][4]float64, g.nx*g.ny)
+
+	hot := stepEvidence{dMin: 0.001, dMax: 0.002}
+	if _, hit := g.stencilFor(hot); hit {
+		t.Fatal("first lookup of the hot key reported a hit")
+	}
+
+	// Drive several full eviction cycles of distinct cold keys, touching
+	// the hot key often enough (once per quarter generation) that a real
+	// LRU must keep it.
+	const churn = 3 * stencilCacheCap
+	for i := 1; i <= churn; i++ {
+		cold := stepEvidence{dMin: float64(i) * 1e-6, dMax: 1e-3}
+		if _, hit := g.stencilFor(cold); hit {
+			t.Fatalf("cold key %d reported a hit", i)
+		}
+		if i%(stencilCacheCap/4) == 0 {
+			if _, hit := g.stencilFor(hot); !hit {
+				t.Fatalf("hot key evicted after %d cold inserts (%d rotations)",
+					i, g.stencils.rotations.Load())
+			}
+		}
+	}
+	if rot := g.stencils.rotations.Load(); rot < 2 {
+		t.Fatalf("churn drove only %d generation rotations; test needs ≥ 2 to prove survival", rot)
+	}
+	if _, hit := g.stencilFor(hot); !hit {
+		t.Fatal("hot key did not survive the eviction cycles")
+	}
+
+	// Residency stays bounded by the cap.
+	g.stencils.mu.RLock()
+	resident := len(g.stencils.young) + len(g.stencils.old)
+	g.stencils.mu.RUnlock()
+	if resident > stencilCacheCap {
+		t.Fatalf("cache holds %d entries, cap is %d", resident, stencilCacheCap)
+	}
+
+	// A key untouched for a full generation is gone: the very first cold
+	// key must long since have aged out.
+	if _, hit := g.stencilFor(stepEvidence{dMin: 1e-6, dMax: 1e-3}); hit {
+		t.Fatal("generation-old cold key still cached: eviction never happens")
+	}
+}
+
 // TestStencilCacheConcurrentBitIdentical is the serving-shaped race
 // test for the shared per-grid stencil cache: many sessions decode
 // concurrently on one tracker (one grid, one cache) while a

@@ -87,10 +87,28 @@ func (a *windowAcc) reset() {
 // and precomputed HMM grid. The grid is immutable after construction,
 // so any number of streams may run concurrently over one Tracker.
 func (tr *Tracker) Stream() *StreamTracker {
+	return tr.StreamWith(tr.cfg)
+}
+
+// StreamWith returns a StreamTracker that decodes with cfg in place of
+// the tracker's own configuration, while still sharing the tracker's
+// precomputed HMM grid — the mechanism behind per-session decode
+// options in the serving tier. Only stream-level parameters may differ
+// between streams on one tracker (Window, SpuriousPhase, VMax,
+// BeamTopK, BeamAdaptive, CommitLag, the ablation switches): the
+// grid-level fields (Antennas, BoardMin/BoardMax, CellSize, Lambda)
+// are forced back to the tracker's values, because the shared grid
+// embodies them and a stream cannot change them.
+func (tr *Tracker) StreamWith(cfg Config) *StreamTracker {
+	cfg = cfg.withDefaults()
+	cfg.Antennas = tr.cfg.Antennas
+	cfg.BoardMin, cfg.BoardMax = tr.cfg.BoardMin, tr.cfg.BoardMax
+	cfg.CellSize = tr.cfg.CellSize
+	cfg.Lambda = tr.cfg.Lambda
 	return &StreamTracker{
-		cfg:  tr.cfg,
+		cfg:  cfg,
 		grid: tr.grid,
-		eb:   newEvidenceBuilder(tr.cfg),
+		eb:   newEvidenceBuilder(cfg),
 	}
 }
 

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,23 +23,68 @@ import (
 //   - Router: a rendezvous-hash fan-out over any mix of the above,
 //     itself a ShardBackend so topologies compose.
 //
+// Every method takes a context.Context and honours its deadline and
+// cancellation: an operation that would block — a Dispatch against a
+// full ingress queue, any call against a dead remote — returns
+// ctx.Err() promptly instead of hanging. Cancelling a call does not
+// corrupt the backend; at worst the operation completes in the
+// background (its outcome still reaches the event stream). Errors are
+// drawn from the package taxonomy (ErrClosed, ErrUnknownEPC,
+// ErrSessionLimit, ErrBackendUnavailable, core.ErrTooFewSamples) plus
+// context errors, and remote backends round-trip the sentinels over
+// the wire, so errors.Is behaves identically across transports.
+//
 // Implementations must preserve per-EPC dispatch order. Methods may be
-// called concurrently. Local implementations never fail Stats,
-// EvictIdle, or Close; remote ones surface transport errors.
+// called concurrently.
 type ShardBackend interface {
+	// Open eagerly creates the EPC's session with per-session decode
+	// options (see Manager.Open for the exact semantics: no silent
+	// eviction, ErrSessionLimit at the cap, no-op for a live EPC).
+	Open(ctx context.Context, epc string, opts OpenOptions) error
 	// Dispatch routes one sample to its EPC's session.
-	Dispatch(smp reader.Sample) error
+	Dispatch(ctx context.Context, smp reader.Sample) error
 	// DispatchBatch routes a batch (e.g. one RO_ACCESS_REPORT) in order.
-	DispatchBatch(batch []reader.Sample) error
+	DispatchBatch(ctx context.Context, batch []reader.Sample) error
 	// Finalize evicts one session and returns its decoded trajectory.
-	Finalize(epc string) (*core.Result, error)
+	Finalize(ctx context.Context, epc string) (*core.Result, error)
 	// Stats snapshots every live session, sorted by EPC.
-	Stats() ([]Stats, error)
+	Stats(ctx context.Context) ([]Stats, error)
 	// EvictIdle finalizes sessions idle for at least maxIdle.
-	EvictIdle(maxIdle time.Duration) (int, error)
+	EvictIdle(ctx context.Context, maxIdle time.Duration) (int, error)
+	// Subscribe attaches a consumer to the backend's unified event
+	// stream (see Event). Delivery is identical whichever transport
+	// backs the stream; a slow consumer loses events rather than
+	// stalling decode. Cancel (or ctx expiry) detaches and closes the
+	// channel; the backend's Close also ends every subscription, so a
+	// plain range over the channel terminates. In-process backends
+	// deliver the close-time Evict events before the channel closes;
+	// on a remote backend events racing the connection teardown may be
+	// cut short.
+	Subscribe(ctx context.Context) (<-chan Event, CancelFunc)
 	// Close stops ingress, drains, finalizes every session, and returns
 	// the decoded results keyed by EPC. Close is terminal.
-	Close() (map[string]*core.Result, error)
+	Close(ctx context.Context) (map[string]*core.Result, error)
+}
+
+// await runs fn off the calling goroutine and waits for it or for ctx,
+// whichever finishes first — the bridge between the manager's blocking
+// drain operations and the contract's prompt-cancellation guarantee.
+// When ctx wins, fn keeps running to completion in the background (its
+// effects, e.g. finalized sessions, still reach the event stream).
+func await[T any](ctx context.Context, fn func() T) (T, error) {
+	if err := ctx.Err(); err != nil {
+		var zero T
+		return zero, err
+	}
+	done := make(chan T, 1)
+	go func() { done <- fn() }()
+	select {
+	case v := <-done:
+		return v, nil
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
 }
 
 // LocalConfig parameterizes a LocalBackend.
@@ -112,9 +158,27 @@ func (lb *LocalBackend) run() {
 // Manager exposes the backend's session manager.
 func (lb *LocalBackend) Manager() *Manager { return lb.m }
 
+// Open eagerly creates the EPC's session with per-session options.
+func (lb *LocalBackend) Open(ctx context.Context, epc string, opts OpenOptions) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	lb.mu.RLock()
+	defer lb.mu.RUnlock()
+	if lb.closed {
+		return ErrClosed
+	}
+	// Samples for the EPC still queued at ingress were dispatched
+	// before the Open and may race the eager create; Manager.Open's
+	// live-EPC no-op keeps both orders coherent (the earlier incarnation
+	// simply wins, exactly as a re-dispatch after an eviction would).
+	return lb.m.Open(epc, opts)
+}
+
 // Dispatch enqueues one sample. With DropWhenFull unset it blocks
-// while the ingress queue is full.
-func (lb *LocalBackend) Dispatch(smp reader.Sample) error {
+// while the ingress queue is full, returning ctx.Err() if the context
+// ends first.
+func (lb *LocalBackend) Dispatch(ctx context.Context, smp reader.Sample) error {
 	lb.mu.RLock()
 	defer lb.mu.RUnlock()
 	if lb.closed {
@@ -128,14 +192,18 @@ func (lb *LocalBackend) Dispatch(smp reader.Sample) error {
 		}
 		return nil
 	}
-	lb.queue <- smp
-	return nil
+	select {
+	case lb.queue <- smp:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // DispatchBatch enqueues a batch in order.
-func (lb *LocalBackend) DispatchBatch(batch []reader.Sample) error {
+func (lb *LocalBackend) DispatchBatch(ctx context.Context, batch []reader.Sample) error {
 	for _, smp := range batch {
-		if err := lb.Dispatch(smp); err != nil {
+		if err := lb.Dispatch(ctx, smp); err != nil {
 			return err
 		}
 	}
@@ -149,27 +217,57 @@ func (lb *LocalBackend) Dropped() uint64 { return lb.dropped.Load() }
 // Finalize evicts one session and returns its decoded trajectory.
 // Samples for the EPC still queued at ingress when Finalize runs are
 // not waited for; they re-open a fresh session when the worker reaches
-// them, exactly as a late sample after an eviction would.
-func (lb *LocalBackend) Finalize(epc string) (*core.Result, error) {
-	return lb.m.Finalize(epc)
+// them, exactly as a late sample after an eviction would. If ctx ends
+// while the session drains, Finalize returns ctx.Err() and the
+// finalization completes in the background (the result still reaches
+// the event stream and OnEvict).
+func (lb *LocalBackend) Finalize(ctx context.Context, epc string) (*core.Result, error) {
+	type out struct {
+		res *core.Result
+		err error
+	}
+	v, err := await(ctx, func() out {
+		res, err := lb.m.Finalize(epc)
+		return out{res, err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.res, v.err
 }
 
 // Stats snapshots every live session, sorted by EPC. Local backends
-// never fail.
-func (lb *LocalBackend) Stats() ([]Stats, error) { return lb.m.Stats(), nil }
+// fail only on an already-ended context.
+func (lb *LocalBackend) Stats(ctx context.Context) ([]Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return lb.m.Stats(), nil
+}
 
 // Len returns the number of live sessions.
 func (lb *LocalBackend) Len() int { return lb.m.Len() }
 
-// EvictIdle finalizes every session idle for at least maxIdle.
-func (lb *LocalBackend) EvictIdle(maxIdle time.Duration) (int, error) {
-	return lb.m.EvictIdle(maxIdle), nil
+// EvictIdle finalizes every session idle for at least maxIdle. On ctx
+// expiry the sweep continues in the background and ctx.Err() is
+// returned.
+func (lb *LocalBackend) EvictIdle(ctx context.Context, maxIdle time.Duration) (int, error) {
+	return await(ctx, func() int { return lb.m.EvictIdle(maxIdle) })
 }
+
+// Subscribe attaches a consumer to the manager's unified event stream.
+func (lb *LocalBackend) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
+	return lb.m.Subscribe(ctx)
+}
+
+// EventsDropped counts events shed at full subscriber buffers.
+func (lb *LocalBackend) EventsDropped() uint64 { return lb.m.EventsDropped() }
 
 // Close stops ingress, drains the queue, finalizes all sessions, and
 // returns the decoded results keyed by EPC. Close is idempotent; later
-// calls return (nil, nil).
-func (lb *LocalBackend) Close() (map[string]*core.Result, error) {
+// calls return (nil, nil). On ctx expiry the drain-and-finalize keeps
+// running in the background and ctx.Err() is returned.
+func (lb *LocalBackend) Close(ctx context.Context) (map[string]*core.Result, error) {
 	lb.mu.Lock()
 	if lb.closed {
 		lb.mu.Unlock()
@@ -178,6 +276,25 @@ func (lb *LocalBackend) Close() (map[string]*core.Result, error) {
 	lb.closed = true
 	close(lb.queue)
 	lb.mu.Unlock()
-	<-lb.done // ingress fully drained into sessions
-	return lb.m.Close(), nil
+	// The close is already committed, so the drain-and-finalize must run
+	// regardless of ctx state (await's early-exit would skip it).
+	done := make(chan map[string]*core.Result, 1)
+	go func() {
+		<-lb.done // ingress fully drained into sessions
+		done <- lb.m.Close()
+	}()
+	select {
+	case res := <-done:
+		return res, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
+
+// Compile-time contract checks: every backend implements the v2
+// context-aware ShardBackend.
+var (
+	_ ShardBackend = (*LocalBackend)(nil)
+	_ ShardBackend = (*Router)(nil)
+	_ ShardBackend = (*ShardedManager)(nil)
+)

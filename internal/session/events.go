@@ -1,0 +1,212 @@
+package session
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"polardraw/internal/core"
+	"polardraw/internal/geom"
+)
+
+// EventKind discriminates the unified event stream's payloads.
+type EventKind uint8
+
+const (
+	// EventWindowClose: a valid preprocessing window closed on a
+	// session (the Window field is set). Fired once per closed window,
+	// immediately before the paired EventPoint.
+	EventWindowClose EventKind = iota + 1
+	// EventPoint: the session decoder's live position estimate advanced
+	// (Window and Live are set). This is the event the legacy
+	// Config.OnPoint callback observed.
+	EventPoint
+	// EventCommit: the fixed-lag Viterbi smoother committed a
+	// trajectory segment (CommitStart and Segment are set; see
+	// core.StreamTracker.OnCommit for the prefix contract).
+	EventCommit
+	// EventEvict: a session was finalized — explicitly, by idle sweep,
+	// by LRU pressure, or at Close (Result or Err is set). This is the
+	// event the legacy Config.OnEvict callback observed.
+	EventEvict
+	// EventBackendHealth: a routed backend crossed the healthy/
+	// unhealthy boundary (Backend and Healthy are set). Emitted only by
+	// Router-backed subscriptions.
+	EventBackendHealth
+)
+
+// String names the kind for logs and error messages.
+func (k EventKind) String() string {
+	switch k {
+	case EventWindowClose:
+		return "WindowClose"
+	case EventPoint:
+		return "Point"
+	case EventCommit:
+		return "Commit"
+	case EventEvict:
+		return "Evict"
+	case EventBackendHealth:
+		return "BackendHealth"
+	default:
+		return "Unknown"
+	}
+}
+
+// Event is one entry of the unified serving event stream: every
+// consumer-visible occurrence — window closes, live points, smoother
+// commits, evictions, backend health transitions — delivered through
+// one Subscribe channel with identical semantics whether the backend
+// is in-process, a shardrpc client, or a router over either. Only the
+// fields its Kind documents are meaningful; the rest are zero.
+type Event struct {
+	Kind EventKind
+	// EPC identifies the session (empty for EventBackendHealth).
+	EPC string
+
+	// Window is the closed preprocessing window (WindowClose, Point).
+	Window core.Window
+	// Live is the decoder's position estimate (Point).
+	Live geom.Vec2
+
+	// CommitStart is the window index of Segment's first point
+	// (Commit); Segment holds the committed path points.
+	CommitStart int
+	Segment     geom.Polyline
+
+	// Result and Err carry the finalization outcome (Evict): exactly
+	// one is non-nil, except that a too-short stream yields Err ==
+	// core.ErrTooFewSamples and no Result.
+	Result *core.Result
+	Err    error
+
+	// Backend and Healthy describe a health transition
+	// (BackendHealth).
+	Backend string
+	Healthy bool
+}
+
+// CancelFunc releases a subscription. It is idempotent and safe to
+// call concurrently with event delivery; after it returns no further
+// events are sent and the subscription channel is closed.
+type CancelFunc func()
+
+// DefaultEventBuffer is the per-subscriber channel capacity when the
+// subscribing backend does not configure one.
+const DefaultEventBuffer = 256
+
+// EventHub fans events out to any number of subscribers. Delivery is
+// non-blocking: a subscriber that lets its buffer fill loses events
+// (counted in dropped) rather than stalling the decode workers that
+// publish. Publishing with no subscribers is a cheap atomic load.
+type EventHub struct {
+	subs    atomic.Int32
+	dropped atomic.Uint64
+
+	mu   sync.Mutex
+	next int
+	m    map[int]*eventSub
+}
+
+type eventSub struct {
+	id   int
+	ch   chan Event
+	once sync.Once
+	// onRemove, if set, releases the ctx-watcher goroutine so a
+	// cancelled subscription does not leak it for the context's
+	// lifetime.
+	onRemove func()
+}
+
+// subscribe registers a subscriber with the given buffer capacity
+// (<= 0 takes DefaultEventBuffer). The subscription ends when cancel
+// is called or ctx is done, whichever comes first; either way the
+// channel is closed after the last delivery.
+func (h *EventHub) Subscribe(ctx context.Context, buffer int) (<-chan Event, CancelFunc) {
+	if buffer <= 0 {
+		buffer = DefaultEventBuffer
+	}
+	s := &eventSub{ch: make(chan Event, buffer)}
+	// onRemove must be in place before the sub is published to the map:
+	// a concurrent closeAll may remove it immediately.
+	var stop chan struct{}
+	if ctx != nil && ctx.Done() != nil {
+		stop = make(chan struct{})
+		s.onRemove = func() { close(stop) }
+	}
+	h.mu.Lock()
+	if h.m == nil {
+		h.m = make(map[int]*eventSub)
+	}
+	s.id = h.next
+	h.next++
+	h.m[s.id] = s
+	h.mu.Unlock()
+	h.subs.Add(1)
+
+	cancel := func() { h.remove(s) }
+	if stop != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				cancel()
+			case <-stop:
+			}
+		}()
+	}
+	return s.ch, cancel
+}
+
+// remove detaches one subscriber and closes its channel. Publish sends
+// while holding h.mu, so deleting and closing under the same critical
+// section cannot race a send.
+func (h *EventHub) remove(s *eventSub) {
+	s.once.Do(func() {
+		h.mu.Lock()
+		delete(h.m, s.id)
+		close(s.ch)
+		h.mu.Unlock()
+		h.subs.Add(-1)
+		if s.onRemove != nil {
+			s.onRemove()
+		}
+	})
+}
+
+// closeAll detaches every subscriber (used by terminal Close paths so
+// consumers' range loops end).
+func (h *EventHub) CloseAll() {
+	h.mu.Lock()
+	subs := make([]*eventSub, 0, len(h.m))
+	for _, s := range h.m {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	for _, s := range subs {
+		h.remove(s)
+	}
+}
+
+// hasSubscribers reports whether publish would reach anyone — the
+// cheap guard event producers use to skip payload construction.
+func (h *EventHub) HasSubscribers() bool { return h.subs.Load() > 0 }
+
+// publish delivers ev to every current subscriber, dropping (and
+// counting) at full buffers.
+func (h *EventHub) Publish(ev Event) {
+	if h.subs.Load() == 0 {
+		return
+	}
+	h.mu.Lock()
+	for _, s := range h.m {
+		select {
+		case s.ch <- ev:
+		default:
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Dropped counts events shed at full subscriber buffers.
+func (h *EventHub) Dropped() uint64 { return h.dropped.Load() }

@@ -1,0 +1,88 @@
+package session
+
+import (
+	"fmt"
+
+	"polardraw/internal/core"
+)
+
+// OpenOptions carries per-session decode configuration: the parameters
+// a single pen session may override relative to the backend's base
+// tracker configuration. Nil fields inherit the backend default; set
+// fields override it, including explicit zeroes (BeamTopK 0 means
+// window-only pruning, CommitLag 0 means unbounded decoder memory —
+// both meaningful choices).
+//
+// OpenOptions travels over the shardrpc wire bit-exactly, so a session
+// opened with options on a remote shard decodes identically to one
+// opened with the same options in process (the local-vs-remote
+// bit-equivalence suite pins this).
+//
+// Only stream-level parameters are available: the HMM grid (board,
+// cell size, antennas) is shared by every session on a backend and
+// cannot vary per pen.
+type OpenOptions struct {
+	// BeamTopK bounds the active Viterbi beam by count
+	// (core.Config.BeamTopK).
+	BeamTopK *int
+	// CommitLag bounds the fixed-lag smoother's undecided window span
+	// (core.Config.CommitLag).
+	CommitLag *int
+	// BeamAdaptive toggles the adaptive top-K controller
+	// (core.Config.BeamAdaptive).
+	BeamAdaptive *bool
+	// Window overrides the preprocessing averaging window, seconds
+	// (core.Config.Window). Must be > 0 when set.
+	Window *float64
+	// SpuriousPhase overrides the adjacent-window phase-jump rejection
+	// threshold, radians (core.Config.SpuriousPhase). Must be > 0 when
+	// set.
+	SpuriousPhase *float64
+}
+
+// IsZero reports whether no option is set.
+func (o OpenOptions) IsZero() bool {
+	return o.BeamTopK == nil && o.CommitLag == nil && o.BeamAdaptive == nil &&
+		o.Window == nil && o.SpuriousPhase == nil
+}
+
+// Validate rejects option values the tracker cannot honour.
+func (o OpenOptions) Validate() error {
+	if o.BeamTopK != nil && *o.BeamTopK < 0 {
+		return fmt.Errorf("session: OpenOptions.BeamTopK %d < 0", *o.BeamTopK)
+	}
+	if o.CommitLag != nil && *o.CommitLag < 0 {
+		return fmt.Errorf("session: OpenOptions.CommitLag %d < 0", *o.CommitLag)
+	}
+	if o.Window != nil && *o.Window <= 0 {
+		return fmt.Errorf("session: OpenOptions.Window %g <= 0", *o.Window)
+	}
+	if o.SpuriousPhase != nil && *o.SpuriousPhase <= 0 {
+		return fmt.Errorf("session: OpenOptions.SpuriousPhase %g <= 0", *o.SpuriousPhase)
+	}
+	if o.BeamAdaptive != nil && *o.BeamAdaptive &&
+		o.BeamTopK != nil && *o.BeamTopK == 0 {
+		return fmt.Errorf("session: OpenOptions.BeamAdaptive requires BeamTopK > 0")
+	}
+	return nil
+}
+
+// Apply overlays the set fields onto a base tracker configuration.
+func (o OpenOptions) Apply(base core.Config) core.Config {
+	if o.BeamTopK != nil {
+		base.BeamTopK = *o.BeamTopK
+	}
+	if o.CommitLag != nil {
+		base.CommitLag = *o.CommitLag
+	}
+	if o.BeamAdaptive != nil {
+		base.BeamAdaptive = *o.BeamAdaptive
+	}
+	if o.Window != nil {
+		base.Window = *o.Window
+	}
+	if o.SpuriousPhase != nil {
+		base.SpuriousPhase = *o.SpuriousPhase
+	}
+	return base
+}

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -52,6 +53,7 @@ type BackendHealth struct {
 type routerBackend struct {
 	name string
 	b    ShardBackend
+	hub  *EventHub // the router's hub, for health-transition events
 
 	dispatched atomic.Uint64
 	dropped    atomic.Uint64
@@ -77,17 +79,36 @@ func (rb *routerBackend) healthy() bool {
 // probe (shardrpc.Client round-trips an empty request). In-process
 // backends have no transport to probe and are skipped by the
 // heartbeat: they are healthy by construction.
-type pinger interface{ Ping() error }
+type pinger interface {
+	Ping(ctx context.Context) error
+}
+
+// publishTransition emits an EventBackendHealth event when an update
+// to the failure streaks moved the backend across the healthy
+// boundary. The before/after comparison is advisory — concurrent
+// updates may observe each other's state — which matches the health
+// model: counters are monotonic truth, Healthy is a derived summary.
+func (rb *routerBackend) publishTransition(before bool) {
+	if after := rb.healthy(); after != before && rb.hub.HasSubscribers() {
+		rb.hub.Publish(Event{Kind: EventBackendHealth, Backend: rb.name, Healthy: after})
+	}
+}
 
 // fail records a failed call against the backend.
 func (rb *routerBackend) fail(err error) {
+	before := rb.healthy()
 	rb.errs.Add(1)
 	rb.consec.Add(1)
 	rb.lastErr.Store(err.Error())
+	rb.publishTransition(before)
 }
 
 // ok records a successful call.
-func (rb *routerBackend) ok() { rb.consec.Store(0) }
+func (rb *routerBackend) ok() {
+	before := rb.healthy()
+	rb.consec.Store(0)
+	rb.publishTransition(before)
+}
 
 // Router fans a mixed multi-pen stream out over a fixed set of shard
 // backends using rendezvous (highest-random-weight) hashing: each EPC
@@ -101,8 +122,18 @@ func (rb *routerBackend) ok() { rb.consec.Store(0) }
 // Router itself implements ShardBackend, so a single-process
 // deployment (router over LocalBackends) and a multi-host one (router
 // over shardrpc.Clients) are the same code path, and routers compose.
+// Its event stream merges every backend's stream and adds
+// EventBackendHealth transitions.
 type Router struct {
 	backends []*routerBackend
+	hub      EventHub
+	// EventBuffer for subscriptions; settable before first Subscribe.
+	eventBuffer int
+
+	// Upstream event forwarding (started on first Subscribe).
+	fwdOnce   sync.Once
+	fwdCancel []CancelFunc
+	fwdDone   []chan struct{}
 
 	// Heartbeat state (StartHeartbeat/StopHeartbeat).
 	hbMu   sync.Mutex
@@ -123,7 +154,7 @@ func NewRouter(backends []NamedBackend) *Router {
 			panic(fmt.Sprintf("session: duplicate router backend %q", nb.Name))
 		}
 		seen[nb.Name] = true
-		r.backends = append(r.backends, &routerBackend{name: nb.Name, b: nb.Backend})
+		r.backends = append(r.backends, &routerBackend{name: nb.Name, b: nb.Backend, hub: &r.hub})
 	}
 	return r
 }
@@ -267,8 +298,9 @@ func (r *Router) probeAll() {
 		wg.Add(1)
 		go func(rb *routerBackend, p pinger) {
 			defer wg.Done()
+			before := rb.healthy()
 			rb.pings.Add(1)
-			if err := p.Ping(); err != nil {
+			if err := p.Ping(context.Background()); err != nil {
 				rb.pingFails.Add(1)
 				rb.errs.Add(1)
 				rb.pingConsec.Add(1)
@@ -276,6 +308,7 @@ func (r *Router) probeAll() {
 			} else {
 				rb.pingConsec.Store(0)
 			}
+			rb.publishTransition(before)
 		}(rb, p)
 	}
 	wg.Wait()
@@ -306,13 +339,30 @@ func (r *Router) Dropped() uint64 {
 	return n
 }
 
+// Open routes the per-session open to the EPC's rendezvous backend.
+func (r *Router) Open(ctx context.Context, epc string, opts OpenOptions) error {
+	rb := r.backendFor(epc)
+	if err := rb.b.Open(ctx, epc, opts); err != nil {
+		if !errors.Is(err, ErrSessionLimit) && ctx.Err() == nil {
+			// Transport-level failure, not a capacity outcome or the
+			// caller's own cancellation.
+			rb.fail(err)
+		}
+		return fmt.Errorf("router: backend %s: %w", rb.name, err)
+	}
+	rb.ok()
+	return nil
+}
+
 // Dispatch routes one sample to its EPC's rendezvous backend.
-func (r *Router) Dispatch(smp reader.Sample) error {
+func (r *Router) Dispatch(ctx context.Context, smp reader.Sample) error {
 	rb := r.backendFor(smp.EPC)
 	rb.dispatched.Add(1)
-	if err := rb.b.Dispatch(smp); err != nil {
+	if err := rb.b.Dispatch(ctx, smp); err != nil {
 		rb.dropped.Add(1)
-		rb.fail(err)
+		if ctx.Err() == nil {
+			rb.fail(err)
+		}
 		return fmt.Errorf("router: backend %s: %w", rb.name, err)
 	}
 	rb.ok()
@@ -324,7 +374,7 @@ func (r *Router) Dispatch(smp reader.Sample) error {
 // backend sees one framed message per report instead of one per
 // sample. A failing backend drops only its own sub-batch; the rest
 // still dispatch. The joined errors are returned.
-func (r *Router) DispatchBatch(batch []reader.Sample) error {
+func (r *Router) DispatchBatch(ctx context.Context, batch []reader.Sample) error {
 	if len(batch) == 0 {
 		return nil
 	}
@@ -349,9 +399,11 @@ func (r *Router) DispatchBatch(batch []reader.Sample) error {
 	var errs []error
 	for _, p := range parts {
 		p.rb.dispatched.Add(uint64(len(p.sub)))
-		if err := p.rb.b.DispatchBatch(p.sub); err != nil {
+		if err := p.rb.b.DispatchBatch(ctx, p.sub); err != nil {
 			p.rb.dropped.Add(uint64(len(p.sub)))
-			p.rb.fail(err)
+			if ctx.Err() == nil {
+				p.rb.fail(err)
+			}
 			errs = append(errs, fmt.Errorf("router: backend %s: %w", p.rb.name, err))
 			continue
 		}
@@ -361,14 +413,20 @@ func (r *Router) DispatchBatch(batch []reader.Sample) error {
 }
 
 // Finalize routes to the EPC's owning backend.
-func (r *Router) Finalize(epc string) (*core.Result, error) {
+func (r *Router) Finalize(ctx context.Context, epc string) (*core.Result, error) {
 	rb := r.backendFor(epc)
-	res, err := rb.b.Finalize(epc)
-	if err != nil && !errors.Is(err, ErrUnknownSession) && !errors.Is(err, core.ErrTooFewSamples) {
-		// Transport-level failure, not a per-session outcome.
-		rb.fail(err)
-	} else {
+	res, err := rb.b.Finalize(ctx, epc)
+	switch {
+	case err == nil,
+		errors.Is(err, ErrUnknownEPC),
+		errors.Is(err, core.ErrTooFewSamples):
+		// Per-session outcomes, not transport failures.
 		rb.ok()
+	case ctx.Err() != nil:
+		// The caller's own deadline/cancellation says nothing about the
+		// backend's health.
+	default:
+		rb.fail(err)
 	}
 	return res, err
 }
@@ -376,13 +434,15 @@ func (r *Router) Finalize(epc string) (*core.Result, error) {
 // Stats merges every backend's snapshots, sorted by EPC. Backends that
 // fail contribute nothing; their errors are joined and returned
 // alongside the stats gathered from the rest.
-func (r *Router) Stats() ([]Stats, error) {
+func (r *Router) Stats(ctx context.Context) ([]Stats, error) {
 	var out []Stats
 	var errs []error
 	for _, rb := range r.backends {
-		st, err := rb.b.Stats()
+		st, err := rb.b.Stats(ctx)
 		if err != nil {
-			rb.fail(err)
+			if ctx.Err() == nil {
+				rb.fail(err)
+			}
 			errs = append(errs, fmt.Errorf("router: backend %s: %w", rb.name, err))
 			continue
 		}
@@ -394,13 +454,15 @@ func (r *Router) Stats() ([]Stats, error) {
 }
 
 // EvictIdle sweeps every backend and sums the evictions.
-func (r *Router) EvictIdle(maxIdle time.Duration) (int, error) {
+func (r *Router) EvictIdle(ctx context.Context, maxIdle time.Duration) (int, error) {
 	n := 0
 	var errs []error
 	for _, rb := range r.backends {
-		k, err := rb.b.EvictIdle(maxIdle)
+		k, err := rb.b.EvictIdle(ctx, maxIdle)
 		if err != nil {
-			rb.fail(err)
+			if ctx.Err() == nil {
+				rb.fail(err)
+			}
 			errs = append(errs, fmt.Errorf("router: backend %s: %w", rb.name, err))
 			continue
 		}
@@ -410,10 +472,43 @@ func (r *Router) EvictIdle(maxIdle time.Duration) (int, error) {
 	return n, errors.Join(errs...)
 }
 
-// Close stops the heartbeat, closes every backend concurrently, and
-// merges their results. EPC keys cannot collide: each EPC routes to
-// exactly one backend.
-func (r *Router) Close() (map[string]*core.Result, error) {
+// SetEventBuffer sets the per-subscriber channel capacity for
+// Subscribe (default DefaultEventBuffer). Call before the first
+// Subscribe.
+func (r *Router) SetEventBuffer(n int) { r.eventBuffer = n }
+
+// Subscribe merges every backend's event stream — sessions events flow
+// from whichever shard owns the EPC — and adds the router's own
+// EventBackendHealth transitions. Upstream subscriptions are
+// established on the first Subscribe and kept until Close; per-EPC
+// event order is preserved because an EPC lives on exactly one
+// backend.
+func (r *Router) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
+	r.fwdOnce.Do(func() {
+		for _, rb := range r.backends {
+			ch, cancel := rb.b.Subscribe(context.Background())
+			done := make(chan struct{})
+			r.fwdCancel = append(r.fwdCancel, cancel)
+			r.fwdDone = append(r.fwdDone, done)
+			go func() {
+				defer close(done)
+				for ev := range ch {
+					r.hub.Publish(ev)
+				}
+			}()
+		}
+	})
+	return r.hub.Subscribe(ctx, r.eventBuffer)
+}
+
+// EventsDropped counts events shed at the router's own full subscriber
+// buffers (drops inside the backends are counted by the backends).
+func (r *Router) EventsDropped() uint64 { return r.hub.Dropped() }
+
+// Close stops the heartbeat and event forwarding, closes every backend
+// concurrently, and merges their results. EPC keys cannot collide:
+// each EPC routes to exactly one backend.
+func (r *Router) Close(ctx context.Context) (map[string]*core.Result, error) {
 	r.StopHeartbeat()
 	out := make(map[string]*core.Result)
 	var mu sync.Mutex
@@ -423,7 +518,7 @@ func (r *Router) Close() (map[string]*core.Result, error) {
 		wg.Add(1)
 		go func(rb *routerBackend) {
 			defer wg.Done()
-			res, err := rb.b.Close()
+			res, err := rb.b.Close(ctx)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -436,5 +531,19 @@ func (r *Router) Close() (map[string]*core.Result, error) {
 		}(rb)
 	}
 	wg.Wait()
+	// Flush the event stream before returning: cancel the upstream
+	// subscriptions and wait for the forwarders to drain what the
+	// backends published during their Close (Evict events et al.), so a
+	// subscriber that cancels after Close has everything buffered.
+	for _, cancel := range r.fwdCancel {
+		cancel()
+	}
+	for _, done := range r.fwdDone {
+		<-done
+	}
+	// With the stream flushed, end the router's own subscriptions too,
+	// so consumers ranging over Subscribe's channel terminate — the
+	// same termination contract every backend's Close honours.
+	r.hub.CloseAll()
 	return out, errors.Join(errs...)
 }

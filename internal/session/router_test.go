@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -16,11 +17,26 @@ import (
 type stubBackend struct {
 	mu       sync.Mutex
 	got      []reader.Sample
+	opened   map[string]OpenOptions
 	fail     error
 	finalize map[string]*core.Result
+	hub      EventHub
 }
 
-func (s *stubBackend) Dispatch(smp reader.Sample) error {
+func (s *stubBackend) Open(_ context.Context, epc string, opts OpenOptions) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail != nil {
+		return s.fail
+	}
+	if s.opened == nil {
+		s.opened = map[string]OpenOptions{}
+	}
+	s.opened[epc] = opts
+	return nil
+}
+
+func (s *stubBackend) Dispatch(_ context.Context, smp reader.Sample) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.fail != nil {
@@ -30,26 +46,26 @@ func (s *stubBackend) Dispatch(smp reader.Sample) error {
 	return nil
 }
 
-func (s *stubBackend) DispatchBatch(batch []reader.Sample) error {
+func (s *stubBackend) DispatchBatch(ctx context.Context, batch []reader.Sample) error {
 	for _, smp := range batch {
-		if err := s.Dispatch(smp); err != nil {
+		if err := s.Dispatch(ctx, smp); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (s *stubBackend) Finalize(epc string) (*core.Result, error) {
+func (s *stubBackend) Finalize(_ context.Context, epc string) (*core.Result, error) {
 	if s.fail != nil {
 		return nil, s.fail
 	}
 	if r, ok := s.finalize[epc]; ok {
 		return r, nil
 	}
-	return nil, ErrUnknownSession
+	return nil, ErrUnknownEPC
 }
 
-func (s *stubBackend) Stats() ([]Stats, error) {
+func (s *stubBackend) Stats(context.Context) ([]Stats, error) {
 	if s.fail != nil {
 		return nil, s.fail
 	}
@@ -66,14 +82,18 @@ func (s *stubBackend) Stats() ([]Stats, error) {
 	return out, nil
 }
 
-func (s *stubBackend) EvictIdle(time.Duration) (int, error) {
+func (s *stubBackend) EvictIdle(context.Context, time.Duration) (int, error) {
 	if s.fail != nil {
 		return 0, s.fail
 	}
 	return 0, nil
 }
 
-func (s *stubBackend) Close() (map[string]*core.Result, error) {
+func (s *stubBackend) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
+	return s.hub.Subscribe(ctx, 0)
+}
+
+func (s *stubBackend) Close(context.Context) (map[string]*core.Result, error) {
 	if s.fail != nil {
 		return nil, s.fail
 	}
@@ -140,7 +160,7 @@ func TestRouterOrderAndPartition(t *testing.T) {
 	for i := 0; i < 300; i++ {
 		batch = append(batch, reader.Sample{T: float64(i), EPC: fmt.Sprintf("pen-%d", i%17)})
 	}
-	if err := r.DispatchBatch(batch); err != nil {
+	if err := r.DispatchBatch(context.Background(), batch); err != nil {
 		t.Fatal(err)
 	}
 	total := 0
@@ -187,11 +207,11 @@ func TestRouterHealth(t *testing.T) {
 	}
 
 	for i := 0; i < unhealthyAfter; i++ {
-		if err := r.Dispatch(reader.Sample{EPC: badEPC}); err == nil {
+		if err := r.Dispatch(context.Background(), reader.Sample{EPC: badEPC}); err == nil {
 			t.Fatal("dispatch to failing backend should error")
 		}
 	}
-	if err := r.Dispatch(reader.Sample{EPC: okEPC}); err != nil {
+	if err := r.Dispatch(context.Background(), reader.Sample{EPC: okEPC}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -212,13 +232,13 @@ func TestRouterHealth(t *testing.T) {
 
 	// Errors on Stats/EvictIdle/Close surface but don't stop the
 	// healthy backend's contribution.
-	if _, err := r.Stats(); err == nil {
+	if _, err := r.Stats(context.Background()); err == nil {
 		t.Fatal("Stats should join the failing backend's error")
 	}
-	if _, err := r.EvictIdle(time.Minute); err == nil {
+	if _, err := r.EvictIdle(context.Background(), time.Minute); err == nil {
 		t.Fatal("EvictIdle should join the failing backend's error")
 	}
-	if _, err := r.Close(); err == nil {
+	if _, err := r.Close(context.Background()); err == nil {
 		t.Fatal("Close should join the failing backend's error")
 	}
 }
@@ -266,7 +286,7 @@ func TestRouterConcurrentCallbacks(t *testing.T) {
 		go func(epc string) {
 			defer wg.Done()
 			for _, smp := range perEPC[epc] {
-				if err := sm.Dispatch(smp); err != nil {
+				if err := sm.Dispatch(context.Background(), smp); err != nil {
 					t.Errorf("dispatch %s: %v", epc, err)
 					return
 				}
@@ -274,7 +294,7 @@ func TestRouterConcurrentCallbacks(t *testing.T) {
 		}(epc)
 	}
 	wg.Wait()
-	if _, err := sm.Close(); err != nil {
+	if _, err := sm.Close(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -302,7 +322,7 @@ type pingableStub struct {
 	pings   int
 }
 
-func (p *pingableStub) Ping() error {
+func (p *pingableStub) Ping(context.Context) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.pings++
@@ -407,7 +427,7 @@ func TestRouterHeartbeat(t *testing.T) {
 		}
 	}
 	for i := 0; i < unhealthyAfter; i++ {
-		if err := r.Dispatch(reader.Sample{EPC: epc}); err == nil {
+		if err := r.Dispatch(context.Background(), reader.Sample{EPC: epc}); err == nil {
 			t.Fatal("dispatch to failing backend succeeded")
 		}
 	}

@@ -12,6 +12,7 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"sync"
@@ -30,11 +31,35 @@ const (
 	DefaultMaxSessions = 64
 )
 
-// Errors returned by the manager.
+// The serving error taxonomy. Every backend — in-process, shardrpc
+// client, router — returns these sentinels for the corresponding
+// conditions, and the shardrpc wire protocol round-trips them, so
+// errors.Is works identically however a deployment is topologized.
 var (
-	ErrClosed         = errors.New("session: manager closed")
-	ErrSessionClosed  = errors.New("session: session closed")
-	ErrUnknownSession = errors.New("session: unknown EPC")
+	// ErrClosed: the backend (or its manager) has been closed; the
+	// operation was not performed.
+	ErrClosed = errors.New("session: manager closed")
+	// ErrUnknownEPC: the EPC has no live session.
+	ErrUnknownEPC = errors.New("session: unknown EPC")
+	// ErrSessionLimit: an explicit Open would exceed the backend's
+	// MaxSessions cap. (Sessions auto-created by Dispatch instead evict
+	// the least-recently-active session; an explicit Open never evicts
+	// someone else's session silently.)
+	ErrSessionLimit = errors.New("session: session limit reached")
+	// ErrBackendUnavailable: the backend's transport failed (dial,
+	// write, or read) before the operation could complete. Local
+	// backends never return it.
+	ErrBackendUnavailable = errors.New("session: backend unavailable")
+
+	// ErrSessionClosed reports an enqueue racing its session's
+	// eviction; Dispatch retries it internally.
+	ErrSessionClosed = errors.New("session: session closed")
+
+	// ErrUnknownSession is the taxonomy's previous name for
+	// ErrUnknownEPC.
+	//
+	// Deprecated: use ErrUnknownEPC.
+	ErrUnknownSession = ErrUnknownEPC
 )
 
 // Config parameterizes a Manager.
@@ -53,20 +78,32 @@ type Config struct {
 	// true backpressure toward the LLRP socket; true drops the sample
 	// and counts it, favouring liveness over completeness.
 	DropWhenFull bool
-	// OnPoint, if set, is invoked each time a window closes, with the
-	// live position estimate. It runs on the closing session's worker
-	// goroutine, so with more than one live session invocations are
-	// CONCURRENT — and in a sharded deployment the same callback is
-	// shared by every shard's workers (and by shardrpc client read
-	// loops). The callback must synchronize any shared state itself;
-	// see TestRouterConcurrentCallbacks for the contract under -race.
-	// A slow OnPoint stalls only its own session's decode.
+	// EventBuffer bounds each event subscriber's channel (default
+	// DefaultEventBuffer). A subscriber that lets its buffer fill loses
+	// events rather than stalling decode workers.
+	EventBuffer int
+
+	// OnPoint is the legacy callback adapter for what is now the
+	// unified event stream (Subscribe; EventPoint). If set, it is
+	// invoked each time a window closes, with the live position
+	// estimate. It runs on the closing session's worker goroutine, so
+	// with more than one live session invocations are CONCURRENT — and
+	// in a sharded deployment the same callback is shared by every
+	// shard's workers (and by shardrpc client read loops). The callback
+	// must synchronize any shared state itself; see
+	// TestRouterConcurrentCallbacks for the contract under -race. A
+	// slow OnPoint stalls only its own session's decode.
+	//
+	// Deprecated: use ShardBackend.Subscribe and filter EventPoint.
 	OnPoint func(epc string, w core.Window, live geom.Vec2)
-	// OnEvict, if set, receives the finalized result (or error) of
-	// every session that is evicted or finalized. Like OnPoint it may
-	// be invoked concurrently (evictions triggered from different
-	// goroutines, FinalizeAll finalizing sessions in parallel) and must
-	// be safe for concurrent use.
+	// OnEvict is the legacy callback adapter for EventEvict. If set, it
+	// receives the finalized result (or error) of every session that is
+	// evicted or finalized. Like OnPoint it may be invoked concurrently
+	// (evictions triggered from different goroutines, FinalizeAll
+	// finalizing sessions in parallel) and must be safe for concurrent
+	// use.
+	//
+	// Deprecated: use ShardBackend.Subscribe and filter EventEvict.
 	OnEvict func(epc string, res *core.Result, err error)
 }
 
@@ -129,6 +166,7 @@ type session struct {
 type Manager struct {
 	cfg     Config
 	tracker *core.Tracker
+	events  EventHub
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -158,6 +196,47 @@ func newManagerWith(cfg Config, tr *core.Tracker) *Manager {
 
 // Tracker exposes the shared batch tracker (same grid the streams use).
 func (m *Manager) Tracker() *core.Tracker { return m.tracker }
+
+// Subscribe attaches a consumer to the manager's unified event stream:
+// WindowClose/Point per closed window, Commit segments from the
+// fixed-lag smoother, and Evict outcomes, across every session. Events
+// are delivered on a buffered channel (Config.EventBuffer) and dropped
+// — never blocking decode workers — when the consumer falls behind.
+// Cancel (or ctx expiry) detaches and closes the channel.
+func (m *Manager) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
+	return m.events.Subscribe(ctx, m.cfg.EventBuffer)
+}
+
+// EventsDropped counts events shed at full subscriber buffers.
+func (m *Manager) EventsDropped() uint64 { return m.events.Dropped() }
+
+// Open eagerly creates the EPC's session with per-session decode
+// options overlaying the manager's base tracker configuration. Unlike
+// the implicit create on first Dispatch, Open never evicts another
+// session to make room: at the MaxSessions cap it fails with
+// ErrSessionLimit. Opening an EPC that already has a live session is a
+// no-op returning nil — the live session keeps the configuration it
+// was created with. The options last for the lifetime of this session
+// instance; once it is finalized or evicted, the EPC reverts to the
+// manager defaults (a later Dispatch re-creates it unconfigured).
+func (m *Manager) Open(epc string, opts OpenOptions) error {
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if _, ok := m.sessions[epc]; ok {
+		return nil
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		return ErrSessionLimit
+	}
+	m.sessions[epc] = m.startSession(epc, opts)
+	return nil
+}
 
 // Dispatch routes one sample to its EPC's session, creating the
 // session on first sight (evicting the least-recently-active one if
@@ -212,17 +291,27 @@ func (m *Manager) sessionFor(epc string) (*session, error) {
 		evict = m.lruLocked()
 		delete(m.sessions, evict.epc)
 	}
-	s := m.startSession(epc)
+	s := m.startSession(epc, OpenOptions{})
 	m.sessions[epc] = s
 	m.mu.Unlock()
 
 	if evict != nil {
-		res, err := evict.finalize()
-		if m.cfg.OnEvict != nil {
-			m.cfg.OnEvict(evict.epc, res, err)
-		}
+		m.finalizeSession(evict)
 	}
 	return s, nil
+}
+
+// finalizeSession drains and decodes one removed session, delivering
+// the outcome to the event stream and the legacy OnEvict adapter.
+func (m *Manager) finalizeSession(s *session) (*core.Result, error) {
+	res, err := s.finalize()
+	if m.events.HasSubscribers() {
+		m.events.Publish(Event{Kind: EventEvict, EPC: s.epc, Result: res, Err: err})
+	}
+	if m.cfg.OnEvict != nil {
+		m.cfg.OnEvict(s.epc, res, err)
+	}
+	return res, err
 }
 
 // lruLocked returns the least-recently-active session; m.mu held.
@@ -236,12 +325,19 @@ func (m *Manager) lruLocked() *session {
 	return oldest
 }
 
-func (m *Manager) startSession(epc string) *session {
+// startSession builds one pen session; m.mu held. Zero opts share the
+// manager's tracker configuration; set fields overlay it via
+// core.Tracker.StreamWith (grid-level fields cannot vary per session).
+func (m *Manager) startSession(epc string, opts OpenOptions) *session {
+	st := m.tracker.Stream()
+	if !opts.IsZero() {
+		st = m.tracker.StreamWith(opts.Apply(m.cfg.Tracker))
+	}
 	s := &session{
 		epc:   epc,
 		queue: make(chan reader.Sample, m.cfg.QueueSize),
 		done:  make(chan struct{}),
-		st:    m.tracker.Stream(),
+		st:    st,
 	}
 	s.lastActive.Store(time.Now().UnixNano())
 	onPoint := m.cfg.OnPoint
@@ -255,8 +351,24 @@ func (m *Manager) startSession(epc string) *session {
 		s.windows++
 		s.decode = decode
 		s.liveMu.Unlock()
+		if m.events.HasSubscribers() {
+			m.events.Publish(Event{Kind: EventWindowClose, EPC: epc, Window: w})
+			m.events.Publish(Event{Kind: EventPoint, EPC: epc, Window: w, Live: live})
+		}
 		if onPoint != nil {
 			onPoint(epc, w, live)
+		}
+	}
+	// Commit segments flow to the event stream. Setting OnCommit also
+	// arms the smoother's lossless merge-commit detection for sessions
+	// with CommitLag 0 — commits are a prefix of the Finalize
+	// trajectory either way, so decoded results are unchanged.
+	s.st.OnCommit = func(start int, seg geom.Polyline) {
+		if m.events.HasSubscribers() {
+			// seg is freshly built per commit (core never reuses it),
+			// so subscribers may retain it.
+			m.events.Publish(Event{Kind: EventCommit, EPC: epc,
+				CommitStart: start, Segment: seg})
 		}
 	}
 	go s.run()
@@ -355,22 +467,23 @@ func (m *Manager) Len() int {
 	return len(m.sessions)
 }
 
-// Finalize evicts one session and returns its decoded trajectory.
+// Finalize evicts one session and returns its decoded trajectory
+// (ErrUnknownEPC if none is live, ErrClosed after Close).
 func (m *Manager) Finalize(epc string) (*core.Result, error) {
 	m.mu.Lock()
+	closed := m.closed
 	s, ok := m.sessions[epc]
 	if ok {
 		delete(m.sessions, epc)
 	}
 	m.mu.Unlock()
 	if !ok {
-		return nil, ErrUnknownSession
+		if closed {
+			return nil, ErrClosed
+		}
+		return nil, ErrUnknownEPC
 	}
-	res, err := s.finalize()
-	if m.cfg.OnEvict != nil {
-		m.cfg.OnEvict(epc, res, err)
-	}
-	return res, err
+	return m.finalizeSession(s)
 }
 
 // EvictIdle finalizes every session idle for at least maxIdle and
@@ -387,10 +500,7 @@ func (m *Manager) EvictIdle(maxIdle time.Duration) int {
 	}
 	m.mu.Unlock()
 	for _, s := range idle {
-		res, err := s.finalize()
-		if m.cfg.OnEvict != nil {
-			m.cfg.OnEvict(s.epc, res, err)
-		}
+		m.finalizeSession(s)
 	}
 	return len(idle)
 }
@@ -414,10 +524,7 @@ func (m *Manager) FinalizeAll() map[string]*core.Result {
 		wg.Add(1)
 		go func(s *session) {
 			defer wg.Done()
-			res, err := s.finalize()
-			if m.cfg.OnEvict != nil {
-				m.cfg.OnEvict(s.epc, res, err)
-			}
+			res, err := m.finalizeSession(s)
 			if err == nil {
 				outMu.Lock()
 				out[s.epc] = res
@@ -429,10 +536,15 @@ func (m *Manager) FinalizeAll() map[string]*core.Result {
 	return out
 }
 
-// Close finalizes everything and rejects further dispatches.
+// Close finalizes everything, rejects further dispatches, and ends
+// every event subscription (after the final Evict events are
+// delivered), so a consumer ranging over Subscribe's channel
+// terminates without needing its own cancel.
 func (m *Manager) Close() map[string]*core.Result {
 	m.mu.Lock()
 	m.closed = true
 	m.mu.Unlock()
-	return m.FinalizeAll()
+	out := m.FinalizeAll()
+	m.events.CloseAll()
+	return out
 }

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -79,6 +80,7 @@ func NewShardedManager(cfg ShardedConfig) *ShardedManager {
 		nbs = append(nbs, NamedBackend{Name: fmt.Sprintf("shard-%d", i), Backend: lb})
 	}
 	sm.router = NewRouter(nbs)
+	sm.router.SetEventBuffer(cfg.Session.EventBuffer)
 	return sm
 }
 
@@ -92,25 +94,37 @@ func (sm *ShardedManager) Shards() int { return len(sm.locals) }
 // the EPC→shard mapping.
 func (sm *ShardedManager) Router() *Router { return sm.router }
 
-// Dispatch routes one sample to its EPC's shard. With DropWhenFull
-// unset it blocks while the shard's ingress queue is full.
-func (sm *ShardedManager) Dispatch(smp reader.Sample) error {
+// Open eagerly creates the EPC's session on its rendezvous shard with
+// per-session decode options (see Manager.Open for the semantics).
+func (sm *ShardedManager) Open(ctx context.Context, epc string, opts OpenOptions) error {
 	sm.mu.RLock()
 	defer sm.mu.RUnlock()
 	if sm.closed {
 		return ErrClosed
 	}
-	return sm.router.Dispatch(smp)
+	return sm.router.Open(ctx, epc, opts)
+}
+
+// Dispatch routes one sample to its EPC's shard. With DropWhenFull
+// unset it blocks while the shard's ingress queue is full, returning
+// ctx.Err() if the context ends first.
+func (sm *ShardedManager) Dispatch(ctx context.Context, smp reader.Sample) error {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
+	if sm.closed {
+		return ErrClosed
+	}
+	return sm.router.Dispatch(ctx, smp)
 }
 
 // DispatchBatch routes a batch (e.g. one RO_ACCESS_REPORT) in order.
-func (sm *ShardedManager) DispatchBatch(batch []reader.Sample) error {
+func (sm *ShardedManager) DispatchBatch(ctx context.Context, batch []reader.Sample) error {
 	sm.mu.RLock()
 	defer sm.mu.RUnlock()
 	if sm.closed {
 		return ErrClosed
 	}
-	return sm.router.DispatchBatch(batch)
+	return sm.router.DispatchBatch(ctx, batch)
 }
 
 // IngressDropped counts samples discarded at full shard queues
@@ -133,29 +147,38 @@ func (sm *ShardedManager) Len() int {
 }
 
 // Stats snapshots every live session across shards, sorted by EPC.
-func (sm *ShardedManager) Stats() ([]Stats, error) { return sm.router.Stats() }
+func (sm *ShardedManager) Stats(ctx context.Context) ([]Stats, error) {
+	return sm.router.Stats(ctx)
+}
 
 // Finalize evicts one session and returns its decoded trajectory.
 // Samples for the EPC still queued at its shard's ingress when
 // Finalize runs are not waited for; they re-open a fresh session when
 // the worker reaches them, exactly as a late sample after an eviction
 // would.
-func (sm *ShardedManager) Finalize(epc string) (*core.Result, error) {
-	return sm.router.Finalize(epc)
+func (sm *ShardedManager) Finalize(ctx context.Context, epc string) (*core.Result, error) {
+	return sm.router.Finalize(ctx, epc)
 }
 
 // EvictIdle finalizes every session idle for at least maxIdle and
 // returns how many were evicted.
-func (sm *ShardedManager) EvictIdle(maxIdle time.Duration) (int, error) {
-	return sm.router.EvictIdle(maxIdle)
+func (sm *ShardedManager) EvictIdle(ctx context.Context, maxIdle time.Duration) (int, error) {
+	return sm.router.EvictIdle(ctx, maxIdle)
+}
+
+// Subscribe attaches a consumer to the merged event stream of every
+// shard (see Router.Subscribe).
+func (sm *ShardedManager) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
+	return sm.router.Subscribe(ctx)
 }
 
 // Close stops ingress, drains every shard queue, finalizes all
 // sessions concurrently, and returns the decoded results keyed by
 // EPC (sessions whose streams were too short are omitted; they still
-// reach OnEvict with their error). Further dispatches fail with
-// ErrClosed. Close is idempotent; later calls return nil.
-func (sm *ShardedManager) Close() (map[string]*core.Result, error) {
+// reach the event stream and OnEvict with their error). Further
+// dispatches fail with ErrClosed. Close is idempotent; later calls
+// return nil.
+func (sm *ShardedManager) Close(ctx context.Context) (map[string]*core.Result, error) {
 	sm.mu.Lock()
 	if sm.closed {
 		sm.mu.Unlock()
@@ -163,5 +186,5 @@ func (sm *ShardedManager) Close() (map[string]*core.Result, error) {
 	}
 	sm.closed = true
 	sm.mu.Unlock()
-	return sm.router.Close()
+	return sm.router.Close(ctx)
 }

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -27,10 +28,10 @@ func TestShardedDemuxMatchesBatch(t *testing.T) {
 	if got := sm.Shards(); got != 3 {
 		t.Fatalf("shards = %d, want 3", got)
 	}
-	if err := sm.DispatchBatch(samples); err != nil {
+	if err := sm.DispatchBatch(context.Background(), samples); err != nil {
 		t.Fatal(err)
 	}
-	results, err := sm.Close()
+	results, err := sm.Close(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,10 +59,10 @@ func TestShardedDemuxMatchesBatch(t *testing.T) {
 		}
 	}
 
-	if err := sm.Dispatch(samples[0]); err != ErrClosed {
+	if err := sm.Dispatch(context.Background(), samples[0]); err != ErrClosed {
 		t.Fatalf("dispatch after close: %v, want ErrClosed", err)
 	}
-	if res, _ := sm.Close(); res != nil {
+	if res, _ := sm.Close(context.Background()); res != nil {
 		t.Fatal("second Close should return nil")
 	}
 }
@@ -80,7 +81,7 @@ func TestShardedStatsAndEviction(t *testing.T) {
 		},
 		Shards: 4,
 	})
-	if err := sm.DispatchBatch(samples); err != nil {
+	if err := sm.DispatchBatch(context.Background(), samples); err != nil {
 		t.Fatal(err)
 	}
 	// Wait for the shard workers to drain so every session exists.
@@ -91,7 +92,7 @@ func TestShardedStatsAndEviction(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	st, err := sm.Stats()
+	st, err := sm.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestShardedStatsAndEviction(t *testing.T) {
 			t.Fatalf("stats unsorted at %d: %s >= %s", i, st[i-1].EPC, st[i].EPC)
 		}
 	}
-	if n, _ := sm.EvictIdle(0); n != pens {
+	if n, _ := sm.EvictIdle(context.Background(), 0); n != pens {
 		t.Fatalf("evicted %d, want %d", n, pens)
 	}
 	if sm.Len() != 0 {
@@ -112,7 +113,7 @@ func TestShardedStatsAndEviction(t *testing.T) {
 	if got := evicted.Load(); got != pens {
 		t.Fatalf("OnEvict fired %d times, want %d", got, pens)
 	}
-	sm.Close()
+	sm.Close(context.Background())
 }
 
 // TestShardedJoinLeaveRace exercises the sharded tier under the
@@ -155,7 +156,7 @@ func TestShardedJoinLeaveRace(t *testing.T) {
 				time.Sleep(5 * time.Millisecond) // late joiner
 			}
 			for _, smp := range perEPC[epc] {
-				if err := sm.Dispatch(smp); err != nil {
+				if err := sm.Dispatch(context.Background(), smp); err != nil {
 					t.Errorf("dispatch %s: %v", epc, err)
 					return
 				}
@@ -163,7 +164,7 @@ func TestShardedJoinLeaveRace(t *testing.T) {
 			if i%3 == 0 {
 				// Leave mid-stream from the pen's own goroutine: the
 				// result covers whatever the shard worker had drained.
-				sm.Finalize(epc)
+				sm.Finalize(context.Background(), epc)
 			}
 		}(i, epc)
 	}
@@ -178,8 +179,8 @@ func TestShardedJoinLeaveRace(t *testing.T) {
 				return
 			default:
 				sm.Len()
-				sm.Stats()
-				sm.EvictIdle(time.Minute)
+				sm.Stats(context.Background())
+				sm.EvictIdle(context.Background(), time.Minute)
 				sm.Router().Health()
 				time.Sleep(time.Millisecond)
 			}
@@ -198,7 +199,7 @@ func TestShardedJoinLeaveRace(t *testing.T) {
 	}()
 	<-done
 
-	sm.Close()
+	sm.Close(context.Background())
 	for _, epc := range epcs {
 		if _, ok := finalized.Load(epc); !ok {
 			t.Errorf("EPC %s never reached OnEvict", epc)
@@ -217,11 +218,11 @@ func TestShardedDropWhenFull(t *testing.T) {
 		DropWhenFull: true,
 	})
 	for _, smp := range samples {
-		if err := sm.Dispatch(smp); err != nil {
+		if err := sm.Dispatch(context.Background(), smp); err != nil {
 			t.Fatal(err)
 		}
 	}
-	sm.Close()
+	sm.Close(context.Background())
 	// With a one-deep ingress queue some samples must have been shed;
 	// the exact count is timing-dependent.
 	if sm.IngressDropped() == 0 {
@@ -233,7 +234,7 @@ func TestShardedDropWhenFull(t *testing.T) {
 // shard (the property per-EPC ordering rests on).
 func TestShardStability(t *testing.T) {
 	sm := NewShardedManager(ShardedConfig{Shards: 7})
-	defer sm.Close()
+	defer sm.Close(context.Background())
 	for _, epc := range []string{"", "a", "E280-1160-6000-0001", "pen-042"} {
 		s0 := sm.Router().BackendFor(epc)
 		for i := 0; i < 10; i++ {

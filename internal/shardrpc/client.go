@@ -2,6 +2,7 @@ package shardrpc
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -26,13 +27,25 @@ var (
 	ErrCallTimeout = errors.New("shardrpc: call timed out")
 )
 
+// unavailable tags a transport-level failure with the taxonomy
+// sentinel, so errors.Is(err, session.ErrBackendUnavailable) holds for
+// dial, write, and read failures however deep they happened.
+func unavailable(err error) error {
+	if errors.Is(err, session.ErrBackendUnavailable) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", session.ErrBackendUnavailable, err)
+}
+
 // ClientConfig parameterizes a shard client.
 type ClientConfig struct {
 	// Addr is the shard server's host:port.
 	Addr string
-	// DialTimeout bounds connection establishment (default 5s).
+	// DialTimeout bounds connection establishment including the
+	// version handshake (default 5s).
 	DialTimeout time.Duration
-	// CallTimeout bounds each synchronous request (default 30s).
+	// CallTimeout bounds each synchronous request (default 30s); a
+	// context deadline shorter than CallTimeout wins.
 	CallTimeout time.Duration
 	// BatchSize is the number of dispatched samples buffered before an
 	// automatic flush (default 64). Larger batches amortize framing and
@@ -41,10 +54,16 @@ type ClientConfig struct {
 	// FlushInterval bounds how long a buffered sample may wait for its
 	// batch to fill (default 2ms).
 	FlushInterval time.Duration
-	// OnPoint, if set, subscribes the connection to the server's
-	// window-close events, mirroring session.Config.OnPoint across the
-	// wire. It is invoked from the client's read loop: keep it fast, or
-	// responses stall behind it.
+	// EventBuffer bounds each Subscribe consumer's channel (default
+	// session.DefaultEventBuffer).
+	EventBuffer int
+	// OnPoint is the legacy callback adapter for EventPoint: if set,
+	// the connection subscribes to the server's event stream and
+	// invokes it per point event, mirroring session.Config.OnPoint
+	// across the wire. It runs on the client's read loop: keep it
+	// fast, or responses stall behind it.
+	//
+	// Deprecated: use Client.Subscribe and filter EventPoint.
 	OnPoint func(epc string, w core.Window, live geom.Vec2)
 }
 
@@ -80,17 +99,25 @@ type respMsg struct {
 // on next use; samples buffered or in flight across the failure are
 // dropped and counted in Lost.
 //
+// Every method honours its context: a call blocked on a dead or
+// unresponsive remote returns ctx.Err() as soon as the context ends
+// (tearing the connection down, since the FIFO response stream cannot
+// be resynchronized past an abandoned request).
+//
 // A Client is safe for concurrent use.
 type Client struct {
 	cfg ClientConfig
 
-	mu      sync.Mutex
-	conn    net.Conn
-	bw      *bufio.Writer
-	gen     int // connection generation; stale read loops are ignored
-	pending []reader.Sample
-	waiters []chan respMsg
-	closed  bool
+	mu         sync.Mutex
+	conn       net.Conn
+	bw         *bufio.Writer
+	gen        int // connection generation; stale read loops are ignored
+	subscribed bool
+	pending    []reader.Sample
+	waiters    []chan respMsg
+	closed     bool
+
+	events session.EventHub
 
 	stopFlush chan struct{}
 
@@ -98,9 +125,10 @@ type Client struct {
 	reconnects atomic.Uint64
 }
 
-// Dial connects to a shard server. The background flush loop starts
-// immediately; the connection is re-established transparently after
-// failures.
+// Dial connects to a shard server and performs the version handshake.
+// The background flush loop starts immediately; the connection is
+// re-established transparently after failures. A peer speaking a
+// different protocol generation fails with ErrVersionMismatch.
 func Dial(cfg ClientConfig) (*Client, error) {
 	c := &Client{cfg: cfg.withDefaults(), stopFlush: make(chan struct{})}
 	c.mu.Lock()
@@ -123,14 +151,64 @@ func (c *Client) Lost() uint64 { return c.lost.Load() }
 // Reconnects counts successful redials after a connection failure.
 func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
 
-// ensureConnLocked dials if no live connection exists; c.mu held.
+// handshake performs the synchronous version exchange on a fresh
+// connection, before any other frame: send opHello(protoVersion), read
+// the opResp, verify the server's version. The conn deadline bounds
+// the whole exchange.
+func (c *Client) handshake(conn net.Conn) error {
+	if err := conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout)); err != nil {
+		return unavailable(err)
+	}
+	defer conn.SetDeadline(time.Time{})
+	var e enc
+	e.u8(protoVersion)
+	bw := bufio.NewWriter(conn)
+	if err := writeFrame(bw, opHello, e.b); err != nil {
+		return unavailable(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return unavailable(err)
+	}
+	op, payload, err := readFrame(conn)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// A pre-versioning server treats opHello as a protocol
+			// violation and hangs up without answering: the signature
+			// of version skew, reported as such.
+			return fmt.Errorf("%w: server at %s hung up on the version handshake "+
+				"(pre-versioning shardrpc server? client speaks v%d)",
+				ErrVersionMismatch, c.cfg.Addr, protoVersion)
+		}
+		return unavailable(err)
+	}
+	if op != opResp {
+		return fmt.Errorf("%w: server at %s answered the handshake with opcode 0x%02x",
+			ErrVersionMismatch, c.cfg.Addr, op)
+	}
+	d := dec{b: payload}
+	if err := checkStatus(&d); err != nil {
+		return err // a v-mismatch error round-trips as ErrVersionMismatch
+	}
+	if v := d.u8(); d.err != nil || v != protoVersion {
+		return fmt.Errorf("%w: server at %s speaks v%d, client speaks v%d",
+			ErrVersionMismatch, c.cfg.Addr, v, protoVersion)
+	}
+	return nil
+}
+
+// ensureConnLocked dials (and handshakes) if no live connection
+// exists; c.mu held.
 func (c *Client) ensureConnLocked() error {
 	if c.conn != nil {
 		return nil
 	}
 	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
 	if err != nil {
-		return fmt.Errorf("shardrpc: dial %s: %w", c.cfg.Addr, err)
+		return unavailable(fmt.Errorf("shardrpc: dial %s: %w", c.cfg.Addr, err))
+	}
+	if err := c.handshake(conn); err != nil {
+		conn.Close()
+		return err
 	}
 	if c.gen > 0 {
 		c.reconnects.Add(1)
@@ -138,14 +216,16 @@ func (c *Client) ensureConnLocked() error {
 	c.conn = conn
 	c.bw = bufio.NewWriter(conn)
 	c.gen++
+	c.subscribed = false
 	go c.readLoop(conn, c.gen)
-	if c.cfg.OnPoint != nil {
+	if c.cfg.OnPoint != nil || c.events.HasSubscribers() {
 		// A failed subscribe has already torn the connection down
 		// (c.bw is nil again), so it must fail the ensure: callers are
 		// about to write frames.
 		if err := c.writeFrameLocked(opSubscribe, nil); err != nil {
 			return fmt.Errorf("shardrpc: subscribe %s: %w", c.cfg.Addr, err)
 		}
+		c.subscribed = true
 	}
 	return nil
 }
@@ -169,10 +249,12 @@ func (c *Client) teardownLocked(gen int, cause error) {
 // writeFrameLocked frames one message and flushes; c.mu held.
 func (c *Client) writeFrameLocked(op byte, payload []byte) error {
 	if err := writeFrame(c.bw, op, payload); err != nil {
+		err = unavailable(err)
 		c.teardownLocked(c.gen, err)
 		return err
 	}
 	if err := c.bw.Flush(); err != nil {
+		err = unavailable(err)
 		c.teardownLocked(c.gen, err)
 		return err
 	}
@@ -227,11 +309,12 @@ func (c *Client) flushLoop() {
 }
 
 // readLoop demultiplexes the connection's inbound stream: event frames
-// go to OnPoint, response frames to the oldest pending waiter.
+// go to subscribers (and the OnPoint adapter), response frames to the
+// oldest pending waiter.
 func (c *Client) readLoop(conn net.Conn, gen int) {
 	fail := func(err error) {
 		c.mu.Lock()
-		c.teardownLocked(gen, err)
+		c.teardownLocked(gen, unavailable(err))
 		c.mu.Unlock()
 	}
 	br := bufio.NewReader(conn)
@@ -242,7 +325,7 @@ func (c *Client) readLoop(conn net.Conn, gen int) {
 			return
 		}
 		switch op {
-		case opEvPoint:
+		case opEvent:
 			c.mu.Lock()
 			stale := gen != c.gen
 			c.mu.Unlock()
@@ -250,15 +333,14 @@ func (c *Client) readLoop(conn net.Conn, gen int) {
 				return // superseded connection; stop delivering
 			}
 			d := dec{b: payload}
-			epc := d.str()
-			w := decodeWindow(&d)
-			live := geom.Vec2{X: d.f64(), Y: d.f64()}
+			ev := decodeEvent(&d)
 			if d.err != nil {
 				fail(d.err)
 				return
 			}
-			if c.cfg.OnPoint != nil {
-				c.cfg.OnPoint(epc, w, live)
+			c.events.Publish(ev)
+			if c.cfg.OnPoint != nil && ev.Kind == session.EventPoint {
+				c.cfg.OnPoint(ev.EPC, ev.Window, ev.Live)
 			}
 		case opResp:
 			c.mu.Lock()
@@ -289,8 +371,14 @@ func (c *Client) readLoop(conn net.Conn, gen int) {
 
 // call performs one synchronous request: flush buffered samples (so
 // per-EPC order is preserved relative to the request), frame it, and
-// wait for the FIFO-matched response.
-func (c *Client) call(op byte, payload []byte, force bool) ([]byte, error) {
+// wait for the FIFO-matched response — bounded by both ctx and
+// CallTimeout. An abandoned wait tears the connection down: the FIFO
+// stream cannot be resynchronized past a request whose response nobody
+// will claim.
+func (c *Client) call(ctx context.Context, op byte, payload []byte, force bool) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	if c.closed && !force {
 		c.mu.Unlock()
@@ -312,20 +400,27 @@ func (c *Client) call(op byte, payload []byte, force bool) ([]byte, error) {
 	if err != nil {
 		return nil, err // teardown already failed ch
 	}
-	select {
-	case msg := <-ch:
-		return msg.payload, msg.err
-	case <-time.After(c.cfg.CallTimeout):
+	timeout := time.NewTimer(c.cfg.CallTimeout)
+	defer timeout.Stop()
+	abandoned := func(cause error) ([]byte, error) {
 		c.mu.Lock()
-		c.teardownLocked(gen, ErrCallTimeout)
+		c.teardownLocked(gen, cause)
 		c.mu.Unlock()
 		// The teardown delivered an error unless a response raced in.
 		select {
 		case msg := <-ch:
 			return msg.payload, msg.err
 		default:
-			return nil, ErrCallTimeout
+			return nil, cause
 		}
+	}
+	select {
+	case msg := <-ch:
+		return msg.payload, msg.err
+	case <-ctx.Done():
+		return abandoned(ctx.Err())
+	case <-timeout.C:
+		return abandoned(ErrCallTimeout)
 	}
 }
 
@@ -338,10 +433,34 @@ func checkStatus(d *dec) error {
 	return d.err
 }
 
+// Open eagerly creates the EPC's session on the remote shard with
+// per-session decode options (see session.Manager.Open for the
+// semantics). Options cross the wire losslessly, so the remote session
+// decodes bit-identically to a local one opened with the same options.
+func (c *Client) Open(ctx context.Context, epc string, opts session.OpenOptions) error {
+	if err := opts.Validate(); err != nil {
+		return err
+	}
+	var e enc
+	if err := e.str(epc); err != nil {
+		return err
+	}
+	encodeOpenOptions(&e, opts)
+	payload, err := c.call(ctx, opOpen, e.b, false)
+	if err != nil {
+		return err
+	}
+	d := dec{b: payload}
+	return checkStatus(&d)
+}
+
 // Dispatch buffers one sample, flushing when the batch fills. Errors
 // surface only at flush boundaries; samples lost to a transport
 // failure are counted in Lost.
-func (c *Client) Dispatch(smp reader.Sample) error {
+func (c *Client) Dispatch(ctx context.Context, smp reader.Sample) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -355,7 +474,10 @@ func (c *Client) Dispatch(smp reader.Sample) error {
 }
 
 // DispatchBatch buffers a batch in order.
-func (c *Client) DispatchBatch(batch []reader.Sample) error {
+func (c *Client) DispatchBatch(ctx context.Context, batch []reader.Sample) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -369,7 +491,10 @@ func (c *Client) DispatchBatch(batch []reader.Sample) error {
 }
 
 // Flush forces out any buffered samples.
-func (c *Client) Flush() error {
+func (c *Client) Flush(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -378,15 +503,40 @@ func (c *Client) Flush() error {
 	return c.flushLocked()
 }
 
+// Subscribe attaches a consumer to the remote shard's unified event
+// stream: the server pushes every event kind its manager emits, and
+// delivery to consumers is exactly as a local subscription — buffered,
+// lossy for slow consumers, closed on cancel. Subscribing arms the
+// wire-level event push on the current connection (and on every
+// reconnect).
+func (c *Client) Subscribe(ctx context.Context) (<-chan Event, session.CancelFunc) {
+	ch, cancel := c.events.Subscribe(ctx, c.cfg.EventBuffer)
+	c.mu.Lock()
+	if !c.closed && c.conn != nil && !c.subscribed {
+		if err := c.writeFrameLocked(opSubscribe, nil); err == nil {
+			c.subscribed = true
+		}
+		// On error the connection is torn down; the redial path
+		// re-arms the subscription (events.hasSubscribers is now
+		// true).
+	}
+	c.mu.Unlock()
+	return ch, cancel
+}
+
+// Event re-exports the unified event type for callers holding only a
+// client.
+type Event = session.Event
+
 // Finalize evicts one remote session and returns its decoded
 // trajectory. The wire encoding is bit-exact, so the Result matches
 // what an in-process backend would have produced.
-func (c *Client) Finalize(epc string) (*core.Result, error) {
+func (c *Client) Finalize(ctx context.Context, epc string) (*core.Result, error) {
 	var e enc
 	if err := e.str(epc); err != nil {
 		return nil, err
 	}
-	payload, err := c.call(opFinalize, e.b, false)
+	payload, err := c.call(ctx, opFinalize, e.b, false)
 	if err != nil {
 		return nil, err
 	}
@@ -402,8 +552,8 @@ func (c *Client) Finalize(epc string) (*core.Result, error) {
 }
 
 // Stats snapshots the remote manager's live sessions.
-func (c *Client) Stats() ([]session.Stats, error) {
-	payload, err := c.call(opStats, nil, false)
+func (c *Client) Stats(ctx context.Context) ([]session.Stats, error) {
+	payload, err := c.call(ctx, opStats, nil, false)
 	if err != nil {
 		return nil, err
 	}
@@ -426,10 +576,10 @@ func (c *Client) Stats() ([]session.Stats, error) {
 }
 
 // EvictIdle sweeps the remote manager.
-func (c *Client) EvictIdle(maxIdle time.Duration) (int, error) {
+func (c *Client) EvictIdle(ctx context.Context, maxIdle time.Duration) (int, error) {
 	var e enc
 	e.i64(int64(maxIdle))
-	payload, err := c.call(opEvictIdle, e.b, false)
+	payload, err := c.call(ctx, opEvictIdle, e.b, false)
 	if err != nil {
 		return 0, err
 	}
@@ -442,8 +592,8 @@ func (c *Client) EvictIdle(maxIdle time.Duration) (int, error) {
 }
 
 // Len returns the remote manager's live session count.
-func (c *Client) Len() (int, error) {
-	payload, err := c.call(opLen, nil, false)
+func (c *Client) Len(ctx context.Context) (int, error) {
+	payload, err := c.call(ctx, opLen, nil, false)
 	if err != nil {
 		return 0, err
 	}
@@ -456,8 +606,8 @@ func (c *Client) Len() (int, error) {
 }
 
 // Ping round-trips an empty request, verifying the server is live.
-func (c *Client) Ping() error {
-	payload, err := c.call(opPing, nil, false)
+func (c *Client) Ping(ctx context.Context) error {
+	payload, err := c.call(ctx, opPing, nil, false)
 	if err != nil {
 		return err
 	}
@@ -466,9 +616,9 @@ func (c *Client) Ping() error {
 }
 
 // Close flushes buffered samples, closes the remote manager, and
-// returns its finalized results, then shuts the client down. Later
-// calls return (nil, nil).
-func (c *Client) Close() (map[string]*core.Result, error) {
+// returns its finalized results, then shuts the client down (ending
+// every event subscription). Later calls return (nil, nil).
+func (c *Client) Close(ctx context.Context) (map[string]*core.Result, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -477,8 +627,9 @@ func (c *Client) Close() (map[string]*core.Result, error) {
 	c.closed = true
 	c.mu.Unlock()
 	close(c.stopFlush)
+	defer c.events.CloseAll()
 
-	payload, callErr := c.call(opClose, nil, true)
+	payload, callErr := c.call(ctx, opClose, nil, true)
 
 	c.mu.Lock()
 	c.teardownLocked(c.gen, ErrClientClosed)
@@ -508,3 +659,7 @@ func (c *Client) Close() (map[string]*core.Result, error) {
 	}
 	return out, nil
 }
+
+// Compile-time contract check: the client speaks the same v2
+// ShardBackend contract as the in-process backends.
+var _ session.ShardBackend = (*Client)(nil)

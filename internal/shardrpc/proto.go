@@ -13,20 +13,32 @@
 //
 // where length covers the opcode and payload. Scalars are big-endian;
 // floats are IEEE-754 bit patterns (so a trajectory survives the wire
-// bit-identically); strings are uint16 length + bytes. Request frames
-// flow client→server; the server answers each request frame that
-// expects a reply with exactly one opResp frame, in request order, so
-// responses need no correlation IDs — a client matches them FIFO.
-// Dispatch and subscribe frames are one-way (no response), which is
-// what makes sample streaming cheap: a dispatch costs one buffered
-// write, and backpressure propagates through TCP when the server's
-// session queues fill. opEvPoint frames are server→client pushes
-// (window-close events for subscribed connections) and may interleave
-// with responses; the opcode's high bits distinguish the two.
+// bit-identically); strings are uint16 length + bytes.
+//
+// Every connection begins with a version handshake: the client's first
+// frame is opHello carrying protoVersion, answered by an opResp
+// carrying the server's version. A server that sees anything but a
+// matching hello first — an older client, or a newer protocol — fails
+// the connection with ErrVersionMismatch instead of misparsing frames;
+// a client that reads a non-matching server version (or whose hello is
+// answered by a hangup, the signature of a pre-versioning server) does
+// the same. Rolling-upgrade skew therefore surfaces as one explicit
+// error, never as frame corruption.
+//
+// After the handshake, request frames flow client→server; the server
+// answers each request frame that expects a reply with exactly one
+// opResp frame, in request order, so responses need no correlation IDs
+// — a client matches them FIFO. Dispatch and subscribe frames are
+// one-way (no response), which is what makes sample streaming cheap: a
+// dispatch costs one buffered write, and backpressure propagates
+// through TCP when the server's session queues fill. opEvent frames
+// are server→client pushes (the unified session.Event stream for
+// subscribed connections) and may interleave with responses; the
+// opcode's high bits distinguish the two.
 //
 // Response payloads start with a status byte; failures carry a code
-// that round-trips the session/core sentinel errors, so
-// errors.Is(err, session.ErrUnknownSession) works across the wire.
+// that round-trips the session/core sentinel taxonomy, so
+// errors.Is(err, session.ErrUnknownEPC) works across the wire.
 package shardrpc
 
 import (
@@ -51,6 +63,13 @@ func timeFromUnixNano(ns int64) time.Time { return time.Unix(0, ns) }
 // frame (a Close response for thousands of sessions).
 const maxFrame = 64 << 20
 
+// protoVersion is the wire protocol generation, exchanged in the
+// opHello handshake. Bump it whenever a frame layout changes
+// incompatibly. History: 1 = PR 3/4 unversioned protocol (no
+// handshake); 2 = version handshake + per-session OpenOptions (opOpen)
+// + unified event pushes (opEvent) + extended error taxonomy.
+const protoVersion = 2
+
 // Opcodes. Requests occupy the low range; 0x40 marks server pushes,
 // 0x80 marks responses.
 const (
@@ -60,11 +79,13 @@ const (
 	opEvictIdle byte = 0x04
 	opLen       byte = 0x05
 	opClose     byte = 0x06
-	opSubscribe byte = 0x07 // one-way: request opEvPoint pushes
+	opSubscribe byte = 0x07 // one-way: request opEvent pushes
 	opPing      byte = 0x08
+	opHello     byte = 0x09 // version handshake; MUST be the first frame
+	opOpen      byte = 0x0a // per-session open with OpenOptions
 
-	opEvPoint byte = 0x40 // server push: a window closed
-	opResp    byte = 0x80 // response to the oldest pending request
+	opEvent byte = 0x41 // server push: one unified session.Event
+	opResp  byte = 0x80 // response to the oldest pending request
 )
 
 // Response status bytes and error codes.
@@ -77,11 +98,20 @@ const (
 	errCodeTooFew       byte = 2
 	errCodeClosed       byte = 3
 	errCodeShardClosing byte = 4
+	errCodeSessionLimit byte = 5
+	errCodeVersion      byte = 6
+	errCodeUnavailable  byte = 7
 )
 
 // ErrShardClosing is returned for requests that reach a shard server
 // whose manager has already been closed by a prior opClose.
 var ErrShardClosing = errors.New("shardrpc: shard manager closed")
+
+// ErrVersionMismatch is returned when the connect-time version
+// handshake fails: the two ends speak different shardrpc protocol
+// generations (or the peer predates the handshake entirely). The
+// wrapped message names both versions when they are known.
+var ErrVersionMismatch = errors.New("shardrpc: protocol version mismatch")
 
 // writeFrame writes one frame. The caller is responsible for
 // serializing writers and flushing any buffering.
@@ -386,22 +416,57 @@ func decodeStats(d *dec) session.Stats {
 	return st
 }
 
-// encodeError maps the session/core sentinels onto wire codes so the
-// client can reconstruct them.
+// errCodeOf maps the session/core sentinel taxonomy onto wire codes.
+func errCodeOf(err error) byte {
+	switch {
+	case errors.Is(err, session.ErrUnknownEPC):
+		return errCodeUnknown
+	case errors.Is(err, core.ErrTooFewSamples):
+		return errCodeTooFew
+	case errors.Is(err, session.ErrClosed):
+		return errCodeClosed
+	case errors.Is(err, ErrShardClosing):
+		return errCodeShardClosing
+	case errors.Is(err, session.ErrSessionLimit):
+		return errCodeSessionLimit
+	case errors.Is(err, ErrVersionMismatch):
+		return errCodeVersion
+	case errors.Is(err, session.ErrBackendUnavailable):
+		return errCodeUnavailable
+	default:
+		return errCodeGeneric
+	}
+}
+
+// errFromCode reconstructs the sentinel for a wire code, falling back
+// to the carried message for generic errors. Sentinels are returned
+// bare so errors.Is works identically on both ends of the wire.
+func errFromCode(code byte, msg string) error {
+	switch code {
+	case errCodeUnknown:
+		return session.ErrUnknownEPC
+	case errCodeTooFew:
+		return core.ErrTooFewSamples
+	case errCodeClosed:
+		return session.ErrClosed
+	case errCodeShardClosing:
+		return ErrShardClosing
+	case errCodeSessionLimit:
+		return session.ErrSessionLimit
+	case errCodeVersion:
+		return fmt.Errorf("%w: %s", ErrVersionMismatch, msg)
+	case errCodeUnavailable:
+		return fmt.Errorf("%w: %s", session.ErrBackendUnavailable, msg)
+	default:
+		return errors.New(msg)
+	}
+}
+
+// encodeError maps an error onto a statusErr response payload so the
+// client can reconstruct it.
 func encodeError(e *enc, err error) {
 	e.u8(statusErr)
-	switch {
-	case errors.Is(err, session.ErrUnknownSession):
-		e.u8(errCodeUnknown)
-	case errors.Is(err, core.ErrTooFewSamples):
-		e.u8(errCodeTooFew)
-	case errors.Is(err, session.ErrClosed):
-		e.u8(errCodeClosed)
-	case errors.Is(err, ErrShardClosing):
-		e.u8(errCodeShardClosing)
-	default:
-		e.u8(errCodeGeneric)
-	}
+	e.u8(errCodeOf(err))
 	_ = e.str(err.Error())
 }
 
@@ -413,16 +478,168 @@ func decodeError(d *dec) error {
 	if d.err != nil {
 		return d.err
 	}
-	switch code {
-	case errCodeUnknown:
-		return session.ErrUnknownSession
-	case errCodeTooFew:
-		return core.ErrTooFewSamples
-	case errCodeClosed:
-		return session.ErrClosed
-	case errCodeShardClosing:
-		return ErrShardClosing
-	default:
-		return errors.New(msg)
+	return errFromCode(code, msg)
+}
+
+// OpenOptions wire form: one presence bitmask byte, then the set
+// fields in bit order. Pointer-typed options survive the round trip
+// exactly — including explicit zeroes, which the bitmask keeps
+// distinct from "inherit the backend default" — so a remote open is
+// bit-equivalent to a local one.
+const (
+	optBeamTopK byte = 1 << iota
+	optCommitLag
+	optBeamAdaptive
+	optWindow
+	optSpuriousPhase
+)
+
+func encodeOpenOptions(e *enc, o session.OpenOptions) {
+	var mask byte
+	if o.BeamTopK != nil {
+		mask |= optBeamTopK
 	}
+	if o.CommitLag != nil {
+		mask |= optCommitLag
+	}
+	if o.BeamAdaptive != nil {
+		mask |= optBeamAdaptive
+	}
+	if o.Window != nil {
+		mask |= optWindow
+	}
+	if o.SpuriousPhase != nil {
+		mask |= optSpuriousPhase
+	}
+	e.u8(mask)
+	if o.BeamTopK != nil {
+		e.u32(uint32(int32(*o.BeamTopK)))
+	}
+	if o.CommitLag != nil {
+		e.u32(uint32(int32(*o.CommitLag)))
+	}
+	if o.BeamAdaptive != nil {
+		e.boolean(*o.BeamAdaptive)
+	}
+	if o.Window != nil {
+		e.f64(*o.Window)
+	}
+	if o.SpuriousPhase != nil {
+		e.f64(*o.SpuriousPhase)
+	}
+}
+
+func decodeOpenOptions(d *dec) session.OpenOptions {
+	var o session.OpenOptions
+	mask := d.u8()
+	if mask&optBeamTopK != 0 {
+		v := int(int32(d.u32()))
+		o.BeamTopK = &v
+	}
+	if mask&optCommitLag != 0 {
+		v := int(int32(d.u32()))
+		o.CommitLag = &v
+	}
+	if mask&optBeamAdaptive != 0 {
+		v := d.boolean()
+		o.BeamAdaptive = &v
+	}
+	if mask&optWindow != 0 {
+		v := d.f64()
+		o.Window = &v
+	}
+	if mask&optSpuriousPhase != 0 {
+		v := d.f64()
+		o.SpuriousPhase = &v
+	}
+	if d.err != nil {
+		return session.OpenOptions{}
+	}
+	return o
+}
+
+// Event wire form: kind byte, EPC, then the kind's documented fields.
+// Every kind the unified stream defines is encodable, so the remote
+// stream is payload-identical to a local subscription.
+func encodeEvent(e *enc, ev session.Event) error {
+	e.u8(byte(ev.Kind))
+	if err := e.str(ev.EPC); err != nil {
+		return err
+	}
+	switch ev.Kind {
+	case session.EventWindowClose:
+		encodeWindow(e, ev.Window)
+	case session.EventPoint:
+		encodeWindow(e, ev.Window)
+		e.f64(ev.Live.X)
+		e.f64(ev.Live.Y)
+	case session.EventCommit:
+		e.u32(uint32(ev.CommitStart))
+		e.u32(uint32(len(ev.Segment)))
+		for _, p := range ev.Segment {
+			e.f64(p.X)
+			e.f64(p.Y)
+		}
+	case session.EventEvict:
+		if ev.Err != nil {
+			e.u8(statusErr)
+			e.u8(errCodeOf(ev.Err))
+			return e.str(ev.Err.Error())
+		}
+		e.u8(statusOK)
+		encodeResult(e, ev.Result)
+	case session.EventBackendHealth:
+		if err := e.str(ev.Backend); err != nil {
+			return err
+		}
+		e.boolean(ev.Healthy)
+	default:
+		return fmt.Errorf("shardrpc: unencodable event kind %v", ev.Kind)
+	}
+	return nil
+}
+
+func decodeEvent(d *dec) session.Event {
+	ev := session.Event{
+		Kind: session.EventKind(d.u8()),
+		EPC:  d.str(),
+	}
+	switch ev.Kind {
+	case session.EventWindowClose:
+		ev.Window = decodeWindow(d)
+	case session.EventPoint:
+		ev.Window = decodeWindow(d)
+		ev.Live.X = d.f64()
+		ev.Live.Y = d.f64()
+	case session.EventCommit:
+		ev.CommitStart = int(d.u32())
+		n := int(d.u32())
+		if d.err != nil || n > d.remaining()/16+1 {
+			d.err = io.ErrUnexpectedEOF
+			return session.Event{}
+		}
+		ev.Segment = make(geom.Polyline, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			ev.Segment = append(ev.Segment, geom.Vec2{X: d.f64(), Y: d.f64()})
+		}
+	case session.EventEvict:
+		if d.u8() == statusErr {
+			code := d.u8()
+			msg := d.str()
+			if d.err == nil {
+				ev.Err = errFromCode(code, msg)
+			}
+		} else {
+			ev.Result = decodeResult(d)
+		}
+	case session.EventBackendHealth:
+		ev.Backend = d.str()
+		ev.Healthy = d.boolean()
+	default:
+		d.err = fmt.Errorf("shardrpc: unknown event kind %d", ev.Kind)
+	}
+	if d.err != nil {
+		return session.Event{}
+	}
+	return ev
 }

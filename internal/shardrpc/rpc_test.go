@@ -1,6 +1,7 @@
 package shardrpc
 
 import (
+	"context"
 	"errors"
 	"net"
 	"reflect"
@@ -18,6 +19,11 @@ import (
 	"polardraw/internal/session"
 	"polardraw/internal/tag"
 )
+
+// ctx is the background context shared by tests that exercise the
+// happy path rather than cancellation (see context-specific tests for
+// deadline coverage).
+var ctx = context.Background()
 
 // penStreams simulates n pens writing concurrently over one reader
 // (mirrors the session package's test helper).
@@ -82,10 +88,10 @@ func TestRemoteLocalEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := local.DispatchBatch(samples); err != nil {
+	if err := local.DispatchBatch(ctx, samples); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.DispatchBatch(samples); err != nil {
+	if err := client.DispatchBatch(ctx, samples); err != nil {
 		t.Fatal(err)
 	}
 
@@ -117,14 +123,14 @@ func TestRemoteLocalEquivalence(t *testing.T) {
 			time.Sleep(2 * time.Millisecond)
 		}
 	}
-	waitReceived(local.Stats)
-	waitReceived(client.Stats)
+	waitReceived(func() ([]session.Stats, error) { return local.Stats(ctx) })
+	waitReceived(func() ([]session.Stats, error) { return client.Stats(ctx) })
 
-	wantProbe, err := local.Finalize(probe)
+	wantProbe, err := local.Finalize(ctx, probe)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotProbe, err := client.Finalize(probe)
+	gotProbe, err := client.Finalize(ctx, probe)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,16 +139,16 @@ func TestRemoteLocalEquivalence(t *testing.T) {
 	}
 
 	// Finalizing an unknown EPC round-trips the sentinel.
-	if _, err := client.Finalize("no-such-pen"); !errors.Is(err, session.ErrUnknownSession) {
+	if _, err := client.Finalize(ctx, "no-such-pen"); !errors.Is(err, session.ErrUnknownSession) {
 		t.Fatalf("unknown-session error did not round-trip: %v", err)
 	}
 
 	// Bulk path: every remaining pen via Close on both transports.
-	want, err := local.Close()
+	want, err := local.Close(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.Close()
+	got, err := client.Close(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,10 +166,10 @@ func TestRemoteLocalEquivalence(t *testing.T) {
 	}
 
 	// Terminal client: every later call reports closure.
-	if err := client.Dispatch(samples[0]); !errors.Is(err, ErrClientClosed) {
+	if err := client.Dispatch(ctx, samples[0]); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("dispatch after close: %v", err)
 	}
-	if res, err := client.Close(); res != nil || err != nil {
+	if res, err := client.Close(ctx); res != nil || err != nil {
 		t.Fatalf("second close: %v, %v", res, err)
 	}
 }
@@ -188,10 +194,10 @@ func TestRouterOverRemoteShards(t *testing.T) {
 	}
 	r := session.NewRouter(nbs)
 
-	if err := r.DispatchBatch(samples); err != nil {
+	if err := r.DispatchBatch(ctx, samples); err != nil {
 		t.Fatal(err)
 	}
-	results, err := r.Close()
+	results, err := r.Close(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,10 +260,10 @@ func TestRemoteEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := client.DispatchBatch(samples); err != nil {
+	if err := client.DispatchBatch(ctx, samples); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Flush(); err != nil {
+	if err := client.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
 	// Wait for live events from every pen while the server decodes,
@@ -275,7 +281,7 @@ func TestRemoteEvents(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	if _, err := client.Close(); err != nil {
+	if _, err := client.Close(ctx); err != nil {
 		t.Fatal(err)
 	}
 
@@ -305,20 +311,20 @@ func TestClientControlCalls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer client.Close()
+	defer client.Close(ctx)
 
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.DispatchBatch(samples); err != nil {
+	if err := client.DispatchBatch(ctx, samples); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Flush(); err != nil {
+	if err := client.Flush(ctx); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		n, err := client.Len()
+		n, err := client.Len(ctx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -330,7 +336,7 @@ func TestClientControlCalls(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	st, err := client.Stats()
+	st, err := client.Stats(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +353,7 @@ func TestClientControlCalls(t *testing.T) {
 			t.Fatalf("stats not populated: %+v", s)
 		}
 	}
-	n, err := client.EvictIdle(0)
+	n, err := client.EvictIdle(ctx, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +380,7 @@ func TestClientConcurrentDispatch(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for !stop.Load() {
-			if _, err := client.Stats(); err != nil {
+			if _, err := client.Stats(ctx); err != nil {
 				t.Errorf("stats: %v", err)
 				return
 			}
@@ -387,7 +393,7 @@ func TestClientConcurrentDispatch(t *testing.T) {
 		go func(epc string) {
 			defer dwg.Done()
 			for _, smp := range perEPC[epc] {
-				if err := client.Dispatch(smp); err != nil {
+				if err := client.Dispatch(ctx, smp); err != nil {
 					t.Errorf("dispatch: %v", err)
 					return
 				}
@@ -397,7 +403,7 @@ func TestClientConcurrentDispatch(t *testing.T) {
 	dwg.Wait()
 	stop.Store(true)
 	wg.Wait()
-	results, err := client.Close()
+	results, err := client.Close(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -483,8 +489,18 @@ func TestServerSurvivesGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	raw.Write([]byte{0x00, 0x00, 0x00, 0x03, 0x7f, 0xde, 0xad}) // unknown opcode
-	buf := make([]byte, 1)
 	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// A non-hello first frame is version skew by definition: the server
+	// answers with the explicit mismatch error, then hangs up.
+	op, payload, err := readFrame(raw)
+	if err != nil || op != opResp {
+		t.Fatalf("garbage first frame: op=0x%02x err=%v, want an opResp error", op, err)
+	}
+	d := dec{b: payload}
+	if err := checkStatus(&d); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("garbage first frame error = %v, want ErrVersionMismatch", err)
+	}
+	buf := make([]byte, 1)
 	if _, err := raw.Read(buf); err == nil {
 		t.Fatal("server kept a garbage connection open")
 	}
@@ -494,10 +510,10 @@ func TestServerSurvivesGarbage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.DispatchBatch(samples); err != nil {
+	if err := client.DispatchBatch(ctx, samples); err != nil {
 		t.Fatal(err)
 	}
-	results, err := client.Close()
+	results, err := client.Close(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -519,10 +535,10 @@ func TestServerBackpressure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := client.DispatchBatch(samples); err != nil {
+	if err := client.DispatchBatch(ctx, samples); err != nil {
 		t.Fatal(err)
 	}
-	results, err := client.Close()
+	results, err := client.Close(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

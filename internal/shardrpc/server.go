@@ -2,26 +2,25 @@ package shardrpc
 
 import (
 	"bufio"
+	"context"
+	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"polardraw/internal/core"
-	"polardraw/internal/geom"
 	"polardraw/internal/session"
 )
 
 // ServerConfig parameterizes a shard server.
 type ServerConfig struct {
 	// Session configures the hosted Manager. Its OnPoint callback, if
-	// set, is chained before the server's own event broadcast; both are
-	// invoked concurrently from session workers.
+	// set, still fires server-side (the legacy adapter); subscribed
+	// connections receive the unified event stream regardless.
 	Session session.Config
-	// EventBuffer bounds each subscribed connection's outgoing
-	// window-close event queue (default 256). When a slow client lets
-	// it fill, events are dropped — never blocking decode workers — and
-	// counted in EventsDropped.
+	// EventBuffer bounds each subscribed connection's outgoing event
+	// queue (default session.DefaultEventBuffer). When a slow client
+	// lets it fill, events are dropped — never blocking decode workers
+	// — and counted in EventsDropped.
 	EventBuffer int
 }
 
@@ -34,6 +33,11 @@ type ServerConfig struct {
 // has. Dispatch applies the manager's backpressure policy: a blocking
 // session queue stalls the connection's read loop, pushing back
 // through TCP to the dispatching client.
+//
+// Every connection must open with the opHello version handshake; a
+// mismatched (or missing) handshake fails the connection with an
+// explicit ErrVersionMismatch instead of risking frame misparses
+// between mixed-version binaries.
 type Server struct {
 	cfg ServerConfig
 	m   *session.Manager
@@ -42,31 +46,20 @@ type Server struct {
 	ln     net.Listener
 	conns  map[*srvConn]struct{}
 	closed bool
-
-	eventsDropped atomic.Uint64
-}
-
-// pointEvent is one OnPoint callback queued toward a subscriber.
-type pointEvent struct {
-	epc  string
-	w    core.Window
-	live geom.Vec2
 }
 
 // NewServer builds a server hosting a fresh Manager. Call Serve to
 // accept connections.
 func NewServer(cfg ServerConfig) *Server {
 	if cfg.EventBuffer <= 0 {
-		cfg.EventBuffer = 256
+		cfg.EventBuffer = session.DefaultEventBuffer
+	}
+	if cfg.Session.EventBuffer <= 0 {
+		// Per-connection subscriptions draw from the manager's hub, so
+		// the hub buffer is what a slow client actually exercises.
+		cfg.Session.EventBuffer = cfg.EventBuffer
 	}
 	s := &Server{cfg: cfg, conns: make(map[*srvConn]struct{})}
-	userPoint := cfg.Session.OnPoint
-	cfg.Session.OnPoint = func(epc string, w core.Window, live geom.Vec2) {
-		if userPoint != nil {
-			userPoint(epc, w, live)
-		}
-		s.broadcastPoint(pointEvent{epc: epc, w: w, live: live})
-	}
 	s.m = session.NewManager(cfg.Session)
 	return s
 }
@@ -74,9 +67,8 @@ func NewServer(cfg ServerConfig) *Server {
 // Manager exposes the hosted session manager.
 func (s *Server) Manager() *session.Manager { return s.m }
 
-// EventsDropped counts window-close events shed at full subscriber
-// queues.
-func (s *Server) EventsDropped() uint64 { return s.eventsDropped.Load() }
+// EventsDropped counts events shed at full subscriber queues.
+func (s *Server) EventsDropped() uint64 { return s.m.EventsDropped() }
 
 // Serve accepts and serves connections on ln until Close. It returns
 // nil after Close, or the first accept error otherwise.
@@ -128,27 +120,6 @@ func (s *Server) Close() {
 	s.m.Close()
 }
 
-// broadcastPoint fans one window-close event out to every subscribed
-// connection, dropping (and counting) at full queues rather than
-// blocking the session worker that closed the window.
-func (s *Server) broadcastPoint(ev pointEvent) {
-	s.mu.Lock()
-	conns := make([]*srvConn, 0, len(s.conns))
-	for c := range s.conns {
-		if c.subscribed.Load() {
-			conns = append(conns, c)
-		}
-	}
-	s.mu.Unlock()
-	for _, c := range conns {
-		select {
-		case c.events <- ev:
-		default:
-			s.eventsDropped.Add(1)
-		}
-	}
-}
-
 // srvConn is one client connection.
 type srvConn struct {
 	s *Server
@@ -159,18 +130,17 @@ type srvConn struct {
 	wmu sync.Mutex
 	bw  *bufio.Writer
 
-	events     chan pointEvent
-	subscribed atomic.Bool
-	stop       chan struct{}
+	// subCancel releases the connection's event-hub subscription; set
+	// by opSubscribe, nil before.
+	subMu     sync.Mutex
+	subCancel session.CancelFunc
 }
 
 func (s *Server) handle(c net.Conn) {
 	sc := &srvConn{
-		s:      s,
-		c:      c,
-		bw:     bufio.NewWriter(c),
-		events: make(chan pointEvent, s.cfg.EventBuffer),
-		stop:   make(chan struct{}),
+		s:  s,
+		c:  c,
+		bw: bufio.NewWriter(c),
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -181,34 +151,48 @@ func (s *Server) handle(c net.Conn) {
 	s.conns[sc] = struct{}{}
 	s.mu.Unlock()
 
-	go sc.eventPump()
 	sc.readLoop()
 
-	close(sc.stop)
+	sc.unsubscribe()
 	s.mu.Lock()
 	delete(s.conns, sc)
 	s.mu.Unlock()
 	c.Close()
 }
 
-// eventPump drains queued window-close events onto the wire.
-func (sc *srvConn) eventPump() {
-	for {
-		select {
-		case ev := <-sc.events:
+// subscribe attaches the connection to the manager's unified event
+// stream and starts the pump that frames events onto the wire.
+// Idempotent per connection.
+func (sc *srvConn) subscribe() {
+	sc.subMu.Lock()
+	defer sc.subMu.Unlock()
+	if sc.subCancel != nil {
+		return
+	}
+	ch, cancel := sc.s.m.Subscribe(context.Background())
+	sc.subCancel = cancel
+	go func() {
+		for ev := range ch {
 			var e enc
-			if e.str(ev.epc) != nil {
+			if encodeEvent(&e, ev) != nil {
 				continue
 			}
-			encodeWindow(&e, ev.w)
-			e.f64(ev.live.X)
-			e.f64(ev.live.Y)
-			if sc.write(opEvPoint, e.b) != nil {
+			if sc.write(opEvent, e.b) != nil {
 				return // conn broken; read loop notices too
 			}
-		case <-sc.stop:
-			return
 		}
+	}()
+}
+
+// unsubscribe releases the event subscription, which also closes the
+// channel and stops the pump.
+func (sc *srvConn) unsubscribe() {
+	sc.subMu.Lock()
+	cancel := sc.subCancel
+	sc.subCancel = nil
+	sc.subMu.Unlock()
+	if cancel != nil {
+		cancel()
 	}
 }
 
@@ -229,17 +213,52 @@ func (sc *srvConn) respondErr(err error) error {
 	return sc.write(opResp, e.b)
 }
 
+// handshake enforces the version exchange on a connection's first
+// frame. It reports whether the connection may proceed; on any
+// mismatch it answers with the explicit version error (so a
+// protocol-aware peer can surface it) and the caller drops the
+// connection.
+func (sc *srvConn) handshake(op byte, d *dec) bool {
+	if op != opHello {
+		_ = sc.respondErr(fmt.Errorf("%w: expected version handshake, got opcode 0x%02x "+
+			"(client speaks pre-versioning shardrpc?); server speaks v%d",
+			ErrVersionMismatch, op, protoVersion))
+		return false
+	}
+	v := d.u8()
+	if d.err != nil {
+		return false
+	}
+	if v != protoVersion {
+		_ = sc.respondErr(fmt.Errorf("%w: client speaks v%d, server speaks v%d",
+			ErrVersionMismatch, v, protoVersion))
+		return false
+	}
+	var e enc
+	e.u8(statusOK)
+	e.u8(protoVersion)
+	return sc.write(opResp, e.b) == nil
+}
+
 // readLoop processes request frames sequentially until the connection
 // drops or a protocol violation occurs.
 func (sc *srvConn) readLoop() {
 	br := bufio.NewReader(sc.c)
 	m := sc.s.m
+	hello := false
 	for {
 		op, payload, err := readFrame(br)
 		if err != nil {
 			return
 		}
 		d := dec{b: payload}
+		if !hello {
+			if !sc.handshake(op, &d) {
+				return
+			}
+			hello = true
+			continue
+		}
 		switch op {
 		case opDispatch:
 			batch := decodeSamples(&d)
@@ -252,11 +271,27 @@ func (sc *srvConn) readLoop() {
 			_ = m.DispatchBatch(batch)
 
 		case opSubscribe:
-			sc.subscribed.Store(true)
+			sc.subscribe()
 
 		case opPing:
 			var e enc
 			e.u8(statusOK)
+			if sc.write(opResp, e.b) != nil {
+				return
+			}
+
+		case opOpen:
+			epc := d.str()
+			opts := decodeOpenOptions(&d)
+			if d.err != nil {
+				return
+			}
+			var e enc
+			if err := m.Open(epc, opts); err != nil {
+				encodeError(&e, err)
+			} else {
+				e.u8(statusOK)
+			}
 			if sc.write(opResp, e.b) != nil {
 				return
 			}
