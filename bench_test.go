@@ -15,6 +15,7 @@ package polardraw
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"polardraw/internal/core"
@@ -618,6 +619,71 @@ func BenchmarkShardedServer(b *testing.B) {
 	b.ReportMetric(float64(len(samples)), "samples/op")
 	b.ReportMetric(float64(len(scenes)), "pens/op")
 	b.ReportMetric(4, "shards/op")
+}
+
+// BenchmarkDispatchWAL measures what the durability journal costs on
+// the dispatch path: the same eight-pen sharded decode as
+// BenchmarkShardedServer run bare, with the in-memory WAL, and with
+// the file WAL (fsync only at checkpoints and close, so the file
+// variant is dominated by buffered writes, not the disk).
+func BenchmarkDispatchWAL(b *testing.B) {
+	rig := motion.DefaultRig()
+	ants := rig.Antennas()
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	tag.AD227(1).ApplyTo(ch)
+	letters := []rune{'H', 'E', 'L', 'O', 'W', 'R', 'D', 'S'}
+	scenes := make([]reader.TaggedScene, 0, len(letters))
+	for k, r := range letters {
+		g, _ := font.Lookup(r)
+		path := g.Path().Scale(0.2).Translate(geom.Vec2{X: 0.18, Y: 0.03})
+		sess := motion.Write(path, string(r), motion.Config{Seed: uint64(k + 1)})
+		scenes = append(scenes, reader.TaggedScene{EPC: tag.AD227(uint32(k + 1)).EPC, Scene: sess})
+	}
+	rd := reader.New(reader.Config{Antennas: ants[:], Channel: ch, EPC: scenes[0].EPC, Seed: 1})
+	samples := rd.MultiInventory(scenes)
+
+	run := func(b *testing.B, journal func(b *testing.B) session.Journal) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			sm := session.NewShardedManager(session.ShardedConfig{
+				Session: session.Config{
+					Tracker: core.Config{Antennas: ants, Window: 0.3, CommitLag: 16},
+				},
+				Shards: 4,
+			})
+			if journal != nil {
+				sm.Router().SetJournal(journal(b))
+			}
+			if err := sm.DispatchBatch(context.Background(), samples); err != nil {
+				b.Fatal(err)
+			}
+			results, err := sm.Close(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(results) != len(scenes) {
+				b.Fatalf("decoded %d of %d pens", len(results), len(scenes))
+			}
+		}
+		b.ReportMetric(float64(len(samples)), "samples/op")
+	}
+
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("mem", func(b *testing.B) {
+		run(b, func(b *testing.B) session.Journal { return session.NewMemJournal(0) })
+	})
+	b.Run("file", func(b *testing.B) {
+		dir := b.TempDir()
+		n := 0
+		run(b, func(b *testing.B) session.Journal {
+			n++
+			j, err := session.NewFileJournal(fmt.Sprintf("%s/wal-%d.log", dir, n), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return j
+		})
+	})
 }
 
 // BenchmarkStreamTrackerLag is BenchmarkStreamTracker with fixed-lag

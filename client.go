@@ -46,6 +46,9 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 			QueueSize:    cfg.shardQueue,
 			DropWhenFull: cfg.drop,
 		})
+		if cfg.journal != nil {
+			c.sm.Router().SetJournal(cfg.journal)
+		}
 		c.backend = c.sm
 		return c, nil
 	}
@@ -68,6 +71,9 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 	}
 	c.router = session.NewRouter(nbs)
 	c.router.SetEventBuffer(cfg.eventBuffer)
+	if cfg.journal != nil {
+		c.router.SetJournal(cfg.journal)
+	}
 	if cfg.heartbeat > 0 {
 		c.router.StartHeartbeat(cfg.heartbeat)
 	}
@@ -171,6 +177,10 @@ func (c *Client) Len(ctx context.Context) (int, error) {
 // (shard-N locally, server addresses remotely).
 func (c *Client) Backends() []string { return c.routerOf().Backends() }
 
+// BackendFor reports which backend (by Backends name) the EPC
+// currently routes to, including any failover or Handoff override.
+func (c *Client) BackendFor(epc string) string { return c.routerOf().BackendFor(epc) }
+
 // Health snapshots per-backend routing health in configuration order.
 func (c *Client) Health() []BackendHealth { return c.routerOf().Health() }
 
@@ -187,6 +197,15 @@ func (c *Client) routerOf() *session.Router {
 	return c.router
 }
 
+// Handoff gracefully moves one EPC's live session to the named backend
+// (see Backends): export on the current owner, checkpoint into the
+// journal, restore on the target, pin the route. Requires WithJournal;
+// use it to drain a shard before maintenance instead of killing it and
+// paying a crash recovery.
+func (c *Client) Handoff(ctx context.Context, epc, backend string) error {
+	return c.routerOf().Handoff(ctx, epc, backend)
+}
+
 // IngressDropped counts samples discarded at full shard ingress queues
 // (WithDropWhenFull, local mode) — remote shards count drops
 // server-side in their own telemetry.
@@ -197,8 +216,12 @@ func (c *Client) IngressDropped() uint64 {
 	return 0
 }
 
-// SamplesLost counts samples dropped at transport failures (remote
-// mode; always zero locally).
+// SamplesLost counts samples that are gone for good (remote mode;
+// always zero locally): samples the servers rejected or that aged out
+// of the resend buffer during a long outage. Samples merely in flight
+// across a transport failure are resent after the automatic reconnect
+// and do not count (against pre-v3 servers the legacy semantics apply:
+// every sample buffered across a failure is lost and counted).
 func (c *Client) SamplesLost() uint64 {
 	var n uint64
 	for _, rc := range c.remotes {

@@ -28,6 +28,17 @@
 //	go run ./cmd/loadgen -pens 64 -shards 4 -duration 10s
 //	go run ./cmd/loadgen -pens 64 -shards 127.0.0.1:7101,127.0.0.1:7102
 //	go run ./cmd/loadgen -pens 64 -shards 4 -pace
+//
+// It doubles as the crash-recovery harness: -kill-pid/-kill-after
+// SIGKILLs a shard server process mid-load, and -verify replays one
+// round, decodes the same streams with an in-process reference tier,
+// and exits non-zero unless the cluster's results are bit-identical to
+// the reference with zero lost samples — the durability acceptance
+// check (run it with -wal; remote shard servers must use the same
+// decode flags as this process for the reference to match).
+//
+//	go run ./cmd/loadgen -shards 127.0.0.1:7101,127.0.0.1:7102 \
+//	    -wal mem -pace -verify -kill-pid $SHARD1_PID -kill-after 2s
 package main
 
 import (
@@ -36,9 +47,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"polardraw"
@@ -52,10 +65,13 @@ import (
 )
 
 var (
-	pens     = flag.Int("pens", 64, "concurrent pens per round")
-	duration = flag.Duration("duration", 10*time.Second, "how long to sustain load")
-	pace     = flag.Bool("pace", false, "replay samples at true timestamps (fixed offered load) instead of at saturation")
-	serve    = polardraw.BindFlags(flag.CommandLine)
+	pens      = flag.Int("pens", 64, "concurrent pens per round")
+	duration  = flag.Duration("duration", 10*time.Second, "how long to sustain load")
+	pace      = flag.Bool("pace", false, "replay samples at true timestamps (fixed offered load) instead of at saturation")
+	killPID   = flag.Int("kill-pid", 0, "SIGKILL this PID after -kill-after (crash-recovery harness)")
+	killAfter = flag.Duration("kill-after", 2*time.Second, "delay from load start to the -kill-pid signal")
+	verify    = flag.Bool("verify", false, "single round: decode the same streams in process and require bit-identical results and zero lost samples")
+	serve     = polardraw.BindFlags(flag.CommandLine)
 )
 
 // penState carries the latency probe for one live session.
@@ -137,6 +153,27 @@ func main() {
 		fatal(err)
 	}
 
+	// The in-process reference tier for -verify: same antennas, same
+	// decode flags, fed the same samples. Remote shard servers must run
+	// with matching decode flags or the comparison is meaningless.
+	var ref *polardraw.Client
+	if *verify {
+		refOpts := []polardraw.Option{
+			polardraw.WithAntennas(ants),
+			polardraw.WithShards(1),
+			polardraw.WithMaxSessions(*pens),
+			polardraw.WithCommitLag(*serve.Lag),
+			polardraw.WithBeamTopK(*serve.TopK),
+			polardraw.WithAdaptiveBeam(*serve.Adaptive),
+		}
+		if *serve.Window != 0 {
+			refOpts = append(refOpts, polardraw.WithWindow(*serve.Window))
+		}
+		if ref, err = polardraw.Open(ctx, refOpts...); err != nil {
+			fatal(err)
+		}
+	}
+
 	var (
 		states      sync.Map // epc -> *penState
 		windowsDone atomic.Int64
@@ -194,7 +231,16 @@ func main() {
 
 	deadline := time.Now().Add(*duration)
 	start := time.Now()
+	if *killPID != 0 {
+		time.AfterFunc(*killAfter, func() {
+			fmt.Printf("loadgen: SIGKILL pid %d (%.1fs into the load)\n", *killPID, time.Since(start).Seconds())
+			if err := syscall.Kill(*killPID, syscall.SIGKILL); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: kill %d: %v\n", *killPID, err)
+			}
+		})
+	}
 	dispatched := int64(0)
+	dispatchErrs := int64(0)
 	rounds := 0
 	for rounds == 0 || time.Now().Before(deadline) {
 		for p := 0; p < *pens; p++ {
@@ -216,14 +262,31 @@ func main() {
 				v.(*penState).lastEnq.Store(time.Now().UnixNano())
 			}
 			if err := c.Dispatch(ctx, smp); err != nil {
-				panic(err)
+				// With a WAL the journal holds every sample the tier
+				// accepted for routing: a dispatch error during an
+				// outage is a delay (failover replays it), not a loss.
+				if *serve.WAL == "" {
+					panic(err)
+				}
+				dispatchErrs++
+			}
+			if ref != nil {
+				if err := ref.Dispatch(ctx, smp); err != nil {
+					panic(err)
+				}
 			}
 			dispatched++
 		}
 		rounds++
+		if *verify {
+			break // one deterministic round; every session live at close
+		}
 		if time.Since(start) > 10*(*duration) {
 			break // safety valve: a single round took far too long
 		}
+	}
+	if *verify && *killPID != 0 {
+		waitRecovery(c, rounds)
 	}
 	// Decode telemetry snapshot over the sessions still live (evicted
 	// ones carried their counters out with them): how sparse the beam
@@ -292,6 +355,80 @@ func main() {
 			fmt.Printf("backend %s: dispatched=%d dropped=%d errors=%d pings=%d pingfails=%d healthy=%v\n",
 				h.Name, h.Dispatched, h.Dropped, h.Errors, h.Pings, h.PingFails, h.Healthy)
 		}
+	}
+	if dispatchErrs > 0 {
+		fmt.Printf("dispatch errors tolerated under WAL: %d\n", dispatchErrs)
+	}
+	if *verify {
+		verifyAgainst(ctx, ref, c, results)
+	}
+}
+
+// verifyAgainst closes the reference tier and requires the cluster's
+// results to be bit-identical to it with zero lost samples, exiting
+// non-zero on any divergence.
+func verifyAgainst(ctx context.Context, ref *polardraw.Client, c *polardraw.Client, got map[string]*polardraw.Result) {
+	want, err := ref.Close(ctx)
+	if err != nil {
+		fatal(fmt.Errorf("verify: reference close: %w", err))
+	}
+	bad := 0
+	for epc, w := range want {
+		g, ok := got[epc]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "verify: %s decoded by the reference but missing from the cluster\n", epc)
+			bad++
+			continue
+		}
+		if !reflect.DeepEqual(g, w) {
+			fmt.Fprintf(os.Stderr, "verify: %s diverged from the reference decode (%d vs %d trajectory points)\n",
+				epc, len(g.Trajectory), len(w.Trajectory))
+			bad++
+		}
+	}
+	for epc := range got {
+		if _, ok := want[epc]; !ok {
+			fmt.Fprintf(os.Stderr, "verify: %s decoded by the cluster but not the reference\n", epc)
+			bad++
+		}
+	}
+	if lost := c.SamplesLost(); lost > 0 {
+		fmt.Fprintf(os.Stderr, "verify: %d samples lost\n", lost)
+		bad++
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "verify: FAILED (%d problems)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("verify: OK — %d trajectories bit-identical to the reference, 0 samples lost\n", len(want))
+}
+
+// waitRecovery blocks until every pen of the final round routes to a
+// healthy backend (failover migrations pinned), so Close doesn't race
+// an in-flight migration after a kill.
+func waitRecovery(c *polardraw.Client, rounds int) {
+	deadline := time.Now().Add(45 * time.Second)
+	for {
+		healthy := map[string]bool{}
+		for _, h := range c.Health() {
+			if h.Healthy {
+				healthy[h.Name] = true
+			}
+		}
+		settled := len(healthy) > 0
+		for p := 0; settled && p < *pens; p++ {
+			epc := fmt.Sprintf("pen-%04d-%06d", p, rounds-1)
+			settled = healthy[c.BackendFor(epc)]
+		}
+		if settled {
+			fmt.Println("loadgen: cluster recovered; every pen routed to a healthy shard")
+			return
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintln(os.Stderr, "loadgen: recovery did not converge within 45s")
+			os.Exit(1)
+		}
+		time.Sleep(200 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,153 @@
+package polardraw_test
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"polardraw"
+)
+
+// TestKillMidStrokeHandoff is the acceptance test for the durable
+// session tier: two shard servers behind a journal-equipped client,
+// the owner of a mid-flight stroke dies abruptly (Abort — no
+// finalize, no goodbye), and the cluster must converge with every
+// trajectory bit-identical to an uninterrupted local run and zero
+// samples lost. Run under -race in CI.
+func TestKillMidStrokeHandoff(t *testing.T) {
+	const pens = 3
+	samples, epcs, antennas := penScene(pens, 47)
+	ctx := context.Background()
+
+	decode := []polardraw.Option{
+		polardraw.WithAntennas(antennas),
+		polardraw.WithWindow(0.15),
+		polardraw.WithBeamTopK(polardraw.DefaultBeamTopK),
+		polardraw.WithCommitLag(polardraw.DefaultCommitLag),
+	}
+
+	// The uninterrupted reference.
+	ref, err := polardraw.Open(ctx, append([]polardraw.Option{polardraw.WithShards(1)}, decode...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.DispatchBatch(ctx, samples); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two shard servers; checkpoints are cut server-side and flow back
+	// to the client's journal on the event stream.
+	srvOpts := append([]polardraw.Option{polardraw.WithCheckpointEvery(4)}, decode...)
+	servers := make(map[string]*polardraw.ShardServer, 2)
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv := polardraw.NewShardServer(srvOpts...)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(srv.Close)
+		addr := ln.Addr().String()
+		servers[addr] = srv
+		addrs = append(addrs, addr)
+	}
+
+	journal := polardraw.NewMemJournal(0)
+	c, err := polardraw.Open(ctx, append([]polardraw.Option{
+		polardraw.WithShardServers(addrs...),
+		polardraw.WithJournal(journal),
+		polardraw.WithHeartbeat(50 * time.Millisecond),
+	}, decode...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream the first half, then kill the shard serving the first pen
+	// — mid-stroke, every session live. Before the kill, wait for at
+	// least one of the victim's server-side checkpoints to flow back
+	// into the journal, so the recovery under test is the real one:
+	// restore-from-checkpoint plus bounded tail replay, not a full
+	// from-scratch replay.
+	half := len(samples) / 2
+	if err := c.DispatchBatch(ctx, samples[:half]); err != nil {
+		t.Fatal(err)
+	}
+	victimAddr := c.BackendFor(epcs[0])
+	ckptDeadline := time.Now().Add(10 * time.Second)
+	for {
+		if state, covered := journal.Checkpoint(epcs[0]); state != nil && covered > 0 {
+			t.Logf("checkpoint for %s covers %d samples", epcs[0], covered)
+			break
+		}
+		if time.Now().After(ckptDeadline) {
+			t.Fatal("no checkpoint reached the journal before the kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, epc := range epcs {
+		t.Logf("pre-crash route: %s -> %s", epc, c.BackendFor(epc))
+	}
+	t.Logf("killing %s", victimAddr)
+	servers[victimAddr].Abort()
+
+	// Keep streaming through the outage: with a journal attached,
+	// dispatch errors are delivery delays (journaled, replayed by the
+	// failover), not losses.
+	for _, smp := range samples[half:] {
+		_ = c.Dispatch(ctx, smp)
+	}
+
+	// Convergence: the victim marked unhealthy and every pen routed to
+	// a healthy backend.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		healthy := map[string]bool{}
+		for _, h := range c.Health() {
+			healthy[h.Name] = h.Healthy
+		}
+		ok := !healthy[victimAddr]
+		for _, epc := range epcs {
+			if !healthy[c.BackendFor(epc)] {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never converged: health=%+v routes=%v",
+				c.Health(), func() []string {
+					var r []string
+					for _, epc := range epcs {
+						r = append(r, c.BackendFor(epc))
+					}
+					return r
+				}())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Close returns an error for the dead backend; the survivor's
+	// results still come back and must carry every pen.
+	got, _ := c.Close(ctx)
+	if len(got) != pens {
+		t.Fatalf("decoded %d of %d pens across the crash", len(got), pens)
+	}
+	for _, epc := range epcs {
+		w, g := want[epc], got[epc]
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("EPC %s: post-crash decode diverged from the uninterrupted run (want %d pts, got %d)",
+				epc, len(w.Trajectory), len(g.Trajectory))
+		}
+	}
+	if lost := c.SamplesLost(); lost != 0 {
+		t.Fatalf("SamplesLost = %d across a shard kill with WAL", lost)
+	}
+}

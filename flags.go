@@ -39,6 +39,10 @@ type Flags struct {
 	MaxSessions *int
 	Drop        *bool
 	EventBuffer *int
+	// WAL selects the durability journal: "" (off), "mem", or a file
+	// path. CheckpointEvery bounds journal replay at recovery.
+	WAL             *string
+	CheckpointEvery *int
 }
 
 // BindFlags registers the serving flags on fs (use flag.CommandLine
@@ -55,7 +59,22 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 		MaxSessions: fs.Int("max-sessions", 0, "live-session cap per shard before LRU eviction (0 = default)"),
 		Drop:        fs.Bool("drop", false, "drop samples at full queues instead of blocking"),
 		EventBuffer: fs.Int("eventbuffer", session.DefaultEventBuffer, "per-subscriber event channel capacity"),
+		WAL:         fs.String("wal", "", "durability journal: 'mem' (in-memory WAL) or a file path ('' = off)"),
+		CheckpointEvery: fs.Int("checkpoint-every", 0,
+			"emit a session checkpoint every n closed windows, bounding WAL replay at recovery (0 = off)"),
 	}
+}
+
+// journal builds the -wal journal.
+func (f *Flags) journal() (Journal, error) {
+	if *f.WAL == "mem" {
+		return NewMemJournal(0), nil
+	}
+	j, err := NewFileJournal(*f.WAL, 0)
+	if err != nil {
+		return nil, fmt.Errorf("polardraw: -wal %s: %w", *f.WAL, err)
+	}
+	return j, nil
 }
 
 // Remote reports whether the parsed -shards names remote servers
@@ -87,6 +106,19 @@ func (f *Flags) Addrs() []string {
 // do travel over the wire); only the event buffer applies client-side.
 func (f *Flags) Options() ([]Option, error) {
 	var opts []Option
+	if *f.WAL != "" {
+		if *f.Drop {
+			return nil, fmt.Errorf("polardraw: -wal requires blocking backpressure (drop -drop)")
+		}
+		j, err := f.journal()
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithJournal(j))
+	}
+	if *f.CheckpointEvery > 0 {
+		opts = append(opts, WithCheckpointEvery(*f.CheckpointEvery))
+	}
 	if f.Remote() {
 		addrs := f.Addrs()
 		if len(addrs) == 0 {

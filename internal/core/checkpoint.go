@@ -1,0 +1,530 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"polardraw/internal/geom"
+)
+
+// Checkpointing: StreamTracker.Snapshot serializes the complete
+// mid-stroke decode state — windowing, spurious-rejection, direction
+// evidence, and the fixed-lag Viterbi beam — into a self-describing
+// byte string, and Tracker.RestoreStream rebuilds a StreamTracker from
+// it that continues bit-identically to the uninterrupted stream. This
+// is the substrate of the serving tier's durability: shards emit
+// periodic checkpoints, and a session that must move (shard death,
+// membership change) resumes on the new shard from checkpoint plus a
+// WAL replay of the samples dispatched after it.
+//
+// The snapshot embeds the stream-level configuration, so restore needs
+// only a Tracker with the same grid (antennas, board, cell size,
+// wavelength — checked via the grid dimensions). Scratch state
+// (stencil buffers, selection scratch, merge-detection marks) is
+// derivable and deliberately not serialized; beam + backpointers
+// behind the commit point are O(lag), so snapshots stay small under
+// Config.CommitLag.
+//
+// The format is versioned (ckptVersion); all scalars are big-endian,
+// floats are IEEE-754 bit patterns so values round-trip exactly.
+
+const (
+	ckptMagic   = 0x5044434b // "PDCK"
+	ckptVersion = 1
+)
+
+// ErrBadSnapshot reports a snapshot that cannot be parsed or that was
+// taken against an incompatible grid.
+var ErrBadSnapshot = errors.New("core: bad or incompatible snapshot")
+
+// decoder-kind discriminator inside the snapshot.
+const (
+	ckptDecoderNone = 0
+	ckptDecoderVit  = 1
+	ckptDecoderGre  = 2
+)
+
+// ckWriter appends big-endian scalars to a growing buffer.
+type ckWriter struct{ b []byte }
+
+func (w *ckWriter) u8(v uint8)    { w.b = append(w.b, v) }
+func (w *ckWriter) u32(v uint32)  { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *ckWriter) u64(v uint64)  { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *ckWriter) i64(v int)     { w.u64(uint64(v)) }
+func (w *ckWriter) i32(v int32)   { w.u32(uint32(v)) }
+func (w *ckWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *ckWriter) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+// ckReader consumes big-endian scalars; the first short read latches
+// err and every later read returns zero values.
+type ckReader struct {
+	b   []byte
+	err error
+}
+
+func (r *ckReader) take(n int) []byte {
+	if r.err != nil || len(r.b) < n {
+		r.err = ErrBadSnapshot
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *ckReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *ckReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *ckReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *ckReader) i64() int     { return int(int64(r.u64())) }
+func (r *ckReader) i32() int32   { return int32(r.u32()) }
+func (r *ckReader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *ckReader) boolean() bool {
+	return r.u8() != 0
+}
+
+// count reads a u32 element count and bounds it against the remaining
+// payload, elemSize bytes per element, so a hostile length cannot
+// force a huge allocation.
+func (r *ckReader) count(elemSize int) int {
+	n := int(r.u32())
+	if r.err == nil && elemSize > 0 && n > len(r.b)/elemSize+1 {
+		r.err = ErrBadSnapshot
+		return 0
+	}
+	return n
+}
+
+// configBits packs the boolean configuration switches.
+func configBits(cfg Config) uint16 {
+	var bits uint16
+	set := func(i int, on bool) {
+		if on {
+			bits |= 1 << i
+		}
+	}
+	set(0, cfg.BeamAdaptive)
+	set(1, cfg.DisableStencilCache)
+	set(2, cfg.DisablePolarization)
+	set(3, cfg.DisableHyperbola)
+	set(4, cfg.GreedyDecode)
+	set(5, cfg.DisableSectorCorrection)
+	set(6, cfg.ArithmeticPhaseMean)
+	set(7, cfg.TestNoRotDir)
+	set(8, cfg.UseRadialSolve)
+	return bits
+}
+
+func configFromBits(cfg *Config, bits uint16) {
+	cfg.BeamAdaptive = bits&(1<<0) != 0
+	cfg.DisableStencilCache = bits&(1<<1) != 0
+	cfg.DisablePolarization = bits&(1<<2) != 0
+	cfg.DisableHyperbola = bits&(1<<3) != 0
+	cfg.GreedyDecode = bits&(1<<4) != 0
+	cfg.DisableSectorCorrection = bits&(1<<5) != 0
+	cfg.ArithmeticPhaseMean = bits&(1<<6) != 0
+	cfg.TestNoRotDir = bits&(1<<7) != 0
+	cfg.UseRadialSolve = bits&(1<<8) != 0
+}
+
+// Snapshot serializes the tracker's complete decode state. A tracker
+// restored from the returned bytes (Tracker.RestoreStream) and fed the
+// remaining samples produces bit-identical windows, commits, and
+// Finalize result to this tracker fed the same samples uninterrupted.
+// Snapshot does not mutate the tracker and may be called between any
+// two Pushes; it fails after Finalize.
+func (s *StreamTracker) Snapshot() ([]byte, error) {
+	if s.finalized {
+		return nil, ErrFinalized
+	}
+	w := &ckWriter{b: make([]byte, 0, 1024)}
+	w.u32(ckptMagic)
+	w.u8(ckptVersion)
+	w.u64(uint64(s.received)) // covered count, fixed header offset
+	w.u32(uint32(s.grid.nx))
+	w.u32(uint32(s.grid.ny))
+
+	// Stream-level configuration (grid-level fields travel implicitly
+	// via the nx/ny compatibility check: restore reuses the target
+	// tracker's grid).
+	cfg := s.cfg
+	w.f64(cfg.Window)
+	w.f64(cfg.SpuriousPhase)
+	w.f64(cfg.ModeDelta)
+	w.f64(cfg.StepDelta)
+	w.f64(cfg.DeltaBeta)
+	w.f64(cfg.Elevation)
+	w.f64(cfg.VMax)
+	w.i64(cfg.BeamTopK)
+	w.i64(cfg.CommitLag)
+	w.u32(uint32(configBits(cfg)))
+
+	// Windowing state.
+	w.boolean(s.started)
+	w.f64(s.startT)
+	w.i64(s.openIdx)
+	w.i64(s.spurious)
+	w.i64(s.dropped)
+	for a := 0; a < 2; a++ {
+		w.f64(s.open.rssSum[a])
+		w.i64(s.open.count[a])
+		w.u32(uint32(len(s.open.phases[a])))
+		for _, p := range s.open.phases[a] {
+			w.f64(p)
+		}
+	}
+	w.u32(uint32(len(s.windows)))
+	for _, win := range s.windows {
+		w.f64(win.T)
+		for a := 0; a < 2; a++ {
+			w.f64(win.RSS[a])
+			w.f64(win.Phase[a])
+			w.i64(win.Count[a])
+		}
+		var flags uint8
+		if win.Valid {
+			flags |= 1
+		}
+		if win.Spurious[0] {
+			flags |= 2
+		}
+		if win.Spurious[1] {
+			flags |= 4
+		}
+		w.u8(flags)
+	}
+
+	// Direction-evidence state.
+	w.i64(s.eb.rot)
+	w.i64(s.eb.trans)
+	az := s.eb.az
+	w.boolean(az.started)
+	w.f64(az.alpha)
+	w.i64(int(az.sector))
+	w.f64(az.correction)
+	w.boolean(az.corrected)
+
+	// Decoder state.
+	switch {
+	case s.vit != nil:
+		w.u8(ckptDecoderVit)
+		s.vit.snapshot(w)
+	case s.gre != nil:
+		w.u8(ckptDecoderGre)
+		w.i64(s.gre.cur)
+		w.u32(uint32(len(s.gre.path)))
+		for _, c := range s.gre.path {
+			w.i64(c)
+		}
+	default:
+		w.u8(ckptDecoderNone)
+	}
+	return w.b, nil
+}
+
+// snapshot serializes the Viterbi beam: everything step, path, and
+// advanceCommit read, omitting derivable scratch. The active list is
+// stored with its probability values; backpointer vectors are stored
+// sparsely (only entries >= 0; the rest default to -1).
+func (v *viterbiState) snapshot(w *ckWriter) {
+	w.i64(v.steps)
+	w.f64(v.maxPrev)
+	w.i64(v.kCur)
+	w.i64(v.commitT)
+	w.i64(v.forced)
+	w.u64(v.activeSum)
+	w.i64(v.activePeak)
+	w.u64(v.topkPruned)
+	w.i64(v.mergeCommits)
+	w.u64(v.stencilHits)
+	w.u64(v.stencilMisses)
+	w.u32(uint32(len(v.committed)))
+	for _, c := range v.committed {
+		w.i32(c)
+	}
+	w.u32(uint32(len(v.active)))
+	for _, i := range v.active {
+		w.u32(uint32(i))
+		w.f64(v.prev[i])
+	}
+	w.u32(uint32(len(v.back)))
+	for _, bk := range v.back {
+		nnz := 0
+		for _, b := range bk {
+			if b >= 0 {
+				nnz++
+			}
+		}
+		w.u32(uint32(nnz))
+		for i, b := range bk {
+			if b >= 0 {
+				w.u32(uint32(i))
+				w.i32(b)
+			}
+		}
+	}
+}
+
+// SnapshotCovered reports how many samples the snapshot covers (the
+// tracker's Received count when it was taken) without a full restore —
+// the WAL replay point after a handoff.
+func SnapshotCovered(data []byte) (int, error) {
+	r := &ckReader{b: data}
+	if r.u32() != ckptMagic || r.u8() != ckptVersion {
+		return 0, ErrBadSnapshot
+	}
+	n := int(r.u64())
+	if r.err != nil {
+		return 0, r.err
+	}
+	return n, nil
+}
+
+// RestoreStream rebuilds a StreamTracker from a Snapshot taken on this
+// tracker or any tracker with an identical grid. The restored stream
+// carries the snapshot's own stream-level configuration (so per-session
+// decode options survive a handoff without retransmission) and, fed
+// the samples the snapshot does not cover (see SnapshotCovered),
+// evolves bit-identically to the tracker the snapshot was taken from.
+// OnWindow/OnCommit hooks are not restored; set them before the next
+// Push.
+func (tr *Tracker) RestoreStream(data []byte) (*StreamTracker, error) {
+	r := &ckReader{b: data}
+	if r.u32() != ckptMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if v := r.u8(); v != ckptVersion {
+		return nil, fmt.Errorf("%w: format version %d", ErrBadSnapshot, v)
+	}
+	received := int(r.u64())
+	nx, ny := int(r.u32()), int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nx != tr.grid.nx || ny != tr.grid.ny {
+		return nil, fmt.Errorf("%w: snapshot grid %dx%d, tracker grid %dx%d",
+			ErrBadSnapshot, nx, ny, tr.grid.nx, tr.grid.ny)
+	}
+
+	var cfg Config
+	cfg.Window = r.f64()
+	cfg.SpuriousPhase = r.f64()
+	cfg.ModeDelta = r.f64()
+	cfg.StepDelta = r.f64()
+	cfg.DeltaBeta = r.f64()
+	cfg.Elevation = r.f64()
+	cfg.VMax = r.f64()
+	cfg.BeamTopK = r.i64()
+	cfg.CommitLag = r.i64()
+	configFromBits(&cfg, uint16(r.u32()))
+	if r.err != nil {
+		return nil, r.err
+	}
+	st := tr.StreamWith(cfg)
+	st.received = received
+
+	st.started = r.boolean()
+	st.startT = r.f64()
+	st.openIdx = r.i64()
+	st.spurious = r.i64()
+	st.dropped = r.i64()
+	for a := 0; a < 2; a++ {
+		st.open.rssSum[a] = r.f64()
+		st.open.count[a] = r.i64()
+		n := r.count(8)
+		if r.err != nil {
+			return nil, r.err
+		}
+		st.open.phases[a] = make([]float64, n)
+		for i := range st.open.phases[a] {
+			st.open.phases[a][i] = r.f64()
+		}
+	}
+	nw := r.count(41)
+	if r.err != nil {
+		return nil, r.err
+	}
+	st.windows = make([]Window, nw)
+	for i := range st.windows {
+		win := &st.windows[i]
+		win.T = r.f64()
+		for a := 0; a < 2; a++ {
+			win.RSS[a] = r.f64()
+			win.Phase[a] = r.f64()
+			win.Count[a] = r.i64()
+		}
+		flags := r.u8()
+		win.Valid = flags&1 != 0
+		win.Spurious[0] = flags&2 != 0
+		win.Spurious[1] = flags&4 != 0
+	}
+
+	st.eb.rot = r.i64()
+	st.eb.trans = r.i64()
+	st.eb.az.started = r.boolean()
+	st.eb.az.alpha = r.f64()
+	st.eb.az.sector = Sector(r.i64())
+	st.eb.az.correction = r.f64()
+	st.eb.az.corrected = r.boolean()
+
+	switch kind := r.u8(); kind {
+	case ckptDecoderNone:
+	case ckptDecoderVit:
+		vit, err := restoreViterbi(tr.grid, st.cfg, r)
+		if err != nil {
+			return nil, err
+		}
+		st.vit = vit
+	case ckptDecoderGre:
+		gre := &greedyState{g: tr.grid, cfg: st.cfg}
+		gre.cur = r.i64()
+		n := r.count(8)
+		if r.err != nil {
+			return nil, r.err
+		}
+		gre.path = make([]int, n)
+		for i := range gre.path {
+			gre.path[i] = r.i64()
+		}
+		st.gre = gre
+	default:
+		return nil, fmt.Errorf("%w: decoder kind %d", ErrBadSnapshot, kind)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return st, nil
+}
+
+// restoreViterbi rebuilds the beam directly (not via newViterbiState,
+// which would re-seed and re-prune): prev holds the serialized values
+// at the active cells and -Inf elsewhere, cur is all -Inf with an
+// empty stale list, and every scratch buffer is left for lazy sizing —
+// none of it affects decode values.
+func restoreViterbi(g *grid, cfg Config, r *ckReader) (*viterbiState, error) {
+	n := g.size()
+	v := &viterbiState{g: g, cfg: cfg}
+	v.steps = r.i64()
+	v.maxPrev = r.f64()
+	v.kCur = r.i64()
+	v.commitT = r.i64()
+	v.forced = r.i64()
+	v.activeSum = r.u64()
+	v.activePeak = r.i64()
+	v.topkPruned = r.u64()
+	v.mergeCommits = r.i64()
+	v.stencilHits = r.u64()
+	v.stencilMisses = r.u64()
+
+	nc := r.count(4)
+	if r.err != nil {
+		return nil, r.err
+	}
+	v.committed = make([]int32, nc)
+	for i := range v.committed {
+		v.committed[i] = r.i32()
+	}
+
+	v.prev = make([]float64, n)
+	v.cur = make([]float64, n)
+	negInf := math.Inf(-1)
+	for i := range v.prev {
+		v.prev[i] = negInf
+		v.cur[i] = negInf
+	}
+	na := r.count(12)
+	if r.err != nil {
+		return nil, r.err
+	}
+	v.active = make([]int, 0, n)
+	for i := 0; i < na; i++ {
+		idx := int(r.u32())
+		val := r.f64()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if idx < 0 || idx >= n {
+			return nil, fmt.Errorf("%w: active cell %d out of grid", ErrBadSnapshot, idx)
+		}
+		v.active = append(v.active, idx)
+		v.prev[idx] = val
+	}
+
+	nb := r.count(4)
+	if r.err != nil {
+		return nil, r.err
+	}
+	v.back = make([][]int32, 0, nb)
+	for j := 0; j < nb; j++ {
+		bk := make([]int32, n)
+		for i := range bk {
+			bk[i] = -1
+		}
+		nnz := r.count(8)
+		for k := 0; k < nnz; k++ {
+			idx := int(r.u32())
+			val := r.i32()
+			if r.err != nil {
+				return nil, r.err
+			}
+			if idx < 0 || idx >= n {
+				return nil, fmt.Errorf("%w: backpointer cell %d out of grid", ErrBadSnapshot, idx)
+			}
+			bk[idx] = val
+		}
+		v.back = append(v.back, bk)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Invariants the commit machinery relies on.
+	if len(v.committed) != v.commitT+1 {
+		return nil, fmt.Errorf("%w: committed prefix %d does not match commitT %d",
+			ErrBadSnapshot, len(v.committed), v.commitT)
+	}
+	return v, nil
+}
+
+// Committed returns the fixed-lag smoother's committed trajectory
+// prefix as grid-centre points (the concatenation of every OnCommit
+// segment so far). It is empty before the first commit and under
+// GreedyDecode. The serving tier uses it to replay commit events to
+// subscribers that attach, or re-attach, mid-stroke.
+func (s *StreamTracker) Committed() geom.Polyline {
+	if s.vit == nil || s.vit.commitT < 0 {
+		return nil
+	}
+	seg := make(geom.Polyline, s.vit.commitT+1)
+	for i, c := range s.vit.committed {
+		seg[i] = s.grid.center(int(c))
+	}
+	return seg
+}

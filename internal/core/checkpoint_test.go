@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"polardraw/internal/geom"
+)
+
+func bitSamePolyline(a, b geom.Polyline) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bitSameResult is requireSameResult without tolerance: every float
+// compared by bit pattern, the standard the durability tier promises.
+func bitSameResult(t *testing.T, want, got *Result) {
+	t.Helper()
+	if !bitSamePolyline(want.Trajectory, got.Trajectory) {
+		t.Fatalf("trajectories diverge: %d vs %d points", len(want.Trajectory), len(got.Trajectory))
+	}
+	if len(want.Windows) != len(got.Windows) {
+		t.Fatalf("windows: %d vs %d", len(want.Windows), len(got.Windows))
+	}
+	for i := range want.Windows {
+		if want.Windows[i] != got.Windows[i] {
+			t.Fatalf("window[%d]: %+v vs %+v", i, want.Windows[i], got.Windows[i])
+		}
+	}
+	if want.Correction != got.Correction ||
+		want.RotationalWindows != got.RotationalWindows ||
+		want.TranslationalWindows != got.TranslationalWindows ||
+		want.SpuriousRejected != got.SpuriousRejected {
+		t.Fatalf("diagnostics diverge:\n  want %+v\n  got  %+v", want, got)
+	}
+}
+
+// TestSnapshotRestoreBitIdentical is the tentpole acceptance at the
+// core layer: snapshot mid-stroke, restore on a brand-new tracker
+// (nothing shared but the configuration — the shard-death topology),
+// feed the remaining samples, and require every window counter, commit
+// segment, telemetry field, and the Finalize result to be bit-identical
+// to the uninterrupted run.
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"lagged-beam", Config{Window: 0.1, CommitLag: 8, BeamTopK: 64}},
+		{"adaptive", Config{Window: 0.1, CommitLag: 8, BeamTopK: 64, BeamAdaptive: true}},
+		{"unbounded", Config{Window: 0.1}},
+		{"greedy", Config{Window: 0.1, GreedyDecode: true}},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			samples, ants := synthSamples(t, 'R', 7)
+			cfg := tc.cfg
+			cfg.Antennas = ants
+
+			for _, cut := range []int{1, len(samples) / 3, len(samples) / 2, len(samples) - 1} {
+				// Uninterrupted reference.
+				ref := New(cfg).Stream()
+				refCommits := map[int]geom.Polyline{}
+				ref.OnCommit = func(start int, seg geom.Polyline) {
+					refCommits[start] = append(geom.Polyline(nil), seg...)
+				}
+				if err := ref.Push(samples...); err != nil {
+					t.Fatal(err)
+				}
+
+				// Interrupted run: push to cut, snapshot, restore
+				// elsewhere, push the rest.
+				st := New(cfg).Stream()
+				if err := st.Push(samples[:cut]...); err != nil {
+					t.Fatal(err)
+				}
+				snap, err := st.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if covered, err := SnapshotCovered(snap); err != nil || covered != cut {
+					t.Fatalf("SnapshotCovered = %d, %v; want %d", covered, err, cut)
+				}
+				rst, err := New(cfg).RestoreStream(snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				commits := map[int]geom.Polyline{}
+				rst.OnCommit = func(start int, seg geom.Polyline) {
+					commits[start] = append(geom.Polyline(nil), seg...)
+				}
+				if err := rst.Push(samples[cut:]...); err != nil {
+					t.Fatal(err)
+				}
+
+				if rst.Windows() != ref.Windows() || rst.Received() != ref.Received() || rst.Dropped() != ref.Dropped() {
+					t.Fatalf("cut %d: windows/received/dropped %d/%d/%d vs %d/%d/%d",
+						cut, rst.Windows(), rst.Received(), rst.Dropped(),
+						ref.Windows(), ref.Received(), ref.Dropped())
+				}
+				// Commits fired after the restore point must match the
+				// reference segments at the same start indices exactly
+				// (segments before the cut fired pre-snapshot, on the
+				// original tracker).
+				for start, seg := range commits {
+					want, ok := refCommits[start]
+					if !ok || !bitSamePolyline(seg, want) {
+						t.Fatalf("cut %d: commit at %d diverges from uninterrupted run", cut, start)
+					}
+				}
+				// Committed prefixes agree bit-for-bit.
+				if !bitSamePolyline(ref.Committed(), rst.Committed()) {
+					t.Fatalf("cut %d: committed prefixes diverge", cut)
+				}
+				ds, rds := ref.DecodeStats(), rst.DecodeStats()
+				// Stencil-cache hits/misses legitimately differ (the
+				// restored tracker starts with a cold per-grid cache);
+				// every other telemetry field must round-trip.
+				rds.StencilHits, rds.StencilMisses = ds.StencilHits, ds.StencilMisses
+				if ds != rds {
+					t.Fatalf("cut %d: decode stats diverge:\n  ref %+v\n  rst %+v", cut, ds, rds)
+				}
+
+				want, werr := ref.Finalize()
+				got, gerr := rst.Finalize()
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("cut %d: finalize err %v vs %v", cut, gerr, werr)
+				}
+				if werr == nil {
+					bitSameResult(t, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRejectsGarbage locks the parser's failure modes: short
+// or corrupt input errors cleanly (never panics), incompatible grids
+// are refused, and finalized trackers cannot snapshot.
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	samples, ants := synthSamples(t, 'R', 3)
+	cfg := Config{Antennas: ants, Window: 0.1, CommitLag: 8}
+	tr := New(cfg)
+	st := tr.Stream()
+	if err := st.Push(samples[:len(samples)/2]...); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := tr.RestoreStream(nil); err == nil {
+		t.Fatal("nil snapshot restored")
+	}
+	bad := append([]byte(nil), snap...)
+	bad[0] ^= 0xff
+	if _, err := tr.RestoreStream(bad); err == nil {
+		t.Fatal("bad magic restored")
+	}
+	// Truncation anywhere in the body must error, never panic.
+	for cut := 0; cut < len(snap); cut += 13 {
+		if _, err := tr.RestoreStream(snap[:cut]); err == nil {
+			t.Fatalf("truncation at %d restored", cut)
+		}
+	}
+	// Grid mismatch: half the cell size, four times the cells.
+	small := cfg
+	small.CellSize = 0.0025
+	if _, err := New(small).RestoreStream(snap); err == nil {
+		t.Fatal("snapshot restored onto a different grid")
+	}
+
+	if _, err := st.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Snapshot(); err != ErrFinalized {
+		t.Fatalf("snapshot after finalize: %v", err)
+	}
+}

@@ -61,6 +61,17 @@ type ShardBackend interface {
 	// on a remote backend events racing the connection teardown may be
 	// cut short.
 	Subscribe(ctx context.Context) (<-chan Event, CancelFunc)
+	// Export removes the EPC's live session and returns its serialized
+	// mid-stroke state (a core.StreamTracker snapshot) for Restore on
+	// another backend — the graceful half of a handoff. The snapshot
+	// covers every sample dispatched to this backend for the EPC before
+	// the call. ErrUnknownEPC when no session is live.
+	Export(ctx context.Context, epc string) ([]byte, error)
+	// Restore rebuilds the EPC's session from a snapshot produced by
+	// Export or by a checkpoint event, replacing any live session for
+	// the EPC. Samples dispatched after Restore continue the stroke
+	// exactly where the snapshot left off.
+	Restore(ctx context.Context, epc string, state []byte) error
 	// Close stops ingress, drains, finalizes every session, and returns
 	// the decoded results keyed by EPC. Close is terminal.
 	Close(ctx context.Context) (map[string]*core.Result, error)
@@ -110,6 +121,7 @@ type LocalBackend struct {
 	cfg   LocalConfig
 	m     *Manager
 	queue chan reader.Sample
+	flush chan chan struct{}
 	done  chan struct{}
 
 	// mu guards closed against ingress sends, with the same
@@ -138,6 +150,7 @@ func newLocalBackendWith(cfg LocalConfig, tr *core.Tracker) *LocalBackend {
 		cfg:   cfg,
 		m:     newManagerWith(cfg.Session, tr),
 		queue: make(chan reader.Sample, cfg.QueueSize),
+		flush: make(chan chan struct{}),
 		done:  make(chan struct{}),
 	}
 	go lb.run()
@@ -145,13 +158,57 @@ func newLocalBackendWith(cfg LocalConfig, tr *core.Tracker) *LocalBackend {
 }
 
 // run drains the ingress queue into the manager until the queue
-// closes.
+// closes, servicing flush barriers in between.
 func (lb *LocalBackend) run() {
 	defer close(lb.done)
-	for smp := range lb.queue {
-		// ErrClosed impossible: the manager closes only after the
-		// queue is drained.
-		_ = lb.m.Dispatch(smp)
+	for {
+		select {
+		case smp, ok := <-lb.queue:
+			if !ok {
+				return
+			}
+			// ErrClosed impossible: the manager closes only after the
+			// queue is drained.
+			_ = lb.m.Dispatch(smp)
+		case ack := <-lb.flush:
+			// Barrier: dispatch everything queued before acking, so a
+			// subsequent Export/Restore observes every earlier sample.
+			for drained := false; !drained; {
+				select {
+				case smp, ok := <-lb.queue:
+					if !ok {
+						close(ack)
+						return
+					}
+					_ = lb.m.Dispatch(smp)
+				default:
+					drained = true
+				}
+			}
+			close(ack)
+		}
+	}
+}
+
+// drainIngress waits until every sample enqueued before the call has
+// been dispatched into the manager. Returns promptly (without the
+// guarantee) if the backend closes or ctx ends first.
+func (lb *LocalBackend) drainIngress(ctx context.Context) error {
+	ack := make(chan struct{})
+	select {
+	case lb.flush <- ack:
+	case <-lb.done:
+		return nil // Close drained everything already
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-ack:
+		return nil
+	case <-lb.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -258,6 +315,54 @@ func (lb *LocalBackend) EvictIdle(ctx context.Context, maxIdle time.Duration) (i
 // Subscribe attaches a consumer to the manager's unified event stream.
 func (lb *LocalBackend) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
 	return lb.m.Subscribe(ctx)
+}
+
+// Export removes the EPC's session and returns its serialized state.
+// The ingress queue is drained first so the snapshot covers every
+// sample dispatched before the call.
+func (lb *LocalBackend) Export(ctx context.Context, epc string) ([]byte, error) {
+	lb.mu.RLock()
+	closed := lb.closed
+	lb.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if err := lb.drainIngress(ctx); err != nil {
+		return nil, err
+	}
+	type out struct {
+		state []byte
+		err   error
+	}
+	v, err := await(ctx, func() out {
+		state, err := lb.m.Export(epc)
+		return out{state, err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.state, v.err
+}
+
+// Restore rebuilds the EPC's session from a snapshot, replacing any
+// live one. The ingress queue is drained first so samples dispatched
+// before the call land in the replaced (pre-snapshot) session rather
+// than being replayed twice into the restored one.
+func (lb *LocalBackend) Restore(ctx context.Context, epc string, state []byte) error {
+	lb.mu.RLock()
+	closed := lb.closed
+	lb.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := lb.drainIngress(ctx); err != nil {
+		return err
+	}
+	v, err := await(ctx, func() error { return lb.m.Restore(epc, state) })
+	if err != nil {
+		return err
+	}
+	return v
 }
 
 // EventsDropped counts events shed at full subscriber buffers.

@@ -54,6 +54,12 @@ func (b *blockingBackend) EvictIdle(ctx context.Context, _ time.Duration) (int, 
 func (b *blockingBackend) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
 	return b.hub.Subscribe(ctx, 0)
 }
+func (b *blockingBackend) Export(ctx context.Context, _ string) ([]byte, error) {
+	return nil, b.wait(ctx)
+}
+func (b *blockingBackend) Restore(ctx context.Context, _ string, _ []byte) error {
+	return b.wait(ctx)
+}
 func (b *blockingBackend) Close(ctx context.Context) (map[string]*core.Result, error) {
 	return nil, b.wait(ctx)
 }

@@ -33,6 +33,11 @@ const (
 	// unhealthy boundary (Backend and Healthy are set). Emitted only by
 	// Router-backed subscriptions.
 	EventBackendHealth
+	// EventCheckpoint: a session emitted a periodic durability
+	// checkpoint (Covered and State are set; see Config.CheckpointEvery
+	// and core.StreamTracker.Snapshot). Routers with a journal attached
+	// absorb these into the WAL instead of forwarding them downstream.
+	EventCheckpoint
 )
 
 // String names the kind for logs and error messages.
@@ -48,6 +53,8 @@ func (k EventKind) String() string {
 		return "Evict"
 	case EventBackendHealth:
 		return "BackendHealth"
+	case EventCheckpoint:
+		return "Checkpoint"
 	default:
 		return "Unknown"
 	}
@@ -84,6 +91,12 @@ type Event struct {
 	// (BackendHealth).
 	Backend string
 	Healthy bool
+
+	// Covered and State carry a durability checkpoint (Checkpoint):
+	// State is the core.StreamTracker snapshot, Covered the number of
+	// dispatched samples it accounts for — the WAL replay point.
+	Covered uint64
+	State   []byte
 }
 
 // CancelFunc releases a subscription. It is idempotent and safe to

@@ -227,7 +227,9 @@ func TestRouterEventMergeAndHealth(t *testing.T) {
 		_ = r.Dispatch(ctx, reader.Sample{EPC: badEPC})
 	}
 	stubs["hb-bad"].fail = nil
-	_ = r.Dispatch(ctx, reader.Sample{EPC: badEPC})
+	for i := 0; i < healthyAfter; i++ {
+		_ = r.Dispatch(ctx, reader.Sample{EPC: badEPC})
+	}
 	hcancel()
 	<-hdone
 

@@ -1,0 +1,220 @@
+package session
+
+import (
+	"sort"
+	"sync"
+
+	"polardraw/internal/reader"
+)
+
+// Journal is the pluggable write-ahead log behind the durable session
+// tier. A Router with a journal attached records every dispatched
+// sample (and every explicit Open's options) before routing it, absorbs
+// the periodic EventCheckpoint snapshots shards emit, and — when a
+// shard dies or an EPC is handed off — rebuilds the session on another
+// shard from the latest checkpoint plus a replay of the samples
+// dispatched after it.
+//
+// Per EPC the journal is an append-only sequence of samples indexed
+// from the start of the stroke: the sample the tracker counts as
+// Received == n has journal index n-1. A checkpoint covering n samples
+// lets the journal release indices < n; Release (at finalization)
+// drops the whole stroke. Samples evicted by the retention cap before
+// any checkpoint covers them are unrecoverable and counted in Lost —
+// with checkpoints flowing, Lost stays zero through any failover.
+//
+// Implementations must be safe for concurrent use: the router appends
+// from dispatch paths while its event forwarder saves checkpoints and
+// releases strokes.
+type Journal interface {
+	// Append records one dispatched sample under its EPC and returns
+	// the sample's journal index within the stroke (0-based).
+	Append(smp reader.Sample) (int, error)
+	// RecordOpen remembers an explicit Open's options so a failover can
+	// re-open the session faithfully when no checkpoint exists yet.
+	RecordOpen(epc string, opts OpenOptions) error
+	// Options returns the options RecordOpen stored, if any.
+	Options(epc string) (OpenOptions, bool)
+	// SaveCheckpoint stores the latest tracker snapshot for epc;
+	// covered is the number of samples it accounts for. Indices
+	// < covered may be released.
+	SaveCheckpoint(epc string, covered int, state []byte) error
+	// Checkpoint returns the latest snapshot and its covered count
+	// (nil, 0 when none has been saved).
+	Checkpoint(epc string) ([]byte, int)
+	// Replay returns the retained samples for epc with journal index
+	// >= from, in dispatch order.
+	Replay(epc string, from int) []reader.Sample
+	// Release drops every record for epc (the stroke finalized).
+	Release(epc string)
+	// EPCs lists the strokes currently holding records, sorted.
+	EPCs() []string
+	// Lost counts samples evicted by retention before a checkpoint
+	// covered them — the only way a WAL-backed tier loses data.
+	Lost() uint64
+	// Close releases the journal's resources.
+	Close() error
+}
+
+// DefaultJournalRetention is the per-EPC retained-sample cap when a
+// journal config leaves it zero: comfortably above a full stroke at
+// COTS reader rates, so eviction only ever trims pathological streams.
+const DefaultJournalRetention = 1 << 16
+
+// strokeLog is one EPC's retained state inside MemJournal.
+type strokeLog struct {
+	first   int // journal index of records[0]
+	records []reader.Sample
+	opts    OpenOptions
+	hasOpts bool
+	ckpt    []byte
+	covered int
+}
+
+// MemJournal is the in-memory Journal: cheap, bounded by the retention
+// cap, and sufficient for in-process failover between live shards (it
+// does not survive the death of the process holding it — use
+// FileJournal for that).
+type MemJournal struct {
+	mu     sync.Mutex
+	retain int
+	epcs   map[string]*strokeLog
+	lost   uint64
+}
+
+// NewMemJournal returns an in-memory journal retaining at most retain
+// samples per EPC (<= 0 takes DefaultJournalRetention).
+func NewMemJournal(retain int) *MemJournal {
+	if retain <= 0 {
+		retain = DefaultJournalRetention
+	}
+	return &MemJournal{retain: retain, epcs: make(map[string]*strokeLog)}
+}
+
+func (j *MemJournal) stroke(epc string) *strokeLog {
+	s := j.epcs[epc]
+	if s == nil {
+		s = &strokeLog{}
+		j.epcs[epc] = s
+	}
+	return s
+}
+
+// Append implements Journal.
+func (j *MemJournal) Append(smp reader.Sample) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.stroke(smp.EPC)
+	idx := s.first + len(s.records)
+	s.records = append(s.records, smp)
+	// Retention: evict the oldest record; if no checkpoint covers it,
+	// the sample is gone for good.
+	if len(s.records) > j.retain {
+		if s.first >= s.covered {
+			j.lost++
+		}
+		s.records = s.records[1:]
+		s.first++
+	}
+	return idx, nil
+}
+
+// RecordOpen implements Journal.
+func (j *MemJournal) RecordOpen(epc string, opts OpenOptions) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.stroke(epc)
+	s.opts, s.hasOpts = opts, true
+	return nil
+}
+
+// Options implements Journal.
+func (j *MemJournal) Options(epc string) (OpenOptions, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if s := j.epcs[epc]; s != nil && s.hasOpts {
+		return s.opts, true
+	}
+	return OpenOptions{}, false
+}
+
+// SaveCheckpoint implements Journal.
+func (j *MemJournal) SaveCheckpoint(epc string, covered int, state []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.stroke(epc)
+	if covered < s.covered {
+		return nil // stale checkpoint (reordered delivery): keep the newer
+	}
+	s.ckpt = append(s.ckpt[:0], state...)
+	s.covered = covered
+	// Records the checkpoint covers can never be replayed again.
+	if drop := covered - s.first; drop > 0 {
+		if drop > len(s.records) {
+			drop = len(s.records)
+		}
+		s.records = append(s.records[:0], s.records[drop:]...)
+		s.first += drop
+	}
+	return nil
+}
+
+// Checkpoint implements Journal.
+func (j *MemJournal) Checkpoint(epc string) ([]byte, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.epcs[epc]
+	if s == nil || s.ckpt == nil {
+		return nil, 0
+	}
+	return append([]byte(nil), s.ckpt...), s.covered
+}
+
+// Replay implements Journal.
+func (j *MemJournal) Replay(epc string, from int) []reader.Sample {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.epcs[epc]
+	if s == nil {
+		return nil
+	}
+	start := from - s.first
+	if start < 0 {
+		start = 0
+	}
+	if start >= len(s.records) {
+		return nil
+	}
+	return append([]reader.Sample(nil), s.records[start:]...)
+}
+
+// Release implements Journal.
+func (j *MemJournal) Release(epc string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.epcs, epc)
+}
+
+// EPCs implements Journal.
+func (j *MemJournal) EPCs() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]string, 0, len(j.epcs))
+	for epc := range j.epcs {
+		out = append(out, epc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lost implements Journal.
+func (j *MemJournal) Lost() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.lost
+}
+
+// Close implements Journal.
+func (j *MemJournal) Close() error { return nil }
+
+var _ Journal = (*MemJournal)(nil)

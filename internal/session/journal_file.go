@@ -1,0 +1,368 @@
+package session
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"polardraw/internal/reader"
+)
+
+// FileJournal is the durable Journal: every record is appended to a
+// single log file before it is acknowledged, and NewFileJournal replays
+// an existing file so a restarted process resumes with its retained
+// samples, options, and checkpoints intact. The in-memory index is a
+// MemJournal; the file is the recovery source, not the read path, so
+// queries cost the same as the memory journal.
+//
+// The log is a sequence of length-prefixed records
+// (u32 length | u8 type | payload); a torn final record (crash mid
+// write) is detected by its short length and ignored on replay. The
+// file is fsynced on SaveCheckpoint and Close — between checkpoints an
+// OS crash may lose the tail, which the ack/retention semantics treat
+// exactly like samples past the last checkpoint: resent by the client
+// or replayed from the previous checkpoint. The file is append-only
+// and grows with traffic; Release trims the in-memory index, and the
+// file is truncated whenever every stroke it holds has been released.
+type FileJournal struct {
+	mu   sync.Mutex
+	mem  *MemJournal
+	f    *os.File
+	path string
+}
+
+const (
+	fjRecSample     = 1
+	fjRecOpen       = 2
+	fjRecCheckpoint = 3
+	fjRecRelease    = 4
+)
+
+// NewFileJournal opens (creating if absent) the journal log at path,
+// replays its records, and returns the journal. retain bounds retained
+// samples per EPC as in NewMemJournal.
+func NewFileJournal(path string, retain int) (*FileJournal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &FileJournal{mem: NewMemJournal(retain), f: f, path: path}
+	if err := j.replayFile(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// replayFile rebuilds the in-memory index from the log, tolerating a
+// torn final record.
+func (j *FileJournal) replayFile() error {
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return err
+	}
+	for len(data) >= 4 {
+		n := int(binary.BigEndian.Uint32(data))
+		if n < 1 || 4+n > len(data) {
+			break // torn tail: crash mid-append
+		}
+		rec := data[4 : 4+n]
+		data = data[4+n:]
+		if err := j.applyRecord(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (j *FileJournal) applyRecord(rec []byte) error {
+	d := fjDecoder{b: rec[1:]}
+	switch rec[0] {
+	case fjRecSample:
+		var smp reader.Sample
+		smp.EPC = d.str()
+		smp.T = d.f64()
+		smp.Antenna = int(d.u8())
+		smp.RSS = d.f64()
+		smp.Phase = d.f64()
+		if d.err != nil {
+			return d.err
+		}
+		_, err := j.mem.Append(smp)
+		return err
+	case fjRecOpen:
+		epc := d.str()
+		opts := d.options()
+		if d.err != nil {
+			return d.err
+		}
+		return j.mem.RecordOpen(epc, opts)
+	case fjRecCheckpoint:
+		epc := d.str()
+		covered := int(d.u64())
+		state := d.bytes()
+		if d.err != nil {
+			return d.err
+		}
+		return j.mem.SaveCheckpoint(epc, covered, state)
+	case fjRecRelease:
+		epc := d.str()
+		if d.err != nil {
+			return d.err
+		}
+		j.mem.Release(epc)
+		return nil
+	default:
+		return fmt.Errorf("session: journal file %s: unknown record type %d", j.path, rec[0])
+	}
+}
+
+// appendRecord writes one length-prefixed record. Callers hold j.mu.
+func (j *FileJournal) appendRecord(rec []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(rec)))
+	buf := append(hdr[:], rec...)
+	_, err := j.f.Write(buf)
+	return err
+}
+
+// fjEncoder/fjDecoder are the journal file's tiny codec (the session
+// package cannot reuse shardrpc's — shardrpc imports session).
+type fjEncoder struct{ b []byte }
+
+func (e *fjEncoder) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *fjEncoder) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *fjEncoder) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *fjEncoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *fjEncoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *fjEncoder) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+func (e *fjEncoder) options(o OpenOptions) {
+	var mask uint8
+	if o.BeamTopK != nil {
+		mask |= 1
+	}
+	if o.CommitLag != nil {
+		mask |= 2
+	}
+	if o.BeamAdaptive != nil {
+		mask |= 4
+	}
+	if o.Window != nil {
+		mask |= 8
+	}
+	if o.SpuriousPhase != nil {
+		mask |= 16
+	}
+	e.u8(mask)
+	if o.BeamTopK != nil {
+		e.u64(uint64(*o.BeamTopK))
+	}
+	if o.CommitLag != nil {
+		e.u64(uint64(*o.CommitLag))
+	}
+	if o.BeamAdaptive != nil {
+		if *o.BeamAdaptive {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	}
+	if o.Window != nil {
+		e.f64(*o.Window)
+	}
+	if o.SpuriousPhase != nil {
+		e.f64(*o.SpuriousPhase)
+	}
+}
+
+type fjDecoder struct {
+	b   []byte
+	err error
+}
+
+func (d *fjDecoder) take(n int) []byte {
+	if d.err != nil || len(d.b) < n || n < 0 {
+		d.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *fjDecoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *fjDecoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *fjDecoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *fjDecoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *fjDecoder) str() string {
+	n := int(d.u32())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *fjDecoder) bytes() []byte {
+	n := int(d.u32())
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func (d *fjDecoder) options() OpenOptions {
+	var o OpenOptions
+	mask := d.u8()
+	if mask&1 != 0 {
+		v := int(d.u64())
+		o.BeamTopK = &v
+	}
+	if mask&2 != 0 {
+		v := int(d.u64())
+		o.CommitLag = &v
+	}
+	if mask&4 != 0 {
+		v := d.u8() != 0
+		o.BeamAdaptive = &v
+	}
+	if mask&8 != 0 {
+		v := d.f64()
+		o.Window = &v
+	}
+	if mask&16 != 0 {
+		v := d.f64()
+		o.SpuriousPhase = &v
+	}
+	return o
+}
+
+// Append implements Journal: the record hits the file before the index.
+func (j *FileJournal) Append(smp reader.Sample) (int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e := fjEncoder{b: []byte{fjRecSample}}
+	e.str(smp.EPC)
+	e.f64(smp.T)
+	e.u8(uint8(smp.Antenna))
+	e.f64(smp.RSS)
+	e.f64(smp.Phase)
+	if err := j.appendRecord(e.b); err != nil {
+		return 0, err
+	}
+	return j.mem.Append(smp)
+}
+
+// RecordOpen implements Journal.
+func (j *FileJournal) RecordOpen(epc string, opts OpenOptions) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e := fjEncoder{b: []byte{fjRecOpen}}
+	e.str(epc)
+	e.options(opts)
+	if err := j.appendRecord(e.b); err != nil {
+		return err
+	}
+	return j.mem.RecordOpen(epc, opts)
+}
+
+// Options implements Journal.
+func (j *FileJournal) Options(epc string) (OpenOptions, bool) { return j.mem.Options(epc) }
+
+// SaveCheckpoint implements Journal; the checkpoint is fsynced, making
+// everything it covers durable against OS crash as well.
+func (j *FileJournal) SaveCheckpoint(epc string, covered int, state []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e := fjEncoder{b: []byte{fjRecCheckpoint}}
+	e.str(epc)
+	e.u64(uint64(covered))
+	e.bytes(state)
+	if err := j.appendRecord(e.b); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	return j.mem.SaveCheckpoint(epc, covered, state)
+}
+
+// Checkpoint implements Journal.
+func (j *FileJournal) Checkpoint(epc string) ([]byte, int) { return j.mem.Checkpoint(epc) }
+
+// Replay implements Journal.
+func (j *FileJournal) Replay(epc string, from int) []reader.Sample { return j.mem.Replay(epc, from) }
+
+// Release implements Journal. When the last stroke is released the log
+// file is truncated, bounding its growth at one process lifetime of
+// concurrently-live strokes.
+func (j *FileJournal) Release(epc string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e := fjEncoder{b: []byte{fjRecRelease}}
+	e.str(epc)
+	_ = j.appendRecord(e.b)
+	j.mem.Release(epc)
+	if len(j.mem.EPCs()) == 0 {
+		if err := j.f.Truncate(0); err == nil {
+			_, _ = j.f.Seek(0, io.SeekStart)
+		}
+	}
+}
+
+// EPCs implements Journal.
+func (j *FileJournal) EPCs() []string { return j.mem.EPCs() }
+
+// Lost implements Journal.
+func (j *FileJournal) Lost() uint64 { return j.mem.Lost() }
+
+// Close implements Journal.
+func (j *FileJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+var _ Journal = (*FileJournal)(nil)

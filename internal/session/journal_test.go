@@ -1,0 +1,272 @@
+package session
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"polardraw/internal/reader"
+)
+
+// jSample builds a distinguishable journal sample.
+func jSample(epc string, i int) reader.Sample {
+	return reader.Sample{
+		EPC:     epc,
+		T:       float64(i) * 0.01,
+		Antenna: i % 2,
+		RSS:     -60 - float64(i)*0.5,
+		Phase:   float64(i) * 0.1,
+	}
+}
+
+// journalFactory builds a fresh journal for the shared conformance
+// tests.
+type journalFactory func(t *testing.T, retain int) Journal
+
+func memFactory(t *testing.T, retain int) Journal { return NewMemJournal(retain) }
+
+func fileFactory(t *testing.T, retain int) Journal {
+	j, err := NewFileJournal(filepath.Join(t.TempDir(), "wal.log"), retain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestJournalConformance(t *testing.T) {
+	for name, mk := range map[string]journalFactory{"mem": memFactory, "file": fileFactory} {
+		t.Run(name, func(t *testing.T) { testJournalConformance(t, mk) })
+	}
+}
+
+// testJournalConformance covers the append/replay/checkpoint/release
+// contract every Journal must honour.
+func testJournalConformance(t *testing.T, mk journalFactory) {
+	j := mk(t, 0)
+	defer j.Close()
+
+	// Indices are 0-based and contiguous per EPC, independent across
+	// EPCs.
+	var want []reader.Sample
+	for i := 0; i < 10; i++ {
+		smp := jSample("pen-a", i)
+		want = append(want, smp)
+		idx, err := j.Append(smp)
+		if err != nil || idx != i {
+			t.Fatalf("append %d: idx=%d err=%v", i, idx, err)
+		}
+	}
+	if idx, _ := j.Append(jSample("pen-b", 0)); idx != 0 {
+		t.Fatalf("second EPC's first index = %d, want 0", idx)
+	}
+
+	// Replay returns the dispatch order, from any offset.
+	if got := j.Replay("pen-a", 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("full replay mismatch: %d samples", len(got))
+	}
+	if got := j.Replay("pen-a", 7); !reflect.DeepEqual(got, want[7:]) {
+		t.Fatalf("offset replay mismatch: %+v", got)
+	}
+	if got := j.Replay("pen-a", 10); got != nil {
+		t.Fatalf("past-end replay = %d samples, want none", len(got))
+	}
+	if got := j.Replay("nobody", 0); got != nil {
+		t.Fatalf("unknown EPC replay = %d samples", len(got))
+	}
+
+	// Options round-trip for faithful re-opens.
+	k := 48
+	if err := j.RecordOpen("pen-a", OpenOptions{BeamTopK: &k}); err != nil {
+		t.Fatal(err)
+	}
+	if o, ok := j.Options("pen-a"); !ok || o.BeamTopK == nil || *o.BeamTopK != 48 {
+		t.Fatalf("options round-trip: %+v ok=%v", o, ok)
+	}
+	if _, ok := j.Options("pen-b"); ok {
+		t.Fatal("pen-b has options it never recorded")
+	}
+
+	// A checkpoint truncates what it covers; replay resumes at covered.
+	state := []byte("snapshot-at-6")
+	if err := j.SaveCheckpoint("pen-a", 6, state); err != nil {
+		t.Fatal(err)
+	}
+	if st, cov := j.Checkpoint("pen-a"); cov != 6 || !reflect.DeepEqual(st, state) {
+		t.Fatalf("checkpoint = %q covered=%d", st, cov)
+	}
+	if got := j.Replay("pen-a", 6); !reflect.DeepEqual(got, want[6:]) {
+		t.Fatalf("post-checkpoint replay mismatch: %+v", got)
+	}
+	// Asking below the covered watermark yields only what is retained.
+	if got := j.Replay("pen-a", 0); !reflect.DeepEqual(got, want[6:]) {
+		t.Fatalf("replay below checkpoint returned released records: %d samples", len(got))
+	}
+	// A stale checkpoint (out-of-order delivery) must not regress.
+	if err := j.SaveCheckpoint("pen-a", 3, []byte("stale")); err != nil {
+		t.Fatal(err)
+	}
+	if st, cov := j.Checkpoint("pen-a"); cov != 6 || !reflect.DeepEqual(st, state) {
+		t.Fatalf("stale checkpoint regressed state: %q covered=%d", st, cov)
+	}
+
+	// EPCs lists live strokes; Release forgets one.
+	if got := j.EPCs(); !reflect.DeepEqual(got, []string{"pen-a", "pen-b"}) {
+		t.Fatalf("EPCs = %v", got)
+	}
+	j.Release("pen-a")
+	if got := j.EPCs(); !reflect.DeepEqual(got, []string{"pen-b"}) {
+		t.Fatalf("EPCs after release = %v", got)
+	}
+	if st, cov := j.Checkpoint("pen-a"); st != nil || cov != 0 {
+		t.Fatal("released stroke still has a checkpoint")
+	}
+	if j.Lost() != 0 {
+		t.Fatalf("lost = %d on a clean run", j.Lost())
+	}
+}
+
+func TestJournalRetention(t *testing.T) {
+	for name, mk := range map[string]journalFactory{"mem": memFactory, "file": fileFactory} {
+		t.Run(name, func(t *testing.T) { testJournalRetention(t, mk) })
+	}
+}
+
+// testJournalRetention: beyond the cap the oldest record ages out, and
+// counts as lost only when no checkpoint covers it.
+func testJournalRetention(t *testing.T, mk journalFactory) {
+	j := mk(t, 4)
+	defer j.Close()
+
+	for i := 0; i < 6; i++ {
+		if _, err := j.Append(jSample("pen-a", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 6 appended, 4 retained: indices 0 and 1 aged out uncovered.
+	if j.Lost() != 2 {
+		t.Fatalf("lost = %d, want 2", j.Lost())
+	}
+	want := []reader.Sample{jSample("pen-a", 2), jSample("pen-a", 3), jSample("pen-a", 4), jSample("pen-a", 5)}
+	if got := j.Replay("pen-a", 0); !reflect.DeepEqual(got, want) {
+		t.Fatalf("retained replay = %d samples", len(got))
+	}
+
+	// With a checkpoint ahead of the eviction point, ageout is free.
+	if err := j.SaveCheckpoint("pen-a", 6, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 6; i < 12; i++ {
+		if _, err := j.Append(jSample("pen-a", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Lost() != 4 {
+		// 12 appended, checkpoint covers 6, retain 4: indices 6 and 7
+		// aged out past the checkpoint → 2 more lost.
+		t.Fatalf("lost = %d, want 4", j.Lost())
+	}
+}
+
+// TestFileJournalReopen is the durability property: a process restart
+// (new FileJournal on the same path) resumes with identical retained
+// samples, options, checkpoints, and indices.
+func TestFileJournalReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j1, err := NewFileJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 32
+	if err := j1.RecordOpen("pen-a", OpenOptions{BeamTopK: &k}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := j1.Append(jSample("pen-a", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j1.SaveCheckpoint("pen-a", 12, []byte("ck-12")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := j1.Append(jSample("pen-b", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := NewFileJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := j2.EPCs(); !reflect.DeepEqual(got, []string{"pen-a", "pen-b"}) {
+		t.Fatalf("EPCs after reopen = %v", got)
+	}
+	if st, cov := j2.Checkpoint("pen-a"); cov != 12 || string(st) != "ck-12" {
+		t.Fatalf("checkpoint after reopen = %q covered=%d", st, cov)
+	}
+	var wantTail []reader.Sample
+	for i := 12; i < 20; i++ {
+		wantTail = append(wantTail, jSample("pen-a", i))
+	}
+	if got := j2.Replay("pen-a", 12); !reflect.DeepEqual(got, wantTail) {
+		t.Fatalf("replay after reopen = %d samples, want %d", len(got), len(wantTail))
+	}
+	if o, ok := j2.Options("pen-a"); !ok || o.BeamTopK == nil || *o.BeamTopK != 32 {
+		t.Fatalf("options after reopen: %+v ok=%v", o, ok)
+	}
+	// Appends continue at the pre-restart index.
+	if idx, err := j2.Append(jSample("pen-a", 20)); err != nil || idx != 20 {
+		t.Fatalf("append after reopen: idx=%d err=%v, want 20", idx, err)
+	}
+}
+
+// TestFileJournalTornTail: a crash mid-append leaves a short final
+// record, which replay must skip without failing — everything before
+// it survives.
+func TestFileJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j1, err := NewFileJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := j1.Append(jSample("pen-a", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the torn write: append a record header claiming more
+	// bytes than follow.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x01, 0x00, fjRecSample, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := NewFileJournal(path, 0)
+	if err != nil {
+		t.Fatalf("torn tail rejected the whole journal: %v", err)
+	}
+	defer j2.Close()
+	if got := j2.Replay("pen-a", 0); len(got) != 5 {
+		t.Fatalf("replay after torn tail = %d samples, want 5", len(got))
+	}
+
+	// The release of the last stroke truncates the file (torn tail
+	// included), so the next lifetime starts clean.
+	j2.Release("pen-a")
+	if fi, err := os.Stat(path); err != nil || fi.Size() != 0 {
+		t.Fatalf("file after full release: size=%d err=%v, want empty", fi.Size(), err)
+	}
+}

@@ -13,9 +13,20 @@ import (
 )
 
 // unhealthyAfter is the consecutive-failure count past which a
-// backend's Health snapshot reports Healthy == false. A single success
-// resets the streak.
-const unhealthyAfter = 3
+// backend's Health snapshot reports Healthy == false; healthyAfter is
+// the consecutive-success count that brings a down backend back. The
+// two-sided hysteresis keeps a flapping backend (alternating one
+// failure, one success) from oscillating across the boundary — and,
+// with a journal attached, from triggering a failover storm: a
+// backend transitions at most once per sustained streak.
+const (
+	unhealthyAfter = 3
+	healthyAfter   = 3
+)
+
+// failoverTimeout bounds the restore-and-replay work for one EPC when
+// a backend death triggers an automatic migration.
+const failoverTimeout = 30 * time.Second
 
 // NamedBackend pairs a backend with the stable name the router hashes
 // it under. Names must be unique within one router; for remote
@@ -41,9 +52,10 @@ type BackendHealth struct {
 	// do not support probing.
 	Pings, PingFails uint64
 	// Healthy is false after unhealthyAfter consecutive failed calls
-	// OR unhealthyAfter consecutive failed heartbeat probes. The two
-	// streaks are independent: answering pings does not excuse failing
-	// dispatches.
+	// OR unhealthyAfter consecutive failed heartbeat probes, and true
+	// again only after healthyAfter consecutive successes on the streak
+	// that failed. The two streaks are independent: answering pings
+	// does not excuse failing dispatches.
 	Healthy bool
 	// LastErr is the most recent failure's message, "" if none.
 	LastErr string
@@ -60,19 +72,33 @@ type routerBackend struct {
 	errs       atomic.Uint64
 	pings      atomic.Uint64
 	pingFails  atomic.Uint64
-	// consec counts consecutive failed dispatch/control calls;
-	// pingConsec counts consecutive failed heartbeat probes. They are
-	// deliberately separate streaks: a backend that still answers Ping
-	// but rejects every dispatch must stay unhealthy, so a probe
-	// success may not erase a call-failure streak (and vice versa).
-	consec     atomic.Uint32
-	pingConsec atomic.Uint32
 	lastErr    atomic.Value // string
+
+	// stMu guards the hysteresis state below. Calls and heartbeat
+	// probes feed deliberately separate streaks: a backend that still
+	// answers Ping but rejects every dispatch must stay unhealthy, so a
+	// probe success may not erase a call-failure streak (and vice
+	// versa).
+	stMu      sync.Mutex
+	callFails int  // consecutive failed calls
+	callSuccs int  // consecutive successful calls while callDown
+	callDown  bool // call streak crossed unhealthyAfter
+	pingFailN int
+	pingSuccN int
+	pingDown  bool
+	migrating bool // a failover for this backend is in flight
+
+	// onDown fires (outside stMu) on a healthy->unhealthy transition;
+	// the router uses it to trigger journal-backed failover.
+	onDown func()
 }
 
-// healthy reports whether neither failure streak has hit the bound.
+// healthy reports whether neither failure streak currently holds the
+// backend down.
 func (rb *routerBackend) healthy() bool {
-	return rb.consec.Load() < unhealthyAfter && rb.pingConsec.Load() < unhealthyAfter
+	rb.stMu.Lock()
+	defer rb.stMu.Unlock()
+	return !rb.callDown && !rb.pingDown
 }
 
 // pinger is implemented by backends that support a cheap liveness
@@ -83,31 +109,96 @@ type pinger interface {
 	Ping(ctx context.Context) error
 }
 
-// publishTransition emits an EventBackendHealth event when an update
-// to the failure streaks moved the backend across the healthy
-// boundary. The before/after comparison is advisory — concurrent
-// updates may observe each other's state — which matches the health
-// model: counters are monotonic truth, Healthy is a derived summary.
-func (rb *routerBackend) publishTransition(before bool) {
-	if after := rb.healthy(); after != before && rb.hub.HasSubscribers() {
+// abandoner is implemented by transports that buffer unacknowledged
+// samples for resend after reconnect (shardrpc.Client with the v3
+// protocol). Failover clears that buffer so the migrated EPCs are not
+// replayed into the dead shard when its transport comes back — every
+// buffered sample is already in the journal.
+type abandoner interface {
+	AbandonPending()
+}
+
+// announce publishes an EventBackendHealth transition and fires the
+// down hook when an update moved the backend across the healthy
+// boundary. Callers compute before/after under stMu and call announce
+// after releasing it.
+func (rb *routerBackend) announce(before, after bool) {
+	if after == before {
+		return
+	}
+	if rb.hub.HasSubscribers() {
 		rb.hub.Publish(Event{Kind: EventBackendHealth, Backend: rb.name, Healthy: after})
+	}
+	if !after && rb.onDown != nil {
+		rb.onDown()
 	}
 }
 
 // fail records a failed call against the backend.
 func (rb *routerBackend) fail(err error) {
-	before := rb.healthy()
 	rb.errs.Add(1)
-	rb.consec.Add(1)
 	rb.lastErr.Store(err.Error())
-	rb.publishTransition(before)
+	rb.stMu.Lock()
+	before := !rb.callDown && !rb.pingDown
+	rb.callFails++
+	rb.callSuccs = 0
+	if rb.callFails >= unhealthyAfter {
+		rb.callDown = true
+	}
+	after := !rb.callDown && !rb.pingDown
+	rb.stMu.Unlock()
+	rb.announce(before, after)
 }
 
 // ok records a successful call.
 func (rb *routerBackend) ok() {
-	before := rb.healthy()
-	rb.consec.Store(0)
-	rb.publishTransition(before)
+	rb.stMu.Lock()
+	before := !rb.callDown && !rb.pingDown
+	rb.callFails = 0
+	if rb.callDown {
+		rb.callSuccs++
+		if rb.callSuccs >= healthyAfter {
+			rb.callDown = false
+			rb.callSuccs = 0
+		}
+	}
+	after := !rb.callDown && !rb.pingDown
+	rb.stMu.Unlock()
+	rb.announce(before, after)
+}
+
+// pingFail records a failed heartbeat probe.
+func (rb *routerBackend) pingFail(err error) {
+	rb.pingFails.Add(1)
+	rb.errs.Add(1)
+	rb.lastErr.Store(err.Error())
+	rb.stMu.Lock()
+	before := !rb.callDown && !rb.pingDown
+	rb.pingFailN++
+	rb.pingSuccN = 0
+	if rb.pingFailN >= unhealthyAfter {
+		rb.pingDown = true
+	}
+	after := !rb.callDown && !rb.pingDown
+	rb.stMu.Unlock()
+	rb.announce(before, after)
+}
+
+// pingOK records a successful heartbeat probe.
+func (rb *routerBackend) pingOK() {
+	rb.stMu.Lock()
+	before := !rb.callDown && !rb.pingDown
+	rb.pingFailN = 0
+	if rb.pingDown {
+		rb.pingSuccN++
+		if rb.pingSuccN >= healthyAfter {
+			rb.pingDown = false
+			rb.pingSuccN = 0
+		}
+	}
+	after := !rb.callDown && !rb.pingDown
+	rb.stMu.Unlock()
+	rb.announce(before, after)
 }
 
 // Router fans a mixed multi-pen stream out over a fixed set of shard
@@ -124,13 +215,36 @@ func (rb *routerBackend) ok() {
 // over shardrpc.Clients) are the same code path, and routers compose.
 // Its event stream merges every backend's stream and adds
 // EventBackendHealth transitions.
+//
+// Without a journal, health is advisory: routing never moves an EPC
+// off an unhealthy backend (mapping stability first). SetJournal turns
+// the router into the durable tier's control point: every dispatched
+// sample is recorded before routing, shard-emitted checkpoints are
+// absorbed into the journal, and when a backend goes down its EPCs are
+// migrated to healthy backends — restored from the latest checkpoint
+// and caught up by replaying the journal — then pinned there by a
+// per-EPC routing override until the stroke finalizes.
 type Router struct {
 	backends []*routerBackend
 	hub      EventHub
 	// EventBuffer for subscriptions; settable before first Subscribe.
 	eventBuffer int
 
-	// Upstream event forwarding (started on first Subscribe).
+	// journal, when non-nil, is the WAL behind dispatches. Set it with
+	// SetJournal before any traffic; it is read without synchronization
+	// afterwards.
+	journal Journal
+
+	// handoffMu orders routing mutations (failover, handoff, override
+	// maintenance) against dispatch traffic: dispatch paths hold the
+	// read side across journal-append + backend call, so a migration
+	// holding the write side observes a quiescent journal and no sample
+	// can slip between its replay and its override.
+	handoffMu sync.RWMutex
+	overrides map[string]*routerBackend
+
+	// Upstream event forwarding (started on first Subscribe or on
+	// SetJournal, whichever comes first).
 	fwdOnce   sync.Once
 	fwdCancel []CancelFunc
 	fwdDone   []chan struct{}
@@ -148,16 +262,31 @@ func NewRouter(backends []NamedBackend) *Router {
 		panic("session: router needs at least one backend")
 	}
 	seen := make(map[string]bool, len(backends))
-	r := &Router{}
+	r := &Router{overrides: make(map[string]*routerBackend)}
 	for _, nb := range backends {
 		if seen[nb.Name] {
 			panic(fmt.Sprintf("session: duplicate router backend %q", nb.Name))
 		}
 		seen[nb.Name] = true
-		r.backends = append(r.backends, &routerBackend{name: nb.Name, b: nb.Backend, hub: &r.hub})
+		rb := &routerBackend{name: nb.Name, b: nb.Backend, hub: &r.hub}
+		rb.onDown = func() { r.backendDown(rb) }
+		r.backends = append(r.backends, rb)
 	}
 	return r
 }
+
+// SetJournal attaches the write-ahead log that makes the router a
+// durable tier (see the Router docs for the full contract). Call it
+// once, before any traffic; the router does not close the journal.
+// Attaching a journal also arms upstream event forwarding so shard
+// checkpoints reach the journal even with no external subscriber.
+func (r *Router) SetJournal(j Journal) {
+	r.journal = j
+	r.armForwarding()
+}
+
+// Journal returns the attached journal, nil if none.
+func (r *Router) Journal() Journal { return r.journal }
 
 // rendezvousScore is FNV-1a over the backend name, a separator, and
 // the EPC, pushed through a murmur3-style finalizer. The finalizer
@@ -187,7 +316,7 @@ func rendezvousScore(name, epc string) uint64 {
 	return h
 }
 
-// backendFor returns the EPC's rendezvous winner.
+// backendFor returns the EPC's rendezvous winner (ignoring overrides).
 func (r *Router) backendFor(epc string) *routerBackend {
 	best := r.backends[0]
 	bestScore := rendezvousScore(best.name, epc)
@@ -199,8 +328,76 @@ func (r *Router) backendFor(epc string) *routerBackend {
 	return best
 }
 
-// BackendFor reports which backend (by name) the EPC routes to.
-func (r *Router) BackendFor(epc string) string { return r.backendFor(epc).name }
+// resolveLocked returns the backend currently serving the EPC: its
+// migration override if one exists, else the rendezvous winner.
+// Callers hold handoffMu (either side).
+func (r *Router) resolveLocked(epc string) *routerBackend {
+	if rb := r.overrides[epc]; rb != nil {
+		return rb
+	}
+	return r.backendFor(epc)
+}
+
+// healthyAmong returns the rendezvous winner among healthy backends,
+// excluding one; nil when no healthy candidate exists.
+func (r *Router) healthyAmong(epc string, exclude *routerBackend) *routerBackend {
+	var best *routerBackend
+	var bestScore uint64
+	for _, rb := range r.backends {
+		if rb == exclude || !rb.healthy() {
+			continue
+		}
+		if s := rendezvousScore(rb.name, epc); best == nil || s > bestScore {
+			best, bestScore = rb, s
+		}
+	}
+	return best
+}
+
+// ensureRoutable moves an EPC away from a dead shard on the dispatch
+// path: with a journal attached, an EPC with no override whose
+// rendezvous winner is down is migrated to the healthy runner-up
+// before the sample dispatches — a full migration (checkpoint restore
+// plus journal replay, see migrateLocked), not a bare re-pin, because
+// the EPC may be mid-stroke with history only the journal remembers.
+// A brand-new stroke (nothing journaled yet) degenerates to just the
+// pin. Without a journal routing never moves (health is advisory),
+// and an EPC the failover already migrated keeps its override. Races
+// with the down-transition's failover goroutine are benign: whichever
+// side pins first wins, the other observes the override and skips.
+func (r *Router) ensureRoutable(epc string) {
+	if r.journal == nil {
+		return
+	}
+	r.handoffMu.RLock()
+	_, pinned := r.overrides[epc]
+	r.handoffMu.RUnlock()
+	if pinned {
+		return
+	}
+	rb := r.backendFor(epc)
+	if rb.healthy() {
+		return
+	}
+	r.handoffMu.Lock()
+	defer r.handoffMu.Unlock()
+	if _, pinned := r.overrides[epc]; pinned {
+		return
+	}
+	if alt := r.healthyAmong(epc, rb); alt != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), failoverTimeout)
+		r.migrateLocked(ctx, epc, alt)
+		cancel()
+	}
+}
+
+// BackendFor reports which backend (by name) the EPC routes to,
+// including any migration override.
+func (r *Router) BackendFor(epc string) string {
+	r.handoffMu.RLock()
+	defer r.handoffMu.RUnlock()
+	return r.resolveLocked(epc).name
+}
 
 // Backends returns the backend names in configuration order.
 func (r *Router) Backends() []string {
@@ -234,10 +431,12 @@ func (r *Router) Health() []BackendHealth {
 }
 
 // HealthCounts reports how many backends are currently healthy and
-// unhealthy — the summary the heartbeat maintains. Routing is NOT
-// affected by health: an unhealthy backend keeps its rendezvous share
-// (mapping stability over failover) and the counts exist so an
-// operator or a future spare-backend policy can act on them.
+// unhealthy — the summary the heartbeat maintains. Without a journal,
+// routing is NOT affected by health: an unhealthy backend keeps its
+// rendezvous share (mapping stability over failover) and the counts
+// exist so an operator can act on them. With a journal, a down
+// transition additionally triggers the automatic failover described in
+// the Router docs.
 func (r *Router) HealthCounts() (healthy, unhealthy int) {
 	for _, rb := range r.backends {
 		if rb.healthy() {
@@ -259,6 +458,11 @@ func (r *Router) HealthCounts() (healthy, unhealthy int) {
 // second StartHeartbeat replaces the running one. Call StopHeartbeat
 // (or Close, which implies it) to stop; stopping waits out any
 // in-flight probe round.
+//
+// With a journal attached the heartbeat is what makes failover prompt:
+// the v3 wire protocol buffers dispatches for resend instead of
+// failing them, so a dead remote shard often surfaces first as a probe
+// streak, not a call streak.
 func (r *Router) StartHeartbeat(interval time.Duration) {
 	if interval <= 0 {
 		interval = time.Second
@@ -286,7 +490,7 @@ func (r *Router) StartHeartbeat(interval time.Duration) {
 // probeAll pings every probeable backend once, concurrently: one
 // unreachable shard blocking on its transport timeout must not delay
 // detection of the others. Probe outcomes touch only the ping streak —
-// see routerBackend.consec for why a probe success may not erase a
+// see routerBackend.stMu for why a probe success may not erase a
 // call-failure streak.
 func (r *Router) probeAll() {
 	var wg sync.WaitGroup
@@ -298,17 +502,12 @@ func (r *Router) probeAll() {
 		wg.Add(1)
 		go func(rb *routerBackend, p pinger) {
 			defer wg.Done()
-			before := rb.healthy()
 			rb.pings.Add(1)
 			if err := p.Ping(context.Background()); err != nil {
-				rb.pingFails.Add(1)
-				rb.errs.Add(1)
-				rb.pingConsec.Add(1)
-				rb.lastErr.Store(err.Error())
+				rb.pingFail(err)
 			} else {
-				rb.pingConsec.Store(0)
+				rb.pingOK()
 			}
-			rb.publishTransition(before)
 		}(rb, p)
 	}
 	wg.Wait()
@@ -330,7 +529,10 @@ func (r *Router) stopHeartbeatLocked() {
 }
 
 // Dropped sums samples dropped across all backends (failed dispatch
-// calls, counted sample by sample).
+// calls, counted sample by sample). With a journal attached these
+// samples are retained and replayed on failover, so a drop here is a
+// delivery delay, not a loss; the journal's Lost counter is the truth
+// about data actually gone.
 func (r *Router) Dropped() uint64 {
 	var n uint64
 	for _, rb := range r.backends {
@@ -339,9 +541,157 @@ func (r *Router) Dropped() uint64 {
 	return n
 }
 
-// Open routes the per-session open to the EPC's rendezvous backend.
+// backendDown triggers journal-backed failover for a backend that just
+// crossed into unhealthy. Runs the migration on its own goroutine: the
+// hook fires from dispatch and probe paths that must not block on
+// remote restore calls. The migrating flag dedups the call- and
+// ping-streak transitions racing each other.
+func (r *Router) backendDown(rb *routerBackend) {
+	if r.journal == nil {
+		return
+	}
+	rb.stMu.Lock()
+	if rb.migrating {
+		rb.stMu.Unlock()
+		return
+	}
+	rb.migrating = true
+	rb.stMu.Unlock()
+	go func() {
+		defer func() {
+			rb.stMu.Lock()
+			rb.migrating = false
+			rb.stMu.Unlock()
+		}()
+		r.failover(rb)
+	}()
+}
+
+// failover migrates every journaled EPC served by the dead backend to
+// a healthy one: restore from the latest checkpoint (or re-open with
+// the recorded options), replay the journal tail, and pin an override.
+// Each EPC migrates under the write lock, so dispatch traffic observes
+// either the old backend (its samples are journaled, hence replayed)
+// or the completed migration — never a half-moved stroke. An EPC whose
+// migration fails stays routed to the dead backend with its journal
+// intact; a later down-transition (or recovery) retries.
+func (r *Router) failover(dead *routerBackend) {
+	j := r.journal
+	if j == nil {
+		return
+	}
+	// The dead backend's transport must not resend its buffered samples
+	// into the old shard after the EPCs move: the journal has them all.
+	if a, ok := dead.b.(abandoner); ok {
+		a.AbandonPending()
+	}
+	for _, epc := range j.EPCs() {
+		ctx, cancel := context.WithTimeout(context.Background(), failoverTimeout)
+		r.handoffMu.Lock()
+		if r.resolveLocked(epc) != dead {
+			r.handoffMu.Unlock()
+			cancel()
+			continue
+		}
+		target := r.healthyAmong(epc, dead)
+		if target == nil {
+			r.handoffMu.Unlock()
+			cancel()
+			continue // nowhere to go; the journal keeps the stroke
+		}
+		r.migrateLocked(ctx, epc, target)
+		r.handoffMu.Unlock()
+		cancel()
+	}
+}
+
+// migrateLocked rebuilds one EPC on target from checkpoint + journal
+// replay and pins the override. Caller holds the write lock and owns
+// ctx.
+func (r *Router) migrateLocked(ctx context.Context, epc string, target *routerBackend) {
+	j := r.journal
+	state, covered := j.Checkpoint(epc)
+	if state != nil {
+		if err := target.b.Restore(ctx, epc, state); err != nil {
+			target.fail(err)
+			return
+		}
+	} else if opts, ok := j.Options(epc); ok {
+		if err := target.b.Open(ctx, epc, opts); err != nil && !errors.Is(err, ErrSessionLimit) {
+			target.fail(err)
+			return
+		}
+	}
+	if replay := j.Replay(epc, covered); len(replay) > 0 {
+		target.dispatched.Add(uint64(len(replay)))
+		if err := target.b.DispatchBatch(ctx, replay); err != nil {
+			target.dropped.Add(uint64(len(replay)))
+			target.fail(err)
+			return
+		}
+	}
+	target.ok()
+	r.overrides[epc] = target
+}
+
+// Handoff gracefully moves one EPC's live session to the named backend:
+// export from the current owner, restore on the target, pin the
+// override — the membership-change path, no shard death required. The
+// exported snapshot covers every sample dispatched before the call, so
+// no replay is needed. With a journal attached the snapshot is also
+// saved as the EPC's checkpoint. On a failed restore the session is
+// put back on the old owner.
+func (r *Router) Handoff(ctx context.Context, epc, backend string) error {
+	var to *routerBackend
+	for _, rb := range r.backends {
+		if rb.name == backend {
+			to = rb
+			break
+		}
+	}
+	if to == nil {
+		return fmt.Errorf("router: unknown backend %q", backend)
+	}
+	r.handoffMu.Lock()
+	defer r.handoffMu.Unlock()
+	from := r.resolveLocked(epc)
+	if from == to {
+		return nil
+	}
+	state, err := from.b.Export(ctx, epc)
+	if err != nil {
+		return fmt.Errorf("router: backend %s: %w", from.name, err)
+	}
+	if j := r.journal; j != nil {
+		if covered, cerr := core.SnapshotCovered(state); cerr == nil {
+			_ = j.SaveCheckpoint(epc, covered, state)
+		}
+	}
+	if err := to.b.Restore(ctx, epc, state); err != nil {
+		if rerr := from.b.Restore(context.WithoutCancel(ctx), epc, state); rerr != nil {
+			return errors.Join(
+				fmt.Errorf("router: backend %s: %w", to.name, err),
+				fmt.Errorf("router: backend %s: restore-back: %w", from.name, rerr))
+		}
+		return fmt.Errorf("router: backend %s: %w", to.name, err)
+	}
+	r.overrides[epc] = to
+	return nil
+}
+
+// Open routes the per-session open to the EPC's serving backend,
+// recording the options in the journal first so a failover before the
+// first checkpoint can re-open the session faithfully.
 func (r *Router) Open(ctx context.Context, epc string, opts OpenOptions) error {
-	rb := r.backendFor(epc)
+	r.ensureRoutable(epc)
+	r.handoffMu.RLock()
+	defer r.handoffMu.RUnlock()
+	if r.journal != nil {
+		if err := r.journal.RecordOpen(epc, opts); err != nil {
+			return fmt.Errorf("router: journal: %w", err)
+		}
+	}
+	rb := r.resolveLocked(epc)
 	if err := rb.b.Open(ctx, epc, opts); err != nil {
 		if !errors.Is(err, ErrSessionLimit) && ctx.Err() == nil {
 			// Transport-level failure, not a capacity outcome or the
@@ -354,9 +704,19 @@ func (r *Router) Open(ctx context.Context, epc string, opts OpenOptions) error {
 	return nil
 }
 
-// Dispatch routes one sample to its EPC's rendezvous backend.
+// Dispatch routes one sample to its EPC's serving backend, appending
+// it to the journal (when attached) before the backend call — the
+// write-ahead that makes a failed dispatch a delay instead of a loss.
 func (r *Router) Dispatch(ctx context.Context, smp reader.Sample) error {
-	rb := r.backendFor(smp.EPC)
+	r.ensureRoutable(smp.EPC)
+	r.handoffMu.RLock()
+	defer r.handoffMu.RUnlock()
+	if r.journal != nil {
+		if _, err := r.journal.Append(smp); err != nil {
+			return fmt.Errorf("router: journal: %w", err)
+		}
+	}
+	rb := r.resolveLocked(smp.EPC)
 	rb.dispatched.Add(1)
 	if err := rb.b.Dispatch(ctx, smp); err != nil {
 		rb.dropped.Add(1)
@@ -378,6 +738,24 @@ func (r *Router) DispatchBatch(ctx context.Context, batch []reader.Sample) error
 	if len(batch) == 0 {
 		return nil
 	}
+	if r.journal != nil {
+		seen := make(map[string]bool, 4)
+		for _, smp := range batch {
+			if !seen[smp.EPC] {
+				seen[smp.EPC] = true
+				r.ensureRoutable(smp.EPC)
+			}
+		}
+	}
+	r.handoffMu.RLock()
+	defer r.handoffMu.RUnlock()
+	if r.journal != nil {
+		for _, smp := range batch {
+			if _, err := r.journal.Append(smp); err != nil {
+				return fmt.Errorf("router: journal: %w", err)
+			}
+		}
+	}
 	// Partition in first-seen order. The common case (a report from
 	// one reader, handful of pens) stays allocation-light.
 	type part struct {
@@ -387,7 +765,7 @@ func (r *Router) DispatchBatch(ctx context.Context, batch []reader.Sample) error
 	var parts []part
 	idx := make(map[*routerBackend]int, len(r.backends))
 	for _, smp := range batch {
-		rb := r.backendFor(smp.EPC)
+		rb := r.resolveLocked(smp.EPC)
 		i, ok := idx[rb]
 		if !ok {
 			i = len(parts)
@@ -412,15 +790,20 @@ func (r *Router) DispatchBatch(ctx context.Context, batch []reader.Sample) error
 	return errors.Join(errs...)
 }
 
-// Finalize routes to the EPC's owning backend.
+// Finalize routes to the EPC's serving backend. On a decided outcome
+// the journal's stroke is released and the routing override dropped:
+// the stroke is over.
 func (r *Router) Finalize(ctx context.Context, epc string) (*core.Result, error) {
-	rb := r.backendFor(epc)
+	r.handoffMu.RLock()
+	rb := r.resolveLocked(epc)
+	r.handoffMu.RUnlock()
 	res, err := rb.b.Finalize(ctx, epc)
 	switch {
-	case err == nil,
-		errors.Is(err, ErrUnknownEPC),
-		errors.Is(err, core.ErrTooFewSamples):
-		// Per-session outcomes, not transport failures.
+	case err == nil, errors.Is(err, core.ErrTooFewSamples):
+		rb.ok()
+		r.strokeDone(epc)
+	case errors.Is(err, ErrUnknownEPC):
+		// A per-session outcome, not a transport failure.
 		rb.ok()
 	case ctx.Err() != nil:
 		// The caller's own deadline/cancellation says nothing about the
@@ -429,6 +812,18 @@ func (r *Router) Finalize(ctx context.Context, epc string) (*core.Result, error)
 		rb.fail(err)
 	}
 	return res, err
+}
+
+// strokeDone releases an EPC's journal records and routing override
+// after its session ended. Also invoked from the event forwarder when
+// the owning backend reports an eviction.
+func (r *Router) strokeDone(epc string) {
+	if j := r.journal; j != nil {
+		j.Release(epc)
+	}
+	r.handoffMu.Lock()
+	delete(r.overrides, epc)
+	r.handoffMu.Unlock()
 }
 
 // Stats merges every backend's snapshots, sorted by EPC. Backends that
@@ -472,32 +867,117 @@ func (r *Router) EvictIdle(ctx context.Context, maxIdle time.Duration) (int, err
 	return n, errors.Join(errs...)
 }
 
+// Export removes the EPC's session from its serving backend and
+// returns its serialized state; any routing override is dropped with
+// it.
+func (r *Router) Export(ctx context.Context, epc string) ([]byte, error) {
+	r.handoffMu.Lock()
+	defer r.handoffMu.Unlock()
+	rb := r.resolveLocked(epc)
+	state, err := rb.b.Export(ctx, epc)
+	switch {
+	case err == nil:
+		rb.ok()
+		delete(r.overrides, epc)
+	case errors.Is(err, ErrUnknownEPC):
+		rb.ok()
+	case ctx.Err() != nil:
+	default:
+		rb.fail(err)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("router: backend %s: %w", rb.name, err)
+	}
+	return state, nil
+}
+
+// Restore rebuilds the EPC's session on its serving backend — or, if
+// that backend is down and a journal is attached, on the healthy
+// rendezvous runner-up, pinning the override.
+func (r *Router) Restore(ctx context.Context, epc string, state []byte) error {
+	r.handoffMu.Lock()
+	defer r.handoffMu.Unlock()
+	rb := r.resolveLocked(epc)
+	if !rb.healthy() && r.journal != nil {
+		if alt := r.healthyAmong(epc, rb); alt != nil {
+			rb = alt
+		}
+	}
+	if err := rb.b.Restore(ctx, epc, state); err != nil {
+		if ctx.Err() == nil {
+			rb.fail(err)
+		}
+		return fmt.Errorf("router: backend %s: %w", rb.name, err)
+	}
+	rb.ok()
+	if rb != r.backendFor(epc) {
+		r.overrides[epc] = rb
+	}
+	return nil
+}
+
 // SetEventBuffer sets the per-subscriber channel capacity for
 // Subscribe (default DefaultEventBuffer). Call before the first
 // Subscribe.
 func (r *Router) SetEventBuffer(n int) { r.eventBuffer = n }
 
-// Subscribe merges every backend's event stream — sessions events flow
-// from whichever shard owns the EPC — and adds the router's own
-// EventBackendHealth transitions. Upstream subscriptions are
-// established on the first Subscribe and kept until Close; per-EPC
-// event order is preserved because an EPC lives on exactly one
-// backend.
-func (r *Router) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
+// armForwarding establishes the upstream subscriptions that merge
+// every backend's event stream into the router's hub (kept until
+// Close).
+func (r *Router) armForwarding() {
 	r.fwdOnce.Do(func() {
 		for _, rb := range r.backends {
 			ch, cancel := rb.b.Subscribe(context.Background())
 			done := make(chan struct{})
 			r.fwdCancel = append(r.fwdCancel, cancel)
 			r.fwdDone = append(r.fwdDone, done)
-			go func() {
+			go func(rb *routerBackend) {
 				defer close(done)
 				for ev := range ch {
-					r.hub.Publish(ev)
+					r.forwardFrom(rb, ev)
 				}
-			}()
+			}(rb)
 		}
 	})
+}
+
+// forwardFrom relays one backend's event into the router's stream.
+// Per-EPC events from a backend that is not the EPC's current owner
+// are suppressed: after a failover, the old (dead, possibly
+// recovering) backend may still hold a stale incarnation of the
+// stroke whose events would duplicate or contradict the live one's.
+// Checkpoint events are absorbed into the journal (when attached)
+// instead of reaching subscribers, and an owner-reported eviction
+// releases the stroke.
+func (r *Router) forwardFrom(rb *routerBackend, ev Event) {
+	if ev.EPC != "" {
+		r.handoffMu.RLock()
+		owner := r.resolveLocked(ev.EPC)
+		r.handoffMu.RUnlock()
+		if owner != rb {
+			return
+		}
+	}
+	switch ev.Kind {
+	case EventCheckpoint:
+		if j := r.journal; j != nil {
+			_ = j.SaveCheckpoint(ev.EPC, int(ev.Covered), ev.State)
+			return
+		}
+	case EventEvict:
+		r.strokeDone(ev.EPC)
+	}
+	r.hub.Publish(ev)
+}
+
+// Subscribe merges every backend's event stream — sessions events flow
+// from whichever shard owns the EPC — and adds the router's own
+// EventBackendHealth transitions. Upstream subscriptions are
+// established on the first Subscribe (or on SetJournal) and kept until
+// Close; per-EPC event order is preserved because an EPC lives on
+// exactly one serving backend at a time.
+func (r *Router) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
+	r.armForwarding()
 	return r.hub.Subscribe(ctx, r.eventBuffer)
 }
 
@@ -506,31 +986,40 @@ func (r *Router) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
 func (r *Router) EventsDropped() uint64 { return r.hub.Dropped() }
 
 // Close stops the heartbeat and event forwarding, closes every backend
-// concurrently, and merges their results. EPC keys cannot collide:
-// each EPC routes to exactly one backend.
+// concurrently, and merges their results. When a failover left a stale
+// incarnation of an EPC on its former backend, the serving backend's
+// result wins.
 func (r *Router) Close(ctx context.Context) (map[string]*core.Result, error) {
 	r.StopHeartbeat()
-	out := make(map[string]*core.Result)
-	var mu sync.Mutex
+	results := make([]map[string]*core.Result, len(r.backends))
 	var errs []error
+	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for _, rb := range r.backends {
+	for i, rb := range r.backends {
 		wg.Add(1)
-		go func(rb *routerBackend) {
+		go func(i int, rb *routerBackend) {
 			defer wg.Done()
 			res, err := rb.b.Close(ctx)
-			mu.Lock()
-			defer mu.Unlock()
 			if err != nil {
+				mu.Lock()
 				errs = append(errs, fmt.Errorf("router: backend %s: %w", rb.name, err))
+				mu.Unlock()
 				return
 			}
-			for epc, r := range res {
-				out[epc] = r
-			}
-		}(rb)
+			results[i] = res
+		}(i, rb)
 	}
 	wg.Wait()
+	out := make(map[string]*core.Result)
+	r.handoffMu.RLock()
+	for i, rb := range r.backends {
+		for epc, res := range results[i] {
+			if _, dup := out[epc]; !dup || r.resolveLocked(epc) == rb {
+				out[epc] = res
+			}
+		}
+	}
+	r.handoffMu.RUnlock()
 	// Flush the event stream before returning: cancel the upstream
 	// subscriptions and wait for the forwarders to drain what the
 	// backends published during their Close (Evict events et al.), so a

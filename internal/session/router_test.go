@@ -20,6 +20,8 @@ type stubBackend struct {
 	opened   map[string]OpenOptions
 	fail     error
 	finalize map[string]*core.Result
+	exported map[string][]byte
+	restored map[string][]byte
 	hub      EventHub
 }
 
@@ -91,6 +93,33 @@ func (s *stubBackend) EvictIdle(context.Context, time.Duration) (int, error) {
 
 func (s *stubBackend) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
 	return s.hub.Subscribe(ctx, 0)
+}
+
+func (s *stubBackend) Export(_ context.Context, epc string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail != nil {
+		return nil, s.fail
+	}
+	if s.exported == nil {
+		s.exported = map[string][]byte{}
+	}
+	state := []byte("state:" + epc)
+	s.exported[epc] = state
+	return state, nil
+}
+
+func (s *stubBackend) Restore(_ context.Context, epc string, state []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail != nil {
+		return s.fail
+	}
+	if s.restored == nil {
+		s.restored = map[string][]byte{}
+	}
+	s.restored[epc] = append([]byte(nil), state...)
+	return nil
 }
 
 func (s *stubBackend) Close(context.Context) (map[string]*core.Result, error) {
@@ -394,8 +423,8 @@ func TestRouterHeartbeat(t *testing.T) {
 		}
 	}
 
-	// Recovery: the failing backend comes back; one successful probe
-	// resets the streak.
+	// Recovery: the failing backend comes back; healthyAfter successful
+	// probes in a row bring it back across the boundary.
 	bad.setPingErr(nil)
 	deadline = time.Now().Add(5 * time.Second)
 	for {

@@ -82,6 +82,13 @@ type Config struct {
 	// DefaultEventBuffer). A subscriber that lets its buffer fill loses
 	// events rather than stalling decode workers.
 	EventBuffer int
+	// CheckpointEvery, when > 0, makes every session emit an
+	// EventCheckpoint (a core.StreamTracker snapshot plus the covered
+	// sample count) after every N closed windows, the feed a
+	// journal-equipped Router persists for crash recovery and handoff.
+	// Checkpoints are taken on the session worker between pushes so
+	// each snapshot is consistent with its covered count; 0 disables.
+	CheckpointEvery int
 
 	// OnPoint is the legacy callback adapter for what is now the
 	// unified event stream (Subscribe; EventPoint). If set, it is
@@ -160,6 +167,15 @@ type session struct {
 	hasLive bool
 	windows int
 	decode  core.DecodeStats
+	// committed mirrors the smoother's committed trajectory prefix
+	// (every OnCommit segment concatenated), so commit events can be
+	// replayed to subscribers that attach — or re-attach after a
+	// reconnect — mid-stroke.
+	committed geom.Polyline
+
+	// maybeCheckpoint, when non-nil, is invoked by the worker between
+	// pushes to emit periodic EventCheckpoint snapshots.
+	maybeCheckpoint func()
 }
 
 // Manager demultiplexes a mixed sample stream into per-EPC sessions.
@@ -236,6 +252,104 @@ func (m *Manager) Open(epc string, opts OpenOptions) error {
 	}
 	m.sessions[epc] = m.startSession(epc, opts)
 	return nil
+}
+
+// Export removes the EPC's live session and returns its serialized
+// mid-stroke state (core.StreamTracker.Snapshot): the stroke is no
+// longer this manager's — no Evict event fires, nothing is finalized —
+// and the caller is expected to Restore it elsewhere. The queue is
+// drained first, so the snapshot covers every sample dispatched before
+// the call.
+func (m *Manager) Export(epc string) ([]byte, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s, ok := m.sessions[epc]
+	if !ok {
+		m.mu.Unlock()
+		return nil, ErrUnknownEPC
+	}
+	delete(m.sessions, epc)
+	m.mu.Unlock()
+	s.stop()
+	return s.st.Snapshot()
+}
+
+// Restore installs a session rebuilt from exported or checkpointed
+// state (see Export and Config.CheckpointEvery). The restored session
+// keeps the stream-level decode configuration embedded in the
+// snapshot. If the EPC already has a live session — an implicit
+// auto-create that raced the handoff — that session is stopped and its
+// partial state discarded in favour of the snapshot (the samples it
+// absorbed are exactly the ones the journal replays after restore).
+// Subscribers receive a catch-up EventCommit carrying the restored
+// committed prefix, so the commit stream has no gap across a handoff.
+func (m *Manager) Restore(epc string, state []byte) error {
+	st, err := m.tracker.RestoreStream(state)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	stale := m.sessions[epc]
+	delete(m.sessions, epc)
+	var evict *session
+	if stale == nil && len(m.sessions) >= m.cfg.MaxSessions {
+		evict = m.lruLocked()
+		delete(m.sessions, evict.epc)
+	}
+	s := m.wireSession(epc, st)
+	// Seed the mirrors from the snapshot so Stats and commit replay
+	// are correct before the first post-restore window closes.
+	s.received.Store(uint64(st.Received()))
+	s.lateDropped.Store(uint64(st.Dropped()))
+	if live, ok := st.Latest(); ok {
+		s.live, s.hasLive = live, true
+	}
+	s.windows = st.Windows()
+	s.decode = st.DecodeStats()
+	s.committed = st.Committed()
+	m.sessions[epc] = s
+	m.mu.Unlock()
+
+	if stale != nil {
+		stale.stop()
+	}
+	if evict != nil {
+		m.finalizeSession(evict)
+	}
+	if m.events.HasSubscribers() {
+		if seg := append(geom.Polyline(nil), s.committed...); len(seg) > 0 {
+			m.events.Publish(Event{Kind: EventCommit, EPC: epc, CommitStart: 0, Segment: seg})
+		}
+	}
+	return nil
+}
+
+// CommittedPrefixes snapshots every live session's committed
+// trajectory prefix — the feed shardrpc servers use to replay commits
+// to subscribers that (re)attach mid-stroke.
+func (m *Manager) CommittedPrefixes() map[string]geom.Polyline {
+	m.mu.Lock()
+	list := make([]*session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		list = append(list, s)
+	}
+	m.mu.Unlock()
+	out := make(map[string]geom.Polyline, len(list))
+	for _, s := range list {
+		s.liveMu.Lock()
+		if len(s.committed) > 0 {
+			out[s.epc] = append(geom.Polyline(nil), s.committed...)
+		}
+		s.liveMu.Unlock()
+	}
+	return out
 }
 
 // Dispatch routes one sample to its EPC's session, creating the
@@ -333,6 +447,12 @@ func (m *Manager) startSession(epc string, opts OpenOptions) *session {
 	if !opts.IsZero() {
 		st = m.tracker.StreamWith(opts.Apply(m.cfg.Tracker))
 	}
+	return m.wireSession(epc, st)
+}
+
+// wireSession attaches the event hooks, checkpoint cadence, and worker
+// goroutine to a tracker (fresh or restored) and starts the session.
+func (m *Manager) wireSession(epc string, st *core.StreamTracker) *session {
 	s := &session{
 		epc:   epc,
 		queue: make(chan reader.Sample, m.cfg.QueueSize),
@@ -359,16 +479,47 @@ func (m *Manager) startSession(epc string, opts OpenOptions) *session {
 			onPoint(epc, w, live)
 		}
 	}
-	// Commit segments flow to the event stream. Setting OnCommit also
-	// arms the smoother's lossless merge-commit detection for sessions
-	// with CommitLag 0 — commits are a prefix of the Finalize
-	// trajectory either way, so decoded results are unchanged.
+	// Commit segments flow to the event stream and into the session's
+	// committed mirror (the replay source for late subscribers).
+	// Setting OnCommit also arms the smoother's lossless merge-commit
+	// detection for sessions with CommitLag 0 — commits are a prefix of
+	// the Finalize trajectory either way, so decoded results are
+	// unchanged.
 	s.st.OnCommit = func(start int, seg geom.Polyline) {
+		s.liveMu.Lock()
+		for i, p := range seg {
+			if idx := start + i; idx < len(s.committed) {
+				s.committed[idx] = p
+			} else {
+				s.committed = append(s.committed, p)
+			}
+		}
+		s.liveMu.Unlock()
 		if m.events.HasSubscribers() {
 			// seg is freshly built per commit (core never reuses it),
 			// so subscribers may retain it.
 			m.events.Publish(Event{Kind: EventCommit, EPC: epc,
 				CommitStart: start, Segment: seg})
+		}
+	}
+	if every := m.cfg.CheckpointEvery; every > 0 {
+		// Cadence state lives in the closure: worker-only access. A
+		// checkpoint that finds no subscriber is deferred, not skipped —
+		// the next push retries, so a journal that attaches late still
+		// gets a snapshot promptly.
+		last := st.Windows()
+		s.maybeCheckpoint = func() {
+			w := s.st.Windows()
+			if w-last < every || !m.events.HasSubscribers() {
+				return
+			}
+			state, err := s.st.Snapshot()
+			if err != nil {
+				return
+			}
+			last = w
+			m.events.Publish(Event{Kind: EventCheckpoint, EPC: epc,
+				Covered: uint64(s.st.Received()), State: state})
 		}
 	}
 	go s.run()
@@ -381,6 +532,9 @@ func (s *session) run() {
 	for smp := range s.queue {
 		_ = s.st.Push(smp) // ErrFinalized impossible: finalize waits for done
 		s.lateDropped.Store(uint64(s.st.Dropped()))
+		if s.maybeCheckpoint != nil {
+			s.maybeCheckpoint()
+		}
 	}
 }
 

@@ -172,6 +172,18 @@ func (sm *ShardedManager) Subscribe(ctx context.Context) (<-chan Event, CancelFu
 	return sm.router.Subscribe(ctx)
 }
 
+// Export removes the EPC's session from its shard and returns its
+// serialized mid-stroke state (see Router.Export).
+func (sm *ShardedManager) Export(ctx context.Context, epc string) ([]byte, error) {
+	return sm.router.Export(ctx, epc)
+}
+
+// Restore rebuilds the EPC's session on its shard from an exported
+// snapshot (see Router.Restore).
+func (sm *ShardedManager) Restore(ctx context.Context, epc string, state []byte) error {
+	return sm.router.Restore(ctx, epc, state)
+}
+
 // Close stops ingress, drains every shard queue, finalizes all
 // sessions concurrently, and returns the decoded results keyed by
 // EPC (sessions whose streams were too short are omitted; they still

@@ -3,6 +3,8 @@ package shardrpc
 import (
 	"bufio"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -65,6 +67,16 @@ type ClientConfig struct {
 	//
 	// Deprecated: use Client.Subscribe and filter EventPoint.
 	OnPoint func(epc string, w core.Window, live geom.Vec2)
+	// ResendLimit bounds the unacknowledged-sample buffer under the v3
+	// protocol (default 1<<16). When an outage outlasts the buffer, the
+	// oldest samples age out and are counted in Lost; everything
+	// younger is resent after the reconnect.
+	ResendLimit int
+	// RedialBackoff is the minimum gap between reconnection attempts
+	// after a failed dial (default 250ms), so a dead server is not
+	// hammered from the flush loop while still being rediscovered
+	// quickly.
+	RedialBackoff time.Duration
 }
 
 func (cfg ClientConfig) withDefaults() ClientConfig {
@@ -80,6 +92,12 @@ func (cfg ClientConfig) withDefaults() ClientConfig {
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 2 * time.Millisecond
 	}
+	if cfg.ResendLimit <= 0 {
+		cfg.ResendLimit = 1 << 16
+	}
+	if cfg.RedialBackoff <= 0 {
+		cfg.RedialBackoff = 250 * time.Millisecond
+	}
 	return cfg
 }
 
@@ -89,14 +107,29 @@ type respMsg struct {
 	err     error
 }
 
+// seqSample is one dispatched sample with its per-client sequence
+// number (v3 acked dispatch).
+type seqSample struct {
+	seq uint64
+	smp reader.Sample
+}
+
 // Client speaks the shardrpc protocol to one shard server and
 // implements session.ShardBackend, so a session.Router treats a
 // remote shard process exactly like an in-process one. The connection
 // is long-lived and reused across every call; dispatched samples are
 // buffered and flushed in batches (and always flushed before any
 // synchronous request, preserving per-EPC order between samples and
-// control calls). On a transport failure the connection is redialed
-// on next use; samples buffered or in flight across the failure are
+// control calls).
+//
+// Under the negotiated v3 protocol every dispatched sample carries a
+// sequence number and stays buffered until the server acknowledges it:
+// a transport failure delays delivery (the tail is resent after the
+// automatic reconnect, deduplicated server-side by sequence) instead
+// of losing it. Lost then counts only samples the server rejected or
+// that aged out of the ResendLimit buffer during a long outage. When
+// the handshake negotiates the legacy v2 dialect, the pre-durability
+// behavior applies: samples buffered across a transport failure are
 // dropped and counted in Lost.
 //
 // Every method honours its context: a call blocked on a dead or
@@ -106,16 +139,31 @@ type respMsg struct {
 //
 // A Client is safe for concurrent use.
 type Client struct {
-	cfg ClientConfig
+	cfg      ClientConfig
+	clientID string // stable identity for server-side seq dedup
 
 	mu         sync.Mutex
 	conn       net.Conn
 	bw         *bufio.Writer
 	gen        int // connection generation; stale read loops are ignored
+	negotiated byte
 	subscribed bool
-	pending    []reader.Sample
-	waiters    []chan respMsg
-	closed     bool
+	// pending holds buffered samples not yet written; sent holds
+	// written-but-unacknowledged samples (v3 only — the v2 dialect has
+	// no acks, so sent stays empty). Sequence numbers across
+	// sent ++ pending are contiguous.
+	pending []seqSample
+	sent    []seqSample
+	nextSeq uint64
+	// rejectedSeen mirrors the server's cumulative rejected count, so
+	// each ack adds only the delta to lost.
+	rejectedSeen uint64
+	// redialAt gates reconnection attempts (RedialBackoff); lastDialErr
+	// is returned for attempts inside the backoff window.
+	redialAt    time.Time
+	lastDialErr error
+	waiters     []chan respMsg
+	closed      bool
 
 	events session.EventHub
 
@@ -125,12 +173,21 @@ type Client struct {
 	reconnects atomic.Uint64
 }
 
-// Dial connects to a shard server and performs the version handshake.
-// The background flush loop starts immediately; the connection is
-// re-established transparently after failures. A peer speaking a
-// different protocol generation fails with ErrVersionMismatch.
+// Dial connects to a shard server and performs the version handshake,
+// negotiating the highest protocol generation both ends speak. The
+// background flush loop starts immediately; the connection is
+// re-established transparently after failures. A peer below the
+// supported floor fails with ErrVersionMismatch.
 func Dial(cfg ClientConfig) (*Client, error) {
-	c := &Client{cfg: cfg.withDefaults(), stopFlush: make(chan struct{})}
+	var idb [8]byte
+	if _, err := rand.Read(idb[:]); err != nil {
+		return nil, fmt.Errorf("shardrpc: client id: %w", err)
+	}
+	c := &Client{
+		cfg:       cfg.withDefaults(),
+		clientID:  hex.EncodeToString(idb[:]),
+		stopFlush: make(chan struct{}),
+	}
 	c.mu.Lock()
 	err := c.ensureConnLocked()
 	c.mu.Unlock()
@@ -144,30 +201,50 @@ func Dial(cfg ClientConfig) (*Client, error) {
 // Addr returns the configured server address.
 func (c *Client) Addr() string { return c.cfg.Addr }
 
-// Lost counts samples dropped at transport failures (buffered but
-// unsendable).
+// Lost counts samples that are gone for good: under the v3 protocol,
+// samples the server rejected or that aged out of the resend buffer;
+// under the legacy v2 dialect, also samples dropped at transport
+// failures.
 func (c *Client) Lost() uint64 { return c.lost.Load() }
+
+// Proto returns the negotiated protocol generation (0 before the first
+// successful handshake).
+func (c *Client) Proto() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int(c.negotiated)
+}
 
 // Reconnects counts successful redials after a connection failure.
 func (c *Client) Reconnects() uint64 { return c.reconnects.Load() }
 
 // handshake performs the synchronous version exchange on a fresh
-// connection, before any other frame: send opHello(protoVersion), read
-// the opResp, verify the server's version. The conn deadline bounds
-// the whole exchange.
-func (c *Client) handshake(conn net.Conn) error {
+// connection, before any other frame: send opHello carrying `speak`
+// (plus the client identity from v3 on), read the opResp, and return
+// the version the server negotiated. rejected reports that the server
+// refused the hello outright (an error status, or the hangup a
+// pre-versioning server answers with) — the case worth retrying in an
+// older dialect — as opposed to answering with a version outside the
+// client's range, where the negotiation already happened and failed
+// for good. The conn deadline bounds the whole exchange.
+func (c *Client) handshake(conn net.Conn, speak byte) (v byte, rejected bool, err error) {
 	if err := conn.SetDeadline(time.Now().Add(c.cfg.DialTimeout)); err != nil {
-		return unavailable(err)
+		return 0, false, unavailable(err)
 	}
 	defer conn.SetDeadline(time.Time{})
 	var e enc
-	e.u8(protoVersion)
+	e.u8(speak)
+	if speak >= 3 {
+		if err := e.str(c.clientID); err != nil {
+			return 0, false, err
+		}
+	}
 	bw := bufio.NewWriter(conn)
 	if err := writeFrame(bw, opHello, e.b); err != nil {
-		return unavailable(err)
+		return 0, false, unavailable(err)
 	}
 	if err := bw.Flush(); err != nil {
-		return unavailable(err)
+		return 0, false, unavailable(err)
 	}
 	op, payload, err := readFrame(conn)
 	if err != nil {
@@ -175,38 +252,75 @@ func (c *Client) handshake(conn net.Conn) error {
 			// A pre-versioning server treats opHello as a protocol
 			// violation and hangs up without answering: the signature
 			// of version skew, reported as such.
-			return fmt.Errorf("%w: server at %s hung up on the version handshake "+
+			return 0, true, fmt.Errorf("%w: server at %s hung up on the version handshake "+
 				"(pre-versioning shardrpc server? client speaks v%d)",
 				ErrVersionMismatch, c.cfg.Addr, protoVersion)
 		}
-		return unavailable(err)
+		return 0, false, unavailable(err)
 	}
 	if op != opResp {
-		return fmt.Errorf("%w: server at %s answered the handshake with opcode 0x%02x",
+		return 0, false, fmt.Errorf("%w: server at %s answered the handshake with opcode 0x%02x",
 			ErrVersionMismatch, c.cfg.Addr, op)
 	}
 	d := dec{b: payload}
 	if err := checkStatus(&d); err != nil {
-		return err // a v-mismatch error round-trips as ErrVersionMismatch
+		// A v-mismatch error round-trips as ErrVersionMismatch; a
+		// strict pre-negotiation server rejects this way and may still
+		// accept the older dialect.
+		return 0, true, err
 	}
-	if v := d.u8(); d.err != nil || v != protoVersion {
-		return fmt.Errorf("%w: server at %s speaks v%d, client speaks v%d",
-			ErrVersionMismatch, c.cfg.Addr, v, protoVersion)
+	v = d.u8()
+	if d.err != nil || v < protoVersionMin || v > speak {
+		return 0, false, fmt.Errorf("%w: server at %s negotiated v%d, client speaks v%d (min v%d)",
+			ErrVersionMismatch, c.cfg.Addr, v, protoVersion, protoVersionMin)
 	}
-	return nil
+	return v, false, nil
 }
 
 // ensureConnLocked dials (and handshakes) if no live connection
-// exists; c.mu held.
+// exists, resending any unacknowledged samples on the fresh
+// connection; c.mu held. Failed attempts are cached for RedialBackoff
+// so hot paths (the flush ticker, per-batch flushes) do not hammer a
+// dead address.
 func (c *Client) ensureConnLocked() error {
 	if c.conn != nil {
 		return nil
 	}
+	if time.Now().Before(c.redialAt) && c.lastDialErr != nil {
+		return c.lastDialErr
+	}
+	err := c.dialLocked()
+	if err != nil {
+		c.redialAt = time.Now().Add(c.cfg.RedialBackoff)
+		c.lastDialErr = err
+		return err
+	}
+	c.redialAt = time.Time{}
+	c.lastDialErr = nil
+	return nil
+}
+
+// dialLocked performs one full connection attempt: dial, negotiate
+// (falling back to the v2 hello when a v2-era server refuses the v3
+// one), start the read loop, resend the unacked tail, re-arm the
+// event subscription.
+func (c *Client) dialLocked() error {
 	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
 	if err != nil {
 		return unavailable(fmt.Errorf("shardrpc: dial %s: %w", c.cfg.Addr, err))
 	}
-	if err := c.handshake(conn); err != nil {
+	v, rejected, err := c.handshake(conn, protoVersion)
+	if rejected && errors.Is(err, ErrVersionMismatch) && protoVersionMin < protoVersion {
+		// A v2-era server rejects the v3 hello outright instead of
+		// negotiating; retry the exchange in the legacy dialect on a
+		// fresh connection (the server dropped the first).
+		conn.Close()
+		if conn, err = net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout); err != nil {
+			return unavailable(fmt.Errorf("shardrpc: dial %s: %w", c.cfg.Addr, err))
+		}
+		v, _, err = c.handshake(conn, protoVersionMin)
+	}
+	if err != nil {
 		conn.Close()
 		return err
 	}
@@ -216,8 +330,22 @@ func (c *Client) ensureConnLocked() error {
 	c.conn = conn
 	c.bw = bufio.NewWriter(conn)
 	c.gen++
+	c.negotiated = v
 	c.subscribed = false
 	go c.readLoop(conn, c.gen)
+	if c.negotiated < 3 && len(c.sent)+len(c.pending) > 0 {
+		// Negotiated down to the ackless dialect: the buffered samples
+		// have no resend contract any more.
+		c.lost.Add(uint64(len(c.sent) + len(c.pending)))
+		c.sent, c.pending = nil, nil
+	}
+	if c.negotiated >= 3 && len(c.sent)+len(c.pending) > 0 {
+		// Resend everything unacknowledged; the server's per-client
+		// sequence state skips what it already applied.
+		if err := c.sendSeqLocked(true); err != nil {
+			return fmt.Errorf("shardrpc: resend %s: %w", c.cfg.Addr, err)
+		}
+	}
 	if c.cfg.OnPoint != nil || c.events.HasSubscribers() {
 		// A failed subscribe has already torn the connection down
 		// (c.bw is nil again), so it must fail the ensure: callers are
@@ -261,21 +389,93 @@ func (c *Client) writeFrameLocked(op byte, payload []byte) error {
 	return nil
 }
 
-// flushLocked sends the buffered dispatch batch; c.mu held. Samples
-// that cannot be sent are dropped and counted: buffering them across
-// an outage would grow without bound and then replay arbitrarily stale
-// reads.
+// sendSeqLocked writes the unacknowledged tail (sent ++ pending when
+// resend, else just pending) as one opDispatchSeq frame and moves
+// pending into sent; c.mu held with a live connection. A write failure
+// keeps everything buffered: the sequence dedup makes the eventual
+// resend idempotent even after a partial write landed server-side.
+func (c *Client) sendSeqLocked(resend bool) error {
+	batch := c.pending
+	if resend {
+		batch = append(append([]seqSample(nil), c.sent...), c.pending...)
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	smps := make([]reader.Sample, len(batch))
+	for i, ss := range batch {
+		smps[i] = ss.smp
+	}
+	var e enc
+	e.u64(batch[0].seq)
+	if err := encodeSamples(&e, smps); err != nil {
+		// Unencodable samples (oversized EPC) can never cross the wire:
+		// drop them for good.
+		c.lost.Add(uint64(len(batch)))
+		c.sent, c.pending = nil, nil
+		return err
+	}
+	if err := c.writeFrameLocked(opDispatchSeq, e.b); err != nil {
+		return err
+	}
+	c.sent = append(c.sent, c.pending...)
+	c.pending = nil
+	return nil
+}
+
+// enforceResendCapLocked bounds sent ++ pending to ResendLimit by
+// aging out the oldest samples into Lost; c.mu held. Called while the
+// connection is down, so a multi-minute outage degrades to bounded
+// memory instead of unbounded buffering of arbitrarily stale reads.
+func (c *Client) enforceResendCapLocked() {
+	over := len(c.sent) + len(c.pending) - c.cfg.ResendLimit
+	if over <= 0 {
+		return
+	}
+	c.lost.Add(uint64(over))
+	if n := min(over, len(c.sent)); n > 0 {
+		c.sent = append([]seqSample(nil), c.sent[n:]...)
+		over -= n
+	}
+	if over > 0 {
+		c.pending = append([]seqSample(nil), c.pending[over:]...)
+	}
+}
+
+// flushLocked sends the buffered dispatch batch; c.mu held. Under v3
+// the samples stay buffered until acked — a transport failure leaves
+// them queued for the post-reconnect resend (bounded by ResendLimit).
+// Under the legacy v2 dialect samples that cannot be sent are dropped
+// and counted, as buffering them without an ack contract would replay
+// arbitrarily stale reads.
 func (c *Client) flushLocked() error {
-	if len(c.pending) == 0 {
+	if len(c.pending) == 0 && len(c.sent) == 0 {
 		return nil
 	}
 	if err := c.ensureConnLocked(); err != nil {
-		c.lost.Add(uint64(len(c.pending)))
-		c.pending = nil
+		if c.negotiated >= 3 || c.negotiated == 0 {
+			// Keep the samples; the redial path resends them. The
+			// negotiated==0 case (never connected) keeps them too — the
+			// first successful handshake decides their fate.
+			c.enforceResendCapLocked()
+		} else {
+			c.lost.Add(uint64(len(c.pending)))
+			c.pending = nil
+		}
 		return err
 	}
+	if c.negotiated >= 3 {
+		return c.sendSeqLocked(false)
+	}
+	if len(c.pending) == 0 {
+		return nil
+	}
+	smps := make([]reader.Sample, len(c.pending))
+	for i, ss := range c.pending {
+		smps[i] = ss.smp
+	}
 	var e enc
-	if err := encodeSamples(&e, c.pending); err != nil {
+	if err := encodeSamples(&e, smps); err != nil {
 		c.lost.Add(uint64(len(c.pending)))
 		c.pending = c.pending[:0]
 		return err
@@ -290,7 +490,11 @@ func (c *Client) flushLocked() error {
 	return nil
 }
 
-// flushLoop bounds the time a buffered sample waits for its batch.
+// flushLoop bounds the time a buffered sample waits for its batch, and
+// doubles as the reconnection heartbeat: while the connection is down
+// it keeps redialing (backoff-gated) so unacked samples are resent and
+// event subscriptions re-armed without waiting for the next
+// synchronous call.
 func (c *Client) flushLoop() {
 	t := time.NewTicker(c.cfg.FlushInterval)
 	defer t.Stop()
@@ -298,8 +502,16 @@ func (c *Client) flushLoop() {
 		select {
 		case <-t.C:
 			c.mu.Lock()
-			if !c.closed && len(c.pending) > 0 {
+			switch {
+			case c.closed:
+			case len(c.pending) > 0 || (c.conn == nil && len(c.sent) > 0):
 				_ = c.flushLocked()
+			case c.conn == nil && (c.cfg.OnPoint != nil || c.events.HasSubscribers()):
+				// Nothing to send, but a subscriber is waiting on the
+				// event stream: reconnect so commits fired during the
+				// outage resume flowing (the server replays the
+				// committed prefix on resubscribe).
+				_ = c.ensureConnLocked()
 			}
 			c.mu.Unlock()
 		case <-c.stopFlush:
@@ -342,6 +554,38 @@ func (c *Client) readLoop(conn net.Conn, gen int) {
 			if c.cfg.OnPoint != nil && ev.Kind == session.EventPoint {
 				c.cfg.OnPoint(ev.EPC, ev.Window, ev.Live)
 			}
+		case opAck:
+			d := dec{b: payload}
+			acked := d.u64()
+			rejected := d.u64()
+			if d.err != nil {
+				fail(d.err)
+				return
+			}
+			c.mu.Lock()
+			if gen != c.gen {
+				c.mu.Unlock()
+				return
+			}
+			// Drop the acknowledged prefix of the unacked buffer.
+			i := 0
+			for i < len(c.sent) && c.sent[i].seq <= acked {
+				i++
+			}
+			if i > 0 {
+				c.sent = append([]seqSample(nil), c.sent[i:]...)
+			}
+			// The server's rejected count is cumulative for this client
+			// identity; add only the delta. A count below what we have
+			// seen means the server restarted and reset the tally, so
+			// the whole new count is uncounted rejections.
+			if rejected < c.rejectedSeen {
+				c.lost.Add(rejected)
+			} else {
+				c.lost.Add(rejected - c.rejectedSeen)
+			}
+			c.rejectedSeen = rejected
+			c.mu.Unlock()
 		case opResp:
 			c.mu.Lock()
 			if gen != c.gen {
@@ -455,8 +699,9 @@ func (c *Client) Open(ctx context.Context, epc string, opts session.OpenOptions)
 }
 
 // Dispatch buffers one sample, flushing when the batch fills. Errors
-// surface only at flush boundaries; samples lost to a transport
-// failure are counted in Lost.
+// surface only at flush boundaries; under v3 a flush error leaves the
+// samples buffered for the post-reconnect resend, under v2 they are
+// dropped and counted in Lost.
 func (c *Client) Dispatch(ctx context.Context, smp reader.Sample) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -466,7 +711,8 @@ func (c *Client) Dispatch(ctx context.Context, smp reader.Sample) error {
 	if c.closed {
 		return ErrClientClosed
 	}
-	c.pending = append(c.pending, smp)
+	c.nextSeq++
+	c.pending = append(c.pending, seqSample{seq: c.nextSeq, smp: smp})
 	if len(c.pending) >= c.cfg.BatchSize {
 		return c.flushLocked()
 	}
@@ -483,11 +729,25 @@ func (c *Client) DispatchBatch(ctx context.Context, batch []reader.Sample) error
 	if c.closed {
 		return ErrClientClosed
 	}
-	c.pending = append(c.pending, batch...)
+	for _, smp := range batch {
+		c.nextSeq++
+		c.pending = append(c.pending, seqSample{seq: c.nextSeq, smp: smp})
+	}
 	if len(c.pending) >= c.cfg.BatchSize {
 		return c.flushLocked()
 	}
 	return nil
+}
+
+// AbandonPending discards every buffered and unacknowledged sample
+// without counting them in Lost. The router calls it before a failover
+// replay: the journal holds those samples and redelivers them to the
+// new shard, so counting them here would double-book the loss metric
+// for samples that were in fact preserved.
+func (c *Client) AbandonPending() {
+	c.mu.Lock()
+	c.pending, c.sent = nil, nil
+	c.mu.Unlock()
 }
 
 // Flush forces out any buffered samples.
@@ -527,6 +787,70 @@ func (c *Client) Subscribe(ctx context.Context) (<-chan Event, session.CancelFun
 // Event re-exports the unified event type for callers holding only a
 // client.
 type Event = session.Event
+
+// requireV3 ensures a live connection and that it negotiated at least
+// protocol v3, which the durability calls (Export/Restore) need.
+func (c *Client) requireV3(op string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	if err := c.ensureConnLocked(); err != nil {
+		return err
+	}
+	if c.negotiated < 3 {
+		return fmt.Errorf("%w: %s needs protocol v3, server at %s negotiated v%d",
+			ErrVersionMismatch, op, c.cfg.Addr, c.negotiated)
+	}
+	return nil
+}
+
+// Export removes the EPC's session from the remote shard and returns
+// its serialized mid-stroke state (see session.Manager.Export).
+// Requires the negotiated v3 protocol.
+func (c *Client) Export(ctx context.Context, epc string) ([]byte, error) {
+	if err := c.requireV3("Export"); err != nil {
+		return nil, err
+	}
+	var e enc
+	if err := e.str(epc); err != nil {
+		return nil, err
+	}
+	payload, err := c.call(ctx, opExport, e.b, false)
+	if err != nil {
+		return nil, err
+	}
+	d := dec{b: payload}
+	if err := checkStatus(&d); err != nil {
+		return nil, err
+	}
+	state := d.bytes()
+	if d.err != nil {
+		return nil, d.err
+	}
+	return state, nil
+}
+
+// Restore rebuilds the EPC's session on the remote shard from an
+// exported snapshot (see session.Manager.Restore). Requires the
+// negotiated v3 protocol.
+func (c *Client) Restore(ctx context.Context, epc string, state []byte) error {
+	if err := c.requireV3("Restore"); err != nil {
+		return err
+	}
+	var e enc
+	if err := e.str(epc); err != nil {
+		return err
+	}
+	e.bytes(state)
+	payload, err := c.call(ctx, opRestore, e.b, false)
+	if err != nil {
+		return err
+	}
+	d := dec{b: payload}
+	return checkStatus(&d)
+}
 
 // Finalize evicts one remote session and returns its decoded
 // trajectory. The wire encoding is bit-exact, so the Result matches
@@ -633,6 +957,12 @@ func (c *Client) Close(ctx context.Context) (map[string]*core.Result, error) {
 
 	c.mu.Lock()
 	c.teardownLocked(c.gen, ErrClientClosed)
+	if callErr != nil && c.negotiated >= 3 {
+		// The close never reached the server: whatever was still
+		// buffered or unacknowledged will not be resent by anyone.
+		c.lost.Add(uint64(len(c.sent) + len(c.pending)))
+		c.sent, c.pending = nil, nil
+	}
 	c.mu.Unlock()
 
 	if callErr != nil {
@@ -660,6 +990,6 @@ func (c *Client) Close(ctx context.Context) (map[string]*core.Result, error) {
 	return out, nil
 }
 
-// Compile-time contract check: the client speaks the same v2
+// Compile-time contract check: the client speaks the same
 // ShardBackend contract as the in-process backends.
 var _ session.ShardBackend = (*Client)(nil)

@@ -16,14 +16,15 @@
 // bit-identically); strings are uint16 length + bytes.
 //
 // Every connection begins with a version handshake: the client's first
-// frame is opHello carrying protoVersion, answered by an opResp
-// carrying the server's version. A server that sees anything but a
-// matching hello first — an older client, or a newer protocol — fails
-// the connection with ErrVersionMismatch instead of misparsing frames;
-// a client that reads a non-matching server version (or whose hello is
-// answered by a hangup, the signature of a pre-versioning server) does
-// the same. Rolling-upgrade skew therefore surfaces as one explicit
-// error, never as frame corruption.
+// frame is opHello carrying its protocol version (and, since v3, a
+// stable client identity), answered by an opResp carrying the version
+// the server negotiated — the highest generation both ends speak, as
+// long as it is at least protoVersionMin. A v3 client against a v2
+// server (or vice versa) therefore degrades to the v2 wire dialect
+// instead of failing; only a peer below the floor (or one that
+// predates the handshake entirely, signalled by a hangup) gets
+// ErrVersionMismatch. Rolling-upgrade skew surfaces as one explicit
+// error or a clean downgrade, never as frame corruption.
 //
 // After the handshake, request frames flow client→server; the server
 // answers each request frame that expects a reply with exactly one
@@ -35,6 +36,23 @@
 // are server→client pushes (the unified session.Event stream for
 // subscribed connections) and may interleave with responses; the
 // opcode's high bits distinguish the two.
+//
+// # Durable dispatch (v3)
+//
+// Under the v3 dialect samples are dispatched with opDispatchSeq: each
+// sample carries an implicit per-client sequence number (the frame
+// holds the first sample's number; the rest are consecutive), and the
+// server pushes opAck frames reporting the highest sequence it has
+// settled plus a cumulative count of samples its manager rejected. The
+// client keeps every unacknowledged sample buffered and resends the
+// tail after a reconnect; the server's per-client applied-sequence
+// state makes the resend idempotent (duplicates are skipped, not
+// decoded twice). A sample is counted lost only when the server
+// rejects it or the resend buffer ages it out — never because a
+// connection happened to drop. opExport and opRestore carry serialized
+// mid-stroke session state for checkpoint/handoff flows, and opEvent
+// gained the EventCheckpoint kind so shard-emitted snapshots reach a
+// journaling router.
 //
 // Response payloads start with a status byte; failures carry a code
 // that round-trips the session/core sentinel taxonomy, so
@@ -64,11 +82,19 @@ func timeFromUnixNano(ns int64) time.Time { return time.Unix(0, ns) }
 const maxFrame = 64 << 20
 
 // protoVersion is the wire protocol generation, exchanged in the
-// opHello handshake. Bump it whenever a frame layout changes
+// opHello handshake; protoVersionMin is the oldest dialect either end
+// still speaks, so mixed-version deployments negotiate down instead of
+// failing. Bump protoVersion whenever a frame layout changes
 // incompatibly. History: 1 = PR 3/4 unversioned protocol (no
 // handshake); 2 = version handshake + per-session OpenOptions (opOpen)
-// + unified event pushes (opEvent) + extended error taxonomy.
-const protoVersion = 2
+// + unified event pushes (opEvent) + extended error taxonomy; 3 =
+// client identity in the hello, sequence-numbered dispatch with acks
+// (opDispatchSeq/opAck), session state transfer (opExport/opRestore),
+// and the EventCheckpoint push.
+const (
+	protoVersion    = 3
+	protoVersionMin = 2
+)
 
 // Opcodes. Requests occupy the low range; 0x40 marks server pushes,
 // 0x80 marks responses.
@@ -84,7 +110,13 @@ const (
 	opHello     byte = 0x09 // version handshake; MUST be the first frame
 	opOpen      byte = 0x0a // per-session open with OpenOptions
 
+	// v3 opcodes.
+	opDispatchSeq byte = 0x0b // one-way: sequence-numbered sample batch
+	opExport      byte = 0x0c // remove a session, return its snapshot
+	opRestore     byte = 0x0d // rebuild a session from a snapshot
+
 	opEvent byte = 0x41 // server push: one unified session.Event
+	opAck   byte = 0x42 // server push: dispatch-sequence acknowledgement
 	opResp  byte = 0x80 // response to the oldest pending request
 )
 
@@ -178,6 +210,13 @@ func (e *enc) str(s string) error {
 	return nil
 }
 
+// bytes writes a u32-length-prefixed blob (session snapshots exceed
+// the u16 string bound).
+func (e *enc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
 // dec consumes big-endian primitives from a byte slice; the first
 // truncation latches err and every later read returns zero values.
 type dec struct {
@@ -231,6 +270,16 @@ func (d *dec) str() string {
 		return string(b)
 	}
 	return ""
+}
+
+// bytes reads a u32-length-prefixed blob, copying out of the frame
+// buffer.
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	if b := d.take(n); b != nil {
+		return append([]byte(nil), b...)
+	}
+	return nil
 }
 
 // remaining reports unread payload bytes (a well-formed message ends
@@ -593,6 +642,9 @@ func encodeEvent(e *enc, ev session.Event) error {
 			return err
 		}
 		e.boolean(ev.Healthy)
+	case session.EventCheckpoint:
+		e.u64(ev.Covered)
+		e.bytes(ev.State)
 	default:
 		return fmt.Errorf("shardrpc: unencodable event kind %v", ev.Kind)
 	}
@@ -635,6 +687,9 @@ func decodeEvent(d *dec) session.Event {
 	case session.EventBackendHealth:
 		ev.Backend = d.str()
 		ev.Healthy = d.boolean()
+	case session.EventCheckpoint:
+		ev.Covered = d.u64()
+		ev.State = d.bytes()
 	default:
 		d.err = fmt.Errorf("shardrpc: unknown event kind %d", ev.Kind)
 	}

@@ -3,6 +3,7 @@ package shardrpc
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"reflect"
 	"sync"
@@ -183,6 +184,11 @@ func TestRouterOverRemoteShards(t *testing.T) {
 	const pens = 6
 	samples, ants := penStreams(t, pens, 37)
 
+	// Backends get fixed router names (the name is what rendezvous
+	// hashes; the address only matters for dialing): with the ephemeral
+	// port as the name, the 6-EPC spread below would be one-sided on
+	// ~3% of runs purely by hash luck. Fixed names make it
+	// deterministic — and deterministically two-sided.
 	var nbs []session.NamedBackend
 	for i := 0; i < 2; i++ {
 		_, addr := startServer(t, ServerConfig{Session: sessionCfg(ants, 0.2, 0)})
@@ -190,7 +196,7 @@ func TestRouterOverRemoteShards(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		nbs = append(nbs, session.NamedBackend{Name: addr, Backend: c})
+		nbs = append(nbs, session.NamedBackend{Name: fmt.Sprintf("shard-%d", i), Backend: c})
 	}
 	r := session.NewRouter(nbs)
 

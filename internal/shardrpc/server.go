@@ -34,10 +34,11 @@ type ServerConfig struct {
 // session queue stalls the connection's read loop, pushing back
 // through TCP to the dispatching client.
 //
-// Every connection must open with the opHello version handshake; a
-// mismatched (or missing) handshake fails the connection with an
-// explicit ErrVersionMismatch instead of risking frame misparses
-// between mixed-version binaries.
+// Every connection must open with the opHello version handshake; the
+// server negotiates down to the client's generation when it can
+// (protoVersionMin is the floor) and fails the connection with an
+// explicit ErrVersionMismatch otherwise, instead of risking frame
+// misparses between mixed-version binaries.
 type Server struct {
 	cfg ServerConfig
 	m   *session.Manager
@@ -46,6 +47,35 @@ type Server struct {
 	ln     net.Listener
 	conns  map[*srvConn]struct{}
 	closed bool
+	// seqs holds per-client-identity dispatch sequence state (v3 acked
+	// dispatch). Keyed by the hello's client ID so it survives
+	// reconnects: the resend after a reconnect dedups against the same
+	// applied watermark the broken connection advanced.
+	seqs map[string]*clientSeq
+}
+
+// clientSeq is one client identity's dispatch watermark: applied is
+// the highest sequence number accounted for (dispatched or rejected),
+// rejected the cumulative count the manager refused. Its mutex orders
+// concurrent frames if one identity ever dispatches over two
+// connections at once.
+type clientSeq struct {
+	mu       sync.Mutex
+	applied  uint64
+	rejected uint64
+}
+
+// seqFor returns (creating on first use) the sequence state for a
+// client identity.
+func (s *Server) seqFor(clientID string) *clientSeq {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := s.seqs[clientID]
+	if cs == nil {
+		cs = &clientSeq{}
+		s.seqs[clientID] = cs
+	}
+	return cs
 }
 
 // NewServer builds a server hosting a fresh Manager. Call Serve to
@@ -59,7 +89,11 @@ func NewServer(cfg ServerConfig) *Server {
 		// the hub buffer is what a slow client actually exercises.
 		cfg.Session.EventBuffer = cfg.EventBuffer
 	}
-	s := &Server{cfg: cfg, conns: make(map[*srvConn]struct{})}
+	s := &Server{
+		cfg:   cfg,
+		conns: make(map[*srvConn]struct{}),
+		seqs:  make(map[string]*clientSeq),
+	}
 	s.m = session.NewManager(cfg.Session)
 	return s
 }
@@ -120,10 +154,44 @@ func (s *Server) Close() {
 	s.m.Close()
 }
 
+// Abort drops the listener and every connection WITHOUT closing the
+// hosted manager — the wire-level equivalent of the process dying
+// mid-stroke, with in-flight session state simply gone from the
+// cluster's point of view. It exists for crash/failover tests
+// (in-process kill switch usable under -race, where a real SIGKILL
+// would take the test harness down with it).
+func (s *Server) Abort() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.c.Close()
+	}
+}
+
 // srvConn is one client connection.
 type srvConn struct {
 	s *Server
 	c net.Conn
+
+	// negotiated is the protocol generation agreed in the handshake;
+	// seq the dispatch watermark for the client's identity (v3 only).
+	// Both are set once by the handshake before any other frame is
+	// processed.
+	negotiated byte
+	seq        *clientSeq
 
 	// wmu serializes frame writes: responses from the request loop and
 	// events from the pump share one stream.
@@ -229,14 +297,37 @@ func (sc *srvConn) handshake(op byte, d *dec) bool {
 	if d.err != nil {
 		return false
 	}
-	if v != protoVersion {
-		_ = sc.respondErr(fmt.Errorf("%w: client speaks v%d, server speaks v%d",
-			ErrVersionMismatch, v, protoVersion))
+	if v < protoVersionMin {
+		_ = sc.respondErr(fmt.Errorf("%w: client speaks v%d, server speaks v%d (min v%d)",
+			ErrVersionMismatch, v, protoVersion, protoVersionMin))
 		return false
+	}
+	negotiated := min(v, protoVersion)
+	var clientID string
+	if v >= 3 {
+		// From v3 on the hello carries a stable client identity, keying
+		// the dispatch watermark across reconnects. A hello claiming
+		// v3+ without one is a dialect we cannot parse — answer with
+		// the explicit mismatch instead of a silent hangup.
+		clientID = d.str()
+		if d.err != nil {
+			_ = sc.respondErr(fmt.Errorf("%w: client hello claims v%d but is not parseable "+
+				"as v3; server speaks v%d", ErrVersionMismatch, v, protoVersion))
+			return false
+		}
+	}
+	sc.negotiated = negotiated
+	if negotiated >= 3 {
+		if clientID == "" {
+			// Defensive: an identity-less v3 peer still dedups within
+			// itself, just not across connections.
+			clientID = fmt.Sprintf("conn:%p", sc)
+		}
+		sc.seq = sc.s.seqFor(clientID)
 	}
 	var e enc
 	e.u8(statusOK)
-	e.u8(protoVersion)
+	e.u8(negotiated)
 	return sc.write(opResp, e.b) == nil
 }
 
@@ -270,8 +361,58 @@ func (sc *srvConn) readLoop() {
 			// own Close response.
 			_ = m.DispatchBatch(batch)
 
+		case opDispatchSeq:
+			firstSeq := d.u64()
+			batch := decodeSamples(&d)
+			if d.err != nil || sc.seq == nil {
+				return // malformed, or seq dispatch on a v2 handshake
+			}
+			cs := sc.seq
+			cs.mu.Lock()
+			for i, smp := range batch {
+				seq := firstSeq + uint64(i)
+				if seq <= cs.applied {
+					continue // duplicate from a resend; already applied
+				}
+				if err := m.Dispatch(smp); err != nil {
+					cs.rejected++
+				}
+				cs.applied = seq
+			}
+			acked, rejected := cs.applied, cs.rejected
+			cs.mu.Unlock()
+			var e enc
+			e.u64(acked)
+			e.u64(rejected)
+			if sc.write(opAck, e.b) != nil {
+				return
+			}
+
 		case opSubscribe:
 			sc.subscribe()
+			if sc.negotiated >= 3 {
+				// Replay each live session's committed prefix so a
+				// subscriber that reconnected mid-stroke has no gap:
+				// commits that fired during the outage are re-delivered
+				// as one absolute-prefix EventCommit per EPC (consumers
+				// key on CommitStart, so overlap with live commits is
+				// idempotent).
+				for epc, prefix := range m.CommittedPrefixes() {
+					var e enc
+					ev := session.Event{
+						Kind:        session.EventCommit,
+						EPC:         epc,
+						CommitStart: 0,
+						Segment:     prefix,
+					}
+					if encodeEvent(&e, ev) != nil {
+						continue
+					}
+					if sc.write(opEvent, e.b) != nil {
+						return
+					}
+				}
+			}
 
 		case opPing:
 			var e enc
@@ -308,6 +449,39 @@ func (sc *srvConn) readLoop() {
 			} else {
 				e.u8(statusOK)
 				encodeResult(&e, res)
+			}
+			if sc.write(opResp, e.b) != nil {
+				return
+			}
+
+		case opExport:
+			epc := d.str()
+			if d.err != nil {
+				return
+			}
+			state, err := m.Export(epc)
+			var e enc
+			if err != nil {
+				encodeError(&e, err)
+			} else {
+				e.u8(statusOK)
+				e.bytes(state)
+			}
+			if sc.write(opResp, e.b) != nil {
+				return
+			}
+
+		case opRestore:
+			epc := d.str()
+			state := d.bytes()
+			if d.err != nil {
+				return
+			}
+			var e enc
+			if err := m.Restore(epc, state); err != nil {
+				encodeError(&e, err)
+			} else {
+				e.u8(statusOK)
 			}
 			if sc.write(opResp, e.b) != nil {
 				return

@@ -57,8 +57,10 @@ func TestVersionHandshake(t *testing.T) {
 		t.Fatalf("version-skewed hello error = %v, want ErrVersionMismatch", err)
 	}
 
-	// Old-server direction: a server that answers the hello with a
-	// different version byte must fail Dial with ErrVersionMismatch.
+	// Old-server direction: a server that negotiates a version below
+	// the client's floor must fail Dial with ErrVersionMismatch. (A
+	// version between the floor and the client's own is negotiated, not
+	// rejected — see TestProtoNegotiationFallback.)
 	oldLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +77,7 @@ func TestVersionHandshake(t *testing.T) {
 		}
 		var e enc
 		e.u8(statusOK)
-		e.u8(protoVersion - 1)
+		e.u8(protoVersionMin - 1)
 		bw := bufio.NewWriter(c)
 		writeFrame(bw, opResp, e.b)
 		bw.Flush()
@@ -93,12 +95,17 @@ func TestVersionHandshake(t *testing.T) {
 	}
 	defer preLn.Close()
 	go func() {
-		c, err := preLn.Accept()
-		if err != nil {
-			return
+		// Accept in a loop: the client retries the handshake in the
+		// older dialect after the first hangup, exactly as it would
+		// against a real pre-versioning server that keeps accepting.
+		for {
+			c, err := preLn.Accept()
+			if err != nil {
+				return
+			}
+			readFrame(bufio.NewReader(c)) // see the hello, "unknown opcode"
+			c.Close()
 		}
-		readFrame(bufio.NewReader(c)) // see the hello, "unknown opcode"
-		c.Close()
 	}()
 	if _, err := Dial(ClientConfig{Addr: preLn.Addr().String()}); !errors.Is(err, ErrVersionMismatch) {
 		t.Fatalf("dial against pre-versioning server = %v, want ErrVersionMismatch", err)

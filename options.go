@@ -44,6 +44,9 @@ type clientConfig struct {
 	drop        bool
 	eventBuffer int
 	heartbeat   time.Duration
+
+	journal         session.Journal
+	checkpointEvery int
 }
 
 func defaultClientConfig() clientConfig {
@@ -66,11 +69,12 @@ func (c clientConfig) baseTracker() core.Config {
 
 func (c clientConfig) sessionConfig() session.Config {
 	return session.Config{
-		Tracker:      c.baseTracker(),
-		QueueSize:    c.queueSize,
-		MaxSessions:  c.maxSessions,
-		DropWhenFull: c.drop,
-		EventBuffer:  c.eventBuffer,
+		Tracker:         c.baseTracker(),
+		QueueSize:       c.queueSize,
+		MaxSessions:     c.maxSessions,
+		DropWhenFull:    c.drop,
+		EventBuffer:     c.eventBuffer,
+		CheckpointEvery: c.checkpointEvery,
 	}
 }
 
@@ -165,7 +169,33 @@ func WithEventBuffer(n int) Option {
 
 // WithHeartbeat probes remote shard servers every interval, feeding
 // the router's per-backend health (see Client.Health). Ignored for
-// in-process shards, which have no transport to probe.
+// in-process shards, which have no transport to probe. With a journal
+// attached the heartbeat is what detects a silently dead shard —
+// buffered dispatch hides transport errors from the call path — so
+// durable remote deployments should always set it.
 func WithHeartbeat(interval time.Duration) Option {
 	return optionFunc(func(c *clientConfig) { c.heartbeat = interval })
+}
+
+// WithJournal attaches a durability journal (WAL) to the client's
+// router: every dispatched sample and checkpoint is recorded before it
+// reaches a shard, and when a shard dies mid-stroke its sessions are
+// rebuilt on a healthy shard from the latest checkpoint plus a journal
+// replay (see NewMemJournal and NewFileJournal). Without a journal,
+// routing never moves and a shard death loses its in-flight strokes —
+// the pre-durability behavior. Requires blocking backpressure: with
+// WithDropWhenFull the drop happens before the journal sees the
+// sample.
+func WithJournal(j Journal) Option {
+	return optionFunc(func(c *clientConfig) { c.journal = j })
+}
+
+// WithCheckpointEvery makes every session emit a serialized snapshot
+// of its decode state after every n closed preprocessing windows,
+// bounding how much journal replay a recovery needs. Applies to in-process shards
+// at Open and to shard servers at NewShardServer (a remote client's
+// checkpoints are cut server-side and travel back on the event
+// stream); 0 disables checkpointing.
+func WithCheckpointEvery(n int) Option {
+	return optionFunc(func(c *clientConfig) { c.checkpointEvery = n })
 }

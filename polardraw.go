@@ -74,6 +74,19 @@ type (
 	// OpenOptions is the wire-portable per-session decode
 	// configuration assembled by session options.
 	OpenOptions = session.OpenOptions
+	// Journal is the durability WAL attached with WithJournal.
+	Journal = session.Journal
+)
+
+// Journal constructors (see WithJournal). NewMemJournal keeps the WAL
+// in memory — durable across shard deaths, not client crashes;
+// NewFileJournal persists it to an append-only file that survives a
+// client restart. retain bounds buffered samples per stroke beyond the
+// latest checkpoint (0 = session.DefaultJournalRetention); older
+// samples age out and are counted in the journal's Lost.
+var (
+	NewMemJournal  = session.NewMemJournal
+	NewFileJournal = session.NewFileJournal
 )
 
 // Event kinds (see the session package's docs for each payload).
@@ -83,6 +96,7 @@ const (
 	EventCommit        = session.EventCommit
 	EventEvict         = session.EventEvict
 	EventBackendHealth = session.EventBackendHealth
+	EventCheckpoint    = session.EventCheckpoint
 )
 
 // The error taxonomy. Remote backends round-trip these sentinels over

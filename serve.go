@@ -64,3 +64,8 @@ func (s *ShardServer) EventsDropped() uint64 { return s.srv.EventsDropped() }
 // Close stops accepting, tears down connections, and finalizes every
 // session.
 func (s *ShardServer) Close() { s.srv.Close() }
+
+// Abort drops the listener and every connection without finalizing
+// sessions — the shard dies as if the process was killed mid-stroke.
+// Crash-recovery test hook (see shardrpc.Server.Abort).
+func (s *ShardServer) Abort() { s.srv.Abort() }
