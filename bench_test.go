@@ -686,6 +686,61 @@ func BenchmarkDispatchWAL(b *testing.B) {
 	})
 }
 
+// BenchmarkDispatchAdmission measures what ingress admission control
+// costs on the dispatch path: the same eight-pen sharded decode as
+// BenchmarkShardedServer run with admission off and with both limits
+// armed but sized to admit everything — so the delta is the pure
+// bookkeeping overhead (one token-bucket take plus two in-flight
+// counter updates per dispatch), not shedding.
+func BenchmarkDispatchAdmission(b *testing.B) {
+	rig := motion.DefaultRig()
+	ants := rig.Antennas()
+	ch := &rf.Channel{Reflectors: rf.OfficeReflectors(rig.BoardW)}
+	tag.AD227(1).ApplyTo(ch)
+	letters := []rune{'H', 'E', 'L', 'O', 'W', 'R', 'D', 'S'}
+	scenes := make([]reader.TaggedScene, 0, len(letters))
+	for k, r := range letters {
+		g, _ := font.Lookup(r)
+		path := g.Path().Scale(0.2).Translate(geom.Vec2{X: 0.18, Y: 0.03})
+		sess := motion.Write(path, string(r), motion.Config{Seed: uint64(k + 1)})
+		scenes = append(scenes, reader.TaggedScene{EPC: tag.AD227(uint32(k + 1)).EPC, Scene: sess})
+	}
+	rd := reader.New(reader.Config{Antennas: ants[:], Channel: ch, EPC: scenes[0].EPC, Seed: 1})
+	samples := rd.MultiInventory(scenes)
+
+	run := func(b *testing.B, adm session.AdmissionConfig) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			sm := session.NewShardedManager(session.ShardedConfig{
+				Session: session.Config{
+					Tracker: core.Config{Antennas: ants, Window: 0.3, CommitLag: 16},
+				},
+				Shards: 4,
+			})
+			sm.Router().SetAdmission(adm)
+			if err := sm.DispatchBatch(context.Background(), samples); err != nil {
+				b.Fatal(err)
+			}
+			results, err := sm.Close(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(results) != len(scenes) {
+				b.Fatalf("decoded %d of %d pens", len(results), len(scenes))
+			}
+			if n := sm.Router().Shed(); n != 0 {
+				b.Fatalf("benchmark shed %d samples; limits must admit everything", n)
+			}
+		}
+		b.ReportMetric(float64(len(samples)), "samples/op")
+	}
+
+	b.Run("off", func(b *testing.B) { run(b, session.AdmissionConfig{}) })
+	b.Run("on", func(b *testing.B) {
+		run(b, session.AdmissionConfig{MaxInFlight: 1 << 20, Rate: 1e9, Burst: 1 << 30})
+	})
+}
+
 // BenchmarkStreamTrackerLag is BenchmarkStreamTracker with fixed-lag
 // smoothing enabled: the same decode with memory bounded to CommitLag
 // backpointer vectors, plus the cost of per-window commit detection.

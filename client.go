@@ -2,7 +2,9 @@ package polardraw
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"polardraw/internal/core"
@@ -19,9 +21,14 @@ type Client struct {
 	cfg     clientConfig
 	backend session.ShardBackend
 
-	sm      *session.ShardedManager // local mode
-	router  *session.Router         // remote mode
-	remotes []*shardrpc.Client      // remote mode
+	sm     *session.ShardedManager // local mode
+	router *session.Router         // remote mode
+
+	// remotes tracks the live shardrpc connections by backend name.
+	// Membership joins add entries (the router's dialer); leavers are
+	// detached by the router and dropped at the next reconcile.
+	remoteMu sync.Mutex
+	remotes  map[string]*shardrpc.Client // remote mode
 }
 
 // Open builds a client. With no options it runs session.DefaultShards
@@ -49,9 +56,11 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 		if cfg.journal != nil {
 			c.sm.Router().SetJournal(cfg.journal)
 		}
+		c.sm.Router().SetAdmission(cfg.admission)
 		c.backend = c.sm
 		return c, nil
 	}
+	c.remotes = make(map[string]*shardrpc.Client, len(cfg.servers))
 	nbs := make([]session.NamedBackend, 0, len(cfg.servers))
 	for _, addr := range cfg.servers {
 		if err := ctx.Err(); err != nil {
@@ -66,14 +75,30 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 			c.closeRemotes()
 			return nil, fmt.Errorf("polardraw: shard %s: %w", addr, err)
 		}
-		c.remotes = append(c.remotes, rc)
+		c.remotes[addr] = rc
 		nbs = append(nbs, session.NamedBackend{Name: addr, Backend: rc})
 	}
 	c.router = session.NewRouter(nbs)
 	c.router.SetEventBuffer(cfg.eventBuffer)
+	// Membership joins dial a fresh shardrpc connection per member; the
+	// member's Addr (its Name when unset) is the dial address.
+	c.router.SetDialer(func(name, addr string) (session.ShardBackend, error) {
+		rc, err := shardrpc.Dial(shardrpc.ClientConfig{
+			Addr:        addr,
+			EventBuffer: cfg.eventBuffer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.remoteMu.Lock()
+		c.remotes[name] = rc
+		c.remoteMu.Unlock()
+		return rc, nil
+	})
 	if cfg.journal != nil {
 		c.router.SetJournal(cfg.journal)
 	}
+	c.router.SetAdmission(cfg.admission)
 	if cfg.heartbeat > 0 {
 		c.router.StartHeartbeat(cfg.heartbeat)
 	}
@@ -84,10 +109,23 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 // closeRemotes abandons already-dialed connections after a failed
 // Open.
 func (c *Client) closeRemotes() {
+	c.remoteMu.Lock()
+	defer c.remoteMu.Unlock()
 	for _, rc := range c.remotes {
 		_, _ = rc.Close(context.Background())
 	}
 	c.remotes = nil
+}
+
+// snapshotRemotes copies the live remote connection set.
+func (c *Client) snapshotRemotes() map[string]*shardrpc.Client {
+	c.remoteMu.Lock()
+	defer c.remoteMu.Unlock()
+	out := make(map[string]*shardrpc.Client, len(c.remotes))
+	for name, rc := range c.remotes {
+		out[name] = rc
+	}
+	return out
 }
 
 // Remote reports whether the client fronts remote shard servers.
@@ -163,7 +201,7 @@ func (c *Client) Len(ctx context.Context) (int, error) {
 		return c.sm.Len(), nil
 	}
 	n := 0
-	for _, rc := range c.remotes {
+	for _, rc := range c.snapshotRemotes() {
 		k, err := rc.Len(ctx)
 		if err != nil {
 			return n, err
@@ -224,10 +262,89 @@ func (c *Client) IngressDropped() uint64 {
 // every sample buffered across a failure is lost and counted).
 func (c *Client) SamplesLost() uint64 {
 	var n uint64
-	for _, rc := range c.remotes {
+	for _, rc := range c.snapshotRemotes() {
 		n += rc.Lost()
 	}
 	return n
+}
+
+// EventsDropped counts events shed at full subscriber channels: a
+// consumer that falls behind loses events rather than stalling decode
+// (see WithEventBuffer). Shed events are gone; the counter is how an
+// operator notices an under-provisioned consumer.
+func (c *Client) EventsDropped() uint64 { return c.routerOf().EventsDropped() }
+
+// SamplesShed counts dispatches refused with ErrOverloaded by the
+// admission controller (WithAdmission). Shed samples were never
+// journaled or delivered — the caller decides whether to retry, slow
+// down, or drop.
+func (c *Client) SamplesShed() uint64 { return c.routerOf().Shed() }
+
+// Membership snapshots the current routing table: the latest applied
+// epoch (0 until the first ApplyMembership) and every backend with its
+// state, in routing order.
+func (c *Client) Membership() Membership { return c.routerOf().Membership() }
+
+// Epoch returns the latest applied membership epoch, 0 until the first
+// ApplyMembership.
+func (c *Client) Epoch() uint64 { return c.routerOf().Epoch() }
+
+// ApplyMembership atomically moves the client's routing table to a new
+// epoch-numbered membership, without restarting anything:
+//
+//   - New members join: remote mode dials them (Member.Addr, or the
+//     name when unset), local mode spins up fresh in-process shards.
+//     Active joiners take their rendezvous share of NEW pens
+//     immediately; live sessions stay where they are so a join never
+//     forks a mid-stroke decode.
+//   - Members marked StateDraining stop taking new pens and have every
+//     live session migrated to a healthy peer (requires WithJournal
+//     when a member can't export directly).
+//   - Current backends missing from the table leave: drained the same
+//     way, then disconnected once they own nothing.
+//
+// An epoch not strictly greater than the current one fails with
+// ErrStaleEpoch and changes nothing, so replayed or racing updates are
+// harmless. In remote mode the applied table is also pushed to every
+// member (best effort), so v4 shard servers rebroadcast it to their
+// other subscribed clients; pre-v4 servers and already-current epochs
+// are skipped silently. Errors from individual joins, migrations, or
+// pushes are joined and returned; the epoch still applies, so retry
+// stragglers with a later epoch.
+func (c *Client) ApplyMembership(ctx context.Context, m Membership) error {
+	err := c.routerOf().ApplyMembership(ctx, m)
+	if err != nil && errors.Is(err, ErrStaleEpoch) {
+		return err
+	}
+	if c.router == nil {
+		return err
+	}
+	// Reconcile the connection map against the applied table: leavers
+	// were already detached by the router, so just drop them.
+	live := make(map[string]bool)
+	for _, mem := range c.router.Membership().Members {
+		live[mem.Name] = true
+	}
+	c.remoteMu.Lock()
+	for name := range c.remotes {
+		if !live[name] {
+			delete(c.remotes, name)
+		}
+	}
+	c.remoteMu.Unlock()
+	// Fan the table out to the members themselves so shard servers can
+	// rebroadcast it on their event streams.
+	errs := []error{err}
+	for name, rc := range c.snapshotRemotes() {
+		perr := rc.SetMembership(ctx, m)
+		if perr == nil ||
+			errors.Is(perr, ErrStaleEpoch) || // someone beat us to it
+			errors.Is(perr, ErrVersionMismatch) { // pre-v4 server
+			continue
+		}
+		errs = append(errs, fmt.Errorf("polardraw: push membership to %s: %w", name, perr))
+	}
+	return errors.Join(errs...)
 }
 
 // StencilCacheStats reports the shared per-grid stencil cache's

@@ -1,0 +1,222 @@
+package polardraw_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"polardraw"
+)
+
+// TestClientApplyMembershipLocal exercises the cluster-operations
+// surface end to end over in-process shards: a join spins up a fresh
+// shard, removing a member drains and disconnects it, pens decode
+// bit-identically to an undisturbed reference across both epochs, and
+// stale epochs are typed rejections.
+func TestClientApplyMembershipLocal(t *testing.T) {
+	const pens = 3
+	samples, _, antennas := penScene(pens, 61)
+	ctx := context.Background()
+
+	decode := []polardraw.Option{
+		polardraw.WithAntennas(antennas),
+		polardraw.WithWindow(0.15),
+	}
+	c, err := polardraw.Open(ctx, append([]polardraw.Option{
+		polardraw.WithShards(2),
+		polardraw.WithJournal(polardraw.NewMemJournal(0)),
+	}, decode...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := polardraw.Open(ctx, append([]polardraw.Option{polardraw.WithShards(1)}, decode...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch() != 0 {
+		t.Fatalf("epoch before any membership = %d, want 0", c.Epoch())
+	}
+
+	half := len(samples) / 2
+	if err := c.DispatchBatch(ctx, samples[:half]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 1: shard-2 joins (the local dialer spins it up), shard-1
+	// leaves — its live sessions migrate, then it disconnects.
+	m1 := polardraw.Membership{
+		Epoch: 1,
+		Members: []polardraw.Member{
+			{Name: "shard-0", State: polardraw.StateActive},
+			{Name: "shard-2", State: polardraw.StateActive},
+		},
+	}
+	if err := c.ApplyMembership(ctx, m1); err != nil {
+		t.Fatalf("apply epoch 1: %v", err)
+	}
+	if got := c.Backends(); len(got) != 2 || got[0] != "shard-0" || got[1] != "shard-2" {
+		t.Fatalf("backends after epoch 1 = %v", got)
+	}
+	if c.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", c.Epoch())
+	}
+	if m := c.Membership(); len(m.Members) != 2 || m.Members[0].State != polardraw.StateActive {
+		t.Fatalf("membership snapshot = %+v", m)
+	}
+
+	// Replaying the epoch is a typed no-op.
+	if err := c.ApplyMembership(ctx, m1); !errors.Is(err, polardraw.ErrStaleEpoch) {
+		t.Fatalf("stale epoch = %v, want ErrStaleEpoch", err)
+	}
+
+	if err := c.DispatchBatch(ctx, samples[half:]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.DispatchBatch(ctx, samples); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != pens || len(want) != pens {
+		t.Fatalf("decoded %d pens (reference %d), want %d", len(got), len(want), pens)
+	}
+	for epc, w := range want {
+		if !reflect.DeepEqual(got[epc], w) {
+			t.Fatalf("EPC %s: decode diverged across the membership change", epc)
+		}
+	}
+}
+
+// TestClientApplyMembershipRemote drives a membership change through
+// the public API against real shard servers: the removed server is
+// detached (not closed — another client keeps using it), and the
+// applied table is pushed so the surviving server rebroadcasts it to
+// its other subscribed clients.
+func TestClientApplyMembershipRemote(t *testing.T) {
+	samples, _, antennas := penScene(1, 67)
+	ctx := context.Background()
+
+	decode := []polardraw.Option{
+		polardraw.WithAntennas(antennas),
+		polardraw.WithWindow(0.15),
+	}
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv := polardraw.NewShardServer(decode...)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve(ln)
+		t.Cleanup(srv.Close)
+		addrs = append(addrs, ln.Addr().String())
+	}
+
+	c, err := polardraw.Open(ctx,
+		polardraw.WithShardServers(addrs...),
+		polardraw.WithJournal(polardraw.NewMemJournal(0)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second, independent client of the surviving shard: it learns the
+	// new table from the server's event stream, not from us.
+	watcher, err := polardraw.Open(ctx, polardraw.WithShardServers(addrs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, cancel := watcher.Subscribe(ctx)
+	defer cancel()
+
+	if err := c.DispatchBatch(ctx, samples[:len(samples)/2]); err != nil {
+		t.Fatal(err)
+	}
+	m1 := polardraw.Membership{
+		Epoch:   1,
+		Members: []polardraw.Member{{Name: addrs[0], Addr: addrs[0], State: polardraw.StateActive}},
+	}
+	if err := c.ApplyMembership(ctx, m1); err != nil {
+		t.Fatalf("apply epoch 1: %v", err)
+	}
+	if got := c.Backends(); len(got) != 1 || got[0] != addrs[0] {
+		t.Fatalf("backends after epoch 1 = %v", got)
+	}
+
+	// The push reaches the watcher through the shard server.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev := <-events:
+			if ev.Kind != polardraw.EventMembership {
+				continue
+			}
+			if ev.Epoch != 1 || len(ev.Members) != 1 || ev.Members[0].Name != addrs[0] {
+				t.Fatalf("watcher saw membership %+v, want epoch 1 / %s", ev, addrs[0])
+			}
+		case <-deadline:
+			t.Fatal("watcher never received the membership push")
+		}
+		break
+	}
+
+	if err := c.DispatchBatch(ctx, samples[len(samples)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Close(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("decoded %d pens, want 1", len(got))
+	}
+	if lost := c.SamplesLost(); lost != 0 {
+		t.Fatalf("lost %d samples across the drain", lost)
+	}
+	watcher.Close(ctx)
+}
+
+// TestClientAdmissionSheds pins the public admission-control contract:
+// over-rate dispatches fail with the typed ErrOverloaded, the shed
+// count is observable, and admitted samples still decode.
+func TestClientAdmissionSheds(t *testing.T) {
+	samples, _, antennas := penScene(1, 71)
+	ctx := context.Background()
+
+	c, err := polardraw.Open(ctx,
+		polardraw.WithAntennas(antennas),
+		polardraw.WithShards(1),
+		polardraw.WithAdmission(polardraw.AdmissionConfig{Rate: 1, Burst: 4}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var okCount, shed int
+	for i := 0; i < 12; i++ {
+		switch err := c.Dispatch(ctx, samples[i]); {
+		case err == nil:
+			okCount++
+		case errors.Is(err, polardraw.ErrOverloaded):
+			shed++
+		default:
+			t.Fatalf("dispatch %d: %v", i, err)
+		}
+	}
+	if okCount != 4 || shed != 8 {
+		t.Fatalf("admitted %d / shed %d, want 4 / 8", okCount, shed)
+	}
+	if got := c.SamplesShed(); got != uint64(shed) {
+		t.Fatalf("SamplesShed() = %d, want %d", got, shed)
+	}
+	if _, err := c.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -71,6 +71,7 @@ var (
 	killPID   = flag.Int("kill-pid", 0, "SIGKILL this PID after -kill-after (crash-recovery harness)")
 	killAfter = flag.Duration("kill-after", 2*time.Second, "delay from load start to the -kill-pid signal")
 	verify    = flag.Bool("verify", false, "single round: decode the same streams in process and require bit-identical results and zero lost samples")
+	slowSubs  = flag.Int("slow-subscribers", 0, "attach this many deliberately slow event subscribers (each reads one event per 100ms); decode must shed events to them, never stall")
 	serve     = polardraw.BindFlags(flag.CommandLine)
 )
 
@@ -213,6 +214,23 @@ func main() {
 		}
 	}()
 
+	// Slow subscribers model an under-provisioned consumer (a laggy
+	// dashboard): each reads one event per 100ms from its own default-
+	// sized subscription. The contract under test is shed-don't-stall —
+	// they must cost events (EventsDropped), never throughput.
+	var slowCancels []polardraw.CancelFunc
+	var slowSeen atomic.Int64
+	for i := 0; i < *slowSubs; i++ {
+		sch, subCancel := c.Subscribe(ctx)
+		slowCancels = append(slowCancels, subCancel)
+		go func() {
+			for range sch {
+				slowSeen.Add(1)
+				time.Sleep(100 * time.Millisecond)
+			}
+		}()
+	}
+
 	// Decode settings are printed only for the topology they govern:
 	// remote shards decode with their servers' configuration (set on
 	// `polardraw -serve-shard`), not with this process's flags.
@@ -241,6 +259,7 @@ func main() {
 	}
 	dispatched := int64(0)
 	dispatchErrs := int64(0)
+	shed := int64(0)
 	rounds := 0
 	for rounds == 0 || time.Now().Before(deadline) {
 		for p := 0; p < *pens; p++ {
@@ -262,6 +281,13 @@ func main() {
 				v.(*penState).lastEnq.Store(time.Now().UnixNano())
 			}
 			if err := c.Dispatch(ctx, smp); err != nil {
+				if errors.Is(err, polardraw.ErrOverloaded) {
+					// Admission shed: by design under -admit-rate /
+					// -admit-inflight. The sample never entered the
+					// tier, so the reference must not see it either.
+					shed++
+					continue
+				}
 				// With a WAL the journal holds every sample the tier
 				// accepted for routing: a dispatch error during an
 				// outage is a delay (failover replays it), not a loss.
@@ -325,6 +351,9 @@ func main() {
 	// Drain the stream so every Evict emitted by Close is counted.
 	cancelEvents()
 	<-eventsDone
+	for _, cancel := range slowCancels {
+		cancel()
+	}
 
 	wins := windowsDone.Load()
 	fmt.Printf("rounds=%d sessions=%d (%d still live and finalized at close)\n",
@@ -352,12 +381,20 @@ func main() {
 		fmt.Printf("backends: %d healthy, %d unhealthy; samples lost to transport: %d\n",
 			healthy, unhealthy, c.SamplesLost())
 		for _, h := range c.Health() {
-			fmt.Printf("backend %s: dispatched=%d dropped=%d errors=%d pings=%d pingfails=%d healthy=%v\n",
-				h.Name, h.Dispatched, h.Dropped, h.Errors, h.Pings, h.PingFails, h.Healthy)
+			fmt.Printf("backend %s: dispatched=%d dropped=%d shed=%d errors=%d pings=%d pingfails=%d healthy=%v\n",
+				h.Name, h.Dispatched, h.Dropped, h.Shed, h.Errors, h.Pings, h.PingFails, h.Healthy)
 		}
 	}
 	if dispatchErrs > 0 {
 		fmt.Printf("dispatch errors tolerated under WAL: %d\n", dispatchErrs)
+	}
+	if shed > 0 || c.SamplesShed() > 0 {
+		fmt.Printf("admission shed: %d samples refused with ErrOverloaded (router counter: %d)\n",
+			shed, c.SamplesShed())
+	}
+	if *slowSubs > 0 {
+		fmt.Printf("slow subscribers: %d consumers read %d events; %d events shed at full buffers (decode never stalled)\n",
+			*slowSubs, slowSeen.Load(), c.EventsDropped())
 	}
 	if *verify {
 		verifyAgainst(ctx, ref, c, results)

@@ -43,6 +43,11 @@ type Flags struct {
 	// path. CheckpointEvery bounds journal replay at recovery.
 	WAL             *string
 	CheckpointEvery *int
+	// AdmitRate, AdmitBurst, AdmitInFlight shape ingress admission
+	// control (WithAdmission); all zero = admit everything.
+	AdmitRate     *float64
+	AdmitBurst    *int
+	AdmitInFlight *int
 }
 
 // BindFlags registers the serving flags on fs (use flag.CommandLine
@@ -62,6 +67,10 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 		WAL:         fs.String("wal", "", "durability journal: 'mem' (in-memory WAL) or a file path ('' = off)"),
 		CheckpointEvery: fs.Int("checkpoint-every", 0,
 			"emit a session checkpoint every n closed windows, bounding WAL replay at recovery (0 = off)"),
+		AdmitRate:  fs.Float64("admit-rate", 0, "admission control: sustained samples/second before shedding with ErrOverloaded (0 = unlimited)"),
+		AdmitBurst: fs.Int("admit-burst", 0, "admission control: token bucket burst above -admit-rate (0 = one second of rate)"),
+		AdmitInFlight: fs.Int("admit-inflight", 0,
+			"admission control: max concurrent dispatches per backend before shedding (0 = unlimited)"),
 	}
 }
 
@@ -118,6 +127,16 @@ func (f *Flags) Options() ([]Option, error) {
 	}
 	if *f.CheckpointEvery > 0 {
 		opts = append(opts, WithCheckpointEvery(*f.CheckpointEvery))
+	}
+	if *f.AdmitRate < 0 || *f.AdmitBurst < 0 || *f.AdmitInFlight < 0 {
+		return nil, fmt.Errorf("polardraw: admission flags must be non-negative")
+	}
+	if *f.AdmitRate > 0 || *f.AdmitInFlight > 0 {
+		opts = append(opts, WithAdmission(AdmissionConfig{
+			Rate:        *f.AdmitRate,
+			Burst:       *f.AdmitBurst,
+			MaxInFlight: *f.AdmitInFlight,
+		}))
 	}
 	if f.Remote() {
 		addrs := f.Addrs()

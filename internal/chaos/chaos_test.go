@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestInjectorCounters pins the deterministic firing schedule:
+// After skips, Every strides, Count bounds.
+func TestInjectorCounters(t *testing.T) {
+	in := New(1, Rule{Op: OpExport, After: 2, Every: 3, Count: 2, Fault: Fault{Err: errors.New("x")}})
+	var fired []int
+	for i := 1; i <= 14; i++ {
+		if _, ok := in.check(OpExport); ok {
+			fired = append(fired, i)
+		}
+	}
+	// Matches past After=2 counted from 3; stride 3 → ops 5, 8; Count=2
+	// stops there.
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 8 {
+		t.Fatalf("fired at %v, want [5 8]", fired)
+	}
+	if in.Fired() != 2 {
+		t.Fatalf("Fired() = %d, want 2", in.Fired())
+	}
+	// Other op classes never match.
+	if _, ok := in.check(OpRestore); ok {
+		t.Fatal("rule for export fired on restore")
+	}
+}
+
+// TestInjectorSeededProb pins that probabilistic rules replay exactly
+// under the same seed and diverge under another.
+func TestInjectorSeededProb(t *testing.T) {
+	schedule := func(seed uint64) []bool {
+		in := New(seed, Rule{Op: OpAny, Prob: 0.5, Fault: Fault{Err: errors.New("x")}})
+		out := make([]bool, 64)
+		for i := range out {
+			_, out[i] = in.check(OpDispatch)
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		same = same && a[i] == c[i]
+	}
+	if same {
+		t.Fatal("different seeds produced the same 64-op schedule")
+	}
+}

@@ -1,0 +1,96 @@
+package session
+
+import (
+	"sync"
+	"time"
+)
+
+// AdmissionConfig bounds what the router's dispatch path will accept
+// before shedding with ErrOverloaded. Zero values disable the
+// corresponding limit; the zero config admits everything.
+type AdmissionConfig struct {
+	// MaxInFlight caps concurrent dispatch calls per backend. Excess
+	// calls are shed immediately instead of queueing behind a slow
+	// shard.
+	MaxInFlight int
+	// Rate is the sustained sample admission rate in samples/second
+	// across the whole router (a token bucket refill rate).
+	Rate float64
+	// Burst is the token bucket capacity: how many samples above the
+	// sustained rate a momentary spike may admit. Defaults to Rate
+	// (one second of burst) when zero and a Rate is set.
+	Burst int
+}
+
+// admission is the runtime state behind AdmissionConfig: an optional
+// global token bucket plus per-backend in-flight budgets (the counters
+// live on routerBackend). A nil *admission admits everything — the
+// dispatch hot path pays one pointer check when admission is off.
+type admission struct {
+	maxInFlight int64
+
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables the bucket
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	a := &admission{
+		maxInFlight: int64(cfg.MaxInFlight),
+		rate:        cfg.Rate,
+		burst:       float64(cfg.Burst),
+	}
+	if a.rate > 0 && a.burst <= 0 {
+		a.burst = a.rate
+	}
+	if a.burst < 1 {
+		a.burst = 1
+	}
+	a.tokens = a.burst
+	a.last = time.Now()
+	return a
+}
+
+// admitRate takes n tokens from the bucket, reporting false (shed)
+// when fewer than n have accrued. All-or-nothing: a partially
+// admittable batch is shed whole so its per-EPC sample order is never
+// split across an admit/shed boundary.
+func (a *admission) admitRate(n int) bool {
+	if a.rate <= 0 {
+		return true
+	}
+	now := time.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tokens += now.Sub(a.last).Seconds() * a.rate
+	a.last = now
+	if a.tokens > a.burst {
+		a.tokens = a.burst
+	}
+	if a.tokens < float64(n) {
+		return false
+	}
+	a.tokens -= float64(n)
+	return true
+}
+
+// admitBackend claims an in-flight slot on rb, reporting false when
+// the backend's budget is exhausted. Paired with releaseBackend.
+func (a *admission) admitBackend(rb *routerBackend) bool {
+	if a.maxInFlight <= 0 {
+		return true
+	}
+	if rb.inflight.Add(1) > a.maxInFlight {
+		rb.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (a *admission) releaseBackend(rb *routerBackend) {
+	if a.maxInFlight > 0 {
+		rb.inflight.Add(-1)
+	}
+}

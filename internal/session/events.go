@@ -38,6 +38,12 @@ const (
 	// and core.StreamTracker.Snapshot). Routers with a journal attached
 	// absorb these into the WAL instead of forwarding them downstream.
 	EventCheckpoint
+	// EventMembership: a new cluster membership epoch was applied
+	// (Epoch and Members are set). Emitted by Router.ApplyMembership
+	// and pushed by shard servers to protocol-v4 subscribers; routers
+	// apply upstream pushes instead of forwarding them verbatim, so a
+	// subscriber sees exactly one event per epoch its router applied.
+	EventMembership
 )
 
 // String names the kind for logs and error messages.
@@ -55,6 +61,8 @@ func (k EventKind) String() string {
 		return "BackendHealth"
 	case EventCheckpoint:
 		return "Checkpoint"
+	case EventMembership:
+		return "Membership"
 	default:
 		return "Unknown"
 	}
@@ -97,6 +105,11 @@ type Event struct {
 	// dispatched samples it accounts for — the WAL replay point.
 	Covered uint64
 	State   []byte
+
+	// Epoch and Members carry an applied cluster routing table
+	// (Membership).
+	Epoch   uint64
+	Members []Member
 }
 
 // CancelFunc releases a subscription. It is idempotent and safe to

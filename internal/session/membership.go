@@ -1,0 +1,97 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BackendState is a member's role in the cluster routing table.
+type BackendState uint8
+
+const (
+	// StateActive members take their rendezvous share of new EPCs.
+	StateActive BackendState = iota
+	// StateDraining members accept no new EPCs; their live sessions are
+	// migrated to healthy targets by ApplyMembership. A draining member
+	// keeps serving each pinned session until that session's own
+	// migration completes, so no sample is dropped mid-drain.
+	StateDraining
+	// StateSpare members are connected and health-probed but receive no
+	// rendezvous share; they pick up sessions only through failover or
+	// drain when no active backend is available.
+	StateSpare
+)
+
+func (s BackendState) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateDraining:
+		return "draining"
+	case StateSpare:
+		return "spare"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// ErrStaleEpoch rejects a membership update whose epoch is not strictly
+// greater than the one already applied. It round-trips the shardrpc
+// boundary like the rest of the error taxonomy.
+var ErrStaleEpoch = errors.New("session: stale membership epoch")
+
+// Member names one backend in a Membership.
+type Member struct {
+	// Name identifies the backend; it is the rendezvous hash key, so
+	// renaming a member reshuffles its EPCs.
+	Name string
+	// Addr is the dial address used when the member is not yet part of
+	// the router (a join). Empty means the Name doubles as the address.
+	Addr string
+	// State is the member's routing role.
+	State BackendState
+}
+
+// Membership is an epoch-numbered cluster routing table. Epochs are
+// monotonically increasing: a Router (or shard server) applies an
+// update only when its epoch is strictly greater than the current one,
+// so replayed or reordered updates are harmless.
+type Membership struct {
+	Epoch   uint64
+	Members []Member
+}
+
+// Validate reports whether the membership is well-formed: a non-zero
+// epoch, no duplicate names, and at least one active member to own the
+// rendezvous space.
+func (m Membership) Validate() error {
+	if m.Epoch == 0 {
+		return errors.New("session: membership epoch must be > 0")
+	}
+	if len(m.Members) == 0 {
+		return errors.New("session: membership has no members")
+	}
+	seen := make(map[string]bool, len(m.Members))
+	active := 0
+	for _, mem := range m.Members {
+		if mem.Name == "" {
+			return errors.New("session: membership member with empty name")
+		}
+		if seen[mem.Name] {
+			return fmt.Errorf("session: duplicate membership member %q", mem.Name)
+		}
+		seen[mem.Name] = true
+		if mem.State == StateActive {
+			active++
+		}
+	}
+	if active == 0 {
+		return errors.New("session: membership needs at least one active member")
+	}
+	return nil
+}
+
+// clone returns a deep copy so callers can't mutate an applied table.
+func (m Membership) clone() Membership {
+	return Membership{Epoch: m.Epoch, Members: append([]Member(nil), m.Members...)}
+}

@@ -28,6 +28,25 @@ const (
 // a backend death triggers an automatic migration.
 const failoverTimeout = 30 * time.Second
 
+// halfOpenEvery spaces the trial dispatches the router lets through
+// while every backend is unhealthy. The open circuit fails fast with
+// ErrBackendUnavailable, but the call-failure streak can only recover
+// through successful calls — so one trial per backend per interval
+// probes for recovery without hammering a dead cluster. A var so the
+// regression tests can compress time.
+var halfOpenEvery = 500 * time.Millisecond
+
+// defaultProbeTimeout bounds one heartbeat probe (see SetProbeTimeout):
+// a wedged backend's probe is recorded as failed at the deadline even
+// if its transport never returns, so health transitions for the rest
+// of the cluster are never held hostage by one stuck shard.
+const defaultProbeTimeout = 5 * time.Second
+
+// maxProbeFanout bounds how many heartbeat probes run concurrently in
+// one round, so a very wide cluster doesn't spawn a goroutine per
+// backend every interval.
+const maxProbeFanout = 16
+
 // NamedBackend pairs a backend with the stable name the router hashes
 // it under. Names must be unique within one router; for remote
 // backends the listen address is the natural choice. Renaming a
@@ -51,12 +70,19 @@ type BackendHealth struct {
 	// to the backend and the ones that failed. Zero for backends that
 	// do not support probing.
 	Pings, PingFails uint64
+	// Shed counts samples refused by admission control (see
+	// AdmissionConfig): never journaled, never dispatched, reported to
+	// the caller as ErrOverloaded.
+	Shed uint64
 	// Healthy is false after unhealthyAfter consecutive failed calls
 	// OR unhealthyAfter consecutive failed heartbeat probes, and true
 	// again only after healthyAfter consecutive successes on the streak
 	// that failed. The two streaks are independent: answering pings
 	// does not excuse failing dispatches.
 	Healthy bool
+	// State is the backend's membership role (active by default; see
+	// Membership).
+	State BackendState
 	// LastErr is the most recent failure's message, "" if none.
 	LastErr string
 }
@@ -64,15 +90,30 @@ type BackendHealth struct {
 // routerBackend wraps one backend with its routing metrics.
 type routerBackend struct {
 	name string
+	addr string // dial address when the backend joined via membership
 	b    ShardBackend
 	hub  *EventHub // the router's hub, for health-transition events
 
+	// state is the membership role (BackendState); StateActive (0) by
+	// construction. Atomic so the rendezvous hot path reads it without
+	// taking stMu.
+	state atomic.Int32
+
 	dispatched atomic.Uint64
 	dropped    atomic.Uint64
+	shed       atomic.Uint64 // samples refused by admission control
 	errs       atomic.Uint64
 	pings      atomic.Uint64
 	pingFails  atomic.Uint64
 	lastErr    atomic.Value // string
+
+	// inflight counts concurrent dispatch calls for the admission
+	// budget; lastTrial (UnixNano) spaces half-open trial dispatches
+	// while every backend is down; probing guards against overlapping
+	// heartbeat probes when one wedges past its deadline.
+	inflight  atomic.Int64
+	lastTrial atomic.Int64
+	probing   atomic.Bool
 
 	// stMu guards the hysteresis state below. Calls and heartbeat
 	// probes feed deliberately separate streaks: a backend that still
@@ -91,6 +132,16 @@ type routerBackend struct {
 	// onDown fires (outside stMu) on a healthy->unhealthy transition;
 	// the router uses it to trigger journal-backed failover.
 	onDown func()
+
+	// Per-backend upstream event forwarder handles, guarded by the
+	// router's fwdMu; nil when forwarding is not armed for this backend.
+	fwdCancel CancelFunc
+	fwdDone   chan struct{}
+}
+
+// roleState returns the backend's membership role.
+func (rb *routerBackend) roleState() BackendState {
+	return BackendState(rb.state.Load())
 }
 
 // healthy reports whether neither failure streak currently holds the
@@ -116,6 +167,14 @@ type pinger interface {
 // buffered sample is already in the journal.
 type abandoner interface {
 	AbandonPending()
+}
+
+// detacher is implemented by transports that can drop their connection
+// without closing the remote backend (shardrpc.Client.Detach): a
+// membership leave must not Close a shard server other clients still
+// use. Backends without it are Closed instead when they leave.
+type detacher interface {
+	Detach() error
 }
 
 // announce publishes an EventBackendHealth transition and fires the
@@ -225,8 +284,7 @@ func (rb *routerBackend) pingOK() {
 // and caught up by replaying the journal — then pinned there by a
 // per-EPC routing override until the stroke finalizes.
 type Router struct {
-	backends []*routerBackend
-	hub      EventHub
+	hub EventHub
 	// EventBuffer for subscriptions; settable before first Subscribe.
 	eventBuffer int
 
@@ -235,24 +293,42 @@ type Router struct {
 	// afterwards.
 	journal Journal
 
+	// admission, when non-nil, bounds what the dispatch path accepts
+	// (SetAdmission before traffic; read without synchronization
+	// afterwards, one pointer check on the hot path when off).
+	admission *admission
+
+	// dialer constructs a backend for a membership join (SetDialer
+	// before any ApplyMembership that names an unknown member).
+	dialer func(name, addr string) (ShardBackend, error)
+
 	// handoffMu orders routing mutations (failover, handoff, override
-	// maintenance) against dispatch traffic: dispatch paths hold the
-	// read side across journal-append + backend call, so a migration
-	// holding the write side observes a quiescent journal and no sample
-	// can slip between its replay and its override.
+	// maintenance, membership swaps) against dispatch traffic: dispatch
+	// paths hold the read side across journal-append + backend call, so
+	// a migration holding the write side observes a quiescent journal
+	// and no sample can slip between its replay and its override. The
+	// backend set and epoch below are guarded by it too.
 	handoffMu sync.RWMutex
+	backends  []*routerBackend
+	epoch     uint64 // latest applied membership epoch (0 = static config)
 	overrides map[string]*routerBackend
 
+	// mshipMu serializes ApplyMembership end to end (dial, swap, drain)
+	// so two concurrent epochs can't interleave their drains.
+	mshipMu sync.Mutex
+
 	// Upstream event forwarding (started on first Subscribe or on
-	// SetJournal, whichever comes first).
-	fwdOnce   sync.Once
-	fwdCancel []CancelFunc
-	fwdDone   []chan struct{}
+	// SetJournal, whichever comes first; per-backend handles live on
+	// routerBackend so membership joins and leaves can arm and stop
+	// forwarders individually).
+	fwdMu    sync.Mutex
+	fwdArmed bool
 
 	// Heartbeat state (StartHeartbeat/StopHeartbeat).
-	hbMu   sync.Mutex
-	hbStop chan struct{}
-	hbDone chan struct{}
+	hbMu         sync.Mutex
+	hbStop       chan struct{}
+	hbDone       chan struct{}
+	probeTimeout time.Duration // per-probe bound; set before StartHeartbeat
 }
 
 // NewRouter builds a router over the given backends. It panics on an
@@ -288,6 +364,43 @@ func (r *Router) SetJournal(j Journal) {
 // Journal returns the attached journal, nil if none.
 func (r *Router) Journal() Journal { return r.journal }
 
+// SetAdmission bounds what Dispatch/DispatchBatch accept before
+// shedding with ErrOverloaded (see AdmissionConfig). Call once, before
+// any traffic; the zero config admits everything (equivalent to not
+// calling it).
+func (r *Router) SetAdmission(cfg AdmissionConfig) {
+	if cfg.MaxInFlight <= 0 && cfg.Rate <= 0 {
+		r.admission = nil
+		return
+	}
+	r.admission = newAdmission(cfg)
+}
+
+// SetDialer supplies the constructor ApplyMembership uses to build a
+// backend for a member the router doesn't know yet (a join). Call
+// before the first ApplyMembership; without one, joins fail. name is
+// the member's rendezvous name, addr its dial address (the name again
+// when the membership left Addr empty).
+func (r *Router) SetDialer(dial func(name, addr string) (ShardBackend, error)) {
+	r.dialer = dial
+}
+
+// SetProbeTimeout bounds each heartbeat probe (default 5s). Call
+// before StartHeartbeat. A probe that outlives the bound is recorded
+// as failed immediately — the wedged transport call is left to finish
+// in the background — so one stuck backend cannot delay health
+// transitions for the rest.
+func (r *Router) SetProbeTimeout(d time.Duration) { r.probeTimeout = d }
+
+// snapshotBackends copies the current backend set under the read lock.
+// Iterating callers work on the snapshot so a concurrent membership
+// swap can't race them.
+func (r *Router) snapshotBackends() []*routerBackend {
+	r.handoffMu.RLock()
+	defer r.handoffMu.RUnlock()
+	return append([]*routerBackend(nil), r.backends...)
+}
+
 // rendezvousScore is FNV-1a over the backend name, a separator, and
 // the EPC, pushed through a murmur3-style finalizer. The finalizer
 // matters: raw FNV states for two backends stay correlated after
@@ -316,10 +429,28 @@ func rendezvousScore(name, epc string) uint64 {
 	return h
 }
 
-// backendFor returns the EPC's rendezvous winner (ignoring overrides).
+// backendFor returns the EPC's rendezvous winner (ignoring overrides):
+// the highest score among active members, so draining and spare
+// backends take no new EPCs. If no member is active (only reachable
+// transiently — Membership.Validate requires an active member) the
+// full set competes, preserving the pre-membership behavior. Callers
+// hold handoffMu (either side).
 func (r *Router) backendFor(epc string) *routerBackend {
-	best := r.backends[0]
-	bestScore := rendezvousScore(best.name, epc)
+	var best *routerBackend
+	var bestScore uint64
+	for _, rb := range r.backends {
+		if rb.roleState() != StateActive {
+			continue
+		}
+		if s := rendezvousScore(rb.name, epc); best == nil || s > bestScore {
+			best, bestScore = rb, s
+		}
+	}
+	if best != nil {
+		return best
+	}
+	best = r.backends[0]
+	bestScore = rendezvousScore(best.name, epc)
 	for _, rb := range r.backends[1:] {
 		if s := rendezvousScore(rb.name, epc); s > bestScore {
 			best, bestScore = rb, s
@@ -339,19 +470,28 @@ func (r *Router) resolveLocked(epc string) *routerBackend {
 }
 
 // healthyAmong returns the rendezvous winner among healthy backends,
-// excluding one; nil when no healthy candidate exists.
+// excluding one; nil when no healthy candidate exists. Active members
+// are preferred, spares are the fallback, and draining members are
+// never candidates — a migration must not land sessions on a backend
+// that is on its way out.
 func (r *Router) healthyAmong(epc string, exclude *routerBackend) *routerBackend {
-	var best *routerBackend
-	var bestScore uint64
-	for _, rb := range r.backends {
-		if rb == exclude || !rb.healthy() {
-			continue
+	pick := func(want BackendState) *routerBackend {
+		var best *routerBackend
+		var bestScore uint64
+		for _, rb := range r.backends {
+			if rb == exclude || rb.roleState() != want || !rb.healthy() {
+				continue
+			}
+			if s := rendezvousScore(rb.name, epc); best == nil || s > bestScore {
+				best, bestScore = rb, s
+			}
 		}
-		if s := rendezvousScore(rb.name, epc); best == nil || s > bestScore {
-			best, bestScore = rb, s
-		}
+		return best
 	}
-	return best
+	if rb := pick(StateActive); rb != nil {
+		return rb
+	}
+	return pick(StateSpare)
 }
 
 // ensureRoutable moves an EPC away from a dead shard on the dispatch
@@ -371,12 +511,12 @@ func (r *Router) ensureRoutable(epc string) {
 	}
 	r.handoffMu.RLock()
 	_, pinned := r.overrides[epc]
-	r.handoffMu.RUnlock()
-	if pinned {
-		return
+	var rb *routerBackend
+	if !pinned {
+		rb = r.backendFor(epc)
 	}
-	rb := r.backendFor(epc)
-	if rb.healthy() {
+	r.handoffMu.RUnlock()
+	if pinned || rb.healthy() {
 		return
 	}
 	r.handoffMu.Lock()
@@ -399,10 +539,12 @@ func (r *Router) BackendFor(epc string) string {
 	return r.resolveLocked(epc).name
 }
 
-// Backends returns the backend names in configuration order.
+// Backends returns the backend names in configuration (membership)
+// order.
 func (r *Router) Backends() []string {
-	names := make([]string, len(r.backends))
-	for i, rb := range r.backends {
+	backends := r.snapshotBackends()
+	names := make([]string, len(backends))
+	for i, rb := range backends {
 		names[i] = rb.name
 	}
 	return names
@@ -411,16 +553,19 @@ func (r *Router) Backends() []string {
 // Health snapshots per-backend dispatch/drop/error counters in
 // configuration order.
 func (r *Router) Health() []BackendHealth {
-	out := make([]BackendHealth, len(r.backends))
-	for i, rb := range r.backends {
+	backends := r.snapshotBackends()
+	out := make([]BackendHealth, len(backends))
+	for i, rb := range backends {
 		h := BackendHealth{
 			Name:       rb.name,
 			Dispatched: rb.dispatched.Load(),
 			Dropped:    rb.dropped.Load(),
+			Shed:       rb.shed.Load(),
 			Errors:     rb.errs.Load(),
 			Pings:      rb.pings.Load(),
 			PingFails:  rb.pingFails.Load(),
 			Healthy:    rb.healthy(),
+			State:      rb.roleState(),
 		}
 		if msg, ok := rb.lastErr.Load().(string); ok {
 			h.LastErr = msg
@@ -438,7 +583,7 @@ func (r *Router) Health() []BackendHealth {
 // transition additionally triggers the automatic failover described in
 // the Router docs.
 func (r *Router) HealthCounts() (healthy, unhealthy int) {
-	for _, rb := range r.backends {
+	for _, rb := range r.snapshotBackends() {
 		if rb.healthy() {
 			healthy++
 		} else {
@@ -454,8 +599,10 @@ func (r *Router) HealthCounts() (healthy, unhealthy int) {
 // unhealthy alongside the call-failure streak — so an idle cluster
 // still notices a dead shard within a few intervals, and a shard that
 // answers pings while rejecting traffic stays unhealthy. Probes run
-// concurrently, bounded by the backend transport's own timeouts; a
-// second StartHeartbeat replaces the running one. Call StopHeartbeat
+// concurrently with bounded fan-out and an explicit per-probe timeout
+// (SetProbeTimeout), so one wedged backend cannot delay health
+// transitions for the rest; a second StartHeartbeat replaces the
+// running one. Call StopHeartbeat
 // (or Close, which implies it) to stop; stopping waits out any
 // in-flight probe round.
 //
@@ -487,26 +634,59 @@ func (r *Router) StartHeartbeat(interval time.Duration) {
 	}()
 }
 
-// probeAll pings every probeable backend once, concurrently: one
-// unreachable shard blocking on its transport timeout must not delay
-// detection of the others. Probe outcomes touch only the ping streak —
-// see routerBackend.stMu for why a probe success may not erase a
-// call-failure streak.
+// probeAll pings every probeable backend once, concurrently but with
+// bounded fan-out (maxProbeFanout): one unreachable shard blocking on
+// its transport must not delay detection of the others, and a wide
+// cluster must not spawn a goroutine per backend per interval. Each
+// probe gets an explicit timeout (SetProbeTimeout): past the deadline
+// the probe is recorded as failed and the wedged transport call is
+// left to finish in the background — its backend skips probing (and
+// keeps accruing probe failures) until the stuck call returns, so a
+// truly hung backend converges to unhealthy at the normal streak pace
+// instead of piling up goroutines. Probe outcomes touch only the ping
+// streak — see routerBackend.stMu for why a probe success may not
+// erase a call-failure streak.
 func (r *Router) probeAll() {
+	timeout := r.probeTimeout
+	if timeout <= 0 {
+		timeout = defaultProbeTimeout
+	}
+	sem := make(chan struct{}, maxProbeFanout)
 	var wg sync.WaitGroup
-	for _, rb := range r.backends {
+	for _, rb := range r.snapshotBackends() {
 		p, ok := rb.b.(pinger)
 		if !ok {
 			continue
 		}
+		if !rb.probing.CompareAndSwap(false, true) {
+			// The previous probe is still wedged inside the transport.
+			// Count this round as a failure so the streak keeps moving
+			// toward unhealthy.
+			rb.pings.Add(1)
+			rb.pingFail(fmt.Errorf("router: probe %s: previous probe still in flight", rb.name))
+			continue
+		}
 		wg.Add(1)
+		sem <- struct{}{}
 		go func(rb *routerBackend, p pinger) {
 			defer wg.Done()
+			defer func() { <-sem }()
 			rb.pings.Add(1)
-			if err := p.Ping(context.Background()); err != nil {
-				rb.pingFail(err)
-			} else {
-				rb.pingOK()
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			done := make(chan error, 1)
+			go func() { done <- p.Ping(ctx) }()
+			select {
+			case err := <-done:
+				rb.probing.Store(false)
+				if err != nil {
+					rb.pingFail(err)
+				} else {
+					rb.pingOK()
+				}
+			case <-ctx.Done():
+				rb.pingFail(fmt.Errorf("router: probe %s: %w", rb.name, ctx.Err()))
+				go func() { <-done; rb.probing.Store(false) }()
 			}
 		}(rb, p)
 	}
@@ -535,8 +715,19 @@ func (r *Router) stopHeartbeatLocked() {
 // about data actually gone.
 func (r *Router) Dropped() uint64 {
 	var n uint64
-	for _, rb := range r.backends {
+	for _, rb := range r.snapshotBackends() {
 		n += rb.dropped.Load()
+	}
+	return n
+}
+
+// Shed sums samples refused by admission control across all backends.
+// Unlike Dropped, shed samples were never journaled: the caller got
+// ErrOverloaded and owns the retry.
+func (r *Router) Shed() uint64 {
+	var n uint64
+	for _, rb := range r.snapshotBackends() {
+		n += rb.shed.Load()
 	}
 	return n
 }
@@ -642,6 +833,8 @@ func (r *Router) migrateLocked(ctx context.Context, epc string, target *routerBa
 // saved as the EPC's checkpoint. On a failed restore the session is
 // put back on the old owner.
 func (r *Router) Handoff(ctx context.Context, epc, backend string) error {
+	r.handoffMu.Lock()
+	defer r.handoffMu.Unlock()
 	var to *routerBackend
 	for _, rb := range r.backends {
 		if rb.name == backend {
@@ -652,8 +845,6 @@ func (r *Router) Handoff(ctx context.Context, epc, backend string) error {
 	if to == nil {
 		return fmt.Errorf("router: unknown backend %q", backend)
 	}
-	r.handoffMu.Lock()
-	defer r.handoffMu.Unlock()
 	from := r.resolveLocked(epc)
 	if from == to {
 		return nil
@@ -677,6 +868,321 @@ func (r *Router) Handoff(ctx context.Context, epc, backend string) error {
 	}
 	r.overrides[epc] = to
 	return nil
+}
+
+// Epoch returns the latest applied membership epoch (0 until the first
+// ApplyMembership: the constructor's backend set is the pre-epoch
+// static configuration).
+func (r *Router) Epoch() uint64 {
+	r.handoffMu.RLock()
+	defer r.handoffMu.RUnlock()
+	return r.epoch
+}
+
+// Membership snapshots the current routing table: the applied epoch
+// and every backend with its state, in routing order.
+func (r *Router) Membership() Membership {
+	r.handoffMu.RLock()
+	defer r.handoffMu.RUnlock()
+	m := Membership{Epoch: r.epoch, Members: make([]Member, len(r.backends))}
+	for i, rb := range r.backends {
+		m.Members[i] = Member{Name: rb.name, Addr: rb.addr, State: rb.roleState()}
+	}
+	return m
+}
+
+// ApplyMembership atomically moves the router to a new epoch-numbered
+// routing table, without restarting clients:
+//
+//   - Members the router doesn't know are dialed (SetDialer) and
+//     joined; their rendezvous share starts immediately if active.
+//   - Members marked draining stop taking new EPCs and have every live
+//     session they serve migrated to a healthy target (Handoff-style
+//     export/restore; journal checkpoint+replay when the backend can't
+//     export). They stay members — an operator removes them with a
+//     later epoch once their drain is confirmed.
+//   - Current backends absent from the table leave: they are drained
+//     the same way and then detached (shardrpc transports) or closed
+//     (in-process backends) once they own nothing.
+//
+// An epoch not strictly greater than the current one is rejected with
+// ErrStaleEpoch, so replayed or crossing updates are harmless. The
+// update is atomic from the dispatch path's point of view: traffic
+// observes either the old table or the new one, and a draining
+// backend keeps serving each of its sessions until that session's own
+// migration completes, so no sample is lost or reordered mid-drain.
+// Each applied epoch publishes one EventMembership. Errors from
+// individual joins or per-EPC migrations are joined and returned; the
+// epoch still applies (retry the stragglers with a later epoch).
+func (r *Router) ApplyMembership(ctx context.Context, m Membership) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	m = m.clone()
+	r.mshipMu.Lock()
+	defer r.mshipMu.Unlock()
+
+	r.handoffMu.RLock()
+	cur := r.epoch
+	current := make(map[string]*routerBackend, len(r.backends))
+	for _, rb := range r.backends {
+		current[rb.name] = rb
+	}
+	r.handoffMu.RUnlock()
+	if m.Epoch <= cur {
+		return fmt.Errorf("%w: epoch %d <= current %d", ErrStaleEpoch, m.Epoch, cur)
+	}
+
+	// Dial joins outside the routing lock: a slow dial must not stall
+	// dispatch traffic. mshipMu keeps the backend set stable meanwhile.
+	var errs []error
+	joined := make(map[string]*routerBackend)
+	for _, mem := range m.Members {
+		if current[mem.Name] != nil || joined[mem.Name] != nil {
+			continue
+		}
+		if r.dialer == nil {
+			errs = append(errs, fmt.Errorf("router: join %s: no dialer configured", mem.Name))
+			continue
+		}
+		addr := mem.Addr
+		if addr == "" {
+			addr = mem.Name
+		}
+		b, err := r.dialer(mem.Name, addr)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("router: join %s: %w", mem.Name, err))
+			continue
+		}
+		rb := &routerBackend{name: mem.Name, addr: addr, b: b, hub: &r.hub}
+		rb.state.Store(int32(mem.State))
+		rb.onDown = func() { r.backendDown(rb) }
+		joined[mem.Name] = rb
+	}
+
+	// Swap in the new table under the write lock: new member order plus
+	// the leavers (appended, so their pinned sessions keep resolving to
+	// them until each drains). States flip here too — except draining,
+	// which flips inside drainBackend AFTER its sessions are pinned, so
+	// no EPC re-routes away from a still-loaded backend without a
+	// migration.
+	var next []*routerBackend
+	var leaving, toDrain []*routerBackend
+	inTable := make(map[string]bool, len(m.Members))
+	r.handoffMu.Lock()
+	for _, mem := range m.Members {
+		inTable[mem.Name] = true
+		rb := current[mem.Name]
+		if rb == nil {
+			rb = joined[mem.Name]
+		}
+		if rb == nil {
+			continue // failed join, reported above
+		}
+		if mem.State == StateDraining {
+			toDrain = append(toDrain, rb)
+		} else {
+			rb.state.Store(int32(mem.State))
+		}
+		next = append(next, rb)
+	}
+	for _, rb := range r.backends {
+		if !inTable[rb.name] {
+			leaving = append(leaving, rb)
+			next = append(next, rb)
+		}
+	}
+	// Joins shift rendezvous winners, but a mid-stroke session's decode
+	// state lives where its samples have been flowing: re-routing it
+	// without a migration would silently fork the stroke. Pin every
+	// live EPC to its current owner before the swap; the pin releases
+	// when the stroke ends (strokeDone), and drains migrate pins
+	// properly. Only EPCs the new table would actually move end up
+	// pinned.
+	pins := make(map[string]*routerBackend)
+	for _, rb := range r.backends {
+		if st, err := rb.b.Stats(ctx); err == nil {
+			for _, s := range st {
+				if r.overrides[s.EPC] == nil && r.resolveLocked(s.EPC) == rb {
+					pins[s.EPC] = rb
+				}
+			}
+		}
+	}
+	if j := r.journal; j != nil {
+		for _, epc := range j.EPCs() {
+			if r.overrides[epc] == nil && pins[epc] == nil {
+				pins[epc] = r.resolveLocked(epc)
+			}
+		}
+	}
+	r.backends = next
+	r.epoch = m.Epoch
+	for epc, rb := range pins {
+		if rb != nil && r.backendFor(epc) != rb {
+			r.overrides[epc] = rb
+		}
+	}
+	r.handoffMu.Unlock()
+
+	// Joined backends participate in event forwarding if it is armed.
+	r.fwdMu.Lock()
+	if r.fwdArmed {
+		for _, rb := range joined {
+			r.armBackendLocked(rb)
+		}
+	}
+	r.fwdMu.Unlock()
+
+	// Drain: draining members first, then leavers.
+	toDrain = append(toDrain, leaving...)
+	for _, rb := range toDrain {
+		if err := r.drainBackend(ctx, rb); err != nil {
+			errs = append(errs, err)
+		}
+	}
+
+	// A leaver that owns nothing anymore is removed and its transport
+	// released; one that still owns sessions (its drain failed) stays
+	// in the table as draining for a later epoch to retry.
+	for _, rb := range leaving {
+		if !r.removeBackend(rb) {
+			errs = append(errs, fmt.Errorf("router: leave %s: sessions still pinned after drain", rb.name))
+			continue
+		}
+		r.stopForwarding(rb)
+		if d, ok := rb.b.(detacher); ok {
+			if err := d.Detach(); err != nil {
+				errs = append(errs, fmt.Errorf("router: leave %s: %w", rb.name, err))
+			}
+		} else if _, err := rb.b.Close(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("router: leave %s: %w", rb.name, err))
+		}
+	}
+
+	r.hub.Publish(Event{Kind: EventMembership, Epoch: m.Epoch, Members: m.Members})
+	return errors.Join(errs...)
+}
+
+// drainBackend migrates every session rb serves to healthy targets.
+// The enumeration, the per-EPC pins, and the draining flip happen
+// under one write-lock critical section: dispatch traffic holds the
+// read side, so every sample dispatched before the flip is visible to
+// the backend's Stats, and every EPC found is pinned to rb BEFORE the
+// flip re-routes the rendezvous — an un-pinned EPC would silently
+// re-route mid-stroke with its decode state left behind. Each pinned
+// EPC keeps flowing to rb until its own drainEPC migration completes.
+func (r *Router) drainBackend(ctx context.Context, rb *routerBackend) error {
+	r.handoffMu.Lock()
+	epcs := make(map[string]bool)
+	st, err := rb.b.Stats(ctx)
+	if err == nil {
+		for _, s := range st {
+			epcs[s.EPC] = true
+		}
+	}
+	// An unreachable backend can't enumerate its sessions; the journal
+	// (when attached) remembers the strokes routed to it, and drainEPC
+	// falls back to checkpoint+replay for the ones Export can't serve.
+	if j := r.journal; j != nil {
+		for _, epc := range j.EPCs() {
+			if r.resolveLocked(epc) == rb {
+				epcs[epc] = true
+			}
+		}
+	}
+	for epc, owner := range r.overrides {
+		if owner == rb {
+			epcs[epc] = true
+		}
+	}
+	for epc := range epcs {
+		if r.overrides[epc] == nil && r.resolveLocked(epc) == rb {
+			r.overrides[epc] = rb
+		}
+	}
+	rb.state.Store(int32(StateDraining))
+	r.handoffMu.Unlock()
+
+	var errs []error
+	for epc := range epcs {
+		if err := r.drainEPC(ctx, epc, rb); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// drainEPC moves one live session off a draining backend: export from
+// rb, restore on the healthiest target, re-pin — the Handoff path,
+// holding the write lock so no sample slips through mid-move. When rb
+// can't export (already lost the session, or unreachable) the journal
+// rebuild path (migrateLocked) recovers the stroke instead.
+func (r *Router) drainEPC(ctx context.Context, epc string, from *routerBackend) error {
+	r.handoffMu.Lock()
+	defer r.handoffMu.Unlock()
+	if r.resolveLocked(epc) != from {
+		return nil // finalized or already migrated meanwhile
+	}
+	to := r.healthyAmong(epc, from)
+	if to == nil {
+		return fmt.Errorf("router: drain %s: %s: %w: no healthy target", from.name, epc, ErrBackendUnavailable)
+	}
+	state, err := from.b.Export(ctx, epc)
+	if err != nil {
+		if j := r.journal; j != nil {
+			if st, covered := j.Checkpoint(epc); st != nil || len(j.Replay(epc, covered)) > 0 {
+				r.migrateLocked(ctx, epc, to)
+				return nil
+			}
+			if _, ok := j.Options(epc); ok {
+				r.migrateLocked(ctx, epc, to)
+				return nil
+			}
+		}
+		if errors.Is(err, ErrUnknownEPC) {
+			// Nothing live and nothing journaled: the session ended
+			// between enumeration and now. Drop the pin.
+			delete(r.overrides, epc)
+			return nil
+		}
+		return fmt.Errorf("router: drain %s: %s: %w", from.name, epc, err)
+	}
+	if j := r.journal; j != nil {
+		if covered, cerr := core.SnapshotCovered(state); cerr == nil {
+			_ = j.SaveCheckpoint(epc, covered, state)
+		}
+	}
+	if err := to.b.Restore(ctx, epc, state); err != nil {
+		if rerr := from.b.Restore(context.WithoutCancel(ctx), epc, state); rerr != nil {
+			return errors.Join(
+				fmt.Errorf("router: drain %s: %s: %w", to.name, epc, err),
+				fmt.Errorf("router: drain %s: %s: restore-back: %w", from.name, epc, rerr))
+		}
+		return fmt.Errorf("router: drain %s: %s: %w", to.name, epc, err)
+	}
+	r.overrides[epc] = to
+	return nil
+}
+
+// removeBackend takes rb out of the routing table, refusing when any
+// session still resolves to it.
+func (r *Router) removeBackend(rb *routerBackend) bool {
+	r.handoffMu.Lock()
+	defer r.handoffMu.Unlock()
+	for _, owner := range r.overrides {
+		if owner == rb {
+			return false
+		}
+	}
+	next := make([]*routerBackend, 0, len(r.backends))
+	for _, b := range r.backends {
+		if b != rb {
+			next = append(next, b)
+		}
+	}
+	r.backends = next
+	return true
 }
 
 // Open routes the per-session open to the EPC's serving backend,
@@ -704,19 +1210,66 @@ func (r *Router) Open(ctx context.Context, epc string, opts OpenOptions) error {
 	return nil
 }
 
+// anyHealthyLocked reports whether at least one backend is healthy.
+// Only evaluated on the cold path (the resolved backend is already
+// down); callers hold handoffMu (either side).
+func (r *Router) anyHealthyLocked() bool {
+	for _, rb := range r.backends {
+		if rb.healthy() {
+			return true
+		}
+	}
+	return false
+}
+
+// admitTrialLocked gates the open-circuit fast failure when every
+// backend is unhealthy: it returns false when the dispatch must fail
+// fast, true when it may proceed as a half-open trial (at most one per
+// backend per halfOpenEvery) so the call streak can observe a
+// recovery. Callers hold handoffMu (either side).
+func (r *Router) admitTrialLocked(rb *routerBackend) bool {
+	now := time.Now().UnixNano()
+	last := rb.lastTrial.Load()
+	return now-last >= int64(halfOpenEvery) && rb.lastTrial.CompareAndSwap(last, now)
+}
+
 // Dispatch routes one sample to its EPC's serving backend, appending
 // it to the journal (when attached) before the backend call — the
 // write-ahead that makes a failed dispatch a delay instead of a loss.
+//
+// Two guards run before the journal sees the sample, so a rejected
+// sample is not recorded twice when the caller retries it. When every
+// backend is unhealthy, Dispatch fails fast with a typed
+// ErrBackendUnavailable (one half-open trial per backend per interval
+// still goes through — that trial is how recovery is detected). When
+// admission control is configured (SetAdmission) and a budget is
+// exhausted, Dispatch sheds with ErrOverloaded instead of queueing
+// behind a saturated shard.
 func (r *Router) Dispatch(ctx context.Context, smp reader.Sample) error {
 	r.ensureRoutable(smp.EPC)
 	r.handoffMu.RLock()
 	defer r.handoffMu.RUnlock()
+	rb := r.resolveLocked(smp.EPC)
+	if !rb.healthy() && !r.anyHealthyLocked() && !r.admitTrialLocked(rb) {
+		rb.dropped.Add(1)
+		return fmt.Errorf("router: backend %s: %w: every backend unhealthy", rb.name, ErrBackendUnavailable)
+	}
+	if a := r.admission; a != nil {
+		if !a.admitBackend(rb) {
+			rb.shed.Add(1)
+			return fmt.Errorf("router: backend %s: %w: in-flight budget exhausted", rb.name, ErrOverloaded)
+		}
+		defer a.releaseBackend(rb)
+		if !a.admitRate(1) {
+			rb.shed.Add(1)
+			return fmt.Errorf("router: backend %s: %w: sample rate exceeded", rb.name, ErrOverloaded)
+		}
+	}
 	if r.journal != nil {
 		if _, err := r.journal.Append(smp); err != nil {
 			return fmt.Errorf("router: journal: %w", err)
 		}
 	}
-	rb := r.resolveLocked(smp.EPC)
 	rb.dispatched.Add(1)
 	if err := rb.b.Dispatch(ctx, smp); err != nil {
 		rb.dropped.Add(1)
@@ -749,13 +1302,6 @@ func (r *Router) DispatchBatch(ctx context.Context, batch []reader.Sample) error
 	}
 	r.handoffMu.RLock()
 	defer r.handoffMu.RUnlock()
-	if r.journal != nil {
-		for _, smp := range batch {
-			if _, err := r.journal.Append(smp); err != nil {
-				return fmt.Errorf("router: journal: %w", err)
-			}
-		}
-	}
 	// Partition in first-seen order. The common case (a report from
 	// one reader, handful of pens) stays allocation-light.
 	type part struct {
@@ -774,10 +1320,54 @@ func (r *Router) DispatchBatch(ctx context.Context, batch []reader.Sample) error
 		}
 		parts[i].sub = append(parts[i].sub, smp)
 	}
+	// Each sub-batch passes the same pre-journal guards as Dispatch
+	// (fail-fast when the whole cluster is down, admission control),
+	// shed or refused whole so no EPC's sample order is split across an
+	// accept/reject boundary. A failing backend drops only its own
+	// sub-batch; the rest still dispatch. The joined errors are
+	// returned.
 	var errs []error
 	for _, p := range parts {
+		if !p.rb.healthy() && !r.anyHealthyLocked() && !r.admitTrialLocked(p.rb) {
+			p.rb.dropped.Add(uint64(len(p.sub)))
+			errs = append(errs, fmt.Errorf("router: backend %s: %w: every backend unhealthy", p.rb.name, ErrBackendUnavailable))
+			continue
+		}
+		if a := r.admission; a != nil {
+			if !a.admitBackend(p.rb) {
+				p.rb.shed.Add(uint64(len(p.sub)))
+				errs = append(errs, fmt.Errorf("router: backend %s: %w: in-flight budget exhausted", p.rb.name, ErrOverloaded))
+				continue
+			}
+			if !a.admitRate(len(p.sub)) {
+				a.releaseBackend(p.rb)
+				p.rb.shed.Add(uint64(len(p.sub)))
+				errs = append(errs, fmt.Errorf("router: backend %s: %w: sample rate exceeded", p.rb.name, ErrOverloaded))
+				continue
+			}
+		}
+		if r.journal != nil {
+			var jerr error
+			for _, smp := range p.sub {
+				if _, err := r.journal.Append(smp); err != nil {
+					jerr = fmt.Errorf("router: journal: %w", err)
+					break
+				}
+			}
+			if jerr != nil {
+				if a := r.admission; a != nil {
+					a.releaseBackend(p.rb)
+				}
+				errs = append(errs, jerr)
+				continue
+			}
+		}
 		p.rb.dispatched.Add(uint64(len(p.sub)))
-		if err := p.rb.b.DispatchBatch(ctx, p.sub); err != nil {
+		err := p.rb.b.DispatchBatch(ctx, p.sub)
+		if a := r.admission; a != nil {
+			a.releaseBackend(p.rb)
+		}
+		if err != nil {
 			p.rb.dropped.Add(uint64(len(p.sub)))
 			if ctx.Err() == nil {
 				p.rb.fail(err)
@@ -832,7 +1422,7 @@ func (r *Router) strokeDone(epc string) {
 func (r *Router) Stats(ctx context.Context) ([]Stats, error) {
 	var out []Stats
 	var errs []error
-	for _, rb := range r.backends {
+	for _, rb := range r.snapshotBackends() {
 		st, err := rb.b.Stats(ctx)
 		if err != nil {
 			if ctx.Err() == nil {
@@ -852,7 +1442,7 @@ func (r *Router) Stats(ctx context.Context) ([]Stats, error) {
 func (r *Router) EvictIdle(ctx context.Context, maxIdle time.Duration) (int, error) {
 	n := 0
 	var errs []error
-	for _, rb := range r.backends {
+	for _, rb := range r.snapshotBackends() {
 		k, err := rb.b.EvictIdle(ctx, maxIdle)
 		if err != nil {
 			if ctx.Err() == nil {
@@ -923,22 +1513,46 @@ func (r *Router) SetEventBuffer(n int) { r.eventBuffer = n }
 
 // armForwarding establishes the upstream subscriptions that merge
 // every backend's event stream into the router's hub (kept until
-// Close).
+// Close). Backends that join later are armed individually as they
+// join.
 func (r *Router) armForwarding() {
-	r.fwdOnce.Do(func() {
-		for _, rb := range r.backends {
-			ch, cancel := rb.b.Subscribe(context.Background())
-			done := make(chan struct{})
-			r.fwdCancel = append(r.fwdCancel, cancel)
-			r.fwdDone = append(r.fwdDone, done)
-			go func(rb *routerBackend) {
-				defer close(done)
-				for ev := range ch {
-					r.forwardFrom(rb, ev)
-				}
-			}(rb)
+	backends := r.snapshotBackends()
+	r.fwdMu.Lock()
+	defer r.fwdMu.Unlock()
+	r.fwdArmed = true
+	for _, rb := range backends {
+		r.armBackendLocked(rb)
+	}
+}
+
+// armBackendLocked starts (idempotently) the forwarder goroutine for
+// one backend. Caller holds fwdMu.
+func (r *Router) armBackendLocked(rb *routerBackend) {
+	if rb.fwdDone != nil {
+		return
+	}
+	ch, cancel := rb.b.Subscribe(context.Background())
+	done := make(chan struct{})
+	rb.fwdCancel, rb.fwdDone = cancel, done
+	go func() {
+		defer close(done)
+		for ev := range ch {
+			r.forwardFrom(rb, ev)
 		}
-	})
+	}()
+}
+
+// stopForwarding cancels one backend's forwarder and waits for it to
+// drain; a no-op when it was never armed.
+func (r *Router) stopForwarding(rb *routerBackend) {
+	r.fwdMu.Lock()
+	cancel, done := rb.fwdCancel, rb.fwdDone
+	rb.fwdCancel, rb.fwdDone = nil, nil
+	r.fwdMu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
 }
 
 // forwardFrom relays one backend's event into the router's stream.
@@ -966,6 +1580,21 @@ func (r *Router) forwardFrom(rb *routerBackend, ev Event) {
 		}
 	case EventEvict:
 		r.strokeDone(ev.EPC)
+	case EventMembership:
+		// A shard server pushed a new routing table (v4 protocol): apply
+		// it instead of forwarding it verbatim. Asynchronously, because
+		// ApplyMembership takes the routing write lock and may drain
+		// whole backends while this forwarder must keep consuming its
+		// stream. Stale epochs are rejected inside ApplyMembership —
+		// including the echo of a table this router itself distributed —
+		// and each applied epoch publishes exactly one EventMembership.
+		m := Membership{Epoch: ev.Epoch, Members: append([]Member(nil), ev.Members...)}
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), failoverTimeout)
+			defer cancel()
+			_ = r.ApplyMembership(ctx, m)
+		}()
+		return
 	}
 	r.hub.Publish(ev)
 }
@@ -991,11 +1620,12 @@ func (r *Router) EventsDropped() uint64 { return r.hub.Dropped() }
 // result wins.
 func (r *Router) Close(ctx context.Context) (map[string]*core.Result, error) {
 	r.StopHeartbeat()
-	results := make([]map[string]*core.Result, len(r.backends))
+	backends := r.snapshotBackends()
+	results := make([]map[string]*core.Result, len(backends))
 	var errs []error
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for i, rb := range r.backends {
+	for i, rb := range backends {
 		wg.Add(1)
 		go func(i int, rb *routerBackend) {
 			defer wg.Done()
@@ -1012,7 +1642,7 @@ func (r *Router) Close(ctx context.Context) (map[string]*core.Result, error) {
 	wg.Wait()
 	out := make(map[string]*core.Result)
 	r.handoffMu.RLock()
-	for i, rb := range r.backends {
+	for i, rb := range backends {
 		for epc, res := range results[i] {
 			if _, dup := out[epc]; !dup || r.resolveLocked(epc) == rb {
 				out[epc] = res
@@ -1024,11 +1654,8 @@ func (r *Router) Close(ctx context.Context) (map[string]*core.Result, error) {
 	// subscriptions and wait for the forwarders to drain what the
 	// backends published during their Close (Evict events et al.), so a
 	// subscriber that cancels after Close has everything buffered.
-	for _, cancel := range r.fwdCancel {
-		cancel()
-	}
-	for _, done := range r.fwdDone {
-		<-done
+	for _, rb := range backends {
+		r.stopForwarding(rb)
 	}
 	// With the stream flushed, end the router's own subscriptions too,
 	// so consumers ranging over Subscribe's channel terminate — the

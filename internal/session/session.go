@@ -55,6 +55,12 @@ var (
 	// eviction; Dispatch retries it internally.
 	ErrSessionClosed = errors.New("session: session closed")
 
+	// ErrOverloaded: admission control shed the sample (or batch)
+	// because an in-flight budget or the token-bucket sample rate was
+	// exhausted (see AdmissionConfig). The sample was not journaled and
+	// not dispatched; callers may retry after backing off.
+	ErrOverloaded = errors.New("session: overloaded")
+
 	// ErrUnknownSession is the taxonomy's previous name for
 	// ErrUnknownEPC.
 	//

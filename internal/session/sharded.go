@@ -81,14 +81,33 @@ func NewShardedManager(cfg ShardedConfig) *ShardedManager {
 	}
 	sm.router = NewRouter(nbs)
 	sm.router.SetEventBuffer(cfg.Session.EventBuffer)
+	// Membership joins in the single-process deployment spin up fresh
+	// in-process shards on the same shared tracker (no transport to
+	// dial).
+	sm.router.SetDialer(func(name, _ string) (ShardBackend, error) {
+		lb := newLocalBackendWith(LocalConfig{
+			Session:      cfg.Session,
+			QueueSize:    cfg.QueueSize,
+			DropWhenFull: cfg.DropWhenFull,
+		}, sm.tracker)
+		sm.mu.Lock()
+		sm.locals = append(sm.locals, lb)
+		sm.mu.Unlock()
+		return lb, nil
+	})
 	return sm
 }
 
 // Tracker exposes the shared batch tracker (same grid all shards use).
 func (sm *ShardedManager) Tracker() *core.Tracker { return sm.tracker }
 
-// Shards returns the shard count.
-func (sm *ShardedManager) Shards() int { return len(sm.locals) }
+// Shards returns the shard count (including shards joined — but not
+// ones left — through membership changes).
+func (sm *ShardedManager) Shards() int {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
+	return len(sm.locals)
+}
 
 // Router exposes the EPC router, e.g. to inspect per-shard health or
 // the EPC→shard mapping.
@@ -130,6 +149,8 @@ func (sm *ShardedManager) DispatchBatch(ctx context.Context, batch []reader.Samp
 // IngressDropped counts samples discarded at full shard queues
 // (DropWhenFull mode).
 func (sm *ShardedManager) IngressDropped() uint64 {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
 	n := uint64(0)
 	for _, lb := range sm.locals {
 		n += lb.Dropped()
@@ -139,6 +160,8 @@ func (sm *ShardedManager) IngressDropped() uint64 {
 
 // Len returns the number of live sessions across all shards.
 func (sm *ShardedManager) Len() int {
+	sm.mu.RLock()
+	defer sm.mu.RUnlock()
 	n := 0
 	for _, lb := range sm.locals {
 		n += lb.Len()

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -72,11 +73,19 @@ type ClientConfig struct {
 	// oldest samples age out and are counted in Lost; everything
 	// younger is resent after the reconnect.
 	ResendLimit int
-	// RedialBackoff is the minimum gap between reconnection attempts
-	// after a failed dial (default 250ms), so a dead server is not
-	// hammered from the flush loop while still being rediscovered
-	// quickly.
+	// RedialBackoff is the starting gap between reconnection attempts
+	// after a failed dial (default 250ms). Consecutive failures double
+	// the gap up to RedialBackoffMax, and each wait is jittered
+	// uniformly over its upper half, so a fleet of clients redialing a
+	// restarted shard spreads out instead of stampeding it; a
+	// successful dial resets the gap.
 	RedialBackoff time.Duration
+	// RedialBackoffMax caps the exponential redial gap (default 5s).
+	RedialBackoffMax time.Duration
+	// Dialer establishes the transport connection (default
+	// net.DialTimeout over TCP). Overridable for tests and fault
+	// injection (internal/chaos wraps the returned conn).
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 func (cfg ClientConfig) withDefaults() ClientConfig {
@@ -97,6 +106,17 @@ func (cfg ClientConfig) withDefaults() ClientConfig {
 	}
 	if cfg.RedialBackoff <= 0 {
 		cfg.RedialBackoff = 250 * time.Millisecond
+	}
+	if cfg.RedialBackoffMax <= 0 {
+		cfg.RedialBackoffMax = 5 * time.Second
+	}
+	if cfg.RedialBackoffMax < cfg.RedialBackoff {
+		cfg.RedialBackoffMax = cfg.RedialBackoff
+	}
+	if cfg.Dialer == nil {
+		cfg.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
 	}
 	return cfg
 }
@@ -158,9 +178,12 @@ type Client struct {
 	// rejectedSeen mirrors the server's cumulative rejected count, so
 	// each ack adds only the delta to lost.
 	rejectedSeen uint64
-	// redialAt gates reconnection attempts (RedialBackoff); lastDialErr
-	// is returned for attempts inside the backoff window.
+	// redialAt gates reconnection attempts; lastDialErr is returned for
+	// attempts inside the backoff window. redialWait is the current
+	// exponential gap (RedialBackoff..RedialBackoffMax), zero after a
+	// successful dial.
 	redialAt    time.Time
+	redialWait  time.Duration
 	lastDialErr error
 	waiters     []chan respMsg
 	closed      bool
@@ -291,11 +314,28 @@ func (c *Client) ensureConnLocked() error {
 	}
 	err := c.dialLocked()
 	if err != nil {
-		c.redialAt = time.Now().Add(c.cfg.RedialBackoff)
+		// Jittered exponential backoff: double the gap on each
+		// consecutive failure up to the cap, then wait a uniformly
+		// random point in [gap/2, gap] — a restarted shard sees its
+		// clients trickle back instead of stampeding in lockstep.
+		if c.redialWait <= 0 {
+			c.redialWait = c.cfg.RedialBackoff
+		} else if c.redialWait < c.cfg.RedialBackoffMax {
+			c.redialWait *= 2
+			if c.redialWait > c.cfg.RedialBackoffMax {
+				c.redialWait = c.cfg.RedialBackoffMax
+			}
+		}
+		gap := c.redialWait
+		if half := gap / 2; half > 0 {
+			gap = half + time.Duration(mrand.Int64N(int64(half)+1))
+		}
+		c.redialAt = time.Now().Add(gap)
 		c.lastDialErr = err
 		return err
 	}
 	c.redialAt = time.Time{}
+	c.redialWait = 0
 	c.lastDialErr = nil
 	return nil
 }
@@ -305,7 +345,7 @@ func (c *Client) ensureConnLocked() error {
 // one), start the read loop, resend the unacked tail, re-arm the
 // event subscription.
 func (c *Client) dialLocked() error {
-	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	conn, err := c.cfg.Dialer(c.cfg.Addr, c.cfg.DialTimeout)
 	if err != nil {
 		return unavailable(fmt.Errorf("shardrpc: dial %s: %w", c.cfg.Addr, err))
 	}
@@ -315,7 +355,7 @@ func (c *Client) dialLocked() error {
 		// negotiating; retry the exchange in the legacy dialect on a
 		// fresh connection (the server dropped the first).
 		conn.Close()
-		if conn, err = net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout); err != nil {
+		if conn, err = c.cfg.Dialer(c.cfg.Addr, c.cfg.DialTimeout); err != nil {
 			return unavailable(fmt.Errorf("shardrpc: dial %s: %w", c.cfg.Addr, err))
 		}
 		v, _, err = c.handshake(conn, protoVersionMin)
@@ -803,6 +843,73 @@ func (c *Client) requireV3(op string) error {
 		return fmt.Errorf("%w: %s needs protocol v3, server at %s negotiated v%d",
 			ErrVersionMismatch, op, c.cfg.Addr, c.negotiated)
 	}
+	return nil
+}
+
+// requireV4 ensures a live connection and that it negotiated at least
+// protocol v4, which the cluster membership calls need.
+func (c *Client) requireV4(op string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	if err := c.ensureConnLocked(); err != nil {
+		return err
+	}
+	if c.negotiated < 4 {
+		return fmt.Errorf("%w: %s needs protocol v4, server at %s negotiated v%d",
+			ErrVersionMismatch, op, c.cfg.Addr, c.negotiated)
+	}
+	return nil
+}
+
+// SetMembership pushes a cluster membership epoch to the server, which
+// stores it and broadcasts an EventMembership to every subscribed v4
+// client (including this one, if subscribed). Stale epochs are
+// rejected with session.ErrStaleEpoch. Requires the negotiated v4
+// protocol.
+func (c *Client) SetMembership(ctx context.Context, m session.Membership) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if err := c.requireV4("SetMembership"); err != nil {
+		return err
+	}
+	var e enc
+	if err := encodeMembership(&e, m); err != nil {
+		return err
+	}
+	payload, err := c.call(ctx, opMembership, e.b, false)
+	if err != nil {
+		return err
+	}
+	d := dec{b: payload}
+	return checkStatus(&d)
+}
+
+// Detach shuts the client down without closing the remote manager:
+// the transport drops, event subscriptions end, and buffered samples
+// that never reached the server are counted as lost — but the server
+// keeps running for its other clients. A router uses this when a
+// membership change removes a backend it no longer owns. Later calls
+// (and a later Close) are no-ops.
+func (c *Client) Detach() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	n := len(c.sent) + len(c.pending)
+	c.sent, c.pending = nil, nil
+	c.teardownLocked(c.gen, ErrClientClosed)
+	c.mu.Unlock()
+	if n > 0 {
+		c.lost.Add(uint64(n))
+	}
+	close(c.stopFlush)
+	c.events.CloseAll()
 	return nil
 }
 

@@ -90,9 +90,11 @@ const maxFrame = 64 << 20
 // + unified event pushes (opEvent) + extended error taxonomy; 3 =
 // client identity in the hello, sequence-numbered dispatch with acks
 // (opDispatchSeq/opAck), session state transfer (opExport/opRestore),
-// and the EventCheckpoint push.
+// and the EventCheckpoint push; 4 = cluster membership distribution
+// (opMembership, the EventMembership push, and the overload/
+// stale-epoch error codes).
 const (
-	protoVersion    = 3
+	protoVersion    = 4
 	protoVersionMin = 2
 )
 
@@ -115,6 +117,9 @@ const (
 	opExport      byte = 0x0c // remove a session, return its snapshot
 	opRestore     byte = 0x0d // rebuild a session from a snapshot
 
+	// v4 opcodes.
+	opMembership byte = 0x0e // set the epoch-numbered cluster membership
+
 	opEvent byte = 0x41 // server push: one unified session.Event
 	opAck   byte = 0x42 // server push: dispatch-sequence acknowledgement
 	opResp  byte = 0x80 // response to the oldest pending request
@@ -133,6 +138,8 @@ const (
 	errCodeSessionLimit byte = 5
 	errCodeVersion      byte = 6
 	errCodeUnavailable  byte = 7
+	errCodeOverloaded   byte = 8
+	errCodeStaleEpoch   byte = 9
 )
 
 // ErrShardClosing is returned for requests that reach a shard server
@@ -482,6 +489,10 @@ func errCodeOf(err error) byte {
 		return errCodeVersion
 	case errors.Is(err, session.ErrBackendUnavailable):
 		return errCodeUnavailable
+	case errors.Is(err, session.ErrOverloaded):
+		return errCodeOverloaded
+	case errors.Is(err, session.ErrStaleEpoch):
+		return errCodeStaleEpoch
 	default:
 		return errCodeGeneric
 	}
@@ -506,6 +517,10 @@ func errFromCode(code byte, msg string) error {
 		return fmt.Errorf("%w: %s", ErrVersionMismatch, msg)
 	case errCodeUnavailable:
 		return fmt.Errorf("%w: %s", session.ErrBackendUnavailable, msg)
+	case errCodeOverloaded:
+		return fmt.Errorf("%w: %s", session.ErrOverloaded, msg)
+	case errCodeStaleEpoch:
+		return fmt.Errorf("%w: %s", session.ErrStaleEpoch, msg)
 	default:
 		return errors.New(msg)
 	}
@@ -607,6 +622,50 @@ func decodeOpenOptions(d *dec) session.OpenOptions {
 	return o
 }
 
+// Membership wire form: epoch u64, member count u16, then per member
+// name, addr, and state byte. Used by opMembership requests and the
+// EventMembership push (both v4).
+func encodeMembership(e *enc, m session.Membership) error {
+	e.u64(m.Epoch)
+	if len(m.Members) > 0xffff {
+		return fmt.Errorf("shardrpc: membership too large (%d members)", len(m.Members))
+	}
+	e.u16(uint16(len(m.Members)))
+	for _, mem := range m.Members {
+		if err := e.str(mem.Name); err != nil {
+			return err
+		}
+		if err := e.str(mem.Addr); err != nil {
+			return err
+		}
+		e.u8(byte(mem.State))
+	}
+	return nil
+}
+
+func decodeMembership(d *dec) session.Membership {
+	m := session.Membership{Epoch: d.u64()}
+	n := int(d.u16())
+	// Each member costs at least 5 bytes (two empty strings + state);
+	// reject hostile counts before allocating.
+	if d.err != nil || n > d.remaining()/5+1 {
+		d.err = io.ErrUnexpectedEOF
+		return session.Membership{}
+	}
+	m.Members = make([]session.Member, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		m.Members = append(m.Members, session.Member{
+			Name:  d.str(),
+			Addr:  d.str(),
+			State: session.BackendState(d.u8()),
+		})
+	}
+	if d.err != nil {
+		return session.Membership{}
+	}
+	return m
+}
+
 // Event wire form: kind byte, EPC, then the kind's documented fields.
 // Every kind the unified stream defines is encodable, so the remote
 // stream is payload-identical to a local subscription.
@@ -645,6 +704,8 @@ func encodeEvent(e *enc, ev session.Event) error {
 	case session.EventCheckpoint:
 		e.u64(ev.Covered)
 		e.bytes(ev.State)
+	case session.EventMembership:
+		return encodeMembership(e, session.Membership{Epoch: ev.Epoch, Members: ev.Members})
 	default:
 		return fmt.Errorf("shardrpc: unencodable event kind %v", ev.Kind)
 	}
@@ -690,6 +751,9 @@ func decodeEvent(d *dec) session.Event {
 	case session.EventCheckpoint:
 		ev.Covered = d.u64()
 		ev.State = d.bytes()
+	case session.EventMembership:
+		m := decodeMembership(d)
+		ev.Epoch, ev.Members = m.Epoch, m.Members
 	default:
 		d.err = fmt.Errorf("shardrpc: unknown event kind %d", ev.Kind)
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"polardraw/internal/session"
@@ -52,6 +53,9 @@ type Server struct {
 	// reconnects: the resend after a reconnect dedups against the same
 	// applied watermark the broken connection advanced.
 	seqs map[string]*clientSeq
+	// mship is the latest cluster membership epoch pushed through this
+	// server (v4). Kept so late subscribers catch up on attach.
+	mship *session.Membership
 }
 
 // clientSeq is one client identity's dispatch watermark: applied is
@@ -103,6 +107,52 @@ func (s *Server) Manager() *session.Manager { return s.m }
 
 // EventsDropped counts events shed at full subscriber queues.
 func (s *Server) EventsDropped() uint64 { return s.m.EventsDropped() }
+
+// SetMembership stores a cluster membership epoch and broadcasts it
+// as an EventMembership to every subscribed v4 connection (v3 peers
+// never see the push — their protocol has no frame for it). Epochs
+// must be monotonically increasing; a stale one is rejected with
+// session.ErrStaleEpoch and nothing is broadcast. Typically invoked
+// via a client's SetMembership, but safe to call in-process too.
+func (s *Server) SetMembership(m session.Membership) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	cp := m
+	cp.Members = append([]session.Member(nil), m.Members...)
+
+	s.mu.Lock()
+	if s.mship != nil && cp.Epoch <= s.mship.Epoch {
+		cur := s.mship.Epoch
+		s.mu.Unlock()
+		return fmt.Errorf("%w: epoch %d <= current %d", session.ErrStaleEpoch, cp.Epoch, cur)
+	}
+	s.mship = &cp
+	conns := make([]*srvConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	ev := session.Event{Kind: session.EventMembership, Epoch: cp.Epoch, Members: cp.Members}
+	for _, sc := range conns {
+		sc.pushMembership(ev)
+	}
+	return nil
+}
+
+// Membership returns the latest stored membership epoch, or false if
+// none has been pushed yet.
+func (s *Server) Membership() (session.Membership, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mship == nil {
+		return session.Membership{}, false
+	}
+	m := *s.mship
+	m.Members = append([]session.Member(nil), m.Members...)
+	return m, true
+}
 
 // Serve accepts and serves connections on ln until Close. It returns
 // nil after Close, or the first accept error otherwise.
@@ -186,12 +236,13 @@ type srvConn struct {
 	s *Server
 	c net.Conn
 
-	// negotiated is the protocol generation agreed in the handshake;
-	// seq the dispatch watermark for the client's identity (v3 only).
-	// Both are set once by the handshake before any other frame is
-	// processed.
-	negotiated byte
-	seq        *clientSeq
+	// proto is the protocol generation agreed in the handshake; seq the
+	// dispatch watermark for the client's identity (v3 only). Both are
+	// set once by the handshake before any other frame is processed;
+	// proto is atomic because membership broadcasts read it from
+	// outside the connection's read loop.
+	proto atomic.Int32
+	seq   *clientSeq
 
 	// wmu serializes frame writes: responses from the request loop and
 	// events from the pump share one stream.
@@ -203,6 +254,10 @@ type srvConn struct {
 	subMu     sync.Mutex
 	subCancel session.CancelFunc
 }
+
+// protoVer returns the handshake-negotiated protocol generation (0
+// before the handshake completes).
+func (sc *srvConn) protoVer() byte { return byte(sc.proto.Load()) }
 
 func (s *Server) handle(c net.Conn) {
 	sc := &srvConn{
@@ -250,6 +305,26 @@ func (sc *srvConn) subscribe() {
 			}
 		}
 	}()
+}
+
+// pushMembership frames one membership event onto the wire if the
+// connection negotiated v4 and is subscribed. Write errors are
+// swallowed — a broken connection is the read loop's problem.
+func (sc *srvConn) pushMembership(ev session.Event) {
+	if sc.protoVer() < 4 {
+		return
+	}
+	sc.subMu.Lock()
+	subscribed := sc.subCancel != nil
+	sc.subMu.Unlock()
+	if !subscribed {
+		return
+	}
+	var e enc
+	if encodeEvent(&e, ev) != nil {
+		return
+	}
+	_ = sc.write(opEvent, e.b)
 }
 
 // unsubscribe releases the event subscription, which also closes the
@@ -316,7 +391,7 @@ func (sc *srvConn) handshake(op byte, d *dec) bool {
 			return false
 		}
 	}
-	sc.negotiated = negotiated
+	sc.proto.Store(int32(negotiated))
 	if negotiated >= 3 {
 		if clientID == "" {
 			// Defensive: an identity-less v3 peer still dedups within
@@ -390,7 +465,7 @@ func (sc *srvConn) readLoop() {
 
 		case opSubscribe:
 			sc.subscribe()
-			if sc.negotiated >= 3 {
+			if sc.protoVer() >= 3 {
 				// Replay each live session's committed prefix so a
 				// subscriber that reconnected mid-stroke has no gap:
 				// commits that fired during the outage are re-delivered
@@ -412,6 +487,35 @@ func (sc *srvConn) readLoop() {
 						return
 					}
 				}
+			}
+			if sc.protoVer() >= 4 {
+				// Late subscribers catch up on the current membership
+				// epoch the same way they catch up on committed
+				// prefixes: routers dedup by epoch, so a re-delivery
+				// after a reconnect is idempotent.
+				if m, ok := sc.s.Membership(); ok {
+					sc.pushMembership(session.Event{
+						Kind: session.EventMembership, Epoch: m.Epoch, Members: m.Members,
+					})
+				}
+			}
+
+		case opMembership:
+			mship := decodeMembership(&d)
+			if d.err != nil {
+				return
+			}
+			var e enc
+			if sc.protoVer() < 4 {
+				encodeError(&e, fmt.Errorf("%w: opMembership needs protocol v4, negotiated v%d",
+					ErrVersionMismatch, sc.protoVer()))
+			} else if err := sc.s.SetMembership(mship); err != nil {
+				encodeError(&e, err)
+			} else {
+				e.u8(statusOK)
+			}
+			if sc.write(opResp, e.b) != nil {
+				return
 			}
 
 		case opPing:

@@ -47,6 +47,7 @@ type clientConfig struct {
 
 	journal         session.Journal
 	checkpointEvery int
+	admission       session.AdmissionConfig
 }
 
 func defaultClientConfig() clientConfig {
@@ -188,6 +189,17 @@ func WithHeartbeat(interval time.Duration) Option {
 // sample.
 func WithJournal(j Journal) Option {
 	return optionFunc(func(c *clientConfig) { c.journal = j })
+}
+
+// WithAdmission bounds what the client's dispatch path will accept
+// before shedding with ErrOverloaded: a per-backend in-flight cap plus
+// a router-wide token-bucket sample rate (see AdmissionConfig; zero
+// fields disable the corresponding limit). Shedding happens before the
+// journal sees the sample — a shed sample is refused, not lost, and
+// counts in Client.SamplesShed. Use it to keep one hot reader from
+// starving every other pen on the tier.
+func WithAdmission(cfg AdmissionConfig) Option {
+	return optionFunc(func(c *clientConfig) { c.admission = cfg })
 }
 
 // WithCheckpointEvery makes every session emit a serialized snapshot

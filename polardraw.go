@@ -76,6 +76,29 @@ type (
 	OpenOptions = session.OpenOptions
 	// Journal is the durability WAL attached with WithJournal.
 	Journal = session.Journal
+	// Membership is an epoch-numbered routing table applied with
+	// Client.ApplyMembership: who serves traffic, who is draining, who
+	// is standing by.
+	Membership = session.Membership
+	// Member is one backend row of a Membership table.
+	Member = session.Member
+	// BackendState is a Member's routing role (StateActive,
+	// StateDraining, StateSpare).
+	BackendState = session.BackendState
+	// AdmissionConfig bounds ingress before shedding (WithAdmission).
+	AdmissionConfig = session.AdmissionConfig
+)
+
+// Membership states (see BackendState).
+const (
+	// StateActive members take their rendezvous share of new pens.
+	StateActive = session.StateActive
+	// StateDraining members accept no new pens; their live sessions
+	// migrate to healthy peers.
+	StateDraining = session.StateDraining
+	// StateSpare members are connected and health-probed but take no
+	// traffic until a later epoch activates them.
+	StateSpare = session.StateSpare
 )
 
 // Journal constructors (see WithJournal). NewMemJournal keeps the WAL
@@ -97,6 +120,7 @@ const (
 	EventEvict         = session.EventEvict
 	EventBackendHealth = session.EventBackendHealth
 	EventCheckpoint    = session.EventCheckpoint
+	EventMembership    = session.EventMembership
 )
 
 // The error taxonomy. Remote backends round-trip these sentinels over
@@ -118,6 +142,12 @@ var (
 	// ErrVersionMismatch: a shardrpc connect found mixed protocol
 	// generations between client and server.
 	ErrVersionMismatch = shardrpc.ErrVersionMismatch
+	// ErrOverloaded: the admission controller (WithAdmission) shed the
+	// dispatch; the sample was refused before the journal saw it.
+	ErrOverloaded = session.ErrOverloaded
+	// ErrStaleEpoch: an ApplyMembership carried an epoch not strictly
+	// greater than the current one; nothing changed.
+	ErrStaleEpoch = session.ErrStaleEpoch
 )
 
 // Serving defaults, chosen by the accuracy studies in
