@@ -10,6 +10,7 @@ import (
 	"polardraw/internal/core"
 	"polardraw/internal/session"
 	"polardraw/internal/shardrpc"
+	"polardraw/internal/telemetry"
 )
 
 // Client is the public handle on a PolarDraw serving tier: a mixed
@@ -20,6 +21,7 @@ import (
 type Client struct {
 	cfg     clientConfig
 	backend session.ShardBackend
+	tel     *telemetry.Registry
 
 	sm     *session.ShardedManager // local mode
 	router *session.Router         // remote mode
@@ -45,10 +47,12 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c := &Client{cfg: cfg}
+	c := &Client{cfg: cfg, tel: telemetry.NewRegistry()}
 	if len(cfg.servers) == 0 {
+		sess := cfg.sessionConfig()
+		sess.Telemetry = c.tel
 		c.sm = session.NewShardedManager(session.ShardedConfig{
-			Session:      cfg.sessionConfig(),
+			Session:      sess,
 			Shards:       cfg.shards,
 			QueueSize:    cfg.shardQueue,
 			DropWhenFull: cfg.drop,
@@ -57,6 +61,11 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 			c.sm.Router().SetJournal(cfg.journal)
 		}
 		c.sm.Router().SetAdmission(cfg.admission)
+		c.sm.Router().SetTelemetry(c.tel)
+		sm := c.sm
+		c.tel.GaugeFunc("polardraw_sessions_live", func() float64 {
+			return float64(sm.Len())
+		})
 		c.backend = c.sm
 		return c, nil
 	}
@@ -70,6 +79,8 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 		rc, err := shardrpc.Dial(shardrpc.ClientConfig{
 			Addr:        addr,
 			EventBuffer: cfg.eventBuffer,
+			Defaults:    cfg.decode,
+			Telemetry:   c.tel,
 		})
 		if err != nil {
 			c.closeRemotes()
@@ -86,6 +97,8 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 		rc, err := shardrpc.Dial(shardrpc.ClientConfig{
 			Addr:        addr,
 			EventBuffer: cfg.eventBuffer,
+			Defaults:    cfg.decode,
+			Telemetry:   c.tel,
 		})
 		if err != nil {
 			return nil, err
@@ -99,6 +112,7 @@ func Open(ctx context.Context, opts ...Option) (*Client, error) {
 		c.router.SetJournal(cfg.journal)
 	}
 	c.router.SetAdmission(cfg.admission)
+	c.router.SetTelemetry(c.tel)
 	if cfg.heartbeat > 0 {
 		c.router.StartHeartbeat(cfg.heartbeat)
 	}
@@ -184,6 +198,59 @@ func (c *Client) EvictIdle(ctx context.Context, maxIdle time.Duration) (int, err
 // decode. Cancel (or ctx expiry) detaches and closes the channel.
 func (c *Client) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
 	return c.backend.Subscribe(ctx)
+}
+
+// SubscribeFiltered is Subscribe narrowed by opts: only events whose
+// kind is in opts.Kinds (all kinds when empty) for EPCs in opts.EPCs
+// (all pens when empty; events with no EPC, like backend health and
+// membership, always pass the EPC filter) are delivered. The filter
+// is enforced at the event source — before the events occupy the
+// subscriber's buffer locally, and before they are framed onto the
+// wire against v5 shard servers — so a consumer watching one pen's
+// commits is not billed the whole tier's fan-out.
+func (c *Client) SubscribeFiltered(ctx context.Context, opts SubscribeOptions) (<-chan Event, CancelFunc) {
+	return c.backend.SubscribeFiltered(ctx, opts)
+}
+
+// Telemetry exposes the client's metric registry: decode, session,
+// router, journal, and (remote mode) wire metrics recorded in this
+// process. Serve it with ServeMetrics or snapshot it directly; for
+// cluster-wide numbers use ClusterStats.
+func (c *Client) Telemetry() *TelemetryRegistry { return c.tel }
+
+// ServeMetrics starts a background HTTP listener on addr serving this
+// process's registry as Prometheus text exposition at /metrics. It
+// returns the bound address (useful with a ":0" port) and a closer.
+func (c *Client) ServeMetrics(addr string) (*MetricsServer, error) {
+	return telemetry.ListenAndServe(addr, c.tel.Snapshot)
+}
+
+// ClusterStats aggregates telemetry across the whole tier: the
+// client's own registry (router/journal/wire metrics, plus all decode
+// metrics in local mode) merged with a snapshot pulled from every
+// remote shard server over the v5 telemetry RPC. Counters and
+// histogram buckets add; gauges sum. Pre-v5 servers are skipped
+// silently (their metrics simply don't contribute); transport
+// failures are returned alongside the snapshot built from the shards
+// that did answer.
+func (c *Client) ClusterStats(ctx context.Context) (TelemetrySnapshot, error) {
+	agg := c.tel.Snapshot()
+	if c.router == nil {
+		return agg, nil
+	}
+	var errs []error
+	for name, rc := range c.snapshotRemotes() {
+		s, err := rc.Telemetry(ctx)
+		if err != nil {
+			if errors.Is(err, ErrVersionMismatch) {
+				continue
+			}
+			errs = append(errs, fmt.Errorf("polardraw: telemetry from %s: %w", name, err))
+			continue
+		}
+		agg.Merge(s)
+	}
+	return agg, errors.Join(errs...)
 }
 
 // Close stops ingress, drains every shard, finalizes all sessions, and

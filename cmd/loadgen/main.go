@@ -43,9 +43,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"math"
+	mrand "math/rand/v2"
 	"os"
 	"reflect"
 	"sort"
@@ -72,6 +75,9 @@ var (
 	killAfter = flag.Duration("kill-after", 2*time.Second, "delay from load start to the -kill-pid signal")
 	verify    = flag.Bool("verify", false, "single round: decode the same streams in process and require bit-identical results and zero lost samples")
 	slowSubs  = flag.Int("slow-subscribers", 0, "attach this many deliberately slow event subscribers (each reads one event per 100ms); decode must shed events to them, never stall")
+	zipf      = flag.Float64("zipf", 0, "EPC popularity skew: Zipf exponent over pens (0 = uniform; hot pens replay their stream several times per round)")
+	churn     = flag.Float64("churn", 0, "session churn: finalize this many random live sessions per second mid-load; their next sample reopens them implicitly (0 = off)")
+	latJSON   = flag.String("latency-json", "", "write the latency distribution (p50/p99/p999, throughput) to this file as JSON")
 	serve     = polardraw.BindFlags(flag.CommandLine)
 )
 
@@ -112,9 +118,18 @@ func main() {
 		smp reader.Sample
 	}
 	var sched []slot
+	replicas := zipfReplicas(*pens, *zipf)
 	for p := 0; p < *pens; p++ {
-		for _, smp := range base[p%len(base)] {
-			sched = append(sched, slot{pen: p, smp: smp})
+		stream := base[p%len(base)]
+		span := stream[len(stream)-1].T - stream[0].T
+		for rep := 0; rep < replicas[p]; rep++ {
+			// Replicas replay back-to-back (a hot pen writing its letter
+			// repeatedly), keeping each session's timestamps monotonic.
+			shift := float64(rep) * (span + 0.05)
+			for _, smp := range stream {
+				smp.T += shift
+				sched = append(sched, slot{pen: p, smp: smp})
+			}
 		}
 	}
 	sort.SliceStable(sched, func(i, j int) bool { return sched[i].smp.T < sched[j].smp.T })
@@ -153,6 +168,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *serve.MetricsAddr != "" {
+		ms, err := c.ServeMetrics(*serve.MetricsAddr)
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		defer ms.Close()
+		fmt.Printf("loadgen: metrics at http://%s/metrics\n", ms.Addr())
+	}
 
 	// The in-process reference tier for -verify: same antennas, same
 	// decode flags, fed the same samples. Remote shard servers must run
@@ -178,6 +201,7 @@ func main() {
 	var (
 		states      sync.Map // epc -> *penState
 		windowsDone atomic.Int64
+		eventsSeen  atomic.Int64
 		latMu       sync.Mutex
 		latencies   []float64 // milliseconds
 		evictOK     atomic.Int64
@@ -193,6 +217,7 @@ func main() {
 	go func() {
 		defer close(eventsDone)
 		for ev := range events {
+			eventsSeen.Add(1)
 			switch ev.Kind {
 			case polardraw.EventPoint:
 				windowsDone.Add(1)
@@ -231,6 +256,37 @@ func main() {
 		}()
 	}
 
+	// Churn forces the session-lifecycle path under load: a ticker
+	// finalizes random live sessions; the next sample for a churned EPC
+	// reopens it implicitly (inheriting the client's decode defaults —
+	// the v5 hello push in remote mode). Incompatible with -verify,
+	// which requires every session live at close.
+	var churned atomic.Int64
+	var curRound atomic.Int64
+	churnCtx, stopChurn := context.WithCancel(ctx)
+	defer stopChurn()
+	if *churn > 0 {
+		if *verify {
+			fatal(errors.New("-churn is incompatible with -verify (churned sessions finalize early)"))
+		}
+		go func() {
+			rng := mrand.New(mrand.NewPCG(0x70617065, 0x72647277))
+			tick := time.NewTicker(time.Duration(float64(time.Second) / *churn))
+			defer tick.Stop()
+			for {
+				select {
+				case <-churnCtx.Done():
+					return
+				case <-tick.C:
+					epc := fmt.Sprintf("pen-%04d-%06d", rng.IntN(*pens), curRound.Load())
+					if _, err := c.Finalize(churnCtx, epc); err == nil {
+						churned.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
 	// Decode settings are printed only for the topology they govern:
 	// remote shards decode with their servers' configuration (set on
 	// `polardraw -serve-shard`), not with this process's flags.
@@ -262,6 +318,7 @@ func main() {
 	shed := int64(0)
 	rounds := 0
 	for rounds == 0 || time.Now().Before(deadline) {
+		curRound.Store(int64(rounds))
 		for p := 0; p < *pens; p++ {
 			epc := fmt.Sprintf("pen-%04d-%06d", p, rounds)
 			states.Store(epc, &penState{})
@@ -343,6 +400,7 @@ func main() {
 				hitRate(sHits, sMisses))
 		}
 	}
+	stopChurn()
 	results, err := c.Close(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: close: %v\n", err)
@@ -365,9 +423,10 @@ func main() {
 	latMu.Lock()
 	p50 := metrics.Percentile(latencies, 50)
 	p99 := metrics.Percentile(latencies, 99)
+	p999 := metrics.Percentile(latencies, 99.9)
 	n := len(latencies)
 	latMu.Unlock()
-	fmt.Printf("window-close latency (n=%d): p50=%.3fms p99=%.3fms\n", n, p50, p99)
+	fmt.Printf("window-close latency (n=%d): p50=%.3fms p99=%.3fms p999=%.3fms\n", n, p50, p99, p999)
 	if decodeLine != "" {
 		fmt.Println(decodeLine)
 	}
@@ -388,17 +447,81 @@ func main() {
 	if dispatchErrs > 0 {
 		fmt.Printf("dispatch errors tolerated under WAL: %d\n", dispatchErrs)
 	}
-	if shed > 0 || c.SamplesShed() > 0 {
-		fmt.Printf("admission shed: %d samples refused with ErrOverloaded (router counter: %d)\n",
-			shed, c.SamplesShed())
+	fmt.Printf("admission shed: %d samples refused with ErrOverloaded (router counter: %d)\n",
+		shed, c.SamplesShed())
+	fmt.Printf("subscriber events: %d delivered (%.0f events/s)\n",
+		eventsSeen.Load(), float64(eventsSeen.Load())/elapsed.Seconds())
+	if *churn > 0 {
+		fmt.Printf("churn: %d sessions finalized mid-load and reopened on their next sample\n", churned.Load())
 	}
 	if *slowSubs > 0 {
 		fmt.Printf("slow subscribers: %d consumers read %d events; %d events shed at full buffers (decode never stalled)\n",
 			*slowSubs, slowSeen.Load(), c.EventsDropped())
 	}
+	if *latJSON != "" {
+		if err := writeLatencyJSON(*latJSON, n, p50, p99, p999,
+			float64(dispatched)/elapsed.Seconds(), float64(wins)/elapsed.Seconds(), *pace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("latency distribution written to %s\n", *latJSON)
+	}
 	if *verify {
 		verifyAgainst(ctx, ref, c, results)
 	}
+}
+
+// writeLatencyJSON publishes the run's latency distribution for the CI
+// perf-trajectory artifact (LATENCY_PR<n>.json next to BENCH_PR<n>.json).
+func writeLatencyJSON(path string, n int, p50, p99, p999, samplesPerSec, windowsPerSec float64, paced bool) error {
+	finite := func(x float64) float64 { // an idle run has no percentiles
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0
+		}
+		return x
+	}
+	out := struct {
+		N             int     `json:"n"`
+		P50ms         float64 `json:"p50_ms"`
+		P99ms         float64 `json:"p99_ms"`
+		P999ms        float64 `json:"p999_ms"`
+		SamplesPerSec float64 `json:"samples_per_sec"`
+		WindowsPerSec float64 `json:"windows_per_sec"`
+		Paced         bool    `json:"paced"`
+	}{n, finite(p50), finite(p99), finite(p999), finite(samplesPerSec), finite(windowsPerSec), paced}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return fmt.Errorf("latency-json: %w", err)
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("latency-json: %w", err)
+	}
+	return nil
+}
+
+// zipfReplicas maps the -zipf exponent to per-pen stream replica
+// counts: pen p carries weight (p+1)^-s, scaled so the total replica
+// count stays near the pen count. Every pen keeps at least one copy —
+// the skew concentrates volume on hot pens without starving the tail.
+func zipfReplicas(pens int, s float64) []int {
+	out := make([]int, pens)
+	for p := range out {
+		out[p] = 1
+	}
+	if s <= 0 || pens == 0 {
+		return out
+	}
+	weights := make([]float64, pens)
+	var sum float64
+	for p := range weights {
+		weights[p] = math.Pow(float64(p+1), -s)
+		sum += weights[p]
+	}
+	for p := range out {
+		if n := int(math.Round(weights[p] / sum * float64(pens))); n > 1 {
+			out[p] = n
+		}
+	}
+	return out
 }
 
 // verifyAgainst closes the reference tier and requires the cluster's

@@ -345,6 +345,14 @@ func serveShard(sc experiment.Scenario, addr string, sf *polardraw.Flags) error 
 	}
 	opts = append(opts, polardraw.WithAntennas(sc.Rig.Antennas()))
 	srv := polardraw.NewShardServer(opts...)
+	if *sf.MetricsAddr != "" {
+		ms, err := srv.ServeMetrics(*sf.MetricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ms.Close()
+		fmt.Printf("shard server: metrics at http://%s/metrics\n", ms.Addr())
+	}
 	maxSessions := *sf.MaxSessions
 	if maxSessions == 0 {
 		maxSessions = polardraw.DefaultServerMaxSessions

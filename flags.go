@@ -48,6 +48,11 @@ type Flags struct {
 	AdmitRate     *float64
 	AdmitBurst    *int
 	AdmitInFlight *int
+	// MetricsAddr, when non-empty, is the host:port a background HTTP
+	// listener serves Prometheus text exposition on at /metrics (see
+	// Client.ServeMetrics / ShardServer.ServeMetrics). Not an Open
+	// option — commands start the listener themselves.
+	MetricsAddr *string
 }
 
 // BindFlags registers the serving flags on fs (use flag.CommandLine
@@ -71,6 +76,8 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 		AdmitBurst: fs.Int("admit-burst", 0, "admission control: token bucket burst above -admit-rate (0 = one second of rate)"),
 		AdmitInFlight: fs.Int("admit-inflight", 0,
 			"admission control: max concurrent dispatches per backend before shedding (0 = unlimited)"),
+		MetricsAddr: fs.String("metrics-addr", "",
+			"serve Prometheus text exposition at http://<addr>/metrics ('' = off)"),
 	}
 }
 
@@ -105,14 +112,15 @@ func (f *Flags) Addrs() []string {
 	return out
 }
 
-// Options assembles the parsed flags into Open options. In local mode
-// decode flags at their registered defaults are still passed
-// explicitly — the command line is the deployment's source of truth —
-// except Window 0, which keeps the core default. In remote mode the
-// decode/backpressure flags are NOT passed: remote shards decode with
-// their servers' configuration (set these flags on `polardraw
-// -serve-shard` instead, or use per-session OpenSession options, which
-// do travel over the wire); only the event buffer applies client-side.
+// Options assembles the parsed flags into Open options. Decode flags
+// at their registered defaults are still passed explicitly — the
+// command line is the deployment's source of truth — except Window 0,
+// which keeps the core default. This holds in remote mode too: the
+// decode flags become the client's connect-time defaults, pushed in
+// the protocol-v5 hello so sessions opened implicitly on a shard
+// inherit them (pre-v5 servers ignore them and decode with their own
+// configuration). Backpressure flags other than the event buffer stay
+// server-side in remote mode (set them on `polardraw -serve-shard`).
 func (f *Flags) Options() ([]Option, error) {
 	var opts []Option
 	if *f.WAL != "" {
@@ -143,10 +151,17 @@ func (f *Flags) Options() ([]Option, error) {
 		if len(addrs) == 0 {
 			return nil, fmt.Errorf("polardraw: -shards %q names no servers", *f.Shards)
 		}
-		return append(opts,
+		opts = append(opts,
 			WithShardServers(addrs...),
 			WithEventBuffer(*f.EventBuffer),
-		), nil
+			WithCommitLag(*f.Lag),
+			WithBeamTopK(*f.TopK),
+			WithAdaptiveBeam(*f.Adaptive),
+		)
+		if *f.Window != 0 {
+			opts = append(opts, WithWindow(*f.Window))
+		}
+		return opts, nil
 	}
 	n, _ := strconv.Atoi(strings.TrimSpace(*f.Shards))
 	if n <= 0 {

@@ -247,6 +247,11 @@ func (cb *Backend) Subscribe(ctx context.Context) (<-chan session.Event, session
 	return cb.inner.Subscribe(ctx)
 }
 
+// SubscribeFiltered implements ShardBackend (never faulted).
+func (cb *Backend) SubscribeFiltered(ctx context.Context, opts session.SubscribeOptions) (<-chan session.Event, session.CancelFunc) {
+	return cb.inner.SubscribeFiltered(ctx, opts)
+}
+
 // Export implements ShardBackend.
 func (cb *Backend) Export(ctx context.Context, epc string) ([]byte, error) {
 	if err := cb.in.inject(ctx, OpExport); err != nil {

@@ -32,6 +32,69 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileSingleObservation(t *testing.T) {
+	xs := []float64{7.5}
+	for _, p := range []float64{0, 1, 50, 99, 99.9, 100} {
+		if got := Percentile(xs, p); got != 7.5 {
+			t.Errorf("P%v of one observation = %v, want 7.5", p, got)
+		}
+	}
+}
+
+func TestPercentileNegativeValues(t *testing.T) {
+	xs := []float64{-5, -1, -3}
+	if got := Percentile(xs, 0); got != -5 {
+		t.Errorf("P0 = %v, want -5", got)
+	}
+	if got := Percentile(xs, 50); got != -3 {
+		t.Errorf("P50 = %v, want -3", got)
+	}
+	if got := Percentile(xs, 100); got != -1 {
+		t.Errorf("P100 = %v, want -1", got)
+	}
+	// Interpolation between negatives stays between them.
+	if got := Percentile([]float64{-2, -1}, 50); math.Abs(got+1.5) > 1e-12 {
+		t.Errorf("P50 of {-2,-1} = %v, want -1.5", got)
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Count() != 0 || r.Mean() != 0 || r.Max() != 0 {
+		t.Errorf("zero Running = count %d mean %v max %v, want all zero",
+			r.Count(), r.Mean(), r.Max())
+	}
+}
+
+func TestRunningSingleObservation(t *testing.T) {
+	var r Running
+	r.Observe(-4)
+	if r.Count() != 1 {
+		t.Errorf("count = %d", r.Count())
+	}
+	if r.Mean() != -4 {
+		t.Errorf("mean = %v, want -4", r.Mean())
+	}
+	// A negative observation must become the max: the zero value of max
+	// (0) was never observed.
+	if r.Max() != -4 {
+		t.Errorf("max = %v, want -4 (zero value leaked)", r.Max())
+	}
+}
+
+func TestRunningNegativeValues(t *testing.T) {
+	var r Running
+	for _, x := range []float64{-10, -2, -6} {
+		r.Observe(x)
+	}
+	if got := r.Mean(); math.Abs(got+6) > 1e-12 {
+		t.Errorf("mean = %v, want -6", got)
+	}
+	if r.Max() != -2 {
+		t.Errorf("max = %v, want -2", r.Max())
+	}
+}
+
 func TestMeanMedian(t *testing.T) {
 	if got := Mean([]float64{1, 2, 3}); got != 2 {
 		t.Errorf("Mean = %v", got)

@@ -61,6 +61,12 @@ type ShardBackend interface {
 	// on a remote backend events racing the connection teardown may be
 	// cut short.
 	Subscribe(ctx context.Context) (<-chan Event, CancelFunc)
+	// SubscribeFiltered is Subscribe narrowed by a kind/EPC allow-list
+	// (see SubscribeOptions). The filter is enforced at the event
+	// source — before buffering locally, before framing on a remote
+	// transport — so a narrow subscription costs proportionally to what
+	// it receives, not to the cluster's full event rate.
+	SubscribeFiltered(ctx context.Context, opts SubscribeOptions) (<-chan Event, CancelFunc)
 	// Export removes the EPC's live session and returns its serialized
 	// mid-stroke state (a core.StreamTracker snapshot) for Restore on
 	// another backend — the graceful half of a handoff. The snapshot
@@ -315,6 +321,12 @@ func (lb *LocalBackend) EvictIdle(ctx context.Context, maxIdle time.Duration) (i
 // Subscribe attaches a consumer to the manager's unified event stream.
 func (lb *LocalBackend) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
 	return lb.m.Subscribe(ctx)
+}
+
+// SubscribeFiltered is Subscribe narrowed by opts (see
+// SubscribeOptions).
+func (lb *LocalBackend) SubscribeFiltered(ctx context.Context, opts SubscribeOptions) (<-chan Event, CancelFunc) {
+	return lb.m.SubscribeFiltered(ctx, opts)
 }
 
 // Export removes the EPC's session and returns its serialized state.

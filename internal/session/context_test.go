@@ -54,6 +54,9 @@ func (b *blockingBackend) EvictIdle(ctx context.Context, _ time.Duration) (int, 
 func (b *blockingBackend) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
 	return b.hub.Subscribe(ctx, 0)
 }
+func (b *blockingBackend) SubscribeFiltered(ctx context.Context, opts SubscribeOptions) (<-chan Event, CancelFunc) {
+	return b.hub.SubscribeFiltered(ctx, 0, opts)
+}
 func (b *blockingBackend) Export(ctx context.Context, _ string) ([]byte, error) {
 	return nil, b.wait(ctx)
 }

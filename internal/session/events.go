@@ -117,6 +117,72 @@ type Event struct {
 // events are sent and the subscription channel is closed.
 type CancelFunc func()
 
+// SubscribeOptions narrows a subscription to the events a consumer
+// actually wants — the fan-out control for deployments where a point
+// firehose would swamp subscribers that only need commits. The zero
+// value subscribes to everything.
+//
+// Both filters are allow-lists: empty means "all". Events that carry
+// no EPC (BackendHealth, Membership) pass the EPC filter, since they
+// describe the cluster rather than any one pen. Filters are applied at
+// the publishing hub — a filtered-out event is never enqueued, so it
+// neither occupies buffer space nor counts against the subscriber's
+// drop budget — and shardrpc negotiates them over the wire (protocol
+// v5), so remote filtering happens server-side before any frame is
+// written.
+type SubscribeOptions struct {
+	// Kinds restricts delivery to these event kinds (empty = all).
+	Kinds []EventKind
+	// EPCs restricts delivery to sessions with these EPCs (empty =
+	// all). Cluster-scoped events with no EPC always pass.
+	EPCs []string
+}
+
+// IsZero reports whether the options request an unfiltered stream.
+func (o SubscribeOptions) IsZero() bool {
+	return len(o.Kinds) == 0 && len(o.EPCs) == 0
+}
+
+// eventFilter is the compiled form of SubscribeOptions: a kind bitmask
+// and an EPC set, both O(1) per event.
+type eventFilter struct {
+	kinds uint64 // bit k set = EventKind k wanted; 0 = all
+	epcs  map[string]bool
+}
+
+func compileFilter(o SubscribeOptions) *eventFilter {
+	if o.IsZero() {
+		return nil
+	}
+	f := &eventFilter{}
+	for _, k := range o.Kinds {
+		if k < 64 {
+			f.kinds |= 1 << k
+		}
+	}
+	if len(o.EPCs) > 0 {
+		f.epcs = make(map[string]bool, len(o.EPCs))
+		for _, epc := range o.EPCs {
+			f.epcs[epc] = true
+		}
+	}
+	return f
+}
+
+// match reports whether ev passes the filter (nil passes everything).
+func (f *eventFilter) match(ev Event) bool {
+	if f == nil {
+		return true
+	}
+	if f.kinds != 0 && (ev.Kind >= 64 || f.kinds&(1<<ev.Kind) == 0) {
+		return false
+	}
+	if f.epcs != nil && ev.EPC != "" && !f.epcs[ev.EPC] {
+		return false
+	}
+	return true
+}
+
 // DefaultEventBuffer is the per-subscriber channel capacity when the
 // subscribing backend does not configure one.
 const DefaultEventBuffer = 256
@@ -135,9 +201,10 @@ type EventHub struct {
 }
 
 type eventSub struct {
-	id   int
-	ch   chan Event
-	once sync.Once
+	id     int
+	ch     chan Event
+	filter *eventFilter // nil = unfiltered
+	once   sync.Once
 	// onRemove, if set, releases the ctx-watcher goroutine so a
 	// cancelled subscription does not leak it for the context's
 	// lifetime.
@@ -149,10 +216,16 @@ type eventSub struct {
 // is called or ctx is done, whichever comes first; either way the
 // channel is closed after the last delivery.
 func (h *EventHub) Subscribe(ctx context.Context, buffer int) (<-chan Event, CancelFunc) {
+	return h.SubscribeFiltered(ctx, buffer, SubscribeOptions{})
+}
+
+// SubscribeFiltered is Subscribe narrowed by opts: only matching
+// events are enqueued (see SubscribeOptions for the match rules).
+func (h *EventHub) SubscribeFiltered(ctx context.Context, buffer int, opts SubscribeOptions) (<-chan Event, CancelFunc) {
 	if buffer <= 0 {
 		buffer = DefaultEventBuffer
 	}
-	s := &eventSub{ch: make(chan Event, buffer)}
+	s := &eventSub{ch: make(chan Event, buffer), filter: compileFilter(opts)}
 	// onRemove must be in place before the sub is published to the map:
 	// a concurrent closeAll may remove it immediately.
 	var stop chan struct{}
@@ -225,6 +298,9 @@ func (h *EventHub) Publish(ev Event) {
 	}
 	h.mu.Lock()
 	for _, s := range h.m {
+		if !s.filter.match(ev) {
+			continue
+		}
 		select {
 		case s.ch <- ev:
 		default:

@@ -10,6 +10,7 @@ import (
 
 	"polardraw/internal/core"
 	"polardraw/internal/reader"
+	"polardraw/internal/telemetry"
 )
 
 // unhealthyAfter is the consecutive-failure count past which a
@@ -132,6 +133,10 @@ type routerBackend struct {
 	// onDown fires (outside stMu) on a healthy->unhealthy transition;
 	// the router uses it to trigger journal-backed failover.
 	onDown func()
+
+	// lat is this backend's dispatch-latency histogram (nil when
+	// telemetry is off; see Router.SetTelemetry).
+	lat *telemetry.Histogram
 
 	// Per-backend upstream event forwarder handles, guarded by the
 	// router's fwdMu; nil when forwarding is not armed for this backend.
@@ -298,6 +303,10 @@ type Router struct {
 	// afterwards, one pointer check on the hot path when off).
 	admission *admission
 
+	// tel caches the router's metric handles (SetTelemetry before
+	// traffic; nil = telemetry off, one pointer check on the hot path).
+	tel *routerTelemetry
+
 	// dialer constructs a backend for a membership join (SetDialer
 	// before any ApplyMembership that names an unknown member).
 	dialer func(name, addr string) (ShardBackend, error)
@@ -363,6 +372,58 @@ func (r *Router) SetJournal(j Journal) {
 
 // Journal returns the attached journal, nil if none.
 func (r *Router) Journal() Journal { return r.journal }
+
+// routerTelemetry caches the routing tier's metric handles. The
+// registry itself is kept so backends that join later (membership
+// epochs) get their per-backend histogram on arrival.
+type routerTelemetry struct {
+	reg           *telemetry.Registry
+	journalAppend *telemetry.Histogram
+	sheds         *telemetry.Counter
+	failovers     *telemetry.Counter
+	migrations    *telemetry.Counter
+}
+
+// backendHist returns (creating on first use) the dispatch-latency
+// histogram for the named backend.
+func (t *routerTelemetry) backendHist(name string) *telemetry.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.reg.Histogram(`polardraw_router_dispatch_seconds{backend="` + name + `"}`)
+}
+
+// SetTelemetry attaches the metrics registry the routing tier reports
+// into: per-backend dispatch latency, admission sheds, failovers,
+// migrations, and journal append latency. Call once, before any
+// traffic (like SetJournal/SetAdmission); the journal-loss gauge is
+// evaluated lazily at snapshot time, so SetJournal may come before or
+// after.
+func (r *Router) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		r.tel = nil
+		return
+	}
+	t := &routerTelemetry{
+		reg:           reg,
+		journalAppend: reg.Histogram("polardraw_journal_append_seconds"),
+		sheds:         reg.Counter("polardraw_router_sheds_total"),
+		failovers:     reg.Counter("polardraw_router_failovers_total"),
+		migrations:    reg.Counter("polardraw_router_migrations_total"),
+	}
+	reg.GaugeFunc("polardraw_journal_lost", func() float64 {
+		if j := r.journal; j != nil {
+			return float64(j.Lost())
+		}
+		return 0
+	})
+	r.handoffMu.Lock()
+	for _, rb := range r.backends {
+		rb.lat = t.backendHist(rb.name)
+	}
+	r.handoffMu.Unlock()
+	r.tel = t
+}
 
 // SetAdmission bounds what Dispatch/DispatchBatch accept before
 // shedding with ErrOverloaded (see AdmissionConfig). Call once, before
@@ -776,6 +837,9 @@ func (r *Router) failover(dead *routerBackend) {
 	if a, ok := dead.b.(abandoner); ok {
 		a.AbandonPending()
 	}
+	if r.tel != nil {
+		r.tel.failovers.Inc()
+	}
 	for _, epc := range j.EPCs() {
 		ctx, cancel := context.WithTimeout(context.Background(), failoverTimeout)
 		r.handoffMu.Lock()
@@ -823,6 +887,9 @@ func (r *Router) migrateLocked(ctx context.Context, epc string, target *routerBa
 	}
 	target.ok()
 	r.overrides[epc] = target
+	if r.tel != nil {
+		r.tel.migrations.Inc()
+	}
 }
 
 // Handoff gracefully moves one EPC's live session to the named backend:
@@ -867,6 +934,9 @@ func (r *Router) Handoff(ctx context.Context, epc, backend string) error {
 		return fmt.Errorf("router: backend %s: %w", to.name, err)
 	}
 	r.overrides[epc] = to
+	if r.tel != nil {
+		r.tel.migrations.Inc()
+	}
 	return nil
 }
 
@@ -957,6 +1027,7 @@ func (r *Router) ApplyMembership(ctx context.Context, m Membership) error {
 		rb := &routerBackend{name: mem.Name, addr: addr, b: b, hub: &r.hub}
 		rb.state.Store(int32(mem.State))
 		rb.onDown = func() { r.backendDown(rb) }
+		rb.lat = r.tel.backendHist(mem.Name)
 		joined[mem.Name] = rb
 	}
 
@@ -1257,20 +1328,26 @@ func (r *Router) Dispatch(ctx context.Context, smp reader.Sample) error {
 	if a := r.admission; a != nil {
 		if !a.admitBackend(rb) {
 			rb.shed.Add(1)
+			r.telShed(1)
 			return fmt.Errorf("router: backend %s: %w: in-flight budget exhausted", rb.name, ErrOverloaded)
 		}
 		defer a.releaseBackend(rb)
 		if !a.admitRate(1) {
 			rb.shed.Add(1)
+			r.telShed(1)
 			return fmt.Errorf("router: backend %s: %w: sample rate exceeded", rb.name, ErrOverloaded)
 		}
 	}
 	if r.journal != nil {
-		if _, err := r.journal.Append(smp); err != nil {
-			return fmt.Errorf("router: journal: %w", err)
+		if err := r.journalAppend(smp); err != nil {
+			return err
 		}
 	}
 	rb.dispatched.Add(1)
+	var t0 time.Time
+	if r.tel != nil {
+		t0 = time.Now()
+	}
 	if err := rb.b.Dispatch(ctx, smp); err != nil {
 		rb.dropped.Add(1)
 		if ctx.Err() == nil {
@@ -1278,7 +1355,34 @@ func (r *Router) Dispatch(ctx context.Context, smp reader.Sample) error {
 		}
 		return fmt.Errorf("router: backend %s: %w", rb.name, err)
 	}
+	if r.tel != nil {
+		rb.lat.Observe(time.Since(t0).Seconds())
+	}
 	rb.ok()
+	return nil
+}
+
+// telShed counts admission sheds into the telemetry registry (the
+// per-backend shed atomics are the Health-snapshot source either way).
+func (r *Router) telShed(n int) {
+	if r.tel != nil {
+		r.tel.sheds.Add(int64(n))
+	}
+}
+
+// journalAppend appends one sample to the WAL, timing it when
+// telemetry is on.
+func (r *Router) journalAppend(smp reader.Sample) error {
+	var t0 time.Time
+	if r.tel != nil {
+		t0 = time.Now()
+	}
+	if _, err := r.journal.Append(smp); err != nil {
+		return fmt.Errorf("router: journal: %w", err)
+	}
+	if r.tel != nil {
+		r.tel.journalAppend.Observe(time.Since(t0).Seconds())
+	}
 	return nil
 }
 
@@ -1336,12 +1440,14 @@ func (r *Router) DispatchBatch(ctx context.Context, batch []reader.Sample) error
 		if a := r.admission; a != nil {
 			if !a.admitBackend(p.rb) {
 				p.rb.shed.Add(uint64(len(p.sub)))
+				r.telShed(len(p.sub))
 				errs = append(errs, fmt.Errorf("router: backend %s: %w: in-flight budget exhausted", p.rb.name, ErrOverloaded))
 				continue
 			}
 			if !a.admitRate(len(p.sub)) {
 				a.releaseBackend(p.rb)
 				p.rb.shed.Add(uint64(len(p.sub)))
+				r.telShed(len(p.sub))
 				errs = append(errs, fmt.Errorf("router: backend %s: %w: sample rate exceeded", p.rb.name, ErrOverloaded))
 				continue
 			}
@@ -1349,8 +1455,8 @@ func (r *Router) DispatchBatch(ctx context.Context, batch []reader.Sample) error
 		if r.journal != nil {
 			var jerr error
 			for _, smp := range p.sub {
-				if _, err := r.journal.Append(smp); err != nil {
-					jerr = fmt.Errorf("router: journal: %w", err)
+				if err := r.journalAppend(smp); err != nil {
+					jerr = err
 					break
 				}
 			}
@@ -1363,6 +1469,10 @@ func (r *Router) DispatchBatch(ctx context.Context, batch []reader.Sample) error
 			}
 		}
 		p.rb.dispatched.Add(uint64(len(p.sub)))
+		var t0 time.Time
+		if r.tel != nil {
+			t0 = time.Now()
+		}
 		err := p.rb.b.DispatchBatch(ctx, p.sub)
 		if a := r.admission; a != nil {
 			a.releaseBackend(p.rb)
@@ -1374,6 +1484,9 @@ func (r *Router) DispatchBatch(ctx context.Context, batch []reader.Sample) error
 			}
 			errs = append(errs, fmt.Errorf("router: backend %s: %w", p.rb.name, err))
 			continue
+		}
+		if r.tel != nil {
+			p.rb.lat.Observe(time.Since(t0).Seconds())
 		}
 		p.rb.ok()
 	}
@@ -1608,6 +1721,16 @@ func (r *Router) forwardFrom(rb *routerBackend, ev Event) {
 func (r *Router) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
 	r.armForwarding()
 	return r.hub.Subscribe(ctx, r.eventBuffer)
+}
+
+// SubscribeFiltered is Subscribe narrowed by opts (kind/EPC
+// allow-lists, see SubscribeOptions). Filtering happens at the
+// router's hub: the upstream per-backend subscriptions stay
+// unfiltered, since the router itself consumes checkpoint and
+// membership events from them.
+func (r *Router) SubscribeFiltered(ctx context.Context, opts SubscribeOptions) (<-chan Event, CancelFunc) {
+	r.armForwarding()
+	return r.hub.SubscribeFiltered(ctx, r.eventBuffer, opts)
 }
 
 // EventsDropped counts events shed at the router's own full subscriber

@@ -95,6 +95,10 @@ func (s *stubBackend) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) 
 	return s.hub.Subscribe(ctx, 0)
 }
 
+func (s *stubBackend) SubscribeFiltered(ctx context.Context, opts SubscribeOptions) (<-chan Event, CancelFunc) {
+	return s.hub.SubscribeFiltered(ctx, 0, opts)
+}
+
 func (s *stubBackend) Export(_ context.Context, epc string) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

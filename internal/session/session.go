@@ -23,6 +23,7 @@ import (
 	"polardraw/internal/geom"
 	"polardraw/internal/metrics"
 	"polardraw/internal/reader"
+	"polardraw/internal/telemetry"
 )
 
 // Defaults for Config zero values.
@@ -118,6 +119,38 @@ type Config struct {
 	//
 	// Deprecated: use ShardBackend.Subscribe and filter EventEvict.
 	OnEvict func(epc string, res *core.Result, err error)
+
+	// Telemetry, when non-nil, receives the decode and session-manager
+	// metrics (window-close latency, beam width, commit kinds, queue
+	// depth, evictions). Nil disables instrumentation entirely — the
+	// hot path pays a single nil check.
+	Telemetry *telemetry.Registry
+}
+
+// managerTelemetry caches the session layer's metric handles so the
+// hot path never touches the registry map. A nil *managerTelemetry
+// (telemetry off) short-circuits every observation.
+type managerTelemetry struct {
+	windowClose   *telemetry.Histogram // decode latency of pushes that close >= 1 window
+	beamWidth     *telemetry.Histogram // active beam cells at window close
+	commitsMerge  *telemetry.Counter
+	commitsForced *telemetry.Counter
+	queueDepth    *telemetry.Histogram // session queue occupancy at enqueue
+	evictions     *telemetry.Counter
+}
+
+func newManagerTelemetry(r *telemetry.Registry) *managerTelemetry {
+	if r == nil {
+		return nil
+	}
+	return &managerTelemetry{
+		windowClose:   r.Histogram("polardraw_decode_window_close_seconds"),
+		beamWidth:     r.Histogram("polardraw_decode_beam_width"),
+		commitsMerge:  r.Counter(`polardraw_decode_commits_total{kind="merge"}`),
+		commitsForced: r.Counter(`polardraw_decode_commits_total{kind="forced"}`),
+		queueDepth:    r.Histogram("polardraw_session_queue_depth"),
+		evictions:     r.Counter("polardraw_session_evictions_total"),
+	}
 }
 
 // Stats is a point-in-time snapshot of one session's counters.
@@ -182,6 +215,9 @@ type session struct {
 	// maybeCheckpoint, when non-nil, is invoked by the worker between
 	// pushes to emit periodic EventCheckpoint snapshots.
 	maybeCheckpoint func()
+
+	// tel is the manager's cached metric handles (nil = telemetry off).
+	tel *managerTelemetry
 }
 
 // Manager demultiplexes a mixed sample stream into per-EPC sessions.
@@ -189,6 +225,7 @@ type Manager struct {
 	cfg     Config
 	tracker *core.Tracker
 	events  EventHub
+	tel     *managerTelemetry
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -212,6 +249,7 @@ func newManagerWith(cfg Config, tr *core.Tracker) *Manager {
 	return &Manager{
 		cfg:      cfg,
 		tracker:  tr,
+		tel:      newManagerTelemetry(cfg.Telemetry),
 		sessions: make(map[string]*session),
 	}
 }
@@ -227,6 +265,13 @@ func (m *Manager) Tracker() *core.Tracker { return m.tracker }
 // Cancel (or ctx expiry) detaches and closes the channel.
 func (m *Manager) Subscribe(ctx context.Context) (<-chan Event, CancelFunc) {
 	return m.events.Subscribe(ctx, m.cfg.EventBuffer)
+}
+
+// SubscribeFiltered is Subscribe narrowed by opts: only events
+// matching the kind/EPC allow-lists are delivered (and only they
+// occupy the subscriber's buffer).
+func (m *Manager) SubscribeFiltered(ctx context.Context, opts SubscribeOptions) (<-chan Event, CancelFunc) {
+	return m.events.SubscribeFiltered(ctx, m.cfg.EventBuffer, opts)
 }
 
 // EventsDropped counts events shed at full subscriber buffers.
@@ -364,13 +409,27 @@ func (m *Manager) CommittedPrefixes() map[string]geom.Polyline {
 // the session queue is full. A sample racing an eviction of its own
 // session is re-dispatched into a fresh session rather than failing.
 func (m *Manager) Dispatch(smp reader.Sample) error {
+	return m.DispatchWith(smp, OpenOptions{})
+}
+
+// DispatchWith is Dispatch with decode defaults for the implicit
+// session create: if smp's EPC has no live session, the new session is
+// opened with defaults (instead of the manager's base configuration
+// alone). A live session keeps whatever configuration it was created
+// with. This is how connect-time client defaults pushed over opHello
+// reach sessions that were never explicitly opened.
+func (m *Manager) DispatchWith(smp reader.Sample, defaults OpenOptions) error {
 	for {
-		s, err := m.sessionFor(smp.EPC)
+		s, err := m.sessionFor(smp.EPC, defaults)
 		if err != nil {
 			return err
 		}
 		s.lastActive.Store(time.Now().UnixNano())
-		s.depth.Observe(float64(len(s.queue)))
+		depth := float64(len(s.queue))
+		s.depth.Observe(depth)
+		if m.tel != nil {
+			m.tel.queueDepth.Observe(depth)
+		}
 		switch err := s.enqueue(smp, m.cfg.DropWhenFull); err {
 		case nil:
 			s.received.Add(1)
@@ -388,15 +447,21 @@ func (m *Manager) Dispatch(smp reader.Sample) error {
 
 // DispatchBatch routes a batch (e.g. one RO_ACCESS_REPORT) in order.
 func (m *Manager) DispatchBatch(batch []reader.Sample) error {
+	return m.DispatchBatchWith(batch, OpenOptions{})
+}
+
+// DispatchBatchWith is DispatchBatch with implicit-create decode
+// defaults (see DispatchWith).
+func (m *Manager) DispatchBatchWith(batch []reader.Sample, defaults OpenOptions) error {
 	for _, smp := range batch {
-		if err := m.Dispatch(smp); err != nil {
+		if err := m.DispatchWith(smp, defaults); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (m *Manager) sessionFor(epc string) (*session, error) {
+func (m *Manager) sessionFor(epc string, defaults OpenOptions) (*session, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -411,7 +476,7 @@ func (m *Manager) sessionFor(epc string) (*session, error) {
 		evict = m.lruLocked()
 		delete(m.sessions, evict.epc)
 	}
-	s := m.startSession(epc, OpenOptions{})
+	s := m.startSession(epc, defaults)
 	m.sessions[epc] = s
 	m.mu.Unlock()
 
@@ -425,6 +490,9 @@ func (m *Manager) sessionFor(epc string) (*session, error) {
 // the outcome to the event stream and the legacy OnEvict adapter.
 func (m *Manager) finalizeSession(s *session) (*core.Result, error) {
 	res, err := s.finalize()
+	if m.tel != nil {
+		m.tel.evictions.Inc()
+	}
 	if m.events.HasSubscribers() {
 		m.events.Publish(Event{Kind: EventEvict, EPC: s.epc, Result: res, Err: err})
 	}
@@ -464,9 +532,14 @@ func (m *Manager) wireSession(epc string, st *core.StreamTracker) *session {
 		queue: make(chan reader.Sample, m.cfg.QueueSize),
 		done:  make(chan struct{}),
 		st:    st,
+		tel:   m.tel,
 	}
 	s.lastActive.Store(time.Now().UnixNano())
 	onPoint := m.cfg.OnPoint
+	// Commit-kind counters publish deltas against the snapshot's
+	// baseline so a restored session does not re-count its history.
+	// Worker-only state: OnWindow runs on the session goroutine.
+	prevDecode := st.DecodeStats()
 	s.st.OnWindow = func(w core.Window, live geom.Vec2) {
 		// DecodeStats is tracker-owned state: snapshot it here, on the
 		// worker goroutine driving the tracker, and mirror it under
@@ -477,6 +550,16 @@ func (m *Manager) wireSession(epc string, st *core.StreamTracker) *session {
 		s.windows++
 		s.decode = decode
 		s.liveMu.Unlock()
+		if m.tel != nil {
+			m.tel.beamWidth.Observe(float64(decode.ActiveLast))
+			if d := decode.MergeCommits - prevDecode.MergeCommits; d > 0 {
+				m.tel.commitsMerge.Add(int64(d))
+			}
+			if d := decode.ForcedCommits - prevDecode.ForcedCommits; d > 0 {
+				m.tel.commitsForced.Add(int64(d))
+			}
+			prevDecode = decode
+		}
 		if m.events.HasSubscribers() {
 			m.events.Publish(Event{Kind: EventWindowClose, EPC: epc, Window: w})
 			m.events.Publish(Event{Kind: EventPoint, EPC: epc, Window: w, Live: live})
@@ -536,7 +619,20 @@ func (m *Manager) wireSession(epc string, st *core.StreamTracker) *session {
 func (s *session) run() {
 	defer close(s.done)
 	for smp := range s.queue {
-		_ = s.st.Push(smp) // ErrFinalized impossible: finalize waits for done
+		// ErrFinalized impossible: finalize waits for done.
+		if s.tel == nil {
+			_ = s.st.Push(smp)
+		} else {
+			// Window-close latency: the decode cost of the push that
+			// closed the window (the step a consumer's point event
+			// waits on). Pushes that only buffer are not observed.
+			before := s.st.Windows()
+			t0 := time.Now()
+			_ = s.st.Push(smp)
+			if s.st.Windows() > before {
+				s.tel.windowClose.Observe(time.Since(t0).Seconds())
+			}
+		}
 		s.lateDropped.Store(uint64(s.st.Dropped()))
 		if s.maybeCheckpoint != nil {
 			s.maybeCheckpoint()

@@ -195,6 +195,12 @@ func (sm *ShardedManager) Subscribe(ctx context.Context) (<-chan Event, CancelFu
 	return sm.router.Subscribe(ctx)
 }
 
+// SubscribeFiltered is Subscribe narrowed by opts (see
+// SubscribeOptions for the match rules).
+func (sm *ShardedManager) SubscribeFiltered(ctx context.Context, opts SubscribeOptions) (<-chan Event, CancelFunc) {
+	return sm.router.SubscribeFiltered(ctx, opts)
+}
+
 // Export removes the EPC's session from its shard and returns its
 // serialized mid-stroke state (see Router.Export).
 func (sm *ShardedManager) Export(ctx context.Context, epc string) ([]byte, error) {

@@ -18,6 +18,7 @@ import (
 	"polardraw/internal/geom"
 	"polardraw/internal/reader"
 	"polardraw/internal/session"
+	"polardraw/internal/telemetry"
 )
 
 // Client errors.
@@ -86,6 +87,33 @@ type ClientConfig struct {
 	// net.DialTimeout over TCP). Overridable for tests and fault
 	// injection (internal/chaos wraps the returned conn).
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Defaults are the client's default decode OpenOptions, carried in
+	// the v5 hello so sessions opened implicitly by dispatching an
+	// unseen EPC inherit them server-side — bit-equivalent to the same
+	// defaults applied to a local manager. Ignored by pre-v5 servers
+	// (remote implicit sessions then use the server's own defaults).
+	Defaults session.OpenOptions
+	// Telemetry, when set, receives the client's wire metrics: frame
+	// bytes in both directions, dispatch batch sizes, and redials.
+	Telemetry *telemetry.Registry
+}
+
+// cliTelemetry holds the client's wire-level metric handles; all are
+// nil-safe, so an unset registry costs one dead branch per frame.
+type cliTelemetry struct {
+	frameRx *telemetry.Histogram
+	frameTx *telemetry.Histogram
+	batch   *telemetry.Histogram
+	redials *telemetry.Counter
+}
+
+func newCliTelemetry(r *telemetry.Registry) cliTelemetry {
+	return cliTelemetry{
+		frameRx: r.Histogram(`polardraw_rpc_frame_bytes{dir="rx"}`),
+		frameTx: r.Histogram(`polardraw_rpc_frame_bytes{dir="tx"}`),
+		batch:   r.Histogram("polardraw_rpc_batch_samples"),
+		redials: r.Counter("polardraw_rpc_redials_total"),
+	}
 }
 
 func (cfg ClientConfig) withDefaults() ClientConfig {
@@ -168,6 +196,11 @@ type Client struct {
 	gen        int // connection generation; stale read loops are ignored
 	negotiated byte
 	subscribed bool
+	// subFilter is the filter the wire-level subscription was armed
+	// with (zero = unfiltered). When subscribers with incompatible
+	// filters coexist, the wire widens to unfiltered and each local
+	// consumer's own hub filter narrows delivery.
+	subFilter session.SubscribeOptions
 	// pending holds buffered samples not yet written; sent holds
 	// written-but-unacknowledged samples (v3 only — the v2 dialect has
 	// no acks, so sent stays empty). Sequence numbers across
@@ -194,6 +227,8 @@ type Client struct {
 
 	lost       atomic.Uint64
 	reconnects atomic.Uint64
+
+	tel cliTelemetry
 }
 
 // Dial connects to a shard server and performs the version handshake,
@@ -202,6 +237,9 @@ type Client struct {
 // re-established transparently after failures. A peer below the
 // supported floor fails with ErrVersionMismatch.
 func Dial(cfg ClientConfig) (*Client, error) {
+	if err := cfg.Defaults.Validate(); err != nil {
+		return nil, fmt.Errorf("shardrpc: default open options: %w", err)
+	}
 	var idb [8]byte
 	if _, err := rand.Read(idb[:]); err != nil {
 		return nil, fmt.Errorf("shardrpc: client id: %w", err)
@@ -211,6 +249,7 @@ func Dial(cfg ClientConfig) (*Client, error) {
 		clientID:  hex.EncodeToString(idb[:]),
 		stopFlush: make(chan struct{}),
 	}
+	c.tel = newCliTelemetry(c.cfg.Telemetry)
 	c.mu.Lock()
 	err := c.ensureConnLocked()
 	c.mu.Unlock()
@@ -261,6 +300,12 @@ func (c *Client) handshake(conn net.Conn, speak byte) (v byte, rejected bool, er
 		if err := e.str(c.clientID); err != nil {
 			return 0, false, err
 		}
+	}
+	if speak >= 5 {
+		// The v5 hello carries the client's default decode options, so
+		// sessions opened implicitly by this connection's dispatches
+		// inherit them server-side.
+		encodeOpenOptions(&e, c.cfg.Defaults)
 	}
 	bw := bufio.NewWriter(conn)
 	if err := writeFrame(bw, opHello, e.b); err != nil {
@@ -366,6 +411,7 @@ func (c *Client) dialLocked() error {
 	}
 	if c.gen > 0 {
 		c.reconnects.Add(1)
+		c.tel.redials.Inc()
 	}
 	c.conn = conn
 	c.bw = bufio.NewWriter(conn)
@@ -390,12 +436,27 @@ func (c *Client) dialLocked() error {
 		// A failed subscribe has already torn the connection down
 		// (c.bw is nil again), so it must fail the ensure: callers are
 		// about to write frames.
-		if err := c.writeFrameLocked(opSubscribe, nil); err != nil {
+		if err := c.writeFrameLocked(opSubscribe, c.subscribePayloadLocked()); err != nil {
 			return fmt.Errorf("shardrpc: subscribe %s: %w", c.cfg.Addr, err)
 		}
 		c.subscribed = true
 	}
 	return nil
+}
+
+// subscribePayloadLocked builds the opSubscribe payload for the
+// current wire filter: the encoded filter under a v5 connection, nil
+// (unfiltered) when the filter is zero, the peer predates filters, or
+// the OnPoint adapter needs the full stream; c.mu held.
+func (c *Client) subscribePayloadLocked() []byte {
+	if c.negotiated < 5 || c.subFilter.IsZero() || c.cfg.OnPoint != nil {
+		return nil
+	}
+	var e enc
+	if err := encodeSubscribeOptions(&e, c.subFilter); err != nil {
+		return nil // unencodable filter: fall back to unfiltered
+	}
+	return e.b
 }
 
 // teardownLocked invalidates the current connection and fails every
@@ -416,6 +477,8 @@ func (c *Client) teardownLocked(gen int, cause error) {
 
 // writeFrameLocked frames one message and flushes; c.mu held.
 func (c *Client) writeFrameLocked(op byte, payload []byte) error {
+	// 4-byte length prefix + opcode + payload = bytes on the wire.
+	c.tel.frameTx.Observe(float64(5 + len(payload)))
 	if err := writeFrame(c.bw, op, payload); err != nil {
 		err = unavailable(err)
 		c.teardownLocked(c.gen, err)
@@ -458,6 +521,7 @@ func (c *Client) sendSeqLocked(resend bool) error {
 	if err := c.writeFrameLocked(opDispatchSeq, e.b); err != nil {
 		return err
 	}
+	c.tel.batch.Observe(float64(len(batch)))
 	c.sent = append(c.sent, c.pending...)
 	c.pending = nil
 	return nil
@@ -526,6 +590,7 @@ func (c *Client) flushLocked() error {
 		c.pending = nil
 		return err
 	}
+	c.tel.batch.Observe(float64(n))
 	c.pending = c.pending[:0]
 	return nil
 }
@@ -576,6 +641,7 @@ func (c *Client) readLoop(conn net.Conn, gen int) {
 			fail(err)
 			return
 		}
+		c.tel.frameRx.Observe(float64(5 + len(payload)))
 		switch op {
 		case opEvent:
 			c.mu.Lock()
@@ -810,15 +876,62 @@ func (c *Client) Flush(ctx context.Context) error {
 // wire-level event push on the current connection (and on every
 // reconnect).
 func (c *Client) Subscribe(ctx context.Context) (<-chan Event, session.CancelFunc) {
-	ch, cancel := c.events.Subscribe(ctx, c.cfg.EventBuffer)
-	c.mu.Lock()
-	if !c.closed && c.conn != nil && !c.subscribed {
-		if err := c.writeFrameLocked(opSubscribe, nil); err == nil {
-			c.subscribed = true
+	return c.SubscribeFiltered(ctx, session.SubscribeOptions{})
+}
+
+// subFiltersEqual reports whether two subscription filters are
+// identical (order-sensitive — a conservative comparison that may
+// widen the wire filter unnecessarily, never narrow it wrongly).
+func subFiltersEqual(a, b session.SubscribeOptions) bool {
+	if len(a.Kinds) != len(b.Kinds) || len(a.EPCs) != len(b.EPCs) {
+		return false
+	}
+	for i := range a.Kinds {
+		if a.Kinds[i] != b.Kinds[i] {
+			return false
 		}
-		// On error the connection is torn down; the redial path
-		// re-arms the subscription (events.hasSubscribers is now
-		// true).
+	}
+	for i := range a.EPCs {
+		if a.EPCs[i] != b.EPCs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubscribeFiltered is Subscribe narrowed by opts (see
+// session.SubscribeOptions for the match rules). Against a v5 server
+// the filter is pushed onto the wire, so excluded events never leave
+// the shard — the bandwidth win is the point of filtering. Against an
+// older server (or when subscribers with different filters share the
+// connection, which widens the wire subscription) the same filter is
+// applied client-side instead: delivery semantics are identical either
+// way, only the transport cost differs.
+func (c *Client) SubscribeFiltered(ctx context.Context, opts session.SubscribeOptions) (<-chan Event, session.CancelFunc) {
+	ch, cancel := c.events.SubscribeFiltered(ctx, c.cfg.EventBuffer, opts)
+	c.mu.Lock()
+	switch {
+	case c.closed:
+	case !c.subscribed:
+		c.subFilter = opts
+		if c.conn != nil {
+			if err := c.writeFrameLocked(opSubscribe, c.subscribePayloadLocked()); err == nil {
+				c.subscribed = true
+			}
+			// On error the connection is torn down; the redial path
+			// re-arms the subscription (events.hasSubscribers is now
+			// true).
+		}
+	case !c.subFilter.IsZero() && !subFiltersEqual(c.subFilter, opts):
+		// A second consumer wants events the armed filter excludes:
+		// widen the wire subscription to unfiltered and let each
+		// consumer's hub filter narrow delivery locally. (A v5 server
+		// replaces the subscription on re-subscribe; older servers
+		// ignore the repeat, but their wire was never filtered.)
+		c.subFilter = session.SubscribeOptions{}
+		if c.conn != nil {
+			_ = c.writeFrameLocked(opSubscribe, nil)
+		}
 	}
 	c.mu.Unlock()
 	return ch, cancel
@@ -862,6 +975,47 @@ func (c *Client) requireV4(op string) error {
 			ErrVersionMismatch, op, c.cfg.Addr, c.negotiated)
 	}
 	return nil
+}
+
+// requireV5 ensures a live connection and that it negotiated at least
+// protocol v5, which the telemetry call needs.
+func (c *Client) requireV5(op string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClientClosed
+	}
+	if err := c.ensureConnLocked(); err != nil {
+		return err
+	}
+	if c.negotiated < 5 {
+		return fmt.Errorf("%w: %s needs protocol v5, server at %s negotiated v%d",
+			ErrVersionMismatch, op, c.cfg.Addr, c.negotiated)
+	}
+	return nil
+}
+
+// Telemetry snapshots the remote shard's telemetry registry: every
+// counter, gauge, and histogram the server's layers registered, with
+// histogram buckets intact so snapshots from multiple shards merge
+// into cluster-wide quantiles. Requires the negotiated v5 protocol.
+func (c *Client) Telemetry(ctx context.Context) (telemetry.Snapshot, error) {
+	if err := c.requireV5("Telemetry"); err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	payload, err := c.call(ctx, opTelemetry, nil, false)
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	d := dec{b: payload}
+	if err := checkStatus(&d); err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	s := decodeTelemetry(&d)
+	if d.err != nil {
+		return telemetry.Snapshot{}, d.err
+	}
+	return s, nil
 }
 
 // SetMembership pushes a cluster membership epoch to the server, which

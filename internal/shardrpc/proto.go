@@ -71,6 +71,7 @@ import (
 	"polardraw/internal/geom"
 	"polardraw/internal/reader"
 	"polardraw/internal/session"
+	"polardraw/internal/telemetry"
 )
 
 // timeFromUnixNano rebuilds a wall-clock timestamp from its wire form.
@@ -92,9 +93,11 @@ const maxFrame = 64 << 20
 // (opDispatchSeq/opAck), session state transfer (opExport/opRestore),
 // and the EventCheckpoint push; 4 = cluster membership distribution
 // (opMembership, the EventMembership push, and the overload/
-// stale-epoch error codes).
+// stale-epoch error codes); 5 = telemetry snapshots (opTelemetry),
+// per-subscription event filters (an optional opSubscribe payload),
+// and client decode defaults pushed in the hello.
 const (
-	protoVersion    = 4
+	protoVersion    = 5
 	protoVersionMin = 2
 )
 
@@ -119,6 +122,9 @@ const (
 
 	// v4 opcodes.
 	opMembership byte = 0x0e // set the epoch-numbered cluster membership
+
+	// v5 opcodes.
+	opTelemetry byte = 0x0f // snapshot the shard's telemetry registry
 
 	opEvent byte = 0x41 // server push: one unified session.Event
 	opAck   byte = 0x42 // server push: dispatch-sequence acknowledgement
@@ -664,6 +670,161 @@ func decodeMembership(d *dec) session.Membership {
 		return session.Membership{}
 	}
 	return m
+}
+
+// SubscribeOptions wire form (v5, the optional opSubscribe payload):
+// kind count u16 + one byte per kind, then EPC count u16 + one string
+// per EPC. An empty opSubscribe payload means unfiltered, which is
+// also the only form older dialects emit — so a v5 server treats "no
+// payload" and "zero options" identically.
+func encodeSubscribeOptions(e *enc, o session.SubscribeOptions) error {
+	if len(o.Kinds) > 0xffff || len(o.EPCs) > 0xffff {
+		return fmt.Errorf("shardrpc: subscribe filter too large (%d kinds, %d epcs)", len(o.Kinds), len(o.EPCs))
+	}
+	e.u16(uint16(len(o.Kinds)))
+	for _, k := range o.Kinds {
+		e.u8(byte(k))
+	}
+	e.u16(uint16(len(o.EPCs)))
+	for _, epc := range o.EPCs {
+		if err := e.str(epc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeSubscribeOptions(d *dec) session.SubscribeOptions {
+	var o session.SubscribeOptions
+	nk := int(d.u16())
+	if d.err != nil || nk > d.remaining() {
+		d.err = io.ErrUnexpectedEOF
+		return session.SubscribeOptions{}
+	}
+	if nk > 0 {
+		o.Kinds = make([]session.EventKind, 0, nk)
+		for i := 0; i < nk && d.err == nil; i++ {
+			o.Kinds = append(o.Kinds, session.EventKind(d.u8()))
+		}
+	}
+	ne := int(d.u16())
+	// Each EPC costs at least 2 bytes (an empty string's length prefix).
+	if d.err != nil || ne > d.remaining()/2+1 {
+		d.err = io.ErrUnexpectedEOF
+		return session.SubscribeOptions{}
+	}
+	if ne > 0 {
+		o.EPCs = make([]string, 0, ne)
+		for i := 0; i < ne && d.err == nil; i++ {
+			o.EPCs = append(o.EPCs, d.str())
+		}
+	}
+	if d.err != nil {
+		return session.SubscribeOptions{}
+	}
+	return o
+}
+
+// Telemetry snapshot wire form (v5 opTelemetry responses): counter
+// count u32 + (name, i64) pairs; gauge count u32 + (name, f64) pairs;
+// histogram count u32 + per histogram name, observation count u64,
+// sum f64, and a sparse bucket list (u16 count of non-empty buckets,
+// each a u8 index + u64 count). Sparse buckets keep an idle shard's
+// snapshot tiny while round-tripping the full distribution.
+func encodeTelemetry(e *enc, s telemetry.Snapshot) error {
+	e.u32(uint32(len(s.Counters)))
+	for name, v := range s.Counters {
+		if err := e.str(name); err != nil {
+			return err
+		}
+		e.i64(v)
+	}
+	e.u32(uint32(len(s.Gauges)))
+	for name, v := range s.Gauges {
+		if err := e.str(name); err != nil {
+			return err
+		}
+		e.f64(v)
+	}
+	e.u32(uint32(len(s.Histograms)))
+	for name, h := range s.Histograms {
+		if err := e.str(name); err != nil {
+			return err
+		}
+		e.u64(uint64(h.Count))
+		e.f64(h.Sum)
+		nonzero := uint16(0)
+		for _, c := range h.Buckets {
+			if c != 0 {
+				nonzero++
+			}
+		}
+		e.u16(nonzero)
+		for i, c := range h.Buckets {
+			if c != 0 {
+				e.u8(byte(i))
+				e.u64(uint64(c))
+			}
+		}
+	}
+	return nil
+}
+
+func decodeTelemetry(d *dec) telemetry.Snapshot {
+	s := telemetry.Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]telemetry.HistogramSnapshot{},
+	}
+	nc := int(d.u32())
+	// Each counter costs at least 10 bytes (empty name + i64).
+	if d.err != nil || nc > d.remaining()/10+1 {
+		d.err = io.ErrUnexpectedEOF
+		return telemetry.Snapshot{}
+	}
+	for i := 0; i < nc && d.err == nil; i++ {
+		name := d.str()
+		s.Counters[name] = d.i64()
+	}
+	ng := int(d.u32())
+	if d.err != nil || ng > d.remaining()/10+1 {
+		d.err = io.ErrUnexpectedEOF
+		return telemetry.Snapshot{}
+	}
+	for i := 0; i < ng && d.err == nil; i++ {
+		name := d.str()
+		s.Gauges[name] = d.f64()
+	}
+	nh := int(d.u32())
+	// Each histogram costs at least 20 bytes (empty name + count + sum
+	// + bucket count).
+	if d.err != nil || nh > d.remaining()/20+1 {
+		d.err = io.ErrUnexpectedEOF
+		return telemetry.Snapshot{}
+	}
+	for i := 0; i < nh && d.err == nil; i++ {
+		name := d.str()
+		var h telemetry.HistogramSnapshot
+		h.Count = int64(d.u64())
+		h.Sum = d.f64()
+		nb := int(d.u16())
+		if d.err != nil || nb > len(h.Buckets) {
+			d.err = io.ErrUnexpectedEOF
+			return telemetry.Snapshot{}
+		}
+		for j := 0; j < nb && d.err == nil; j++ {
+			idx := int(d.u8())
+			c := int64(d.u64())
+			if idx < len(h.Buckets) {
+				h.Buckets[idx] = c
+			}
+		}
+		s.Histograms[name] = h
+	}
+	if d.err != nil {
+		return telemetry.Snapshot{}
+	}
+	return s
 }
 
 // Event wire form: kind byte, EPC, then the kind's documented fields.

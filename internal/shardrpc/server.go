@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"polardraw/internal/session"
+	"polardraw/internal/telemetry"
 )
 
 // ServerConfig parameterizes a shard server.
@@ -23,6 +24,28 @@ type ServerConfig struct {
 	// lets it fill, events are dropped — never blocking decode workers
 	// — and counted in EventsDropped.
 	EventBuffer int
+	// Telemetry, when set, is the registry opTelemetry snapshots and
+	// the server's own wire metrics (frame bytes, batch sizes) land in.
+	// Typically the same registry as Session.Telemetry so one snapshot
+	// covers decode, session, and transport. Nil disables both.
+	Telemetry *telemetry.Registry
+}
+
+// srvTelemetry holds the server's wire-level metric handles. All
+// handles are nil-safe, so a nil registry costs one dead branch per
+// frame.
+type srvTelemetry struct {
+	frameRx *telemetry.Histogram
+	frameTx *telemetry.Histogram
+	batch   *telemetry.Histogram
+}
+
+func newSrvTelemetry(r *telemetry.Registry) srvTelemetry {
+	return srvTelemetry{
+		frameRx: r.Histogram(`polardraw_rpc_frame_bytes{dir="rx"}`),
+		frameTx: r.Histogram(`polardraw_rpc_frame_bytes{dir="tx"}`),
+		batch:   r.Histogram("polardraw_rpc_batch_samples"),
+	}
 }
 
 // Server hosts one session.Manager per process behind the shardrpc
@@ -43,6 +66,7 @@ type ServerConfig struct {
 type Server struct {
 	cfg ServerConfig
 	m   *session.Manager
+	tel srvTelemetry
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -97,6 +121,7 @@ func NewServer(cfg ServerConfig) *Server {
 		cfg:   cfg,
 		conns: make(map[*srvConn]struct{}),
 		seqs:  make(map[string]*clientSeq),
+		tel:   newSrvTelemetry(cfg.Telemetry),
 	}
 	s.m = session.NewManager(cfg.Session)
 	return s
@@ -244,15 +269,40 @@ type srvConn struct {
 	proto atomic.Int32
 	seq   *clientSeq
 
+	// defaults holds the client's connect-time decode defaults (v5
+	// hellos carry them), applied to sessions this connection opens
+	// implicitly by dispatching an unseen EPC. Set once by the
+	// handshake, read only by the read loop.
+	defaults session.OpenOptions
+
 	// wmu serializes frame writes: responses from the request loop and
 	// events from the pump share one stream.
 	wmu sync.Mutex
 	bw  *bufio.Writer
 
 	// subCancel releases the connection's event-hub subscription; set
-	// by opSubscribe, nil before.
+	// by opSubscribe, nil before. subKinds mirrors the subscription's
+	// kind allow-list so out-of-band pushes (membership broadcasts,
+	// committed-prefix replay) honor the same filter the hub applies.
 	subMu     sync.Mutex
 	subCancel session.CancelFunc
+	subKinds  []session.EventKind
+}
+
+// subWantsKind reports whether the connection's subscription filter
+// admits events of kind k (true when unfiltered or not subscribed).
+func (sc *srvConn) subWantsKind(k session.EventKind) bool {
+	sc.subMu.Lock()
+	defer sc.subMu.Unlock()
+	if len(sc.subKinds) == 0 {
+		return true
+	}
+	for _, want := range sc.subKinds {
+		if want == k {
+			return true
+		}
+	}
+	return false
 }
 
 // protoVer returns the handshake-negotiated protocol generation (0
@@ -284,16 +334,20 @@ func (s *Server) handle(c net.Conn) {
 }
 
 // subscribe attaches the connection to the manager's unified event
-// stream and starts the pump that frames events onto the wire.
-// Idempotent per connection.
-func (sc *srvConn) subscribe() {
+// stream — narrowed by opts when the client negotiated a filter — and
+// starts the pump that frames events onto the wire. A repeat
+// opSubscribe replaces the previous subscription, so a client can
+// re-arm with a different filter on the same connection.
+func (sc *srvConn) subscribe(opts session.SubscribeOptions) {
 	sc.subMu.Lock()
 	defer sc.subMu.Unlock()
 	if sc.subCancel != nil {
-		return
+		sc.subCancel()
+		sc.subCancel = nil
 	}
-	ch, cancel := sc.s.m.Subscribe(context.Background())
+	ch, cancel := sc.s.m.SubscribeFiltered(context.Background(), opts)
 	sc.subCancel = cancel
+	sc.subKinds = opts.Kinds
 	go func() {
 		for ev := range ch {
 			var e enc
@@ -317,7 +371,7 @@ func (sc *srvConn) pushMembership(ev session.Event) {
 	sc.subMu.Lock()
 	subscribed := sc.subCancel != nil
 	sc.subMu.Unlock()
-	if !subscribed {
+	if !subscribed || !sc.subWantsKind(session.EventMembership) {
 		return
 	}
 	var e enc
@@ -333,6 +387,7 @@ func (sc *srvConn) unsubscribe() {
 	sc.subMu.Lock()
 	cancel := sc.subCancel
 	sc.subCancel = nil
+	sc.subKinds = nil
 	sc.subMu.Unlock()
 	if cancel != nil {
 		cancel()
@@ -341,6 +396,8 @@ func (sc *srvConn) unsubscribe() {
 
 // write frames one message under the connection's write lock.
 func (sc *srvConn) write(op byte, payload []byte) error {
+	// 4-byte length prefix + opcode + payload = bytes on the wire.
+	sc.s.tel.frameTx.Observe(float64(5 + len(payload)))
 	sc.wmu.Lock()
 	defer sc.wmu.Unlock()
 	if err := writeFrame(sc.bw, op, payload); err != nil {
@@ -391,6 +448,17 @@ func (sc *srvConn) handshake(op byte, d *dec) bool {
 			return false
 		}
 	}
+	if v >= 5 {
+		// From v5 on the hello also carries the client's default decode
+		// OpenOptions, applied to sessions opened implicitly by this
+		// connection's dispatches.
+		sc.defaults = decodeOpenOptions(d)
+		if d.err != nil {
+			_ = sc.respondErr(fmt.Errorf("%w: client hello claims v%d but is not parseable "+
+				"as v5; server speaks v%d", ErrVersionMismatch, v, protoVersion))
+			return false
+		}
+	}
 	sc.proto.Store(int32(negotiated))
 	if negotiated >= 3 {
 		if clientID == "" {
@@ -417,6 +485,7 @@ func (sc *srvConn) readLoop() {
 		if err != nil {
 			return
 		}
+		sc.s.tel.frameRx.Observe(float64(5 + len(payload)))
 		d := dec{b: payload}
 		if !hello {
 			if !sc.handshake(op, &d) {
@@ -431,10 +500,11 @@ func (sc *srvConn) readLoop() {
 			if d.err != nil {
 				return
 			}
+			sc.s.tel.batch.Observe(float64(len(batch)))
 			// One-way: an ErrClosed after opClose is deliberately
 			// silent — the client learned the terminal state from its
 			// own Close response.
-			_ = m.DispatchBatch(batch)
+			_ = m.DispatchBatchWith(batch, sc.defaults)
 
 		case opDispatchSeq:
 			firstSeq := d.u64()
@@ -442,6 +512,7 @@ func (sc *srvConn) readLoop() {
 			if d.err != nil || sc.seq == nil {
 				return // malformed, or seq dispatch on a v2 handshake
 			}
+			sc.s.tel.batch.Observe(float64(len(batch)))
 			cs := sc.seq
 			cs.mu.Lock()
 			for i, smp := range batch {
@@ -449,7 +520,7 @@ func (sc *srvConn) readLoop() {
 				if seq <= cs.applied {
 					continue // duplicate from a resend; already applied
 				}
-				if err := m.Dispatch(smp); err != nil {
+				if err := m.DispatchWith(smp, sc.defaults); err != nil {
 					cs.rejected++
 				}
 				cs.applied = seq
@@ -464,15 +535,36 @@ func (sc *srvConn) readLoop() {
 			}
 
 		case opSubscribe:
-			sc.subscribe()
-			if sc.protoVer() >= 3 {
+			var opts session.SubscribeOptions
+			if d.remaining() > 0 {
+				// v5 clients may append an encoded filter; an empty
+				// payload (the only form older dialects emit) means
+				// unfiltered.
+				opts = decodeSubscribeOptions(&d)
+				if d.err != nil {
+					return
+				}
+			}
+			sc.subscribe(opts)
+			var epcAllow map[string]bool
+			if len(opts.EPCs) > 0 {
+				epcAllow = make(map[string]bool, len(opts.EPCs))
+				for _, epc := range opts.EPCs {
+					epcAllow[epc] = true
+				}
+			}
+			if sc.protoVer() >= 3 && sc.subWantsKind(session.EventCommit) {
 				// Replay each live session's committed prefix so a
 				// subscriber that reconnected mid-stroke has no gap:
 				// commits that fired during the outage are re-delivered
 				// as one absolute-prefix EventCommit per EPC (consumers
 				// key on CommitStart, so overlap with live commits is
-				// idempotent).
+				// idempotent). The replay honors the same filter the
+				// live subscription enforces.
 				for epc, prefix := range m.CommittedPrefixes() {
+					if epcAllow != nil && !epcAllow[epc] {
+						continue
+					}
 					var e enc
 					ev := session.Event{
 						Kind:        session.EventCommit,
@@ -608,6 +700,22 @@ func (sc *srvConn) readLoop() {
 					return
 				}
 				continue
+			}
+			if sc.write(opResp, e.b) != nil {
+				return
+			}
+
+		case opTelemetry:
+			var e enc
+			if sc.protoVer() < 5 {
+				encodeError(&e, fmt.Errorf("%w: opTelemetry needs protocol v5, negotiated v%d",
+					ErrVersionMismatch, sc.protoVer()))
+			} else {
+				e.u8(statusOK)
+				if err := encodeTelemetry(&e, sc.s.cfg.Telemetry.Snapshot()); err != nil {
+					e = enc{}
+					encodeError(&e, err)
+				}
 			}
 			if sc.write(opResp, e.b) != nil {
 				return

@@ -161,6 +161,9 @@ func dialV3Raw(t *testing.T, addr, clientID string) (net.Conn, *bufio.Writer) {
 	if err := e.str(clientID); err != nil {
 		t.Fatal(err)
 	}
+	if protoVersion >= 5 {
+		encodeOpenOptions(&e, session.OpenOptions{})
+	}
 	if err := writeFrame(bw, opHello, e.b); err != nil {
 		t.Fatal(err)
 	}

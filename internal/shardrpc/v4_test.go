@@ -130,8 +130,8 @@ func TestMembershipPushStaleAndCatchUp(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer b.Detach()
-	if a.Proto() != 4 {
-		t.Fatalf("negotiated v%d, want v4", a.Proto())
+	if a.Proto() < 4 {
+		t.Fatalf("negotiated v%d, want at least v4", a.Proto())
 	}
 
 	evs, cancel := b.Subscribe(ctx)

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler serving the Prometheus text
+// exposition of snapshot() — mount it at /metrics. The snapshot
+// function is called per scrape, so GaugeFunc values are live.
+func Handler(snapshot func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snapshot().WritePrometheus(w)
+	})
+}
+
+// Server is a minimal /metrics HTTP endpoint (the -metrics-addr flag).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe binds addr and serves /metrics (and /, for curl
+// convenience) in the background. The listen happens synchronously so
+// a bad address fails fast; use Addr to discover an ephemeral port.
+func ListenAndServe(addr string, snapshot func() Snapshot) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	h := Handler(snapshot)
+	mux.Handle("/metrics", h)
+	mux.Handle("/", h)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

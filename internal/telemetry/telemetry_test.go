@@ -1,0 +1,266 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("polardraw_test_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("polardraw_test_depth")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %g, want 3.5", got)
+	}
+	// Get-or-create returns the same handle.
+	if r.Counter("polardraw_test_total") != c {
+		t.Fatal("Counter not stable across lookups")
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("x")
+	h := r.Histogram("x")
+	r.GaugeFunc("x", func() float64 { return 1 })
+	c.Add(1)
+	c.Inc()
+	g.Set(2)
+	h.Observe(3)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil handles must observe nothing")
+	}
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry must snapshot empty")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations spread 1ms..1s: quantiles must land within a
+	// bucket (factor of two) of the exact percentile.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 1e-3)
+	}
+	s := h.snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.Sum-500.5) > 1e-6 {
+		t.Fatalf("sum = %g, want 500.5", s.Sum)
+	}
+	checks := []struct{ q, exact float64 }{{0.5, 0.5}, {0.99, 0.99}, {0.999, 0.999}}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		if got < c.exact/2 || got > c.exact*2 {
+			t.Errorf("q%g = %g, want within [%g, %g]", c.q, got, c.exact/2, c.exact*2)
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if !math.IsNaN(empty.Quantile(0.5)) || !math.IsNaN(empty.Mean()) {
+		t.Fatal("empty snapshot must return NaN quantile/mean")
+	}
+
+	// Single observation: every quantile lands in its bucket.
+	var h Histogram
+	h.Observe(0.01)
+	s := h.snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		got := s.Quantile(q)
+		if got <= 0 || got > 0.02 {
+			t.Fatalf("single-obs q%g = %g, want (0, 0.02]", q, got)
+		}
+	}
+
+	// Negative and zero observations land in the floor bucket rather
+	// than corrupting the walk.
+	var hn Histogram
+	hn.Observe(-5)
+	hn.Observe(0)
+	sn := hn.snapshot()
+	if sn.Count != 2 || sn.Buckets[0] != 2 {
+		t.Fatalf("non-positive obs: count=%d bucket0=%d", sn.Count, sn.Buckets[0])
+	}
+	if q := sn.Quantile(0.5); q < 0 || q > bucketUpper(0) {
+		t.Fatalf("floor-bucket quantile = %g", q)
+	}
+
+	// Merging an empty histogram is the identity; merging into an
+	// empty one copies.
+	s2 := s
+	s2.Merge(empty)
+	if s2 != s {
+		t.Fatal("merge of empty snapshot changed the histogram")
+	}
+	var s3 HistogramSnapshot
+	s3.Merge(s)
+	if s3 != s {
+		t.Fatal("merge into empty snapshot did not copy")
+	}
+
+	// Out-of-range and overflow observations clamp to the end buckets.
+	var hc Histogram
+	hc.Observe(math.Inf(1))
+	hc.Observe(1e300)
+	hc.Observe(1e-300)
+	if hc.Count() != 3 {
+		t.Fatalf("clamped count = %d", hc.Count())
+	}
+}
+
+func TestBucketOfBoundaries(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		up := bucketUpper(i)
+		if got := bucketOf(up); got != i {
+			t.Fatalf("bucketOf(upper %d) = %d", i, got)
+		}
+		if i+1 < histBuckets {
+			if got := bucketOf(up * 1.0001); got != i+1 {
+				t.Fatalf("bucketOf(just above upper %d) = %d", i, got)
+			}
+		}
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("c").Add(3)
+	b.Counter("c").Add(4)
+	b.Counter("only_b").Add(1)
+	a.Gauge("g").Set(1)
+	b.Gauge("g").Set(2)
+	a.Histogram("h").Observe(0.5)
+	b.Histogram("h").Observe(0.5)
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Counters["c"] != 7 || s.Counters["only_b"] != 1 {
+		t.Fatalf("merged counters = %v", s.Counters)
+	}
+	if s.Gauges["g"] != 3 {
+		t.Fatalf("merged gauge = %g", s.Gauges["g"])
+	}
+	if s.Histograms["h"].Count != 2 {
+		t.Fatalf("merged histogram count = %d", s.Histograms["h"].Count)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	live := 0
+	r.GaugeFunc("polardraw_sessions_live", func() float64 { return float64(live) })
+	live = 7
+	if got := r.Snapshot().Gauges["polardraw_sessions_live"]; got != 7 {
+		t.Fatalf("gauge func = %g, want 7", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("polardraw_sheds_total").Add(2)
+	r.Counter(`polardraw_decode_commits_total{kind="merge"}`).Add(5)
+	r.Counter(`polardraw_decode_commits_total{kind="forced"}`).Add(1)
+	r.Gauge("polardraw_sessions_live").Set(3)
+	h := r.Histogram(`polardraw_router_dispatch_seconds{backend="s0"}`)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.002)
+	}
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE polardraw_sheds_total counter\npolardraw_sheds_total 2\n",
+		`polardraw_decode_commits_total{kind="forced"} 1`,
+		`polardraw_decode_commits_total{kind="merge"} 5`,
+		"# TYPE polardraw_sessions_live gauge\npolardraw_sessions_live 3\n",
+		"# TYPE polardraw_router_dispatch_seconds summary\n",
+		`polardraw_router_dispatch_seconds{backend="s0",quantile="0.5"}`,
+		`polardraw_router_dispatch_seconds{backend="s0",quantile="0.999"}`,
+		`polardraw_router_dispatch_seconds_count{backend="s0"} 100`,
+		`polardraw_router_dispatch_seconds_sum{backend="s0"} 0.2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with several labeled series.
+	if n := strings.Count(out, "# TYPE polardraw_decode_commits_total"); n != 1 {
+		t.Errorf("family TYPE line emitted %d times", n)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// handle creation races, observation races, snapshot-during-write —
+// and relies on -race to flag unsound access.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("polardraw_conc_total")
+			h := r.Histogram("polardraw_conc_seconds")
+			g := r.Gauge("polardraw_conc_depth")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(float64(i%100) * 1e-4)
+				g.Set(float64(i))
+				if i%500 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counters["polardraw_conc_total"]; got != workers*perWorker {
+		t.Fatalf("concurrent counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Histograms["polardraw_conc_seconds"].Count; got != workers*perWorker {
+		t.Fatalf("concurrent histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestHTTPServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("polardraw_http_total").Add(9)
+	srv, err := ListenAndServe("127.0.0.1:0", r.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "polardraw_http_total 9") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+}

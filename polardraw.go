@@ -45,6 +45,7 @@ import (
 	"polardraw/internal/rf"
 	"polardraw/internal/session"
 	"polardraw/internal/shardrpc"
+	"polardraw/internal/telemetry"
 )
 
 // Re-exported types: the public surface of the serving stack. Aliases
@@ -87,6 +88,21 @@ type (
 	BackendState = session.BackendState
 	// AdmissionConfig bounds ingress before shedding (WithAdmission).
 	AdmissionConfig = session.AdmissionConfig
+	// SubscribeOptions narrows a filtered subscription
+	// (Client.SubscribeFiltered) to an event-kind and/or EPC
+	// allow-list; the zero value subscribes to everything.
+	SubscribeOptions = session.SubscribeOptions
+	// TelemetryRegistry is the process-local metric registry every
+	// layer records into (see Client.Telemetry, ShardServer.Telemetry).
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of a registry —
+	// counters, gauges, and mergeable histograms. Snapshots from
+	// multiple shards Merge into cluster totals (Client.ClusterStats)
+	// and render to Prometheus text via WritePrometheus.
+	TelemetrySnapshot = telemetry.Snapshot
+	// MetricsServer is the background /metrics HTTP listener started
+	// by ShardServer.ServeMetrics (and the -metrics-addr flags).
+	MetricsServer = telemetry.Server
 )
 
 // Membership states (see BackendState).

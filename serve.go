@@ -5,6 +5,7 @@ import (
 
 	"polardraw/internal/session"
 	"polardraw/internal/shardrpc"
+	"polardraw/internal/telemetry"
 )
 
 // ShardServer hosts one shard of a multi-process PolarDraw tier: a
@@ -15,6 +16,7 @@ import (
 // override over the wire).
 type ShardServer struct {
 	srv *shardrpc.Server
+	tel *telemetry.Registry
 }
 
 // NewShardServer builds a shard server. Call Serve or ListenAndServe
@@ -24,17 +26,38 @@ func NewShardServer(opts ...Option) *ShardServer {
 	for _, o := range opts {
 		o.applyClient(&cfg)
 	}
+	tel := telemetry.NewRegistry()
 	sess := cfg.sessionConfig()
+	sess.Telemetry = tel
 	if sess.MaxSessions <= 0 {
 		// A shard server is a long-lived multi-tenant process: default
 		// well above the library's 64 so LRU eviction is a policy
 		// choice, not a surprise.
 		sess.MaxSessions = DefaultServerMaxSessions
 	}
-	return &ShardServer{srv: shardrpc.NewServer(shardrpc.ServerConfig{
+	s := &ShardServer{srv: shardrpc.NewServer(shardrpc.ServerConfig{
 		Session:     sess,
 		EventBuffer: cfg.eventBuffer,
-	})}
+		Telemetry:   tel,
+	}), tel: tel}
+	m := s.srv.Manager()
+	tel.GaugeFunc("polardraw_sessions_live", func() float64 {
+		return float64(m.Len())
+	})
+	return s
+}
+
+// Telemetry exposes the shard's metric registry: every decode,
+// session, and wire metric the shard records, snapshot by clients via
+// the v5 telemetry RPC and exposable as Prometheus text with
+// ServeMetrics.
+func (s *ShardServer) Telemetry() *TelemetryRegistry { return s.tel }
+
+// ServeMetrics starts a background HTTP listener on addr serving the
+// shard's telemetry as Prometheus text exposition at /metrics. It
+// returns the bound address (useful with a ":0" port) and a closer.
+func (s *ShardServer) ServeMetrics(addr string) (*MetricsServer, error) {
+	return telemetry.ListenAndServe(addr, s.tel.Snapshot)
 }
 
 // DefaultServerMaxSessions is NewShardServer's live-session cap when
